@@ -1,0 +1,72 @@
+// Command ofswitchd runs a simulated OpenFlow network and connects its
+// switches to a controller — the stand-in for a rack of hardware
+// switches (or a Mininet) in this reproduction. It builds a linear or
+// ring topology with one host per switch, dials the controller, and can
+// generate test traffic so a running yancd has something to react to.
+//
+// Usage:
+//
+//	ofswitchd [-controller 127.0.0.1:6633] [-topo linear] [-switches 3]
+//	          [-proto of10|of13] [-traffic 0] [-seed-hosts]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"yanc/internal/openflow"
+	"yanc/internal/switchsim"
+)
+
+func main() {
+	controller := flag.String("controller", "127.0.0.1:6633", "controller address")
+	topo := flag.String("topo", "linear", "topology: linear or ring")
+	k := flag.Int("switches", 3, "number of switches")
+	proto := flag.String("proto", "of10", "protocol version: of10 or of13")
+	traffic := flag.Int("traffic", 0, "pings per second between random host pairs (0 = none)")
+	flag.Parse()
+
+	version := openflow.Version10
+	if *proto == "of13" {
+		version = openflow.Version13
+	}
+	var n *switchsim.Network
+	var hosts []*switchsim.Host
+	switch *topo {
+	case "linear":
+		n, hosts = switchsim.BuildLinear(*k, version)
+	case "ring":
+		n, hosts = switchsim.BuildRing(*k, version)
+	default:
+		log.Fatalf("ofswitchd: unknown topology %q", *topo)
+	}
+	for _, sw := range n.Switches() {
+		sw := sw
+		go func() {
+			for {
+				if err := sw.Dial(*controller); err != nil {
+					log.Printf("ofswitchd: %s: %v", sw.Name, err)
+				}
+				time.Sleep(time.Second) // reconnect forever
+			}
+		}()
+	}
+	fmt.Printf("ofswitchd: %d switches (%s, %s) dialing %s\n", *k, *topo, *proto, *controller)
+
+	if *traffic > 0 {
+		interval := time.Second / time.Duration(*traffic)
+		seq := uint16(0)
+		i := 0
+		for {
+			time.Sleep(interval)
+			src := hosts[i%len(hosts)]
+			dst := hosts[(i+1)%len(hosts)]
+			seq++
+			src.Ping(dst, seq)
+			i++
+		}
+	}
+	select {}
+}

@@ -1,0 +1,88 @@
+// Command yancd is the yanc controller daemon: it mounts the yanc file
+// system (in-process), listens for OpenFlow switch connections, and runs
+// the core system applications — topology discovery, the reactive
+// router, and the ARP responder. Optionally it exports the file system
+// over the distributed-FS protocol so remote machines can mount it (§6).
+//
+// Usage:
+//
+//	yancd [-listen :6633] [-dfs :7070] [-interval 2s] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"yanc"
+)
+
+func main() {
+	listen := flag.String("listen", ":6633", "OpenFlow listen address")
+	dfsAddr := flag.String("dfs", "", "export the file system over TCP at this address (empty = off)")
+	interval := flag.Duration("interval", 2*time.Second, "topology discovery interval")
+	verbose := flag.Bool("verbose", false, "log driver activity")
+	flag.Parse()
+
+	ctrl, err := yanc.NewController()
+	if err != nil {
+		log.Fatalf("yancd: %v", err)
+	}
+	defer ctrl.Close()
+	if *verbose {
+		ctrl.Driver().VerboseLog()
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("yancd: listen: %v", err)
+	}
+	log.Printf("yancd: OpenFlow on %s", ln.Addr())
+	go func() {
+		if err := ctrl.Serve(ln); err != nil {
+			log.Printf("yancd: serve: %v", err)
+		}
+	}()
+
+	if *dfsAddr != "" {
+		bound, srv, err := ctrl.ExportDFS(*dfsAddr)
+		if err != nil {
+			log.Fatalf("yancd: dfs export: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("yancd: distributed fs exported on %s", bound)
+	}
+
+	p := ctrl.Root()
+	rt := yanc.NewRouter(p, "/")
+	if err := rt.Start(); err != nil {
+		log.Fatalf("yancd: router: %v", err)
+	}
+	defer rt.Stop()
+	ad := yanc.NewARPd(p, "/")
+	if err := ad.Start(); err != nil {
+		log.Fatalf("yancd: arpd: %v", err)
+	}
+	defer ad.Stop()
+	td := yanc.NewTopod(p, "/")
+	go func() {
+		ticker := time.NewTicker(*interval)
+		defer ticker.Stop()
+		for range ticker.C {
+			if err := td.DiscoverOnce(); err != nil {
+				log.Printf("yancd: discovery: %v", err)
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	installs, floods := rt.Stats()
+	fmt.Printf("yancd: shutting down (router installed %d paths, flooded %d)\n", installs, floods)
+}

@@ -1,0 +1,80 @@
+// Command yancsh is an administrator's shell for a yanc network. It
+// mounts a controller's file system over the distributed-FS protocol
+// (§6) — the controller may be on another machine — and runs the §5.4
+// coreutils against it: the full "Linux is the network operating system"
+// experience from a remote box.
+//
+// Usage:
+//
+//	yancsh -connect 127.0.0.1:7070                 # interactive REPL
+//	yancsh -connect 127.0.0.1:7070 -c "ls -l /switches"
+//	yancsh -connect 127.0.0.1:7070 -eventual       # batched writes
+//
+// Start a controller exporting its fs with: yancd -dfs :7070
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"yanc/internal/dfs"
+	"yanc/internal/shell"
+	"yanc/internal/vfs"
+)
+
+func main() {
+	connect := flag.String("connect", "127.0.0.1:7070", "controller dfs address")
+	command := flag.String("c", "", "run one command and exit")
+	eventual := flag.Bool("eventual", false, "mount with eventual consistency")
+	uid := flag.Int("uid", 0, "credential uid")
+	gid := flag.Int("gid", 0, "credential gid")
+	flag.Parse()
+
+	mode := dfs.Strict
+	if *eventual {
+		mode = dfs.Eventual
+	}
+	client, err := dfs.Mount(*connect, vfs.Cred{UID: *uid, GID: *gid}, mode)
+	if err != nil {
+		log.Fatalf("yancsh: %v", err)
+	}
+	defer client.Close()
+
+	env := shell.NewEnv(client, os.Stdout)
+	if *command != "" {
+		if err := env.Run(*command); err != nil {
+			log.Fatalf("yancsh: %v", err)
+		}
+		if err := client.Flush(); err != nil {
+			log.Fatalf("yancsh: flush: %v", err)
+		}
+		return
+	}
+
+	fmt.Printf("yancsh: mounted %s (%s consistency, uid %d)\n", *connect, mode, *uid)
+	fmt.Printf("commands: %s\n", strings.Join(shell.Commands(), " "))
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Printf("%s $ ", env.Cwd)
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "exit" || line == "quit" {
+			break
+		}
+		if err := env.Run(line); err != nil {
+			fmt.Fprintf(os.Stderr, "yancsh: %v\n", err)
+		}
+	}
+	if err := client.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "yancsh: flush: %v\n", err)
+	}
+}

@@ -1,0 +1,72 @@
+// Command yanctop regenerates the paper's figures from a live yanc file
+// system: Figure 2 (the /net hierarchy) and Figure 3 (the switch and
+// flow object representations). It builds the same example state the
+// figures show — switches sw1 and sw2, views http and management-net, an
+// arp_flow — and prints the trees.
+//
+// Usage:
+//
+//	yanctop            # Figure 2: the /net hierarchy
+//	yanctop -objects   # Figure 3: switch and flow representations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"yanc"
+)
+
+func main() {
+	objects := flag.Bool("objects", false, "print the switch/flow object representations (Figure 3)")
+	flag.Parse()
+
+	ctrl, err := yanc.NewController()
+	if err != nil {
+		log.Fatalf("yanctop: %v", err)
+	}
+	defer ctrl.Close()
+	p := ctrl.Root()
+	for _, sw := range []string{"sw1", "sw2"} {
+		if err := p.Mkdir("/switches/"+sw, 0o755); err != nil {
+			log.Fatalf("yanctop: %v", err)
+		}
+	}
+	for _, v := range []string{"http", "management-net"} {
+		if err := p.Mkdir("/views/"+v, 0o755); err != nil {
+			log.Fatalf("yanctop: %v", err)
+		}
+	}
+	m, err := yanc.ParseMatch("dl_type=0x0806,dl_src=00:00:00:00:00:01")
+	if err != nil {
+		log.Fatalf("yanctop: %v", err)
+	}
+	if _, err := yanc.WriteFlow(p, "/switches/sw1/flows/arp_flow", yanc.FlowSpec{
+		Match:       m,
+		Priority:    10,
+		IdleTimeout: 60,
+		Actions:     []yanc.Action{yanc.Output(2)},
+	}); err != nil {
+		log.Fatalf("yanctop: %v", err)
+	}
+
+	sh := ctrl.Shell(os.Stdout)
+	if *objects {
+		fmt.Println("# Figure 3: partial representations of a yanc switch and flow")
+		fmt.Println("## sw1")
+		if err := sh.Run("tree /switches/sw1"); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("## arp_flow")
+		if err := sh.Run("tree /switches/sw1/flows/arp_flow"); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Println("# Figure 2: the yanc file system hierarchy (mounted on /net)")
+	if err := sh.Run("tree /"); err != nil {
+		log.Fatal(err)
+	}
+}

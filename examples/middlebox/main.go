@@ -1,0 +1,100 @@
+// Middleboxes (§7.2): a stateful firewall whose connection table lives
+// in the file system. Policy changes are echo into policy files; elastic
+// scale-out is cp of state directories — "we can use command line
+// utilities such as cp or mv to move state around rather than custom
+// protocols".
+//
+//	go run ./examples/middlebox
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"yanc"
+	"yanc/internal/ethernet"
+	"yanc/internal/middlebox"
+)
+
+func tcp(src, dst ethernet.IP4, sport, dport uint16) []byte {
+	return ethernet.Frame{
+		Dst: ethernet.MAC{0xaa}, Src: ethernet.MAC{0xbb},
+		Type: ethernet.TypeIPv4,
+		Payload: ethernet.IPv4{
+			TTL: 64, Protocol: ethernet.ProtoTCP, Src: src, Dst: dst,
+			Payload: ethernet.TCP{SrcPort: sport, DstPort: dport}.Serialize(),
+		}.Serialize(),
+	}.Serialize()
+}
+
+func waitFor(cond func() bool, what string) {
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func main() {
+	ctrl, err := yanc.NewController()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctrl.Close()
+	p := ctrl.Root()
+
+	fw1, d1 := ctrl.NewMiddlebox("/", "fw1")
+	fw2, d2 := ctrl.NewMiddlebox("/", "fw2")
+	if err := d1.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer d1.Stop()
+	if err := d2.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer d2.Stop()
+
+	inside := ethernet.IP4{10, 0, 0, 5}
+	outside := ethernet.IP4{93, 184, 216, 34}
+
+	// Traffic through fw1: outbound creates state, the reply establishes.
+	fw1.Process(middlebox.Outbound, tcp(inside, outside, 50000, 443))
+	fw1.Process(middlebox.Inbound, tcp(outside, inside, 443, 50000))
+	key := middlebox.ConnKey{Proto: 6, SrcIP: inside, DstIP: outside, SrcPort: 50000, DstPort: 443}
+	statePath := "/middleboxes/fw1/state/" + key.String()
+	waitFor(func() bool {
+		s, _ := p.ReadString(statePath + "/state")
+		return s == "established"
+	}, "connection state in the fs")
+
+	sh := ctrl.Shell(os.Stdout)
+	fmt.Println("fw1's connection table, as files:")
+	must(sh.Run("tree /middleboxes/fw1/state"))
+
+	// Unsolicited inbound is dropped until the admin opens the port.
+	attack := tcp(outside, inside, 31337, 8080)
+	fmt.Printf("\nunsolicited inbound to :8080 -> %v\n", fw1.Process(middlebox.Inbound, attack))
+	must(sh.Run("echo 8080 > /middleboxes/fw1/policy.allow_inbound_ports"))
+	waitFor(func() bool { return len(fw1.PolicySnapshot().AllowInboundPorts) == 1 }, "policy reload")
+	fmt.Printf("after 'echo 8080 > policy.allow_inbound_ports' -> %v\n", fw1.Process(middlebox.Inbound, attack))
+
+	// Elastic scale-out: migrate the live connection to fw2 with cp.
+	inbound := tcp(outside, inside, 443, 50000)
+	fmt.Printf("\nfw2 before migration -> %v\n", fw2.Process(middlebox.Inbound, inbound))
+	must(sh.Run("cp -r " + statePath + " /middleboxes/fw2/state/" + key.String()))
+	waitFor(func() bool { _, known := fw2.Lookup(key); return known }, "fw2 state import")
+	fmt.Printf("fw2 after 'cp -r fw1/state/... fw2/state/' -> %v\n", fw2.Process(middlebox.Inbound, inbound))
+
+	fmt.Println("\nlive counters:")
+	must(sh.Run("cat /middleboxes/fw1/counters/accepted /middleboxes/fw1/counters/dropped"))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+// Shell tools (§5.4): administering a software-defined network with the
+// coreutils one-liners from the paper — "from simple one-liners to more
+// elaborate shell scripts."
+//
+//	go run ./examples/shelltools
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"yanc"
+)
+
+func main() {
+	ctrl, err := yanc.NewController()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctrl.Close()
+	p := ctrl.Root()
+
+	// Populate a small network: two switches, an ssh flow, a web flow.
+	for _, sw := range []string{"sw1", "sw2"} {
+		if err := p.Mkdir("/switches/"+sw, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := p.MkdirAll("/switches/"+sw+"/ports/2", 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, f := range []struct{ sw, name, match string }{
+		{"sw1", "ssh-in", "dl_type=0x0800,nw_proto=6,tp_dst=22"},
+		{"sw2", "web", "dl_type=0x0800,nw_proto=6,tp_dst=80"},
+		{"sw2", "ssh-out", "dl_type=0x0800,nw_proto=6,tp_dst=22,nw_src=10.0.0.0/8"},
+	} {
+		m, err := yanc.ParseMatch(f.match)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := yanc.WriteFlow(p, "/switches/"+f.sw+"/flows/"+f.name, yanc.FlowSpec{
+			Match: m, Priority: 10, Actions: []yanc.Action{yanc.Output(2)},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sh := ctrl.Shell(os.Stdout)
+	demo := func(line string) {
+		fmt.Printf("$ %s\n", line)
+		if err := sh.Run(line); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	// "A quick overview of the switches in a network" (§5.4).
+	demo("ls -l /switches")
+	// "To list flow entries which affect ssh traffic" (§5.4).
+	demo("find /switches -name match.tp_dst | xargs grep -l 22")
+	// Bring a port down with echo (§3.1).
+	demo("echo 1 > /switches/sw1/ports/2/config.port_down")
+	demo("cat /switches/sw1/ports/2/config.port_down")
+	// Tag a switch for the distributed layer (§6).
+	demo("setfattr -n user.yanc.consistency -v eventual /switches/sw2")
+	demo("getfattr /switches/sw2")
+	// Inventory script.
+	fmt.Println("$ (inventory script)")
+	if err := sh.RunScript(`
+find /switches -type d -name flows | sort
+find /switches -name priority | wc -l
+`); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module yanc
+
+go 1.22

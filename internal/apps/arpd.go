@@ -1,0 +1,166 @@
+package apps
+
+import (
+	"strconv"
+	"sync"
+
+	"yanc/internal/ethernet"
+	"yanc/internal/vfs"
+	"yanc/internal/yancfs"
+)
+
+// ARPd is the distinct-protocol daemon the goals section calls for
+// ("there should be a distinct application for each protocol the network
+// needs to support such as DHCP, ARP, and LLDP"). It answers ARP requests
+// from the hosts/ directory's IP-to-MAC records, keeping broadcast ARP
+// traffic off the rest of the network.
+type ARPd struct {
+	P      *vfs.Proc
+	Region string
+	App    string
+
+	mu      sync.Mutex
+	buf     string
+	watch   *vfs.Watch
+	stop    chan struct{}
+	stopped chan struct{}
+	// learned supplements hosts/ records with observed sender mappings.
+	learned map[ethernet.IP4]ethernet.MAC
+	replies uint64
+}
+
+// NewARPd creates the daemon over a region.
+func NewARPd(p *vfs.Proc, region string) *ARPd {
+	return &ARPd{P: p, Region: region, App: "arpd", learned: make(map[ethernet.IP4]ethernet.MAC)}
+}
+
+// Start subscribes and begins answering in the background.
+func (a *ARPd) Start() error {
+	buf, w, err := yancfs.Subscribe(a.P, a.Region, a.App)
+	if err != nil {
+		return err
+	}
+	a.buf = buf
+	a.watch = w
+	a.stop = make(chan struct{})
+	a.stopped = make(chan struct{})
+	go func() {
+		defer close(a.stopped)
+		for {
+			select {
+			case <-a.stop:
+				return
+			case _, ok := <-a.watch.C:
+				if !ok {
+					return
+				}
+				a.Drain()
+			}
+		}
+	}()
+	return nil
+}
+
+// Stop shuts the daemon down.
+func (a *ARPd) Stop() {
+	if a.stop == nil {
+		return
+	}
+	close(a.stop)
+	a.watch.Close()
+	<-a.stopped
+}
+
+// Replies reports how many ARP replies were sent.
+func (a *ARPd) Replies() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.replies
+}
+
+// EnsureSubscribed subscribes without starting the loop.
+func (a *ARPd) EnsureSubscribed() error {
+	if a.buf != "" {
+		return nil
+	}
+	buf, w, err := yancfs.Subscribe(a.P, a.Region, a.App)
+	if err != nil {
+		return err
+	}
+	a.buf = buf
+	a.watch = w
+	return nil
+}
+
+// Drain synchronously answers every pending ARP request.
+func (a *ARPd) Drain() {
+	msgs, err := yancfs.PendingEvents(a.P, a.buf)
+	if err != nil {
+		return
+	}
+	for _, msg := range msgs {
+		ev, err := yancfs.ConsumePacketIn(a.P, msg)
+		if err != nil {
+			continue
+		}
+		a.handle(ev)
+	}
+}
+
+func (a *ARPd) handle(ev yancfs.PacketInEvent) {
+	f, err := ethernet.DecodeFrame(ev.Data)
+	if err != nil || f.Type != ethernet.TypeARP {
+		return
+	}
+	req, err := ethernet.DecodeARP(f.Payload)
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	a.learned[req.SenderIP] = req.SenderHW
+	a.mu.Unlock()
+	if req.Op != ethernet.ARPRequest {
+		return
+	}
+	mac, ok := a.resolve(req.TargetIP)
+	if !ok {
+		return
+	}
+	reply := ethernet.ARP{
+		Op:       ethernet.ARPReply,
+		SenderHW: mac,
+		SenderIP: req.TargetIP,
+		TargetHW: req.SenderHW,
+		TargetIP: req.SenderIP,
+	}
+	frame := ethernet.Frame{
+		Dst:     req.SenderHW,
+		Src:     mac,
+		Type:    ethernet.TypeARP,
+		Payload: reply.Serialize(),
+	}.Serialize()
+	spec := "out=" + strconv.FormatUint(uint64(ev.InPort), 10) + "\n"
+	payload := append([]byte(spec), frame...)
+	swPath := vfs.Join(a.Region, yancfs.DirSwitches, ev.Switch)
+	if err := a.P.WriteFile(vfs.Join(swPath, "packet_out"), payload, 0o644); err == nil {
+		a.mu.Lock()
+		a.replies++
+		a.mu.Unlock()
+	}
+}
+
+// resolve looks an IP up in learned mappings, then the hosts/ directory.
+func (a *ARPd) resolve(ip ethernet.IP4) (ethernet.MAC, bool) {
+	a.mu.Lock()
+	mac, ok := a.learned[ip]
+	a.mu.Unlock()
+	if ok {
+		return mac, true
+	}
+	_, arps, err := HostLocations(a.P, a.Region)
+	if err != nil {
+		return ethernet.MAC{}, false
+	}
+	mac, ok = arps[ip]
+	return mac, ok
+}

@@ -1,0 +1,142 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"yanc/internal/openflow"
+	"yanc/internal/vfs"
+	"yanc/internal/yancfs"
+)
+
+// Auditor is the cron-style application from the goals section: "an
+// auditor might run periodically via a cron job". One Run walks the
+// region's flow tables through ordinary file I/O and reports policy
+// findings; the report is also written into the file system so other
+// tools (or `cat`) can read it.
+type Auditor struct {
+	P      *vfs.Proc
+	Region string
+	// BannedTPPorts flags flows that permit traffic to these ports.
+	BannedTPPorts []uint16
+	// ReportPath is where the text report lands (default
+	// <region>/audit-report).
+	ReportPath string
+}
+
+// NewAuditor creates an auditor over a region.
+func NewAuditor(p *vfs.Proc, region string) *Auditor {
+	return &Auditor{P: p, Region: region}
+}
+
+// Finding is one audit observation.
+type Finding struct {
+	Severity string // "warn" or "error"
+	Switch   string
+	Flow     string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s %s/%s: %s", f.Severity, f.Switch, f.Flow, f.Message)
+}
+
+// Run performs one audit pass and returns the findings sorted by
+// switch/flow. The report file is rewritten on every run.
+func (a *Auditor) Run() ([]Finding, error) {
+	var findings []Finding
+	switches, err := yancfs.ListSwitches(a.P, a.Region)
+	if err != nil {
+		return nil, err
+	}
+	for _, sw := range switches {
+		swPath := vfs.Join(a.Region, yancfs.DirSwitches, sw)
+		names, err := yancfs.ListFlows(a.P, swPath)
+		if err != nil {
+			continue
+		}
+		type flowInfo struct {
+			name string
+			spec yancfs.FlowSpec
+		}
+		var committed []flowInfo
+		for _, name := range names {
+			flowPath := vfs.Join(swPath, "flows", name)
+			version, err := yancfs.FlowVersion(a.P, flowPath)
+			if err != nil {
+				continue
+			}
+			if version == 0 {
+				findings = append(findings, Finding{
+					Severity: "warn", Switch: sw, Flow: name,
+					Message: "staged but never committed (version 0)",
+				})
+				continue
+			}
+			spec, err := yancfs.ReadFlow(a.P, flowPath)
+			if err != nil {
+				findings = append(findings, Finding{
+					Severity: "error", Switch: sw, Flow: name,
+					Message: "unparseable: " + err.Error(),
+				})
+				continue
+			}
+			if len(spec.Actions) == 0 {
+				findings = append(findings, Finding{
+					Severity: "warn", Switch: sw, Flow: name,
+					Message: "no actions: matched traffic is dropped",
+				})
+			}
+			for _, banned := range a.BannedTPPorts {
+				if spec.Match.Has(openflow.FieldTPDst) && spec.Match.TPDst == banned && len(spec.Actions) > 0 {
+					findings = append(findings, Finding{
+						Severity: "error", Switch: sw, Flow: name,
+						Message: fmt.Sprintf("permits banned destination port %d", banned),
+					})
+				}
+			}
+			committed = append(committed, flowInfo{name: name, spec: spec})
+		}
+		// Shadowing: a higher-priority flow whose match covers a
+		// lower-priority one makes the latter dead.
+		for i := range committed {
+			for j := range committed {
+				if i == j {
+					continue
+				}
+				hi, lo := committed[i], committed[j]
+				if hi.spec.Priority > lo.spec.Priority && hi.spec.Match.Covers(lo.spec.Match) {
+					findings = append(findings, Finding{
+						Severity: "warn", Switch: sw, Flow: lo.name,
+						Message: fmt.Sprintf("shadowed by %s (priority %d > %d)",
+							hi.name, hi.spec.Priority, lo.spec.Priority),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Switch != findings[j].Switch {
+			return findings[i].Switch < findings[j].Switch
+		}
+		if findings[i].Flow != findings[j].Flow {
+			return findings[i].Flow < findings[j].Flow
+		}
+		return findings[i].Message < findings[j].Message
+	})
+	report := a.ReportPath
+	if report == "" {
+		report = vfs.Join(a.Region, "audit-report")
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "yanc audit: %d finding(s)\n", len(findings))
+	for _, f := range findings {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	if err := a.P.WriteFile(report, []byte(sb.String()), 0o644); err != nil {
+		return findings, err
+	}
+	return findings, nil
+}

@@ -1,0 +1,181 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"yanc/internal/ethernet"
+)
+
+// dhcpFrame builds a client DHCP message as a broadcast frame.
+func dhcpFrame(hw ethernet.MAC, msgType uint8, reqIP ethernet.IP4) []byte {
+	msg := ethernet.DHCP{Op: 1, XID: 0x1234, ClientHW: hw, MsgType: msgType, ReqIP: reqIP}
+	return ethernet.Frame{
+		Dst:  ethernet.Broadcast,
+		Src:  hw,
+		Type: ethernet.TypeIPv4,
+		Payload: ethernet.IPv4{
+			TTL: 64, Protocol: ethernet.ProtoUDP,
+			Src: ethernet.IP4{}, Dst: ethernet.IP4{255, 255, 255, 255},
+			Payload: ethernet.UDP{
+				SrcPort: ethernet.DHCPClientPort,
+				DstPort: ethernet.DHCPServerPort,
+				Payload: msg.Serialize(),
+			}.Serialize(),
+		}.Serialize(),
+	}.Serialize()
+}
+
+// findDHCPReply scans a host's received frames for a server message.
+func findDHCPReply(frames [][]byte, msgType uint8) (ethernet.DHCP, bool) {
+	for _, raw := range frames {
+		f, err := ethernet.DecodeFrame(raw)
+		if err != nil || f.Type != ethernet.TypeIPv4 {
+			continue
+		}
+		ip, err := ethernet.DecodeIPv4(f.Payload)
+		if err != nil || ip.Protocol != ethernet.ProtoUDP {
+			continue
+		}
+		udp, err := ethernet.DecodeUDP(ip.Payload)
+		if err != nil || udp.DstPort != ethernet.DHCPClientPort {
+			continue
+		}
+		d, err := ethernet.DecodeDHCP(udp.Payload)
+		if err == nil && d.Op == 2 && d.MsgType == msgType {
+			return d, true
+		}
+	}
+	return ethernet.DHCP{}, false
+}
+
+func TestDHCPRoundTripCodec(t *testing.T) {
+	d := ethernet.DHCP{
+		Op: 2, XID: 99, ClientHW: ethernet.MAC{1, 2, 3, 4, 5, 6},
+		YourIP: ethernet.IP4{10, 1, 0, 7}, ServerIP: ethernet.IP4{10, 1, 0, 1},
+		MsgType: ethernet.DHCPAck, Mask: ethernet.IP4{255, 255, 255, 0},
+		Router: ethernet.IP4{10, 1, 0, 1}, LeaseSec: 600,
+	}
+	got, err := ethernet.DecodeDHCP(d.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.XID != 99 || got.YourIP != d.YourIP || got.MsgType != ethernet.DHCPAck ||
+		got.Mask != d.Mask || got.Router != d.Router || got.LeaseSec != 600 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if _, err := ethernet.DecodeDHCP(make([]byte, 100)); err == nil {
+		t.Error("short dhcp accepted")
+	}
+	bad := d.Serialize()
+	bad[236] = 0 // clobber magic
+	if _, err := ethernet.DecodeDHCP(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestDHCPdFullHandshake(t *testing.T) {
+	r := newLinearRig(t, 1)
+	dh := NewDHCPd(r.y.Root(), "/", ethernet.IP4{10, 1, 0, 10}, 5)
+	if err := dh.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer dh.Stop()
+	// Wait for the intercept flow to reach hardware: full-size DHCP
+	// packets need the output-to-controller path, not a truncated miss.
+	eventually(t, "intercept flow", func() bool { return r.net.Switch(1).FlowCount() >= 1 })
+	h1 := r.hosts[0]
+	h1.ClearReceived()
+	// DISCOVER -> OFFER.
+	h1.Send(dhcpFrame(h1.MAC, ethernet.DHCPDiscover, ethernet.IP4{}))
+	var offer ethernet.DHCP
+	if !h1.WaitFor(func(frames [][]byte) bool {
+		var ok bool
+		offer, ok = findDHCPReply(frames, ethernet.DHCPOffer)
+		return ok
+	}, 2*time.Second) {
+		t.Fatal("no OFFER")
+	}
+	if offer.YourIP != (ethernet.IP4{10, 1, 0, 10}) {
+		t.Fatalf("offered %v", offer.YourIP)
+	}
+	// REQUEST -> ACK, and the lease materializes as files.
+	h1.Send(dhcpFrame(h1.MAC, ethernet.DHCPRequest, offer.YourIP))
+	if !h1.WaitFor(func(frames [][]byte) bool {
+		_, ok := findDHCPReply(frames, ethernet.DHCPAck)
+		return ok
+	}, 2*time.Second) {
+		t.Fatal("no ACK")
+	}
+	leases, err := dh.Leases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leases[h1.MAC.String()] != "10.1.0.10" {
+		t.Fatalf("leases = %v", leases)
+	}
+	// The lease is an ordinary file.
+	p := r.y.Root()
+	macDir := "02-00-0a-00-00-01" // h1's MAC with dashes
+	if s, _ := p.ReadString("/services/dhcp/leases/" + macDir + "/ip"); s != "10.1.0.10" {
+		t.Errorf("lease file = %q", s)
+	}
+	// The reply reaches the host before the counters increment; poll.
+	eventually(t, "stats", func() bool {
+		offers, acks := dh.Stats()
+		return offers == 1 && acks == 1
+	})
+}
+
+func TestDHCPdPoolExhaustionAndStability(t *testing.T) {
+	r := newLinearRig(t, 1)
+	dh := NewDHCPd(r.y.Root(), "/", ethernet.IP4{10, 1, 0, 10}, 2)
+	if err := dh.EnsureSubscribed(); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "intercept flow", func() bool { return r.net.Switch(1).FlowCount() >= 1 })
+	h1 := r.hosts[0]
+	// sendAndAwait injects a client frame, keeps draining (delivery is
+	// asynchronous), and returns the daemon's reply of the wanted type.
+	sendAndAwait := func(frame []byte, msgType uint8) ethernet.DHCP {
+		t.Helper()
+		h1.ClearReceived()
+		h1.Send(frame)
+		var got ethernet.DHCP
+		eventually(t, "dhcp reply", func() bool {
+			dh.Drain()
+			var ok bool
+			got, ok = findDHCPReply(h1.Received(), msgType)
+			return ok
+		})
+		return got
+	}
+	// Three clients against a pool of two; the third gets no offer.
+	macs := []ethernet.MAC{
+		ethernet.MACFromUint64(0x020000000001),
+		ethernet.MACFromUint64(0x020000000002),
+		ethernet.MACFromUint64(0x020000000003),
+	}
+	sendAndAwait(dhcpFrame(macs[0], ethernet.DHCPDiscover, ethernet.IP4{}), ethernet.DHCPOffer)
+	sendAndAwait(dhcpFrame(macs[1], ethernet.DHCPDiscover, ethernet.IP4{}), ethernet.DHCPOffer)
+	h1.Send(dhcpFrame(macs[2], ethernet.DHCPDiscover, ethernet.IP4{}))
+	eventually(t, "third discover consumed", func() bool { return dh.Drain() > 0 })
+	if offers, _ := dh.Stats(); offers != 2 {
+		t.Fatalf("offers = %d (pool of 2)", offers)
+	}
+	// Repeat DISCOVER from a known client re-offers the same address.
+	offer := sendAndAwait(dhcpFrame(macs[0], ethernet.DHCPDiscover, ethernet.IP4{}), ethernet.DHCPOffer)
+	if offer.YourIP != (ethernet.IP4{10, 1, 0, 10}) {
+		t.Fatalf("stable re-offer = %+v", offer)
+	}
+	// REQUEST for someone else's address is NAKed.
+	sendAndAwait(dhcpFrame(macs[0], ethernet.DHCPRequest, ethernet.IP4{10, 1, 0, 11}), ethernet.DHCPNak)
+	// Release frees the address for the third client.
+	if err := dh.ReleaseLease(macs[0]); err != nil {
+		t.Fatal(err)
+	}
+	offer = sendAndAwait(dhcpFrame(macs[2], ethernet.DHCPDiscover, ethernet.IP4{}), ethernet.DHCPOffer)
+	if offer.YourIP != (ethernet.IP4{10, 1, 0, 10}) {
+		t.Fatalf("post-release offer = %+v", offer)
+	}
+}

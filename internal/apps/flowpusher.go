@@ -1,0 +1,149 @@
+package apps
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"yanc/internal/openflow"
+	"yanc/internal/vfs"
+	"yanc/internal/yancfs"
+)
+
+// FlowPusher is the "simple static flow pusher" of §8: it turns a
+// declarative text format into flow-directory writes. The prototype's
+// version was a shell script; ours accepts the same shape of input:
+//
+//	# comment
+//	switch=sw1 flow=arp match=dl_type=0x0806 actions=out=flood priority=10
+//	switch=sw2 flow=ssh match="dl_type=0x0800,nw_proto=6,tp_dst=22" actions=out=2 idle=30
+type FlowPusher struct {
+	P      *vfs.Proc
+	Region string
+}
+
+// NewFlowPusher creates a pusher over a region.
+func NewFlowPusher(p *vfs.Proc, region string) *FlowPusher {
+	return &FlowPusher{P: p, Region: region}
+}
+
+// StaticFlow is one parsed line.
+type StaticFlow struct {
+	Switch string
+	Name   string
+	Spec   yancfs.FlowSpec
+}
+
+// ParseConfig parses the static flow configuration format.
+func ParseConfig(config string) ([]StaticFlow, error) {
+	var out []StaticFlow
+	for lineNo, line := range strings.Split(config, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sf := StaticFlow{}
+		for _, tok := range splitConfigTokens(line) {
+			k, v, ok := strings.Cut(tok, "=")
+			if !ok {
+				return nil, fmt.Errorf("apps: flowpusher line %d: bad token %q", lineNo+1, tok)
+			}
+			v = strings.Trim(v, `"`)
+			switch k {
+			case "switch":
+				sf.Switch = v
+			case "flow":
+				sf.Name = v
+			case "match":
+				m, err := openflow.ParseMatch(v)
+				if err != nil {
+					return nil, fmt.Errorf("apps: flowpusher line %d: %w", lineNo+1, err)
+				}
+				sf.Spec.Match = m
+			case "actions":
+				a, err := openflow.ParseActions(v)
+				if err != nil {
+					return nil, fmt.Errorf("apps: flowpusher line %d: %w", lineNo+1, err)
+				}
+				sf.Spec.Actions = a
+			case "priority":
+				n, err := strconv.ParseUint(v, 10, 16)
+				if err != nil {
+					return nil, fmt.Errorf("apps: flowpusher line %d: priority %q", lineNo+1, v)
+				}
+				sf.Spec.Priority = uint16(n)
+			case "idle":
+				n, err := strconv.ParseUint(v, 10, 16)
+				if err != nil {
+					return nil, fmt.Errorf("apps: flowpusher line %d: idle %q", lineNo+1, v)
+				}
+				sf.Spec.IdleTimeout = uint16(n)
+			case "hard":
+				n, err := strconv.ParseUint(v, 10, 16)
+				if err != nil {
+					return nil, fmt.Errorf("apps: flowpusher line %d: hard %q", lineNo+1, v)
+				}
+				sf.Spec.HardTimeout = uint16(n)
+			case "cookie":
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("apps: flowpusher line %d: cookie %q", lineNo+1, v)
+				}
+				sf.Spec.Cookie = n
+			default:
+				return nil, fmt.Errorf("apps: flowpusher line %d: unknown key %q", lineNo+1, k)
+			}
+		}
+		if sf.Switch == "" || sf.Name == "" {
+			return nil, fmt.Errorf("apps: flowpusher line %d: switch= and flow= are required", lineNo+1)
+		}
+		if len(sf.Spec.Actions) == 0 {
+			return nil, fmt.Errorf("apps: flowpusher line %d: actions= is required", lineNo+1)
+		}
+		out = append(out, sf)
+	}
+	return out, nil
+}
+
+// splitConfigTokens splits on spaces outside double quotes.
+func splitConfigTokens(line string) []string {
+	var toks []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ' ' && !inQuote:
+			if cur.Len() > 0 {
+				toks = append(toks, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		toks = append(toks, cur.String())
+	}
+	return toks
+}
+
+// Push writes every configured flow; the switch directory must exist
+// (a driver creates it when the switch connects). Returns the number of
+// flows written.
+func (fp *FlowPusher) Push(config string) (int, error) {
+	flows, err := ParseConfig(config)
+	if err != nil {
+		return 0, err
+	}
+	for i, sf := range flows {
+		flowPath := vfs.Join(fp.Region, yancfs.DirSwitches, sf.Switch, "flows", sf.Name)
+		if _, err := yancfs.WriteFlow(fp.P, flowPath, sf.Spec); err != nil {
+			return i, fmt.Errorf("apps: flowpusher %s/%s: %w", sf.Switch, sf.Name, err)
+		}
+	}
+	return len(flows), nil
+}

@@ -1,0 +1,298 @@
+package apps
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"yanc/internal/openflow"
+	"yanc/internal/vfs"
+	"yanc/internal/yancfs"
+)
+
+// Slicer implements the slicing half of network views (§4.2): "a slice of
+// a network is a subset of the hardware and header space across one or
+// more switches; the original topology is not changed." The slicer
+// creates a view containing mirror directories for the member switches
+// and translates between the two regions of the file system:
+//
+//   - flows committed inside the view are intersected with the slice's
+//     header-space filter and written into the master region (prefixed,
+//     so slices cannot collide);
+//   - flow removals propagate;
+//   - packet-in events that belong to the slice (member switch + filter
+//     match) are re-delivered into the view's event buffers.
+//
+// Disjoint flows (outside the slice's header space) are rejected by
+// writing the reason into the flow's "error" file.
+type Slicer struct {
+	Y        *yancfs.FS
+	Region   string // parent region (usually "/")
+	Name     string // view name
+	Filter   openflow.Match
+	Switches []string
+
+	mu      sync.Mutex
+	p       *vfs.Proc
+	watch   *vfs.Watch
+	evWatch *vfs.Watch
+	stop    chan struct{}
+	stopped chan struct{}
+	// pushed maps view flow path -> its translated master state.
+	pushed map[string]pushedFlow
+}
+
+type pushedFlow struct {
+	master  string
+	version uint64
+}
+
+// NewSlicer configures a slice of the given switches and header space.
+func NewSlicer(y *yancfs.FS, region, name string, filter openflow.Match, switches []string) *Slicer {
+	return &Slicer{
+		Y:        y,
+		Region:   region,
+		Name:     name,
+		Filter:   filter,
+		Switches: switches,
+		p:        y.Root(),
+		pushed:   make(map[string]pushedFlow),
+	}
+}
+
+// ViewPath returns the view's region path.
+func (s *Slicer) ViewPath() string {
+	return vfs.Join(s.Region, yancfs.DirViews, s.Name)
+}
+
+// masterFlowName prefixes a view flow so slices cannot collide with each
+// other or with master flows.
+func (s *Slicer) masterFlowName(viewFlow string) string {
+	return "slice-" + s.Name + "-" + viewFlow
+}
+
+// Create materializes the view: the region skeleton (via semantic mkdir),
+// one mirror switch directory per member with its ports, and peer links
+// for the intra-slice topology. The filter is recorded as an xattr for
+// introspection.
+func (s *Slicer) Create() error {
+	p := s.p
+	view := s.ViewPath()
+	if !p.Exists(view) {
+		if err := p.Mkdir(view, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := p.SetXattr(view, "user.yanc.slice.filter", []byte(s.Filter.String())); err != nil {
+		return err
+	}
+	member := make(map[string]bool, len(s.Switches))
+	for _, sw := range s.Switches {
+		member[sw] = true
+	}
+	for _, sw := range s.Switches {
+		masterSw := vfs.Join(s.Region, yancfs.DirSwitches, sw)
+		if !p.IsDir(masterSw) {
+			return fmt.Errorf("apps: slicer: no switch %s in %s", sw, s.Region)
+		}
+		viewSw := vfs.Join(view, yancfs.DirSwitches, sw)
+		if !p.Exists(viewSw) {
+			if err := p.Mkdir(viewSw, 0o755); err != nil {
+				return err
+			}
+		}
+		// Mirror identity and ports.
+		for _, file := range []string{"id", "protocol", "capabilities", "actions"} {
+			if b, err := p.ReadFile(vfs.Join(masterSw, file)); err == nil {
+				if err := p.WriteFile(vfs.Join(viewSw, file), b, 0o644); err != nil {
+					return err
+				}
+			}
+		}
+		ports, err := yancfs.ListPorts(p, masterSw)
+		if err != nil {
+			return err
+		}
+		for _, port := range ports {
+			portName := strconv.FormatUint(uint64(port), 10)
+			viewPort := vfs.Join(viewSw, "ports", portName)
+			if !p.Exists(viewPort) {
+				if err := p.Mkdir(viewPort, 0o755); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Second pass for the intra-slice topology: every member port now
+	// exists, so peer links can be mirrored in both directions ("the
+	// original topology is not changed", just subsetted).
+	for _, sw := range s.Switches {
+		masterSw := vfs.Join(s.Region, yancfs.DirSwitches, sw)
+		ports, err := yancfs.ListPorts(p, masterSw)
+		if err != nil {
+			return err
+		}
+		for _, port := range ports {
+			portName := strconv.FormatUint(uint64(port), 10)
+			masterPort := vfs.Join(masterSw, "ports", portName)
+			peerSw, peerPort, ok := yancfs.Peer(p, masterPort)
+			if !ok || !member[peerSw] {
+				continue
+			}
+			viewPort := vfs.Join(view, yancfs.DirSwitches, sw, "ports", portName)
+			peerPath := vfs.Join(view, yancfs.DirSwitches, peerSw, "ports",
+				strconv.FormatUint(uint64(peerPort), 10))
+			if p.IsDir(peerPath) {
+				if err := yancfs.SetPeer(p, viewPort, peerPath); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Start begins the two translation loops.
+func (s *Slicer) Start() error {
+	view := s.ViewPath()
+	w, err := s.p.AddWatch(vfs.Join(view, yancfs.DirSwitches),
+		vfs.OpWrite|vfs.OpRemove, vfs.Recursive(), vfs.BufferSize(4096))
+	if err != nil {
+		return err
+	}
+	s.watch = w
+	// Subscribe to master packet-ins for event translation.
+	_, evw, err := yancfs.Subscribe(s.p, s.Region, "slicer-"+s.Name)
+	if err != nil {
+		w.Close()
+		return err
+	}
+	s.evWatch = evw
+	s.stop = make(chan struct{})
+	s.stopped = make(chan struct{}, 2)
+	go s.flowLoop()
+	go s.eventLoop()
+	return nil
+}
+
+// Stop shuts the translation down.
+func (s *Slicer) Stop() {
+	if s.stop == nil {
+		return
+	}
+	close(s.stop)
+	s.watch.Close()
+	s.evWatch.Close()
+	<-s.stopped
+	<-s.stopped
+}
+
+func (s *Slicer) flowLoop() {
+	defer func() { s.stopped <- struct{}{} }()
+	for ev := range s.watch.C {
+		switch {
+		case ev.Op == vfs.OpWrite && vfs.Base(ev.Path) == yancfs.FileVersion:
+			s.translateFlow(vfs.Dir(ev.Path))
+		case ev.Op == vfs.OpRemove && ev.IsDir && s.isViewFlowDir(ev.Path):
+			s.removeTranslated(ev.Path)
+		}
+	}
+}
+
+// isViewFlowDir reports whether p is <view>/switches/<sw>/flows/<flow>.
+func (s *Slicer) isViewFlowDir(path string) bool {
+	rel := strings.TrimPrefix(path, vfs.Join(s.ViewPath(), yancfs.DirSwitches)+"/")
+	parts := strings.Split(rel, "/")
+	return len(parts) == 3 && parts[1] == "flows"
+}
+
+// translateFlow pushes one committed view flow into the master region.
+func (s *Slicer) translateFlow(viewFlowPath string) {
+	p := s.p
+	version, err := yancfs.FlowVersion(p, viewFlowPath)
+	if err != nil || version == 0 {
+		return
+	}
+	s.mu.Lock()
+	already := s.pushed[viewFlowPath].version >= version
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	spec, err := yancfs.ReadFlow(p, viewFlowPath)
+	if err != nil {
+		return
+	}
+	// Confine to the slice's header space.
+	confined, err := openflow.Intersect(spec.Match, s.Filter)
+	if err != nil {
+		// The flow escapes the slice: record the rejection in the view.
+		_ = p.WriteString(vfs.Join(viewFlowPath, "error"), err.Error()+"\n")
+		return
+	}
+	spec.Match = confined
+	// Locate the switch this flow belongs to.
+	rel := strings.TrimPrefix(viewFlowPath, vfs.Join(s.ViewPath(), yancfs.DirSwitches)+"/")
+	parts := strings.Split(rel, "/")
+	if len(parts) != 3 {
+		return
+	}
+	sw, flowName := parts[0], parts[2]
+	masterFlow := vfs.Join(s.Region, yancfs.DirSwitches, sw, "flows", s.masterFlowName(flowName))
+	if _, err := yancfs.WriteFlow(p, masterFlow, spec); err != nil {
+		_ = p.WriteString(vfs.Join(viewFlowPath, "error"), err.Error()+"\n")
+		return
+	}
+	s.mu.Lock()
+	s.pushed[viewFlowPath] = pushedFlow{master: masterFlow, version: version}
+	s.mu.Unlock()
+}
+
+// removeTranslated removes the master twin of a deleted view flow.
+func (s *Slicer) removeTranslated(viewFlowPath string) {
+	s.mu.Lock()
+	pf, ok := s.pushed[viewFlowPath]
+	delete(s.pushed, viewFlowPath)
+	s.mu.Unlock()
+	if ok {
+		_ = s.p.RemoveAll(pf.master)
+	}
+}
+
+func (s *Slicer) eventLoop() {
+	defer func() { s.stopped <- struct{}{} }()
+	buf := vfs.Join(s.Region, yancfs.DirEvents, "slicer-"+s.Name)
+	member := make(map[string]bool, len(s.Switches))
+	for _, sw := range s.Switches {
+		member[sw] = true
+	}
+	for range s.evWatch.C {
+		msgs, err := yancfs.PendingEvents(s.p, buf)
+		if err != nil {
+			continue
+		}
+		for _, msg := range msgs {
+			ev, err := yancfs.ConsumePacketIn(s.p, msg)
+			if err != nil {
+				continue
+			}
+			if !member[ev.Switch] {
+				continue
+			}
+			pf, err := openflow.ExtractFields(ev.Data, ev.InPort)
+			if err != nil || !s.Filter.MatchesPacket(&pf) {
+				continue
+			}
+			// Re-deliver into the view, unchanged: the slice preserves
+			// the original topology, so ports need no renaming.
+			_ = s.Y.DeliverPacketIn(s.ViewPath(), ev.Switch, &openflow.PacketIn{
+				BufferID: ev.BufferID,
+				TotalLen: ev.TotalLen,
+				InPort:   ev.InPort,
+				Reason:   ev.Reason,
+				Data:     ev.Data,
+			})
+		}
+	}
+}

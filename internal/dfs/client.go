@@ -1,0 +1,522 @@
+package dfs
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+
+	"yanc/internal/vfs"
+)
+
+// ErrClosed reports use of a closed mount.
+var ErrClosed = errors.New("dfs: mount closed")
+
+// Client is a remote mount of an exported file system. Its method set
+// mirrors vfs.Proc, so code written against the local file system works
+// against the mount — the property §6 relies on to distribute yanc
+// applications across machines.
+type Client struct {
+	consistency Consistency
+
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	nextID  uint64
+	pending map[uint64]chan *response
+	watches map[uint64]*RemoteWatch
+	closed  bool
+
+	// Eventual-consistency write pipeline.
+	queueMu   sync.Mutex
+	queue     []request
+	queueCond *sync.Cond
+	flushing  bool
+	flushErr  error
+	stopFlush chan struct{}
+	flushDone chan struct{}
+
+	// Per-subtree consistency overrides (path prefix -> mode).
+	overrideMu sync.RWMutex
+	overrides  map[string]Consistency
+}
+
+// Mount connects to a server with the given credential and default
+// consistency mode.
+func Mount(addr string, cred vfs.Cred, consistency Consistency) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: mount %s: %w", addr, err)
+	}
+	c := &Client{
+		consistency: consistency,
+		conn:        conn,
+		enc:         gob.NewEncoder(conn),
+		pending:     make(map[uint64]chan *response),
+		watches:     make(map[uint64]*RemoteWatch),
+		overrides:   make(map[string]Consistency),
+		stopFlush:   make(chan struct{}),
+		flushDone:   make(chan struct{}),
+	}
+	c.queueCond = sync.NewCond(&c.queueMu)
+	if err := c.enc.Encode(hello{UID: cred.UID, GID: cred.GID, Groups: cred.Groups, Consistency: consistency}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	go c.flushLoop()
+	return c, nil
+}
+
+// Close flushes pending writes and tears the mount down.
+func (c *Client) Close() error {
+	_ = c.Flush()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.stopFlush)
+	conn := c.conn
+	c.mu.Unlock()
+	c.queueCond.Broadcast()
+	<-c.flushDone
+	return conn.Close()
+}
+
+func (c *Client) readLoop() {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var rsp response
+		if err := dec.Decode(&rsp); err != nil {
+			c.failAll(err)
+			return
+		}
+		if rsp.Event != nil {
+			c.mu.Lock()
+			w := c.watches[rsp.ID]
+			c.mu.Unlock()
+			if w != nil {
+				w.deliver(*rsp.Event)
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[rsp.ID]
+		delete(c.pending, rsp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- &rsp
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	pending := c.pending
+	c.pending = make(map[uint64]chan *response)
+	watches := c.watches
+	c.watches = make(map[uint64]*RemoteWatch)
+	c.closed = true
+	c.mu.Unlock()
+	for _, ch := range pending {
+		ch <- &response{Err: "connection lost: " + err.Error(), ErrKind: errOther}
+	}
+	for _, w := range watches {
+		w.close()
+	}
+	c.queueCond.Broadcast()
+}
+
+// call performs one synchronous round trip.
+func (c *Client) call(req request) (*response, error) {
+	ch := make(chan *response, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	err := c.enc.Encode(&req)
+	c.mu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	rsp := <-ch
+	if err := wireError(rsp); err != nil {
+		return rsp, err
+	}
+	return rsp, nil
+}
+
+// SetConsistency records a subtree override and persists it as the
+// subtree's xattr so other mounts can observe the requirement.
+func (c *Client) SetConsistency(path string, mode Consistency) error {
+	path = vfs.Clean(path)
+	if err := c.SetXattr(path, ConsistencyXattr, []byte(mode.String())); err != nil {
+		return err
+	}
+	c.overrideMu.Lock()
+	c.overrides[path] = mode
+	c.overrideMu.Unlock()
+	return nil
+}
+
+// modeFor resolves the consistency governing a path: the deepest subtree
+// override wins, else the mount default.
+func (c *Client) modeFor(path string) Consistency {
+	c.overrideMu.RLock()
+	defer c.overrideMu.RUnlock()
+	if len(c.overrides) == 0 {
+		return c.consistency
+	}
+	path = vfs.Clean(path)
+	var prefixes []string
+	for p := range c.overrides {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return len(prefixes[i]) > len(prefixes[j]) })
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") || p == "/" {
+			return c.overrides[p]
+		}
+	}
+	return c.consistency
+}
+
+// write routes a mutating request per the governing consistency mode.
+func (c *Client) write(path string, req request) error {
+	if c.modeFor(path) == Strict {
+		_, err := c.call(req)
+		return err
+	}
+	c.queueMu.Lock()
+	if c.closed {
+		c.queueMu.Unlock()
+		return ErrClosed
+	}
+	c.queue = append(c.queue, req)
+	c.queueMu.Unlock()
+	c.queueCond.Signal()
+	return nil
+}
+
+// flushLoop drains the eventual-consistency queue in order, batching
+// whatever has accumulated into one round trip.
+func (c *Client) flushLoop() {
+	defer close(c.flushDone)
+	for {
+		c.queueMu.Lock()
+		for len(c.queue) == 0 {
+			select {
+			case <-c.stopFlush:
+				c.queueMu.Unlock()
+				return
+			default:
+			}
+			if c.isClosed() {
+				c.queueMu.Unlock()
+				return
+			}
+			c.queueCond.Wait()
+		}
+		batch := c.queue
+		c.queue = nil
+		c.flushing = true
+		c.queueMu.Unlock()
+
+		_, err := c.call(request{Op: opBatch, Sub: batch})
+
+		c.queueMu.Lock()
+		c.flushing = false
+		if err != nil && c.flushErr == nil {
+			c.flushErr = err
+		}
+		c.queueMu.Unlock()
+		c.queueCond.Broadcast()
+	}
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Flush blocks until every queued eventual write has been applied on the
+// server, returning the first flush error since the previous Flush. This
+// is the barrier an application uses before reading back its own
+// eventual-mode writes.
+func (c *Client) Flush() error {
+	c.queueMu.Lock()
+	defer c.queueMu.Unlock()
+	for (len(c.queue) > 0 || c.flushing) && !c.isClosedLocked() {
+		c.queueCond.Wait()
+	}
+	err := c.flushErr
+	c.flushErr = nil
+	return err
+}
+
+func (c *Client) isClosedLocked() bool {
+	// Called with queueMu held; peek at closed without blocking on mu.
+	select {
+	case <-c.stopFlush:
+		return true
+	default:
+		return false
+	}
+}
+
+// Mkdir creates a directory on the server.
+func (c *Client) Mkdir(path string, mode vfs.FileMode) error {
+	return c.write(path, request{Op: opMkdir, Path: path, Mode: uint16(mode)})
+}
+
+// MkdirAll creates path and missing parents.
+func (c *Client) MkdirAll(path string, mode vfs.FileMode) error {
+	return c.write(path, request{Op: opMkdirAll, Path: path, Mode: uint16(mode)})
+}
+
+// WriteFile creates or replaces a file.
+func (c *Client) WriteFile(path string, data []byte, mode vfs.FileMode) error {
+	return c.write(path, request{Op: opWriteFile, Path: path, Data: append([]byte(nil), data...), Mode: uint16(mode)})
+}
+
+// WriteString writes a string file.
+func (c *Client) WriteString(path, s string) error {
+	return c.WriteFile(path, []byte(s), 0o644)
+}
+
+// AppendFile appends to a file.
+func (c *Client) AppendFile(path string, data []byte, mode vfs.FileMode) error {
+	return c.write(path, request{Op: opAppendFile, Path: path, Data: append([]byte(nil), data...), Mode: uint16(mode)})
+}
+
+// ReadFile reads a whole file.
+func (c *Client) ReadFile(path string) ([]byte, error) {
+	rsp, err := c.call(request{Op: opReadFile, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return rsp.Data, nil
+}
+
+// ReadString reads a whitespace-trimmed string file.
+func (c *Client) ReadString(path string) (string, error) {
+	b, err := c.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(b)), nil
+}
+
+// Remove unlinks a file or empty (or semantically recursive) directory.
+func (c *Client) Remove(path string) error {
+	return c.write(path, request{Op: opRemove, Path: path})
+}
+
+// RemoveAll removes a subtree.
+func (c *Client) RemoveAll(path string) error {
+	return c.write(path, request{Op: opRemoveAll, Path: path})
+}
+
+// Rename moves a file or directory.
+func (c *Client) Rename(oldPath, newPath string) error {
+	return c.write(oldPath, request{Op: opRename, Path: oldPath, Path2: newPath})
+}
+
+// Symlink creates a symbolic link.
+func (c *Client) Symlink(target, linkPath string) error {
+	return c.write(linkPath, request{Op: opSymlink, Path: linkPath, Path2: target})
+}
+
+// Readlink reads a symlink target.
+func (c *Client) Readlink(path string) (string, error) {
+	rsp, err := c.call(request{Op: opReadlink, Path: path})
+	if err != nil {
+		return "", err
+	}
+	return string(rsp.Data), nil
+}
+
+// Link creates a hard link.
+func (c *Client) Link(oldPath, newPath string) error {
+	return c.write(newPath, request{Op: opLink, Path: oldPath, Path2: newPath})
+}
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(path string) ([]vfs.DirEntry, error) {
+	rsp, err := c.call(request{Op: opReadDir, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return rsp.Entries, nil
+}
+
+// Stat stats a path, following symlinks.
+func (c *Client) Stat(path string) (vfs.Stat, error) {
+	rsp, err := c.call(request{Op: opStat, Path: path})
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	return rsp.Stat, nil
+}
+
+// Lstat stats a path without following a final symlink.
+func (c *Client) Lstat(path string) (vfs.Stat, error) {
+	rsp, err := c.call(request{Op: opLstat, Path: path})
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	return rsp.Stat, nil
+}
+
+// Exists reports whether path resolves.
+func (c *Client) Exists(path string) bool {
+	_, err := c.Stat(path)
+	return err == nil
+}
+
+// IsDir reports whether path is a directory.
+func (c *Client) IsDir(path string) bool {
+	st, err := c.Stat(path)
+	return err == nil && st.IsDir()
+}
+
+// Chmod changes permissions.
+func (c *Client) Chmod(path string, mode vfs.FileMode) error {
+	return c.write(path, request{Op: opChmod, Path: path, Mode: uint16(mode)})
+}
+
+// Chown changes ownership.
+func (c *Client) Chown(path string, uid, gid int) error {
+	return c.write(path, request{Op: opChown, Path: path, UID: uid, GID: gid})
+}
+
+// SetXattr sets an extended attribute (always strict: metadata like
+// consistency requirements must not lag).
+func (c *Client) SetXattr(path, attr string, value []byte) error {
+	_, err := c.call(request{Op: opSetXattr, Path: path, Path2: attr, Data: value})
+	return err
+}
+
+// GetXattr reads an extended attribute.
+func (c *Client) GetXattr(path, attr string) ([]byte, error) {
+	rsp, err := c.call(request{Op: opGetXattr, Path: path, Path2: attr})
+	if err != nil {
+		return nil, err
+	}
+	return rsp.Data, nil
+}
+
+// ListXattr lists attribute names.
+func (c *Client) ListXattr(path string) ([]string, error) {
+	rsp, err := c.call(request{Op: opListXattr, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return rsp.Names, nil
+}
+
+// RemoveXattr removes an attribute.
+func (c *Client) RemoveXattr(path, attr string) error {
+	_, err := c.call(request{Op: opRemoveXattr, Path: path, Path2: attr})
+	return err
+}
+
+// Glob matches a wildcard pattern server-side.
+func (c *Client) Glob(pattern string) ([]string, error) {
+	rsp, err := c.call(request{Op: opGlob, Path: pattern})
+	if err != nil {
+		return nil, err
+	}
+	return rsp.Names, nil
+}
+
+// RemoteWatch is a watch on the exported file system; events stream over
+// the mount connection.
+type RemoteWatch struct {
+	C  <-chan vfs.Event
+	ch chan vfs.Event
+
+	client *Client
+	id     uint64
+	mu     sync.Mutex
+	closed bool
+}
+
+// AddWatch subscribes to events under path on the server.
+func (c *Client) AddWatch(path string, mask vfs.EventOp, recursive bool) (*RemoteWatch, error) {
+	w := &RemoteWatch{client: c, ch: make(chan vfs.Event, 4096)}
+	w.C = w.ch
+	// Register the watch entry before the call so no event can race past.
+	ch := make(chan *response, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	w.id = id
+	c.pending[id] = ch
+	c.watches[id] = w
+	err := c.enc.Encode(&request{ID: id, Op: opWatch, Path: path, Mask: uint32(mask), Recursive: recursive})
+	c.mu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		delete(c.watches, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	rsp := <-ch
+	if err := wireError(rsp); err != nil {
+		c.mu.Lock()
+		delete(c.watches, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *RemoteWatch) deliver(ev vfs.Event) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	select {
+	case w.ch <- ev:
+	default: // drop like inotify on overflow
+	}
+}
+
+func (w *RemoteWatch) close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.closed {
+		w.closed = true
+		close(w.ch)
+	}
+}
+
+// Close unsubscribes.
+func (w *RemoteWatch) Close() {
+	c := w.client
+	c.mu.Lock()
+	delete(c.watches, w.id)
+	c.mu.Unlock()
+	_, _ = c.call(request{Op: opUnwatch, Mask: uint32(w.id)})
+	w.close()
+}

@@ -1,0 +1,193 @@
+// Package dfs layers a distributed file system over the yanc VFS,
+// realizing §6 of the paper: "you can layer any number of distributed
+// file systems on top of the yanc file system and arrive at a distributed
+// SDN controller." A Server exports a file system over TCP (the role NFS
+// played in the paper's proof of concept); a Client mounts it and exposes
+// the same operation set as a local vfs.Proc, so applications written
+// against the file system run unchanged on a remote machine.
+//
+// Two consistency modes are supported, selected per mount and overridable
+// per subtree through the user.yanc.consistency xattr the paper plans for
+// (§5.1, §6, WheelFS-style): "strict" makes every write a synchronous
+// round trip; "eventual" acknowledges writes locally and flushes them in
+// the background, trading visibility lag for write latency.
+package dfs
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"strings"
+
+	"yanc/internal/vfs"
+)
+
+// Consistency selects the write discipline of a mount or subtree.
+type Consistency int
+
+// Consistency levels.
+const (
+	Strict Consistency = iota
+	Eventual
+)
+
+// ConsistencyXattr is the extended attribute carrying a subtree's
+// consistency requirement.
+const ConsistencyXattr = "user.yanc.consistency"
+
+func (c Consistency) String() string {
+	if c == Eventual {
+		return "eventual"
+	}
+	return "strict"
+}
+
+// ParseConsistency reads a consistency name.
+func ParseConsistency(s string) (Consistency, error) {
+	switch strings.TrimSpace(s) {
+	case "strict":
+		return Strict, nil
+	case "eventual":
+		return Eventual, nil
+	default:
+		return Strict, fmt.Errorf("dfs: unknown consistency %q", s)
+	}
+}
+
+// op codes.
+const (
+	opMkdir = iota
+	opMkdirAll
+	opWriteFile
+	opAppendFile
+	opReadFile
+	opRemove
+	opRemoveAll
+	opRename
+	opSymlink
+	opReadlink
+	opLink
+	opReadDir
+	opStat
+	opLstat
+	opChmod
+	opChown
+	opSetXattr
+	opGetXattr
+	opListXattr
+	opRemoveXattr
+	opWatch
+	opUnwatch
+	opGlob
+	opBatch
+)
+
+// request is one wire request. Batch requests carry sub-requests.
+type request struct {
+	ID        uint64
+	Op        int
+	Path      string
+	Path2     string // rename/symlink/link targets, xattr names
+	Data      []byte
+	Mode      uint16
+	UID       int
+	GID       int
+	Mask      uint32 // watch mask
+	Recursive bool
+	Sub       []request // opBatch
+}
+
+// response answers a request; watch events reuse the watch's request ID
+// with Event set.
+type response struct {
+	ID      uint64
+	Err     string
+	ErrKind int // maps back to a vfs sentinel
+	Data    []byte
+	Entries []vfs.DirEntry
+	Stat    vfs.Stat
+	Names   []string
+	Event   *vfs.Event
+}
+
+// Error kinds for faithful errors.Is behaviour across the wire.
+const (
+	errNone = iota
+	errNotExist
+	errExist
+	errNotDir
+	errIsDir
+	errNotEmpty
+	errPerm
+	errAccess
+	errInvalid
+	errNoAttr
+	errQuota
+	errOther
+)
+
+var kindToErr = map[int]error{
+	errNotExist: vfs.ErrNotExist,
+	errExist:    vfs.ErrExist,
+	errNotDir:   vfs.ErrNotDir,
+	errIsDir:    vfs.ErrIsDir,
+	errNotEmpty: vfs.ErrNotEmpty,
+	errPerm:     vfs.ErrPerm,
+	errAccess:   vfs.ErrAccess,
+	errInvalid:  vfs.ErrInvalid,
+	errNoAttr:   vfs.ErrNoAttr,
+	errQuota:    vfs.ErrQuota,
+}
+
+func errKind(err error) int {
+	switch {
+	case err == nil:
+		return errNone
+	case errors.Is(err, vfs.ErrNotExist):
+		return errNotExist
+	case errors.Is(err, vfs.ErrExist):
+		return errExist
+	case errors.Is(err, vfs.ErrNotDir):
+		return errNotDir
+	case errors.Is(err, vfs.ErrIsDir):
+		return errIsDir
+	case errors.Is(err, vfs.ErrNotEmpty):
+		return errNotEmpty
+	case errors.Is(err, vfs.ErrPerm):
+		return errPerm
+	case errors.Is(err, vfs.ErrAccess):
+		return errAccess
+	case errors.Is(err, vfs.ErrInvalid):
+		return errInvalid
+	case errors.Is(err, vfs.ErrNoAttr):
+		return errNoAttr
+	case errors.Is(err, vfs.ErrQuota):
+		return errQuota
+	default:
+		return errOther
+	}
+}
+
+// wireError reconstructs a client-side error from a response.
+func wireError(rsp *response) error {
+	if rsp.Err == "" {
+		return nil
+	}
+	if base, ok := kindToErr[rsp.ErrKind]; ok {
+		return fmt.Errorf("dfs: %s: %w", rsp.Err, base)
+	}
+	return fmt.Errorf("dfs: %s", rsp.Err)
+}
+
+// hello is the first message a client sends: its credential (AUTH_SYS
+// style, as NFS does) and requested default consistency.
+type hello struct {
+	UID         int
+	GID         int
+	Groups      []int
+	Consistency Consistency
+}
+
+func init() {
+	gob.Register(vfs.Event{})
+}

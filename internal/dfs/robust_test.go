@@ -1,0 +1,52 @@
+package dfs
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"yanc/internal/yancfs"
+)
+
+// TestServerSurvivesGarbageConnections throws random bytes at the server
+// port: sessions must fail cleanly and the server must keep serving
+// legitimate mounts.
+func TestServerSurvivesGarbageConnections(t *testing.T) {
+	y, err := yancfs.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(y.VFS())
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		junk := make([]byte, r.Intn(512))
+		r.Read(junk)
+		_, _ = c.Write(junk)
+		c.Close()
+	}
+	// A half-open connection that sends nothing.
+	idle, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	time.Sleep(20 * time.Millisecond)
+	// Legit clients still work.
+	c := mount(t, addr, Strict)
+	if err := c.Mkdir("/switches/after-garbage", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsDir("/switches/after-garbage/flows") {
+		t.Fatal("server semantics broken after garbage")
+	}
+}

@@ -1,0 +1,264 @@
+package dfs
+
+import (
+	"encoding/gob"
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"yanc/internal/vfs"
+)
+
+// Server exports one file system over TCP. Each accepted connection gets
+// its own credential (from the client hello) and its own watch set.
+type Server struct {
+	fs *vfs.FS
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer creates a server exporting fs.
+func NewServer(fs *vfs.FS) *Server {
+	return &Server{fs: fs, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting on addr ("127.0.0.1:0" for an ephemeral port)
+// and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	go s.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+// Close stops the server and drops all client connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		go s.serve(c)
+	}
+}
+
+// session is one client connection's state.
+type session struct {
+	server  *Server
+	conn    net.Conn
+	enc     *gob.Encoder
+	encMu   sync.Mutex
+	proc    *vfs.Proc
+	watchMu sync.Mutex
+	watches map[uint64]*vfs.Watch
+}
+
+func (s *Server) serve(c net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	dec := gob.NewDecoder(c)
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		return
+	}
+	sess := &session{
+		server:  s,
+		conn:    c,
+		enc:     gob.NewEncoder(c),
+		proc:    s.fs.Proc(vfs.Cred{UID: h.UID, GID: h.GID, Groups: h.Groups}),
+		watches: make(map[uint64]*vfs.Watch),
+	}
+	defer sess.closeWatches()
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) {
+				_ = err
+			}
+			return
+		}
+		rsp := sess.handle(&req)
+		if rsp == nil {
+			continue // watch registration answers asynchronously
+		}
+		if err := sess.send(rsp); err != nil {
+			return
+		}
+	}
+}
+
+func (sess *session) send(rsp *response) error {
+	sess.encMu.Lock()
+	defer sess.encMu.Unlock()
+	return sess.enc.Encode(rsp)
+}
+
+func (sess *session) closeWatches() {
+	sess.watchMu.Lock()
+	watches := sess.watches
+	sess.watches = map[uint64]*vfs.Watch{}
+	sess.watchMu.Unlock()
+	for _, w := range watches {
+		w.Close()
+	}
+}
+
+// handle executes one request. It returns nil when the reply is produced
+// asynchronously.
+func (sess *session) handle(req *request) *response {
+	rsp := &response{ID: req.ID}
+	fail := func(err error) *response {
+		if err != nil {
+			rsp.Err = err.Error()
+			rsp.ErrKind = errKind(err)
+		}
+		return rsp
+	}
+	p := sess.proc
+	switch req.Op {
+	case opMkdir:
+		return fail(p.Mkdir(req.Path, vfs.FileMode(req.Mode)))
+	case opMkdirAll:
+		return fail(p.MkdirAll(req.Path, vfs.FileMode(req.Mode)))
+	case opWriteFile:
+		return fail(p.WriteFile(req.Path, req.Data, vfs.FileMode(req.Mode)))
+	case opAppendFile:
+		return fail(p.AppendFile(req.Path, req.Data, vfs.FileMode(req.Mode)))
+	case opReadFile:
+		data, err := p.ReadFile(req.Path)
+		rsp.Data = data
+		return fail(err)
+	case opRemove:
+		return fail(p.Remove(req.Path))
+	case opRemoveAll:
+		return fail(p.RemoveAll(req.Path))
+	case opRename:
+		return fail(p.Rename(req.Path, req.Path2))
+	case opSymlink:
+		return fail(p.Symlink(req.Path2, req.Path))
+	case opReadlink:
+		tgt, err := p.Readlink(req.Path)
+		rsp.Data = []byte(tgt)
+		return fail(err)
+	case opLink:
+		return fail(p.Link(req.Path, req.Path2))
+	case opReadDir:
+		entries, err := p.ReadDir(req.Path)
+		rsp.Entries = entries
+		return fail(err)
+	case opStat:
+		st, err := p.Stat(req.Path)
+		rsp.Stat = st
+		return fail(err)
+	case opLstat:
+		st, err := p.Lstat(req.Path)
+		rsp.Stat = st
+		return fail(err)
+	case opChmod:
+		return fail(p.Chmod(req.Path, vfs.FileMode(req.Mode)))
+	case opChown:
+		return fail(p.Chown(req.Path, req.UID, req.GID))
+	case opSetXattr:
+		return fail(p.SetXattr(req.Path, req.Path2, req.Data))
+	case opGetXattr:
+		v, err := p.GetXattr(req.Path, req.Path2)
+		rsp.Data = v
+		return fail(err)
+	case opListXattr:
+		names, err := p.ListXattr(req.Path)
+		rsp.Names = names
+		return fail(err)
+	case opRemoveXattr:
+		return fail(p.RemoveXattr(req.Path, req.Path2))
+	case opGlob:
+		names, err := p.Glob(req.Path)
+		rsp.Names = names
+		return fail(err)
+	case opBatch:
+		for i := range req.Sub {
+			if sub := sess.handle(&req.Sub[i]); sub != nil && sub.Err != "" {
+				rsp.Err = sub.Err
+				rsp.ErrKind = sub.ErrKind
+				return rsp
+			}
+		}
+		return rsp
+	case opWatch:
+		opts := []vfs.WatchOption{vfs.BufferSize(4096)}
+		if req.Recursive {
+			opts = append(opts, vfs.Recursive())
+		}
+		w, err := p.AddWatch(req.Path, vfs.EventOp(req.Mask), opts...)
+		if err != nil {
+			return fail(err)
+		}
+		sess.watchMu.Lock()
+		sess.watches[req.ID] = w
+		sess.watchMu.Unlock()
+		// Ack registration, then stream events under the same ID.
+		if err := sess.send(rsp); err != nil {
+			w.Close()
+			return nil
+		}
+		go func(id uint64, w *vfs.Watch) {
+			for ev := range w.C {
+				ev := ev
+				if err := sess.send(&response{ID: id, Event: &ev}); err != nil {
+					w.Close()
+					return
+				}
+			}
+		}(req.ID, w)
+		return nil
+	case opUnwatch:
+		sess.watchMu.Lock()
+		w := sess.watches[req.Mask64()]
+		delete(sess.watches, req.Mask64())
+		sess.watchMu.Unlock()
+		if w != nil {
+			w.Close()
+		}
+		return rsp
+	default:
+		rsp.Err = "dfs: unknown op"
+		rsp.ErrKind = errInvalid
+		return rsp
+	}
+}
+
+// Mask64 reads the watch-id payload of an unwatch request (carried in
+// Mask to keep the request struct flat).
+func (r *request) Mask64() uint64 { return uint64(r.Mask) }

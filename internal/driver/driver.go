@@ -1,0 +1,625 @@
+// Package driver implements yanc device drivers (§4.1): thin translators
+// between the control protocol a switch speaks (OpenFlow 1.0 or 1.3) and
+// the yanc file system. A driver
+//
+//   - accepts a switch's control connection and handshakes as the
+//     controller, negotiating the protocol version per switch, so a
+//     network can run mixed versions and be upgraded live;
+//   - materializes the switch as a directory under switches/ and keeps
+//     port files in sync with port-status messages;
+//   - watches the switch's flows/ subtree and pushes committed flows
+//     (version-file increments, §3.4) to the hardware as flow-mods;
+//   - feeds packet-in messages into every subscriber's event buffer
+//     (§3.5) and serves live counters for the counters/ files;
+//   - exposes a packet_out control file for injecting packets.
+//
+// "With the file system as the API, supporting new protocols only
+// requires a new driver" — here both protocol versions go through the
+// same translation logic with a per-connection codec.
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"yanc/internal/openflow"
+	"yanc/internal/vfs"
+	"yanc/internal/yancfs"
+)
+
+// statsTimeout bounds synchronous counter queries to the switch.
+const statsTimeout = 2 * time.Second
+
+// Driver manages the control connections of all switches speaking some
+// OpenFlow version range, translating to one yanc file system region.
+type Driver struct {
+	Y          *yancfs.FS
+	Region     string // region the switches appear in (usually "/")
+	MaxVersion uint8  // highest protocol version to offer
+	NameFor    func(dpid uint64) string
+	Logf       func(format string, args ...any)
+	// PacketInHook, when set, receives every packet-in before file-system
+	// delivery (the libyanc zero-copy fastpath plugs in here). Returning
+	// true consumes the message and skips the event-directory copies.
+	PacketInHook func(switchName string, pi *openflow.PacketIn) bool
+
+	mu    sync.Mutex
+	conns map[string]*SwitchConn
+}
+
+// New creates a driver for the master region offering up to OF 1.3.
+func New(y *yancfs.FS) *Driver {
+	return &Driver{
+		Y:          y,
+		Region:     "/",
+		MaxVersion: openflow.Version13,
+		NameFor:    func(dpid uint64) string { return fmt.Sprintf("sw%d", dpid) },
+		Logf:       func(string, ...any) {},
+	}
+}
+
+// VerboseLog routes driver logging to the standard logger.
+func (d *Driver) VerboseLog() { d.Logf = log.Printf }
+
+// flowState remembers what was last pushed to hardware for one flow
+// directory, so renames/edits can delete the superseded entry.
+type flowState struct {
+	match    openflow.Match
+	priority uint16
+	version  uint64
+}
+
+// SwitchConn is one connected switch.
+type SwitchConn struct {
+	Name     string
+	Path     string
+	Features *openflow.FeaturesReply
+	Protocol string
+
+	driver *Driver
+	conn   *openflow.Conn
+	proc   *vfs.Proc
+	watch  *vfs.Watch
+
+	mu         sync.Mutex
+	flows      map[string]flowState // flow dir name -> pushed state
+	portConfig map[uint32]uint32    // hardware port config as last seen
+	pending    map[uint32]chan *openflow.StatsReply
+	closed     bool
+	done       chan struct{}
+}
+
+// Serve accepts switch connections until the listener closes.
+func (d *Driver) Serve(l net.Listener) error {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			if _, err := d.Attach(c); err != nil {
+				d.Logf("driver: attach: %v", err)
+				if cl, ok := any(c).(io.Closer); ok {
+					cl.Close()
+				}
+			}
+		}()
+	}
+}
+
+// Attach handshakes a switch control channel and wires it into the file
+// system. It returns once the switch directory is fully populated; the
+// translation loops run until the connection dies or Close is called.
+func (d *Driver) Attach(rw io.ReadWriter) (*SwitchConn, error) {
+	conn := openflow.NewConn(rw)
+	features, err := conn.HandshakeController(d.MaxVersion)
+	if err != nil {
+		return nil, fmt.Errorf("driver: handshake: %w", err)
+	}
+	name := d.NameFor(features.DatapathID)
+	sc := &SwitchConn{
+		Name:       name,
+		Path:       vfs.Join(d.Region, yancfs.DirSwitches, name),
+		Features:   features,
+		Protocol:   protocolName(conn.Version()),
+		driver:     d,
+		conn:       conn,
+		proc:       d.Y.Root(),
+		flows:      make(map[string]flowState),
+		portConfig: make(map[uint32]uint32),
+		pending:    make(map[uint32]chan *openflow.StatsReply),
+		done:       make(chan struct{}),
+	}
+	for _, p := range features.Ports {
+		sc.portConfig[p.No] = p.Config
+	}
+	if err := sc.populate(); err != nil {
+		return nil, err
+	}
+	// Register the watch before Attach returns so no commit between
+	// attach and loop startup can be missed.
+	w, err := sc.proc.AddWatch(sc.Path, vfs.OpWrite|vfs.OpRemove|vfs.OpRename, vfs.Recursive(), vfs.BufferSize(4096))
+	if err != nil {
+		return nil, err
+	}
+	sc.watch = w
+	d.mu.Lock()
+	if d.conns == nil {
+		d.conns = make(map[string]*SwitchConn)
+	}
+	if old := d.conns[name]; old != nil {
+		old.stop()
+	}
+	d.conns[name] = sc
+	d.mu.Unlock()
+
+	// Push any flows already committed in the file system (controller
+	// restart / live protocol upgrade: the network state outlives the
+	// connection).
+	sc.syncAllFlows()
+
+	go sc.readLoop()
+	go sc.watchLoop()
+	d.Logf("driver: %s attached (dpid %016x, %s, %d ports)",
+		name, features.DatapathID, sc.Protocol, len(features.Ports))
+	return sc, nil
+}
+
+// Lookup returns the connection for a switch name.
+func (d *Driver) Lookup(name string) *SwitchConn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.conns[name]
+}
+
+// Close stops all switch connections.
+func (d *Driver) Close() {
+	d.mu.Lock()
+	conns := make([]*SwitchConn, 0, len(d.conns))
+	for _, sc := range d.conns {
+		conns = append(conns, sc)
+	}
+	d.conns = nil
+	d.mu.Unlock()
+	for _, sc := range conns {
+		sc.stop()
+	}
+}
+
+func protocolName(version uint8) string {
+	switch version {
+	case openflow.Version10:
+		return "openflow10"
+	case openflow.Version13:
+		return "openflow13"
+	default:
+		return fmt.Sprintf("openflow-%02x", version)
+	}
+}
+
+// populate creates and fills the switch directory, installs the
+// packet_out control file, and binds live counters.
+func (sc *SwitchConn) populate() error {
+	p := sc.proc
+	if !p.Exists(sc.Path) {
+		if _, err := yancfs.CreateSwitch(p, sc.driver.Region, sc.Name); err != nil {
+			return err
+		}
+	}
+	if err := yancfs.PopulateSwitch(p, sc.Path, sc.Features, sc.Protocol); err != nil {
+		return err
+	}
+	// packet_out control file: writing an action spec plus payload sends
+	// a packet-out to the switch.
+	err := sc.driver.Y.VFS().WithTx(func(tx *vfs.Tx) error {
+		return tx.SetSynthetic(vfs.Join(sc.Path, "packet_out"), &vfs.Synthetic{
+			Write: sc.handlePacketOutWrite,
+		}, 0o644, 0, 0)
+	})
+	if err != nil {
+		return err
+	}
+	sc.driver.Y.BindCounters(sc.Path, sc)
+	return nil
+}
+
+// stop tears down the connection's goroutines.
+func (sc *SwitchConn) stop() {
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return
+	}
+	sc.closed = true
+	close(sc.done)
+	sc.mu.Unlock()
+	if sc.watch != nil {
+		sc.watch.Close()
+	}
+	sc.conn.Close()
+}
+
+// Done is closed when the connection has shut down.
+func (sc *SwitchConn) Done() <-chan struct{} { return sc.done }
+
+// readLoop dispatches messages arriving from the switch.
+func (sc *SwitchConn) readLoop() {
+	defer func() {
+		sc.stop()
+		// The file system stays truthful about liveness: the switch
+		// directory (and its committed flows) persists across disconnects
+		// so a reconnecting or upgraded switch is resynced from it, but
+		// its status file says the control channel is down.
+		_ = sc.proc.WriteString(vfs.Join(sc.Path, "status"), "disconnected\n")
+	}()
+	_ = sc.proc.WriteString(vfs.Join(sc.Path, "status"), "connected\n")
+	for {
+		msg, err := sc.conn.Read()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *openflow.PacketIn:
+			if hook := sc.driver.PacketInHook; hook != nil && hook(sc.Name, m) {
+				continue
+			}
+			region := sc.driver.Region
+			if err := sc.driver.Y.DeliverPacketIn(region, sc.Name, m); err != nil {
+				sc.driver.Logf("driver: %s: deliver packet-in: %v", sc.Name, err)
+			}
+		case *openflow.PortStatus:
+			sc.handlePortStatus(m)
+		case *openflow.FlowRemoved:
+			sc.handleFlowRemoved(m)
+		case *openflow.EchoRequest:
+			_ = sc.conn.Write(&openflow.EchoReply{Header: openflow.Header{Xid: m.Xid}, Data: m.Data})
+		case *openflow.StatsReply:
+			sc.mu.Lock()
+			ch := sc.pending[m.Xid]
+			delete(sc.pending, m.Xid)
+			sc.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		case *openflow.Error:
+			sc.driver.Logf("driver: %s: switch error 0x%08x", sc.Name, m.Code)
+		}
+	}
+}
+
+// handlePortStatus reflects a hardware port change into the port files.
+func (sc *SwitchConn) handlePortStatus(ps *openflow.PortStatus) {
+	sc.mu.Lock()
+	sc.portConfig[ps.Port.No] = ps.Port.Config
+	sc.mu.Unlock()
+	switch ps.Reason {
+	case openflow.PortDeleted:
+		_ = sc.proc.RemoveAll(vfs.Join(sc.Path, "ports", strconv.FormatUint(uint64(ps.Port.No), 10)))
+	default:
+		if err := yancfs.PopulatePort(sc.proc, sc.Path, ps.Port); err != nil {
+			sc.driver.Logf("driver: %s: port status: %v", sc.Name, err)
+		}
+	}
+}
+
+// handleFlowRemoved deletes the corresponding flow directory when the
+// hardware expires an entry, keeping the file system truthful.
+func (sc *SwitchConn) handleFlowRemoved(fr *openflow.FlowRemoved) {
+	key := fr.Match.Key()
+	sc.mu.Lock()
+	var name string
+	for n, st := range sc.flows {
+		if st.priority == fr.Priority && st.match.Key() == key {
+			name = n
+			break
+		}
+	}
+	if name != "" {
+		delete(sc.flows, name)
+	}
+	sc.mu.Unlock()
+	if name != "" {
+		_ = sc.proc.RemoveAll(vfs.Join(sc.Path, "flows", name))
+	}
+}
+
+// watchLoop reacts to file-system changes under the switch directory.
+func (sc *SwitchConn) watchLoop() {
+	w := sc.watch
+	for ev := range w.C {
+		switch {
+		case ev.Op == vfs.OpOverflow:
+			// Lost events: resync everything.
+			sc.syncAllFlows()
+		case ev.Op == vfs.OpWrite && vfs.Base(ev.Path) == yancfs.FileVersion:
+			sc.syncFlow(flowNameFromPath(sc.Path, ev.Path))
+		case ev.Op == vfs.OpRemove && ev.IsDir && isFlowDir(sc.Path, ev.Path):
+			sc.removeFlow(vfs.Base(ev.Path))
+		case ev.Op == vfs.OpRename && isFlowDir(sc.Path, ev.Path):
+			// Renamed flows keep their hardware entry under the new name.
+			sc.renameFlow(vfs.Base(ev.Path), vfs.Base(ev.NewPath))
+		case ev.Op == vfs.OpWrite && vfs.Base(ev.Path) == "config.port_down" && isPortFile(sc.Path, ev.Path):
+			sc.syncPortConfig(ev.Path)
+		}
+	}
+}
+
+// flowNameFromPath extracts <flow> from <switch>/flows/<flow>/version.
+func flowNameFromPath(switchPath, p string) string {
+	rel := strings.TrimPrefix(p, switchPath+"/")
+	parts := strings.Split(rel, "/")
+	if len(parts) >= 2 && parts[0] == "flows" {
+		return parts[1]
+	}
+	return ""
+}
+
+// isFlowDir reports whether p is <switch>/flows/<flow>.
+func isFlowDir(switchPath, p string) bool {
+	rel := strings.TrimPrefix(p, switchPath+"/")
+	parts := strings.Split(rel, "/")
+	return len(parts) == 2 && parts[0] == "flows"
+}
+
+// isPortFile reports whether p is <switch>/ports/<n>/<file>.
+func isPortFile(switchPath, p string) bool {
+	rel := strings.TrimPrefix(p, switchPath+"/")
+	parts := strings.Split(rel, "/")
+	return len(parts) == 3 && parts[0] == "ports"
+}
+
+// syncAllFlows pushes every committed flow directory to hardware.
+func (sc *SwitchConn) syncAllFlows() {
+	names, err := yancfs.ListFlows(sc.proc, sc.Path)
+	if err != nil {
+		return
+	}
+	for _, name := range names {
+		sc.syncFlow(name)
+	}
+}
+
+// syncFlow pushes one flow directory if its committed version is newer
+// than what hardware has ("changes are only sent to hardware by the
+// drivers once the version has been incremented", §3.4).
+func (sc *SwitchConn) syncFlow(name string) {
+	if name == "" {
+		return
+	}
+	flowPath := vfs.Join(sc.Path, "flows", name)
+	version, err := yancfs.FlowVersion(sc.proc, flowPath)
+	if err != nil || version == 0 {
+		return // uncommitted or gone
+	}
+	spec, err := yancfs.ReadFlow(sc.proc, flowPath)
+	if err != nil {
+		sc.driver.Logf("driver: %s: read flow %s: %v", sc.Name, name, err)
+		return
+	}
+	sc.mu.Lock()
+	prev, known := sc.flows[name]
+	if known && prev.version >= version {
+		sc.mu.Unlock()
+		return
+	}
+	sc.flows[name] = flowState{match: spec.Match, priority: spec.Priority, version: version}
+	sc.mu.Unlock()
+
+	// Identity change: remove the superseded hardware entry first.
+	if known && (prev.priority != spec.Priority || !prev.match.Equal(spec.Match)) {
+		_ = sc.conn.Write(&openflow.FlowMod{
+			Command:  openflow.FlowDeleteStrict,
+			Match:    prev.match,
+			Priority: prev.priority,
+			BufferID: openflow.NoBuffer,
+			OutPort:  openflow.PortAny,
+		})
+	}
+	fm := &openflow.FlowMod{
+		Command:     openflow.FlowAdd,
+		Match:       spec.Match,
+		Priority:    spec.Priority,
+		IdleTimeout: spec.IdleTimeout,
+		HardTimeout: spec.HardTimeout,
+		Cookie:      spec.Cookie,
+		BufferID:    openflow.NoBuffer,
+		OutPort:     openflow.PortAny,
+		Flags:       openflow.FlagSendFlowRem,
+		Actions:     spec.Actions,
+	}
+	if err := sc.conn.Write(fm); err != nil {
+		sc.driver.Logf("driver: %s: flow-mod: %v", sc.Name, err)
+	}
+}
+
+// removeFlow deletes the hardware entry backing a removed flow directory.
+func (sc *SwitchConn) removeFlow(name string) {
+	sc.mu.Lock()
+	st, ok := sc.flows[name]
+	delete(sc.flows, name)
+	sc.mu.Unlock()
+	if !ok {
+		return
+	}
+	_ = sc.conn.Write(&openflow.FlowMod{
+		Command:  openflow.FlowDeleteStrict,
+		Match:    st.match,
+		Priority: st.priority,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortAny,
+	})
+}
+
+// renameFlow transfers pushed state to the new directory name.
+func (sc *SwitchConn) renameFlow(oldName, newName string) {
+	sc.mu.Lock()
+	if st, ok := sc.flows[oldName]; ok {
+		delete(sc.flows, oldName)
+		sc.flows[newName] = st
+	}
+	sc.mu.Unlock()
+}
+
+// syncPortConfig pushes an administrator's config.port_down write to the
+// switch — but only when it differs from the hardware state, breaking the
+// reflection loop with handlePortStatus.
+func (sc *SwitchConn) syncPortConfig(path string) {
+	portDir := vfs.Dir(path)
+	no64, err := strconv.ParseUint(vfs.Base(portDir), 10, 32)
+	if err != nil {
+		return
+	}
+	no := uint32(no64)
+	down, err := yancfs.PortDown(sc.proc, portDir)
+	if err != nil {
+		return
+	}
+	var want uint32
+	if down {
+		want = openflow.PortConfigDown
+	}
+	sc.mu.Lock()
+	cur, known := sc.portConfig[no]
+	sc.mu.Unlock()
+	if known && cur&openflow.PortConfigDown == want {
+		return
+	}
+	hw, _ := func() (openflow.PortInfo, bool) {
+		for _, p := range sc.Features.Ports {
+			if p.No == no {
+				return p, true
+			}
+		}
+		return openflow.PortInfo{}, false
+	}()
+	_ = sc.conn.Write(&openflow.PortMod{
+		PortNo: no,
+		HWAddr: hw.HWAddr,
+		Config: want,
+		Mask:   openflow.PortConfigDown,
+	})
+}
+
+// handlePacketOutWrite parses the packet_out control file format:
+// first line "out=<port>[,<more actions>] [in_port=<n>] [buffer_id=<id>]",
+// remaining bytes are the raw frame.
+func (sc *SwitchConn) handlePacketOutWrite(data []byte) error {
+	head, payload, _ := strings.Cut(string(data), "\n")
+	po := &openflow.PacketOut{
+		BufferID: openflow.NoBuffer,
+		InPort:   openflow.PortController,
+		Data:     []byte(payload),
+	}
+	for _, tok := range strings.Fields(head) {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return fmt.Errorf("driver: packet_out: bad token %q: %w", tok, vfs.ErrInvalid)
+		}
+		switch k {
+		case "in_port":
+			n, err := strconv.ParseUint(v, 10, 32)
+			if err != nil {
+				return fmt.Errorf("driver: packet_out in_port: %w", vfs.ErrInvalid)
+			}
+			po.InPort = uint32(n)
+		case "buffer_id":
+			n, err := strconv.ParseUint(v, 10, 32)
+			if err != nil {
+				return fmt.Errorf("driver: packet_out buffer_id: %w", vfs.ErrInvalid)
+			}
+			po.BufferID = uint32(n)
+		default:
+			a, err := openflow.ParseAction(k, v)
+			if err != nil {
+				return err
+			}
+			po.Actions = append(po.Actions, a)
+		}
+	}
+	if len(po.Actions) == 0 {
+		return fmt.Errorf("driver: packet_out needs an action: %w", vfs.ErrInvalid)
+	}
+	return sc.conn.Write(po)
+}
+
+// queryStats performs a synchronous stats round trip.
+func (sc *SwitchConn) queryStats(req *openflow.StatsRequest) (*openflow.StatsReply, bool) {
+	ch := make(chan *openflow.StatsReply, 1)
+	xid := sc.conn.NewXID()
+	req.Xid = xid
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return nil, false
+	}
+	sc.pending[xid] = ch
+	sc.mu.Unlock()
+	if err := sc.conn.Write(req); err != nil {
+		sc.mu.Lock()
+		delete(sc.pending, xid)
+		sc.mu.Unlock()
+		return nil, false
+	}
+	select {
+	case rep := <-ch:
+		return rep, true
+	case <-time.After(statsTimeout):
+		sc.mu.Lock()
+		delete(sc.pending, xid)
+		sc.mu.Unlock()
+		return nil, false
+	case <-sc.done:
+		return nil, false
+	}
+}
+
+// FlowCounters implements yancfs.CounterSource by querying the switch.
+func (sc *SwitchConn) FlowCounters(flowName string) (packets, bytes uint64, ok bool) {
+	sc.mu.Lock()
+	st, known := sc.flows[flowName]
+	sc.mu.Unlock()
+	if !known {
+		return 0, 0, false
+	}
+	rep, ok := sc.queryStats(&openflow.StatsRequest{Kind: openflow.StatsFlow, Match: st.match})
+	if !ok {
+		return 0, 0, false
+	}
+	for _, fl := range rep.Flows {
+		if fl.Priority == st.priority && fl.Match.Equal(st.match) {
+			return fl.PacketCount, fl.ByteCount, true
+		}
+	}
+	return 0, 0, false
+}
+
+// PortCounters implements yancfs.CounterSource by querying the switch.
+func (sc *SwitchConn) PortCounters(no uint32) (yancfs.PortCounterSet, bool) {
+	rep, ok := sc.queryStats(&openflow.StatsRequest{Kind: openflow.StatsPort, Port: no})
+	if !ok {
+		return yancfs.PortCounterSet{}, false
+	}
+	for _, ps := range rep.Ports {
+		if ps.PortNo == no {
+			return yancfs.PortCounterSet{
+				RxPackets: ps.RxPackets,
+				TxPackets: ps.TxPackets,
+				RxBytes:   ps.RxBytes,
+				TxBytes:   ps.TxBytes,
+				RxDropped: ps.RxDropped,
+				TxDropped: ps.TxDropped,
+			}, true
+		}
+	}
+	return yancfs.PortCounterSet{}, false
+}

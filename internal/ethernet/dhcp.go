@@ -1,0 +1,143 @@
+package ethernet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DHCP message types (RFC 2131 option 53).
+const (
+	DHCPDiscover = 1
+	DHCPOffer    = 2
+	DHCPRequest  = 3
+	DHCPAck      = 5
+	DHCPNak      = 6
+)
+
+// DHCP well-known ports.
+const (
+	DHCPServerPort = 67
+	DHCPClientPort = 68
+)
+
+// dhcpMagic is the BOOTP options magic cookie.
+var dhcpMagic = [4]byte{99, 130, 83, 99}
+
+// DHCP is the subset of a BOOTP/DHCP message the dhcpd daemon uses.
+type DHCP struct {
+	Op       uint8 // 1 = request, 2 = reply
+	XID      uint32
+	ClientHW MAC
+	YourIP   IP4 // address being offered/assigned
+	ServerIP IP4
+	MsgType  uint8 // option 53
+	ReqIP    IP4   // option 50 (REQUEST)
+	Mask     IP4   // option 1 (replies)
+	Router   IP4   // option 3 (replies)
+	LeaseSec uint32
+}
+
+// DecodeDHCP parses a DHCP payload (the UDP payload).
+func DecodeDHCP(b []byte) (DHCP, error) {
+	var d DHCP
+	if len(b) < 240 {
+		return d, fmt.Errorf("%w: dhcp %d bytes", ErrTruncated, len(b))
+	}
+	d.Op = b[0]
+	if b[1] != 1 || b[2] != 6 {
+		return d, fmt.Errorf("%w: dhcp htype/hlen", ErrBadFormat)
+	}
+	d.XID = binary.BigEndian.Uint32(b[4:8])
+	copy(d.YourIP[:], b[16:20])
+	copy(d.ServerIP[:], b[20:24])
+	copy(d.ClientHW[:], b[28:34])
+	if [4]byte(b[236:240]) != dhcpMagic {
+		return d, fmt.Errorf("%w: dhcp magic", ErrBadFormat)
+	}
+	opts := b[240:]
+	for len(opts) >= 1 {
+		code := opts[0]
+		if code == 255 {
+			break
+		}
+		if code == 0 {
+			opts = opts[1:]
+			continue
+		}
+		if len(opts) < 2 {
+			return d, fmt.Errorf("%w: dhcp option header", ErrTruncated)
+		}
+		length := int(opts[1])
+		if len(opts) < 2+length {
+			return d, fmt.Errorf("%w: dhcp option body", ErrTruncated)
+		}
+		val := opts[2 : 2+length]
+		switch code {
+		case 53:
+			if length >= 1 {
+				d.MsgType = val[0]
+			}
+		case 50:
+			if length >= 4 {
+				copy(d.ReqIP[:], val[0:4])
+			}
+		case 1:
+			if length >= 4 {
+				copy(d.Mask[:], val[0:4])
+			}
+		case 3:
+			if length >= 4 {
+				copy(d.Router[:], val[0:4])
+			}
+		case 51:
+			if length >= 4 {
+				d.LeaseSec = binary.BigEndian.Uint32(val[0:4])
+			}
+		}
+		opts = opts[2+length:]
+	}
+	return d, nil
+}
+
+// AppendTo serializes the message onto dst.
+func (d DHCP) AppendTo(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, make([]byte, 240)...)
+	b := dst[start:]
+	b[0] = d.Op
+	b[1] = 1 // Ethernet
+	b[2] = 6 // hlen
+	binary.BigEndian.PutUint32(b[4:8], d.XID)
+	copy(b[16:20], d.YourIP[:])
+	copy(b[20:24], d.ServerIP[:])
+	copy(b[28:34], d.ClientHW[:])
+	copy(b[236:240], dhcpMagic[:])
+	appendOpt := func(code uint8, val []byte) {
+		dst = append(dst, code, uint8(len(val)))
+		dst = append(dst, val...)
+	}
+	if d.MsgType != 0 {
+		appendOpt(53, []byte{d.MsgType})
+	}
+	if d.ReqIP != (IP4{}) {
+		appendOpt(50, d.ReqIP[:])
+	}
+	if d.Mask != (IP4{}) {
+		appendOpt(1, d.Mask[:])
+	}
+	if d.Router != (IP4{}) {
+		appendOpt(3, d.Router[:])
+	}
+	if d.LeaseSec != 0 {
+		var lease [4]byte
+		binary.BigEndian.PutUint32(lease[:], d.LeaseSec)
+		appendOpt(51, lease[:])
+	}
+	if d.ServerIP != (IP4{}) {
+		appendOpt(54, d.ServerIP[:])
+	}
+	return append(dst, 255)
+}
+
+// Serialize returns the message as a fresh slice.
+func (d DHCP) Serialize() []byte { return d.AppendTo(make([]byte, 0, 280)) }

@@ -1,0 +1,341 @@
+package ethernet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMACParseFormat(t *testing.T) {
+	m, err := ParseMAC("00:1a:2b:3c:4d:5e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "00:1a:2b:3c:4d:5e" {
+		t.Errorf("round trip = %s", m)
+	}
+	if _, err := ParseMAC("nope"); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad mac err = %v", err)
+	}
+	if _, err := ParseMAC("00:1a:2b:3c:4d"); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("short mac err = %v", err)
+	}
+	if !Broadcast.IsBroadcast() || !Broadcast.IsMulticast() {
+		t.Error("broadcast predicates")
+	}
+	if m.IsBroadcast() || m.IsMulticast() {
+		t.Error("unicast predicates")
+	}
+	if !LLDPMulticast.IsMulticast() {
+		t.Error("lldp multicast predicate")
+	}
+}
+
+func TestMACUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		v &= 0xffffffffffff
+		return MACFromUint64(v).Uint64() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIP4ParseFormat(t *testing.T) {
+	ip, err := ParseIP4("10.0.1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.String() != "10.0.1.2" {
+		t.Errorf("round trip = %s", ip)
+	}
+	if _, err := ParseIP4("10.0.1"); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("short ip err = %v", err)
+	}
+	if _, err := ParseIP4("10.0.1.999"); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("overflow ip err = %v", err)
+	}
+	f := func(v uint32) bool { return IP4FromUint32(v).Uint32() == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	p, err := ParsePrefix("10.0.0.0/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "10.0.0.0/8" {
+		t.Errorf("prefix string = %s", p)
+	}
+	in, _ := ParseIP4("10.200.3.4")
+	out, _ := ParseIP4("11.0.0.1")
+	if !p.Contains(in) || p.Contains(out) {
+		t.Error("contains wrong")
+	}
+	// Bare address = /32.
+	p32, err := ParsePrefix("192.168.1.1")
+	if err != nil || p32.Bits != 32 {
+		t.Fatalf("bare prefix = %+v %v", p32, err)
+	}
+	if !p32.Contains(p32.Addr) {
+		t.Error("/32 must contain itself")
+	}
+	// /0 contains everything.
+	p0, _ := ParsePrefix("0.0.0.0/0")
+	if !p0.Contains(out) {
+		t.Error("/0 contains")
+	}
+	if _, err := ParsePrefix("10.0.0.0/33"); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad bits err = %v", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := Frame{
+		Dst:     MAC{1, 2, 3, 4, 5, 6},
+		Src:     MAC{7, 8, 9, 10, 11, 12},
+		Type:    TypeIPv4,
+		Payload: []byte("payload"),
+	}
+	got, err := DecodeFrame(f.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dst != f.Dst || got.Src != f.Src || got.Type != f.Type || !bytes.Equal(got.Payload, f.Payload) {
+		t.Errorf("round trip = %+v", got)
+	}
+	if got.VLANID != 0 {
+		t.Errorf("untagged frame has vlan %d", got.VLANID)
+	}
+}
+
+func TestFrameVLANRoundTrip(t *testing.T) {
+	f := Frame{
+		Dst:     Broadcast,
+		Src:     MAC{7, 8, 9, 10, 11, 12},
+		VLANID:  100,
+		VLANPCP: 5,
+		Type:    TypeARP,
+		Payload: []byte{1, 2, 3},
+	}
+	b := f.Serialize()
+	if len(b) != 14+4+3 {
+		t.Fatalf("tagged frame len = %d", len(b))
+	}
+	got, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VLANID != 100 || got.VLANPCP != 5 || got.Type != TypeARP {
+		t.Errorf("vlan round trip = %+v", got)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	if _, err := DecodeFrame(make([]byte, 13)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short frame err = %v", err)
+	}
+	// Tagged frame cut inside the tag.
+	f := Frame{VLANID: 5, Type: TypeIPv4}
+	b := f.Serialize()[:15]
+	if _, err := DecodeFrame(b); !errors.Is(err, ErrTruncated) {
+		t.Errorf("cut vlan err = %v", err)
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	a := ARP{
+		Op:       ARPRequest,
+		SenderHW: MAC{1, 2, 3, 4, 5, 6},
+		SenderIP: IP4{10, 0, 0, 1},
+		TargetIP: IP4{10, 0, 0, 2},
+	}
+	got, err := DecodeARP(a.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Errorf("round trip = %+v want %+v", got, a)
+	}
+	if _, err := DecodeARP(make([]byte, 27)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short arp err = %v", err)
+	}
+	bad := a.Serialize()
+	bad[0] = 9 // htype
+	if _, err := DecodeARP(bad); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad htype err = %v", err)
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	p := IPv4{
+		TOS:      0x10,
+		ID:       1234,
+		TTL:      64,
+		Protocol: ProtoTCP,
+		Src:      IP4{10, 0, 0, 1},
+		Dst:      IP4{10, 0, 0, 2},
+		Payload:  []byte("data"),
+	}
+	b := p.Serialize()
+	// Header checksum must verify (sum over header = 0).
+	if Checksum(b[:20]) != 0 {
+		t.Error("checksum does not verify")
+	}
+	got, err := DecodeIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != p.Src || got.Dst != p.Dst || got.TTL != 64 || got.Protocol != ProtoTCP ||
+		got.TOS != p.TOS || got.ID != p.ID || !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := DecodeIPv4(make([]byte, 19)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short ip err = %v", err)
+	}
+	bad := p.Serialize()
+	bad[0] = 0x65 // version 6
+	if _, err := DecodeIPv4(bad); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad version err = %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	s := TCP{
+		SrcPort: 43123,
+		DstPort: 22,
+		Seq:     0xdeadbeef,
+		Ack:     0x01020304,
+		Flags:   TCPSyn | TCPAck,
+		Window:  65535,
+		Payload: []byte("ssh"),
+	}
+	got, err := DecodeTCP(s.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != s.SrcPort || got.DstPort != 22 || got.Seq != s.Seq ||
+		got.Ack != s.Ack || got.Flags != s.Flags || got.Window != s.Window ||
+		!bytes.Equal(got.Payload, s.Payload) {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := DecodeTCP(make([]byte, 19)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short tcp err = %v", err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := UDP{SrcPort: 68, DstPort: 67, Payload: []byte("dhcp")}
+	got, err := DecodeUDP(u.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 68 || got.DstPort != 67 || !bytes.Equal(got.Payload, u.Payload) {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := DecodeUDP(make([]byte, 7)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short udp err = %v", err)
+	}
+}
+
+func TestICMPEchoRoundTrip(t *testing.T) {
+	ic := ICMPEcho{Type: ICMPEchoRequest, ID: 77, Seq: 3, Payload: []byte("ping")}
+	b := ic.Serialize()
+	if Checksum(b) != 0 {
+		t.Error("icmp checksum does not verify")
+	}
+	got, err := DecodeICMPEcho(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != ICMPEchoRequest || got.ID != 77 || got.Seq != 3 || !bytes.Equal(got.Payload, ic.Payload) {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestLLDPRoundTrip(t *testing.T) {
+	l := LLDP{ChassisID: "sw1", PortID: "2", TTL: 120}
+	got, err := DecodeLLDP(l.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != l {
+		t.Errorf("round trip = %+v want %+v", got, l)
+	}
+	// Truncated TLV.
+	b := l.Serialize()
+	if _, err := DecodeLLDP(b[:3]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated lldp err = %v", err)
+	}
+}
+
+func TestFullStackEncapsulation(t *testing.T) {
+	// host A pings host B: ICMP in IPv4 in Ethernet, decoded layer by layer.
+	icmp := ICMPEcho{Type: ICMPEchoRequest, ID: 1, Seq: 1, Payload: []byte("abc")}
+	ip := IPv4{TTL: 64, Protocol: ProtoICMP, Src: IP4{10, 0, 0, 1}, Dst: IP4{10, 0, 0, 2}, Payload: icmp.Serialize()}
+	fr := Frame{Dst: MAC{0xaa}, Src: MAC{0xbb}, Type: TypeIPv4, Payload: ip.Serialize()}
+	wire := fr.Serialize()
+
+	f2, err := DecodeFrame(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip2, err := DecodeIPv4(f2.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip2.Protocol != ProtoICMP {
+		t.Fatalf("proto = %d", ip2.Protocol)
+	}
+	ic2, err := DecodeICMPEcho(ip2.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ic2.Payload) != "abc" {
+		t.Errorf("payload = %q", ic2.Payload)
+	}
+}
+
+func TestFrameQuickRoundTrip(t *testing.T) {
+	f := func(dst, src [6]byte, vlan uint16, pcp uint8, et uint16, payload []byte) bool {
+		fr := Frame{
+			Dst:     MAC(dst),
+			Src:     MAC(src),
+			VLANID:  vlan & 0x0fff,
+			VLANPCP: pcp & 7,
+			Type:    EtherType(et),
+			Payload: payload,
+		}
+		if fr.Type == TypeVLAN {
+			fr.Type = TypeIPv4 // double-tagging is out of scope
+		}
+		got, err := DecodeFrame(fr.Serialize())
+		if err != nil {
+			return false
+		}
+		return got.Dst == fr.Dst && got.Src == fr.Src && got.VLANID == fr.VLANID &&
+			(fr.VLANID == 0 || got.VLANPCP == fr.VLANPCP) &&
+			got.Type == fr.Type && bytes.Equal(got.Payload, fr.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumProperties(t *testing.T) {
+	// Appending the checksum of data to data yields a verifying sum.
+	f := func(data []byte) bool {
+		if len(data)%2 == 1 {
+			data = append(data, 0)
+		}
+		cs := Checksum(data)
+		full := append(append([]byte{}, data...), byte(cs>>8), byte(cs))
+		return Checksum(full) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

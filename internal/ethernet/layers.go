@@ -1,0 +1,328 @@
+package ethernet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame is an Ethernet II frame, optionally 802.1Q tagged.
+type Frame struct {
+	Dst     MAC
+	Src     MAC
+	VLANID  uint16 // 0 = untagged; 1..4094 = tagged
+	VLANPCP uint8  // priority bits, only meaningful when tagged
+	Type    EtherType
+	Payload []byte
+}
+
+// DecodeFrame parses a frame, including an optional single 802.1Q tag.
+func DecodeFrame(b []byte) (Frame, error) {
+	var f Frame
+	if len(b) < 14 {
+		return f, fmt.Errorf("%w: frame %d bytes", ErrTruncated, len(b))
+	}
+	copy(f.Dst[:], b[0:6])
+	copy(f.Src[:], b[6:12])
+	et := EtherType(binary.BigEndian.Uint16(b[12:14]))
+	rest := b[14:]
+	if et == TypeVLAN {
+		if len(rest) < 4 {
+			return f, fmt.Errorf("%w: vlan tag", ErrTruncated)
+		}
+		tci := binary.BigEndian.Uint16(rest[0:2])
+		f.VLANPCP = uint8(tci >> 13)
+		f.VLANID = tci & 0x0fff
+		et = EtherType(binary.BigEndian.Uint16(rest[2:4]))
+		rest = rest[4:]
+	}
+	f.Type = et
+	f.Payload = rest
+	return f, nil
+}
+
+// AppendTo serializes the frame onto dst and returns the extended slice.
+func (f Frame) AppendTo(dst []byte) []byte {
+	dst = append(dst, f.Dst[:]...)
+	dst = append(dst, f.Src[:]...)
+	if f.VLANID != 0 {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(TypeVLAN))
+		tci := uint16(f.VLANPCP)<<13 | f.VLANID&0x0fff
+		dst = binary.BigEndian.AppendUint16(dst, tci)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(f.Type))
+	return append(dst, f.Payload...)
+}
+
+// Serialize returns the frame as a fresh byte slice.
+func (f Frame) Serialize() []byte {
+	return f.AppendTo(make([]byte, 0, 18+len(f.Payload)))
+}
+
+// ARP operation codes.
+const (
+	ARPRequest = 1
+	ARPReply   = 2
+)
+
+// ARP is an IPv4-over-Ethernet ARP packet.
+type ARP struct {
+	Op       uint16
+	SenderHW MAC
+	SenderIP IP4
+	TargetHW MAC
+	TargetIP IP4
+}
+
+// DecodeARP parses an ARP payload.
+func DecodeARP(b []byte) (ARP, error) {
+	var a ARP
+	if len(b) < 28 {
+		return a, fmt.Errorf("%w: arp %d bytes", ErrTruncated, len(b))
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != 1 || EtherType(binary.BigEndian.Uint16(b[2:4])) != TypeIPv4 {
+		return a, fmt.Errorf("%w: arp htype/ptype", ErrBadFormat)
+	}
+	if b[4] != 6 || b[5] != 4 {
+		return a, fmt.Errorf("%w: arp hlen/plen", ErrBadFormat)
+	}
+	a.Op = binary.BigEndian.Uint16(b[6:8])
+	copy(a.SenderHW[:], b[8:14])
+	copy(a.SenderIP[:], b[14:18])
+	copy(a.TargetHW[:], b[18:24])
+	copy(a.TargetIP[:], b[24:28])
+	return a, nil
+}
+
+// AppendTo serializes the ARP packet onto dst.
+func (a ARP) AppendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, 1) // Ethernet
+	dst = binary.BigEndian.AppendUint16(dst, uint16(TypeIPv4))
+	dst = append(dst, 6, 4)
+	dst = binary.BigEndian.AppendUint16(dst, a.Op)
+	dst = append(dst, a.SenderHW[:]...)
+	dst = append(dst, a.SenderIP[:]...)
+	dst = append(dst, a.TargetHW[:]...)
+	dst = append(dst, a.TargetIP[:]...)
+	return dst
+}
+
+// Serialize returns the ARP packet as a fresh slice.
+func (a ARP) Serialize() []byte { return a.AppendTo(make([]byte, 0, 28)) }
+
+// IPv4 is an IPv4 header plus payload (no options).
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Src      IP4
+	Dst      IP4
+	Payload  []byte
+}
+
+// DecodeIPv4 parses an IPv4 packet (options are skipped).
+func DecodeIPv4(b []byte) (IPv4, error) {
+	var p IPv4
+	if len(b) < 20 {
+		return p, fmt.Errorf("%w: ipv4 %d bytes", ErrTruncated, len(b))
+	}
+	if b[0]>>4 != 4 {
+		return p, fmt.Errorf("%w: ip version %d", ErrBadFormat, b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < 20 || len(b) < ihl {
+		return p, fmt.Errorf("%w: ihl %d", ErrBadFormat, ihl)
+	}
+	p.TOS = b[1]
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total < ihl || total > len(b) {
+		total = len(b)
+	}
+	p.ID = binary.BigEndian.Uint16(b[4:6])
+	ff := binary.BigEndian.Uint16(b[6:8])
+	p.Flags = uint8(ff >> 13)
+	p.FragOff = ff & 0x1fff
+	p.TTL = b[8]
+	p.Protocol = b[9]
+	copy(p.Src[:], b[12:16])
+	copy(p.Dst[:], b[16:20])
+	p.Payload = b[ihl:total]
+	return p, nil
+}
+
+// AppendTo serializes the packet (header checksum computed) onto dst.
+func (p IPv4) AppendTo(dst []byte) []byte {
+	start := len(dst)
+	total := 20 + len(p.Payload)
+	dst = append(dst, 0x45, p.TOS)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(total))
+	dst = binary.BigEndian.AppendUint16(dst, p.ID)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(p.Flags)<<13|p.FragOff&0x1fff)
+	dst = append(dst, p.TTL, p.Protocol, 0, 0) // checksum placeholder
+	dst = append(dst, p.Src[:]...)
+	dst = append(dst, p.Dst[:]...)
+	cs := Checksum(dst[start : start+20])
+	binary.BigEndian.PutUint16(dst[start+10:start+12], cs)
+	return append(dst, p.Payload...)
+}
+
+// Serialize returns the packet as a fresh slice.
+func (p IPv4) Serialize() []byte {
+	return p.AppendTo(make([]byte, 0, 20+len(p.Payload)))
+}
+
+// Checksum computes the RFC 1071 Internet checksum over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// TCP is a TCP header plus payload (no options preserved).
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8 // FIN=1 SYN=2 RST=4 PSH=8 ACK=16
+	Window  uint16
+	Payload []byte
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+)
+
+// DecodeTCP parses a TCP segment.
+func DecodeTCP(b []byte) (TCP, error) {
+	var t TCP
+	if len(b) < 20 {
+		return t, fmt.Errorf("%w: tcp %d bytes", ErrTruncated, len(b))
+	}
+	t.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	t.DstPort = binary.BigEndian.Uint16(b[2:4])
+	t.Seq = binary.BigEndian.Uint32(b[4:8])
+	t.Ack = binary.BigEndian.Uint32(b[8:12])
+	off := int(b[12]>>4) * 4
+	if off < 20 || off > len(b) {
+		return t, fmt.Errorf("%w: tcp offset %d", ErrBadFormat, off)
+	}
+	t.Flags = b[13]
+	t.Window = binary.BigEndian.Uint16(b[14:16])
+	t.Payload = b[off:]
+	return t, nil
+}
+
+// AppendTo serializes the segment onto dst (checksum left zero; the
+// simulated dataplane does not verify it).
+func (t TCP) AppendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, t.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, t.DstPort)
+	dst = binary.BigEndian.AppendUint32(dst, t.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, t.Ack)
+	dst = append(dst, 5<<4, t.Flags)
+	dst = binary.BigEndian.AppendUint16(dst, t.Window)
+	dst = append(dst, 0, 0, 0, 0) // checksum, urgent
+	return append(dst, t.Payload...)
+}
+
+// Serialize returns the segment as a fresh slice.
+func (t TCP) Serialize() []byte {
+	return t.AppendTo(make([]byte, 0, 20+len(t.Payload)))
+}
+
+// UDP is a UDP header plus payload.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// DecodeUDP parses a UDP datagram.
+func DecodeUDP(b []byte) (UDP, error) {
+	var u UDP
+	if len(b) < 8 {
+		return u, fmt.Errorf("%w: udp %d bytes", ErrTruncated, len(b))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	length := int(binary.BigEndian.Uint16(b[4:6]))
+	if length < 8 || length > len(b) {
+		length = len(b)
+	}
+	u.Payload = b[8:length]
+	return u, nil
+}
+
+// AppendTo serializes the datagram onto dst.
+func (u UDP) AppendTo(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, u.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, u.DstPort)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(8+len(u.Payload)))
+	dst = append(dst, 0, 0)
+	return append(dst, u.Payload...)
+}
+
+// Serialize returns the datagram as a fresh slice.
+func (u UDP) Serialize() []byte {
+	return u.AppendTo(make([]byte, 0, 8+len(u.Payload)))
+}
+
+// ICMP echo types.
+const (
+	ICMPEchoReply   = 0
+	ICMPEchoRequest = 8
+)
+
+// ICMPEcho is an ICMP echo request/reply.
+type ICMPEcho struct {
+	Type    uint8
+	ID      uint16
+	Seq     uint16
+	Payload []byte
+}
+
+// DecodeICMPEcho parses an ICMP echo message.
+func DecodeICMPEcho(b []byte) (ICMPEcho, error) {
+	var ic ICMPEcho
+	if len(b) < 8 {
+		return ic, fmt.Errorf("%w: icmp %d bytes", ErrTruncated, len(b))
+	}
+	ic.Type = b[0]
+	ic.ID = binary.BigEndian.Uint16(b[4:6])
+	ic.Seq = binary.BigEndian.Uint16(b[6:8])
+	ic.Payload = b[8:]
+	return ic, nil
+}
+
+// AppendTo serializes the message (with checksum) onto dst.
+func (ic ICMPEcho) AppendTo(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, ic.Type, 0, 0, 0)
+	dst = binary.BigEndian.AppendUint16(dst, ic.ID)
+	dst = binary.BigEndian.AppendUint16(dst, ic.Seq)
+	dst = append(dst, ic.Payload...)
+	cs := Checksum(dst[start:])
+	binary.BigEndian.PutUint16(dst[start+2:start+4], cs)
+	return dst
+}
+
+// Serialize returns the message as a fresh slice.
+func (ic ICMPEcho) Serialize() []byte {
+	return ic.AppendTo(make([]byte, 0, 8+len(ic.Payload)))
+}

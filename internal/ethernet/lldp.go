@@ -1,0 +1,85 @@
+package ethernet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// LLDP TLV types (IEEE 802.1AB) — only the mandatory set plus end marker,
+// which is all topology discovery needs.
+const (
+	lldpTLVEnd       = 0
+	lldpTLVChassisID = 1
+	lldpTLVPortID    = 2
+	lldpTLVTTL       = 3
+)
+
+// Chassis/port ID subtypes used by the discovery daemon.
+const (
+	lldpChassisLocal = 7
+	lldpPortLocal    = 7
+)
+
+// LLDP is the minimal LLDPDU the topology application emits and parses:
+// chassis = switch datapath name, port = port number (§4.3).
+type LLDP struct {
+	ChassisID string
+	PortID    string
+	TTL       uint16
+}
+
+// DecodeLLDP parses an LLDPDU payload.
+func DecodeLLDP(b []byte) (LLDP, error) {
+	var l LLDP
+	for len(b) >= 2 {
+		head := binary.BigEndian.Uint16(b[0:2])
+		typ := head >> 9
+		length := int(head & 0x1ff)
+		b = b[2:]
+		if len(b) < length {
+			return l, fmt.Errorf("%w: lldp tlv", ErrTruncated)
+		}
+		val := b[:length]
+		b = b[length:]
+		switch typ {
+		case lldpTLVEnd:
+			return l, nil
+		case lldpTLVChassisID:
+			if len(val) < 1 {
+				return l, fmt.Errorf("%w: lldp chassis", ErrBadFormat)
+			}
+			l.ChassisID = string(val[1:])
+		case lldpTLVPortID:
+			if len(val) < 1 {
+				return l, fmt.Errorf("%w: lldp port", ErrBadFormat)
+			}
+			l.PortID = string(val[1:])
+		case lldpTLVTTL:
+			if len(val) < 2 {
+				return l, fmt.Errorf("%w: lldp ttl", ErrBadFormat)
+			}
+			l.TTL = binary.BigEndian.Uint16(val[0:2])
+		}
+	}
+	return l, nil
+}
+
+func appendTLV(dst []byte, typ uint16, val []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, typ<<9|uint16(len(val)))
+	return append(dst, val...)
+}
+
+// AppendTo serializes the LLDPDU onto dst.
+func (l LLDP) AppendTo(dst []byte) []byte {
+	chassis := append([]byte{lldpChassisLocal}, l.ChassisID...)
+	port := append([]byte{lldpPortLocal}, l.PortID...)
+	var ttl [2]byte
+	binary.BigEndian.PutUint16(ttl[:], l.TTL)
+	dst = appendTLV(dst, lldpTLVChassisID, chassis)
+	dst = appendTLV(dst, lldpTLVPortID, port)
+	dst = appendTLV(dst, lldpTLVTTL, ttl[:])
+	return appendTLV(dst, lldpTLVEnd, nil)
+}
+
+// Serialize returns the LLDPDU as a fresh slice.
+func (l LLDP) Serialize() []byte { return l.AppendTo(make([]byte, 0, 32)) }

@@ -1,0 +1,335 @@
+// Package middlebox implements §7.2 of the paper, "Extending to
+// Middleboxes": a stateful firewall whose connection state is exposed
+// through the yanc file system by a middlebox driver, so that state can
+// be inspected with cat, modified with echo, and — the paper's
+// headline — migrated between middlebox instances with cp and mv instead
+// of a bespoke state-transfer protocol ("we envision that we can use
+// command line utilities such as cp or mv to move state around").
+//
+// The engine is a classic outbound-initiated stateful firewall: traffic
+// from the inside interface creates connection entries; traffic arriving
+// on the outside interface is admitted only when it matches an
+// established entry (or an explicit allow rule).
+package middlebox
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"yanc/internal/ethernet"
+)
+
+// Direction of a packet relative to the protected network.
+type Direction int
+
+// Directions.
+const (
+	Outbound Direction = iota // inside -> outside
+	Inbound                   // outside -> inside
+)
+
+// Verdict is the engine's decision for one packet.
+type Verdict int
+
+// Verdicts.
+const (
+	Accept Verdict = iota
+	Drop
+)
+
+func (v Verdict) String() string {
+	if v == Accept {
+		return "accept"
+	}
+	return "drop"
+}
+
+// ConnKey identifies a connection by its inside-perspective 5-tuple.
+type ConnKey struct {
+	Proto   uint8
+	SrcIP   ethernet.IP4
+	DstIP   ethernet.IP4
+	SrcPort uint16
+	DstPort uint16
+}
+
+// String renders the key in the form used for state directory names.
+func (k ConnKey) String() string {
+	return fmt.Sprintf("%d-%s-%d-%s-%d", k.Proto, k.SrcIP, k.SrcPort, k.DstIP, k.DstPort)
+}
+
+// ParseConnKey parses the directory-name form back into a key.
+func ParseConnKey(s string) (ConnKey, error) {
+	var k ConnKey
+	parts := strings.Split(s, "-")
+	if len(parts) != 5 {
+		return k, fmt.Errorf("middlebox: bad conn key %q", s)
+	}
+	var proto, sport, dport int
+	if _, err := fmt.Sscanf(parts[0], "%d", &proto); err != nil {
+		return k, fmt.Errorf("middlebox: bad conn proto %q", s)
+	}
+	src, err := ethernet.ParseIP4(parts[1])
+	if err != nil {
+		return k, err
+	}
+	if _, err := fmt.Sscanf(parts[2], "%d", &sport); err != nil {
+		return k, fmt.Errorf("middlebox: bad conn sport %q", s)
+	}
+	dst, err := ethernet.ParseIP4(parts[3])
+	if err != nil {
+		return k, err
+	}
+	if _, err := fmt.Sscanf(parts[4], "%d", &dport); err != nil {
+		return k, fmt.Errorf("middlebox: bad conn dport %q", s)
+	}
+	k.Proto = uint8(proto)
+	k.SrcIP = src
+	k.SrcPort = uint16(sport)
+	k.DstIP = dst
+	k.DstPort = uint16(dport)
+	return k, nil
+}
+
+// reverse returns the key as seen from the other direction.
+func (k ConnKey) reverse() ConnKey {
+	return ConnKey{
+		Proto:   k.Proto,
+		SrcIP:   k.DstIP,
+		DstIP:   k.SrcIP,
+		SrcPort: k.DstPort,
+		DstPort: k.SrcPort,
+	}
+}
+
+// Conn is one tracked connection.
+type Conn struct {
+	Key      ConnKey
+	State    string // "new", "established"
+	Created  time.Time
+	LastSeen time.Time
+	Packets  uint64
+	Bytes    uint64
+}
+
+// Policy configures the firewall.
+type Policy struct {
+	// DefaultDenyInbound drops outside-originated traffic with no
+	// matching state (the classic stateful-firewall posture). Default on.
+	DefaultDenyInbound bool
+	// AllowInboundPorts lists destination ports admitted inbound without
+	// state (e.g. a public web server on 80).
+	AllowInboundPorts []uint16
+}
+
+// Engine is the middlebox dataplane.
+type Engine struct {
+	Name string
+
+	mu       sync.Mutex
+	policy   Policy
+	conns    map[ConnKey]*Conn
+	now      func() time.Time
+	accepted uint64
+	dropped  uint64
+
+	// onConnChange notifies the driver about state transitions
+	// (created/updated/removed) so the file system mirrors the table.
+	onConnChange func(c Conn, removed bool)
+}
+
+// NewEngine creates a firewall with default-deny-inbound policy.
+func NewEngine(name string) *Engine {
+	return &Engine{
+		Name:   name,
+		policy: Policy{DefaultDenyInbound: true},
+		conns:  make(map[ConnKey]*Conn),
+		now:    time.Now,
+	}
+}
+
+// SetClock replaces the time source.
+func (e *Engine) SetClock(clock func() time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.now = clock
+}
+
+// SetPolicy replaces the policy.
+func (e *Engine) SetPolicy(p Policy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.policy = p
+}
+
+// PolicySnapshot returns the current policy.
+func (e *Engine) PolicySnapshot() Policy {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.policy
+}
+
+// setConnChange installs the driver hook.
+func (e *Engine) setConnChange(fn func(c Conn, removed bool)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onConnChange = fn
+}
+
+// keyFor extracts the connection key from a frame, nil when untrackable.
+func keyFor(frame []byte) (ConnKey, bool) {
+	f, err := ethernet.DecodeFrame(frame)
+	if err != nil || f.Type != ethernet.TypeIPv4 {
+		return ConnKey{}, false
+	}
+	ip, err := ethernet.DecodeIPv4(f.Payload)
+	if err != nil {
+		return ConnKey{}, false
+	}
+	k := ConnKey{Proto: ip.Protocol, SrcIP: ip.Src, DstIP: ip.Dst}
+	switch ip.Protocol {
+	case ethernet.ProtoTCP:
+		t, err := ethernet.DecodeTCP(ip.Payload)
+		if err != nil {
+			return ConnKey{}, false
+		}
+		k.SrcPort, k.DstPort = t.SrcPort, t.DstPort
+	case ethernet.ProtoUDP:
+		u, err := ethernet.DecodeUDP(ip.Payload)
+		if err != nil {
+			return ConnKey{}, false
+		}
+		k.SrcPort, k.DstPort = u.SrcPort, u.DstPort
+	case ethernet.ProtoICMP:
+		// ICMP echo tracked by (id in SrcPort).
+		ic, err := ethernet.DecodeICMPEcho(ip.Payload)
+		if err != nil {
+			return ConnKey{}, false
+		}
+		k.SrcPort = ic.ID
+	default:
+		return ConnKey{}, false
+	}
+	return k, true
+}
+
+// Process runs one frame through the firewall and returns the verdict.
+func (e *Engine) Process(dir Direction, frame []byte) Verdict {
+	key, ok := keyFor(frame)
+	if !ok {
+		// Non-IP (ARP etc.) passes: the firewall is an L3/L4 device.
+		return Accept
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	size := uint64(len(frame))
+	switch dir {
+	case Outbound:
+		c, exists := e.conns[key]
+		if !exists {
+			c = &Conn{Key: key, State: "new", Created: now}
+			e.conns[key] = c
+		}
+		c.LastSeen = now
+		c.Packets++
+		c.Bytes += size
+		e.accepted++
+		if e.onConnChange != nil {
+			e.onConnChange(*c, false)
+		}
+		return Accept
+	default: // Inbound
+		// Reply to an inside-originated connection?
+		if c, exists := e.conns[key.reverse()]; exists {
+			c.State = "established"
+			c.LastSeen = now
+			c.Packets++
+			c.Bytes += size
+			e.accepted++
+			if e.onConnChange != nil {
+				e.onConnChange(*c, false)
+			}
+			return Accept
+		}
+		for _, port := range e.policy.AllowInboundPorts {
+			if key.DstPort == port {
+				e.accepted++
+				return Accept
+			}
+		}
+		if e.policy.DefaultDenyInbound {
+			e.dropped++
+			return Drop
+		}
+		e.accepted++
+		return Accept
+	}
+}
+
+// InsertConn installs connection state directly — the driver calls this
+// when state files appear (e.g. copied in from another middlebox).
+func (e *Engine) InsertConn(c Conn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cc := c
+	e.conns[c.Key] = &cc
+}
+
+// RemoveConn evicts connection state.
+func (e *Engine) RemoveConn(key ConnKey) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.conns, key)
+}
+
+// Conns returns a sorted snapshot of the connection table.
+func (e *Engine) Conns() []Conn {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Conn, 0, len(e.conns))
+	for _, c := range e.conns {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+// Lookup returns one connection's state.
+func (e *Engine) Lookup(key ConnKey) (Conn, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.conns[key]
+	if !ok {
+		return Conn{}, false
+	}
+	return *c, true
+}
+
+// Stats returns accept/drop counters.
+func (e *Engine) Stats() (accepted, dropped uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.accepted, e.dropped
+}
+
+// Expire drops connections idle longer than maxIdle at time now,
+// returning the evicted keys.
+func (e *Engine) Expire(now time.Time, maxIdle time.Duration) []ConnKey {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var evicted []ConnKey
+	for k, c := range e.conns {
+		if now.Sub(c.LastSeen) >= maxIdle {
+			evicted = append(evicted, k)
+			if e.onConnChange != nil {
+				e.onConnChange(*c, true)
+			}
+			delete(e.conns, k)
+		}
+	}
+	return evicted
+}

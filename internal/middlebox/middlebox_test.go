@@ -1,0 +1,244 @@
+package middlebox
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"yanc/internal/ethernet"
+	"yanc/internal/shell"
+	"yanc/internal/yancfs"
+)
+
+// tcpFrame builds a TCP frame between two addresses.
+func tcpFrame(srcIP, dstIP ethernet.IP4, srcPort, dstPort uint16) []byte {
+	return ethernet.Frame{
+		Dst: ethernet.MAC{0xaa}, Src: ethernet.MAC{0xbb},
+		Type: ethernet.TypeIPv4,
+		Payload: ethernet.IPv4{
+			TTL: 64, Protocol: ethernet.ProtoTCP, Src: srcIP, Dst: dstIP,
+			Payload: ethernet.TCP{SrcPort: srcPort, DstPort: dstPort}.Serialize(),
+		}.Serialize(),
+	}.Serialize()
+}
+
+var (
+	insideIP  = ethernet.IP4{10, 0, 0, 5}
+	outsideIP = ethernet.IP4{93, 184, 216, 34}
+)
+
+func TestStatefulFirewallBasics(t *testing.T) {
+	e := NewEngine("fw1")
+	out := tcpFrame(insideIP, outsideIP, 44321, 443)
+	back := tcpFrame(outsideIP, insideIP, 443, 44321)
+	unsolicited := tcpFrame(outsideIP, insideIP, 31337, 22)
+
+	// Unsolicited inbound drops.
+	if v := e.Process(Inbound, unsolicited); v != Drop {
+		t.Fatalf("unsolicited inbound = %v", v)
+	}
+	// Outbound creates state.
+	if v := e.Process(Outbound, out); v != Accept {
+		t.Fatalf("outbound = %v", v)
+	}
+	conns := e.Conns()
+	if len(conns) != 1 || conns[0].State != "new" {
+		t.Fatalf("conns = %+v", conns)
+	}
+	// The reply is admitted and establishes.
+	if v := e.Process(Inbound, back); v != Accept {
+		t.Fatalf("reply = %v", v)
+	}
+	if conns = e.Conns(); conns[0].State != "established" || conns[0].Packets != 2 {
+		t.Fatalf("after reply = %+v", conns)
+	}
+	// Allow-listed port admits without state.
+	e.SetPolicy(Policy{DefaultDenyInbound: true, AllowInboundPorts: []uint16{22}})
+	if v := e.Process(Inbound, unsolicited); v != Accept {
+		t.Fatalf("allow-listed inbound = %v", v)
+	}
+	// ARP passes through an L3 device.
+	arp := ethernet.Frame{Dst: ethernet.Broadcast, Type: ethernet.TypeARP,
+		Payload: ethernet.ARP{Op: ethernet.ARPRequest}.Serialize()}.Serialize()
+	if v := e.Process(Inbound, arp); v != Accept {
+		t.Fatalf("arp = %v", v)
+	}
+	// Untrackable frames (ARP) pass without touching the counters.
+	accepted, dropped := e.Stats()
+	if accepted != 3 || dropped != 1 {
+		t.Errorf("stats = %d/%d", accepted, dropped)
+	}
+}
+
+func TestConnKeyRoundTrip(t *testing.T) {
+	k := ConnKey{Proto: 6, SrcIP: insideIP, DstIP: outsideIP, SrcPort: 1234, DstPort: 443}
+	got, err := ParseConnKey(k.String())
+	if err != nil || got != k {
+		t.Fatalf("round trip = %+v %v (from %q)", got, err, k.String())
+	}
+	for _, bad := range []string{"", "1-2-3", "x-10.0.0.1-1-10.0.0.2-2", "6-nope-1-10.0.0.2-2"} {
+		if _, err := ParseConnKey(bad); err == nil {
+			t.Errorf("ParseConnKey(%q) must fail", bad)
+		}
+	}
+}
+
+func TestExpire(t *testing.T) {
+	e := NewEngine("fw1")
+	now := time.Unix(0, 0)
+	e.SetClock(func() time.Time { return now })
+	e.Process(Outbound, tcpFrame(insideIP, outsideIP, 1000, 80))
+	now = now.Add(10 * time.Minute)
+	e.Process(Outbound, tcpFrame(insideIP, outsideIP, 2000, 80))
+	evicted := e.Expire(now, 5*time.Minute)
+	if len(evicted) != 1 || evicted[0].SrcPort != 1000 {
+		t.Fatalf("evicted = %+v", evicted)
+	}
+	if len(e.Conns()) != 1 {
+		t.Fatalf("conns = %+v", e.Conns())
+	}
+}
+
+func newY(t *testing.T) *yancfs.FS {
+	t.Helper()
+	y, err := yancfs.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return y
+}
+
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestDriverMirrorsStateToFS(t *testing.T) {
+	y := newY(t)
+	e := NewEngine("fw1")
+	d := NewDriver(y, "/", e)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	p := y.Root()
+	e.Process(Outbound, tcpFrame(insideIP, outsideIP, 44321, 443))
+	key := ConnKey{Proto: 6, SrcIP: insideIP, DstIP: outsideIP, SrcPort: 44321, DstPort: 443}
+	base := "/middleboxes/fw1/state/" + key.String()
+	eventually(t, "state dir", func() bool { return p.IsDir(base) })
+	if s, _ := p.ReadString(base + "/state"); s != "new" {
+		t.Errorf("state = %q", s)
+	}
+	if s, _ := p.ReadString(base + "/dst_port"); s != "443" {
+		t.Errorf("dst_port = %q", s)
+	}
+	// Establishment updates the file.
+	e.Process(Inbound, tcpFrame(outsideIP, insideIP, 443, 44321))
+	eventually(t, "established", func() bool {
+		s, _ := p.ReadString(base + "/state")
+		return s == "established"
+	})
+	// Live counters.
+	if s, _ := p.ReadString("/middleboxes/fw1/counters/accepted"); s != "2" {
+		t.Errorf("accepted = %q", s)
+	}
+	// Expiry removes the directory.
+	e.setConnChange(d.mirrorConn) // ensure hook present
+	e.Expire(time.Now().Add(time.Hour), time.Minute)
+	eventually(t, "state removed", func() bool { return !p.Exists(base) })
+}
+
+func TestPolicyFilesReconfigureEngine(t *testing.T) {
+	y := newY(t)
+	e := NewEngine("fw1")
+	d := NewDriver(y, "/", e)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	p := y.Root()
+	unsolicited := tcpFrame(outsideIP, insideIP, 31337, 8080)
+	if v := e.Process(Inbound, unsolicited); v != Drop {
+		t.Fatal("expected drop before policy change")
+	}
+	// The administrator opens port 8080 with echo.
+	if err := p.WriteString("/middleboxes/fw1/policy.allow_inbound_ports", "8080\n"); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "policy reload", func() bool {
+		pol := e.PolicySnapshot()
+		return len(pol.AllowInboundPorts) == 1 && pol.AllowInboundPorts[0] == 8080
+	})
+	if v := e.Process(Inbound, unsolicited); v != Accept {
+		t.Fatal("expected accept after policy change")
+	}
+	// Turning off default-deny admits everything.
+	if err := p.WriteString("/middleboxes/fw1/policy.default_deny_inbound", "0\n"); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "deny off", func() bool { return !e.PolicySnapshot().DefaultDenyInbound })
+}
+
+func TestStateMigrationWithCp(t *testing.T) {
+	// §7.2's headline: move live middlebox state with cp, no custom
+	// protocol. fw1 has an established connection; we cp its state dir
+	// into fw2; fw2 then admits the inbound traffic of that connection.
+	y := newY(t)
+	fw1 := NewEngine("fw1")
+	fw2 := NewEngine("fw2")
+	d1 := NewDriver(y, "/", fw1)
+	d2 := NewDriver(y, "/", fw2)
+	for _, d := range []*Driver{d1, d2} {
+		if err := d.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer d.Stop()
+	}
+	p := y.Root()
+	// Establish a connection through fw1.
+	fw1.Process(Outbound, tcpFrame(insideIP, outsideIP, 50000, 443))
+	fw1.Process(Inbound, tcpFrame(outsideIP, insideIP, 443, 50000))
+	key := ConnKey{Proto: 6, SrcIP: insideIP, DstIP: outsideIP, SrcPort: 50000, DstPort: 443}
+	src := "/middleboxes/fw1/state/" + key.String()
+	eventually(t, "fw1 state", func() bool {
+		s, _ := p.ReadString(src + "/state")
+		return s == "established"
+	})
+	// fw2 drops the inbound reply today (no state).
+	inbound := tcpFrame(outsideIP, insideIP, 443, 50000)
+	if v := fw2.Process(Inbound, inbound); v != Drop {
+		t.Fatal("fw2 should drop before migration")
+	}
+	// Migrate with the shell: cp -r fw1's conn dir into fw2's state/.
+	var out strings.Builder
+	sh := shell.NewEnv(p, &out)
+	if err := sh.Run("cp -r " + src + " /middleboxes/fw2/state/" + key.String()); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "fw2 imported state", func() bool {
+		_, known := fw2.Lookup(key)
+		return known
+	})
+	// fw2 now carries the connection.
+	if v := fw2.Process(Inbound, inbound); v != Accept {
+		t.Fatal("fw2 should accept after migration")
+	}
+	// And mv (rm at the source) completes the move: fw1 forgets.
+	if err := sh.Run("rm -r " + src); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "fw1 evicted", func() bool {
+		_, known := fw1.Lookup(key)
+		return !known
+	})
+	if v := fw1.Process(Inbound, inbound); v != Drop {
+		t.Fatal("fw1 should drop after the state moved away")
+	}
+}

@@ -1,0 +1,262 @@
+// Package namespace reproduces the Linux isolation facilities yanc leans
+// on (§5.3): mount-namespace-style rebinding of an application's root to
+// a view subtree, credentials per application, and cgroup-style resource
+// controllers that meter and limit the file-system operations and bytes
+// an application group may consume.
+package namespace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"yanc/internal/vfs"
+)
+
+// ErrLimit is returned (wrapped in ErrQuota by the VFS) when a control
+// group's limit is exhausted.
+var ErrLimit = errors.New("namespace: resource limit exceeded")
+
+// Limits configures a control group. Zero values mean unlimited.
+type Limits struct {
+	// MaxOps caps total operations over the group's lifetime.
+	MaxOps uint64
+	// MaxBytes caps total bytes read+written.
+	MaxBytes uint64
+	// OpsPerSecond rate-limits operations with a token bucket.
+	OpsPerSecond float64
+	// Burst is the bucket size for OpsPerSecond (default: one second's
+	// worth).
+	Burst float64
+}
+
+// Usage is a control group's consumption snapshot.
+type Usage struct {
+	Ops    uint64
+	Bytes  uint64
+	Denied uint64
+	PerOp  map[string]uint64
+}
+
+// Group is a cgroup-like controller: processes attached to it share its
+// accounting and limits. Groups form a hierarchy; usage propagates to
+// ancestors, and every group in the chain must admit an operation.
+type Group struct {
+	name   string
+	parent *Group
+
+	mu     sync.Mutex
+	limits Limits
+	ops    uint64
+	bytes  uint64
+	denied uint64
+	perOp  map[string]uint64
+	tokens float64
+	last   time.Time
+	clock  func() time.Time
+}
+
+// NewGroup creates a root control group.
+func NewGroup(name string, limits Limits) *Group {
+	return newGroup(name, limits, nil)
+}
+
+func newGroup(name string, limits Limits, parent *Group) *Group {
+	if limits.OpsPerSecond > 0 && limits.Burst == 0 {
+		limits.Burst = limits.OpsPerSecond
+	}
+	return &Group{
+		name:   name,
+		parent: parent,
+		limits: limits,
+		perOp:  make(map[string]uint64),
+		tokens: limits.Burst,
+		clock:  time.Now,
+	}
+}
+
+// NewChild creates a nested group; operations must satisfy both the
+// child's and every ancestor's limits.
+func (g *Group) NewChild(name string, limits Limits) *Group {
+	return newGroup(g.name+"/"+name, limits, g)
+}
+
+// Name returns the group's hierarchical name.
+func (g *Group) Name() string { return g.name }
+
+// SetClock replaces the rate-limiter clock (tests).
+func (g *Group) SetClock(clock func() time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.clock = clock
+	g.last = time.Time{}
+}
+
+// Charge implements vfs.Limiter.
+func (g *Group) Charge(op string, n int) error {
+	// Admission must be checked the whole way up before committing, so a
+	// denied ancestor does not leave the child half-charged.
+	for cur := g; cur != nil; cur = cur.parent {
+		if err := cur.admit(op, n); err != nil {
+			for c2 := g; c2 != nil; c2 = c2.parent {
+				c2.mu.Lock()
+				c2.denied++
+				c2.mu.Unlock()
+			}
+			return err
+		}
+	}
+	for cur := g; cur != nil; cur = cur.parent {
+		cur.commit(op, n)
+	}
+	return nil
+}
+
+func (g *Group) admit(op string, n int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.limits.MaxOps > 0 && g.ops+1 > g.limits.MaxOps {
+		return fmt.Errorf("%w: %s ops", ErrLimit, g.name)
+	}
+	if g.limits.MaxBytes > 0 && g.bytes+uint64(n) > g.limits.MaxBytes {
+		return fmt.Errorf("%w: %s bytes", ErrLimit, g.name)
+	}
+	if g.limits.OpsPerSecond > 0 {
+		now := g.clock()
+		if !g.last.IsZero() {
+			g.tokens += now.Sub(g.last).Seconds() * g.limits.OpsPerSecond
+			if g.tokens > g.limits.Burst {
+				g.tokens = g.limits.Burst
+			}
+		}
+		g.last = now
+		if g.tokens < 1 {
+			return fmt.Errorf("%w: %s rate", ErrLimit, g.name)
+		}
+	}
+	return nil
+}
+
+func (g *Group) commit(op string, n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ops++
+	g.bytes += uint64(n)
+	g.perOp[op]++
+	if g.limits.OpsPerSecond > 0 {
+		g.tokens--
+	}
+}
+
+// Usage returns a snapshot of the group's consumption.
+func (g *Group) Usage() Usage {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	per := make(map[string]uint64, len(g.perOp))
+	for k, v := range g.perOp {
+		per[k] = v
+	}
+	return Usage{Ops: g.ops, Bytes: g.bytes, Denied: g.denied, PerOp: per}
+}
+
+// Namespace is one application's execution context: a name, a credential,
+// an optional root subtree (the view it is confined to), and an optional
+// control group.
+type Namespace struct {
+	Name  string
+	Cred  vfs.Cred
+	Root  string // "" = file system root
+	Group *Group
+}
+
+// Enter materializes the namespace against a file system, returning the
+// Proc the application should use for all its I/O. A non-empty Root pins
+// the app inside that subtree — absolute paths, "..", and symlinks cannot
+// escape it (§5.3: "isolate subsets of the network to individual
+// processes").
+func (ns Namespace) Enter(fs *vfs.FS) (*vfs.Proc, error) {
+	p := fs.Proc(ns.Cred)
+	if ns.Group != nil {
+		p = p.WithLimiter(ns.Group)
+	}
+	if ns.Root != "" && ns.Root != "/" {
+		jail, err := fs.RootProc().Chroot(ns.Root)
+		if err != nil {
+			return nil, fmt.Errorf("namespace %s: %w", ns.Name, err)
+		}
+		p = jail.WithCred(ns.Cred)
+		if ns.Group != nil {
+			p = p.WithLimiter(ns.Group)
+		}
+	}
+	return p, nil
+}
+
+// Manager tracks the namespaces of running applications, like a tiny
+// systemd for network apps.
+type Manager struct {
+	fs *vfs.FS
+
+	mu     sync.Mutex
+	spaces map[string]Namespace
+	groups map[string]*Group
+}
+
+// NewManager creates a manager over one file system.
+func NewManager(fs *vfs.FS) *Manager {
+	return &Manager{
+		fs:     fs,
+		spaces: make(map[string]Namespace),
+		groups: make(map[string]*Group),
+	}
+}
+
+// CreateGroup registers a named control group.
+func (m *Manager) CreateGroup(name string, limits Limits) *Group {
+	g := NewGroup(name, limits)
+	m.mu.Lock()
+	m.groups[name] = g
+	m.mu.Unlock()
+	return g
+}
+
+// Group returns a registered control group.
+func (m *Manager) Group(name string) *Group {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.groups[name]
+}
+
+// Launch registers a namespace and returns its Proc.
+func (m *Manager) Launch(ns Namespace) (*vfs.Proc, error) {
+	p, err := ns.Enter(m.fs)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.spaces[ns.Name] = ns
+	m.mu.Unlock()
+	return p, nil
+}
+
+// List returns registered namespace names in order.
+func (m *Manager) List() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.spaces))
+	for n := range m.spaces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Of returns the namespace registered under name.
+func (m *Manager) Of(name string) (Namespace, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ns, ok := m.spaces[name]
+	return ns, ok
+}

@@ -1,0 +1,176 @@
+package namespace
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"yanc/internal/vfs"
+	"yanc/internal/yancfs"
+)
+
+func TestGroupMaxOps(t *testing.T) {
+	g := NewGroup("apps", Limits{MaxOps: 3})
+	for i := 0; i < 3; i++ {
+		if err := g.Charge("write", 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Charge("write", 10); !errors.Is(err, ErrLimit) {
+		t.Errorf("4th op = %v", err)
+	}
+	u := g.Usage()
+	if u.Ops != 3 || u.Bytes != 30 || u.Denied != 1 || u.PerOp["write"] != 3 {
+		t.Errorf("usage = %+v", u)
+	}
+}
+
+func TestGroupMaxBytes(t *testing.T) {
+	g := NewGroup("apps", Limits{MaxBytes: 100})
+	if err := g.Charge("write", 90); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Charge("write", 20); !errors.Is(err, ErrLimit) {
+		t.Errorf("over-bytes = %v", err)
+	}
+	if err := g.Charge("write", 10); err != nil {
+		t.Errorf("exact fit = %v", err)
+	}
+}
+
+func TestGroupRateLimit(t *testing.T) {
+	g := NewGroup("apps", Limits{OpsPerSecond: 10, Burst: 2})
+	now := time.Unix(0, 0)
+	g.SetClock(func() time.Time { return now })
+	if err := g.Charge("op", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Charge("op", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket empty.
+	if err := g.Charge("op", 0); !errors.Is(err, ErrLimit) {
+		t.Errorf("rate exceeded = %v", err)
+	}
+	// Refill after 100ms at 10/s = 1 token.
+	now = now.Add(100 * time.Millisecond)
+	if err := g.Charge("op", 0); err != nil {
+		t.Errorf("after refill = %v", err)
+	}
+}
+
+func TestGroupHierarchy(t *testing.T) {
+	parent := NewGroup("all", Limits{MaxOps: 5})
+	a := parent.NewChild("a", Limits{})
+	b := parent.NewChild("b", Limits{MaxOps: 2})
+	if a.Name() != "all/a" {
+		t.Errorf("name = %s", a.Name())
+	}
+	// b hits its own limit first.
+	_ = b.Charge("x", 0)
+	_ = b.Charge("x", 0)
+	if err := b.Charge("x", 0); !errors.Is(err, ErrLimit) {
+		t.Error("child limit not enforced")
+	}
+	// a inherits the parent's remaining budget (5-2=3).
+	for i := 0; i < 3; i++ {
+		if err := a.Charge("x", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Charge("x", 0); !errors.Is(err, ErrLimit) {
+		t.Error("parent limit not enforced through child")
+	}
+	if parent.Usage().Ops != 5 {
+		t.Errorf("parent ops = %d", parent.Usage().Ops)
+	}
+}
+
+func TestNamespaceEnterConfinesToView(t *testing.T) {
+	y, err := yancfs.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := y.Root()
+	if err := root.Mkdir("/views/tenant-a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := yancfs.CreateSwitch(root, "/views/tenant-a", "vsw1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := yancfs.CreateSwitch(root, "/", "real1"); err != nil {
+		t.Fatal(err)
+	}
+	// Grant the tenant write access inside its view.
+	if err := root.Chown("/views/tenant-a/switches/vsw1/flows", 4001, 4001); err != nil {
+		t.Fatal(err)
+	}
+	ns := Namespace{
+		Name: "tenant-a-app",
+		Cred: vfs.Cred{UID: 4001, GID: 4001},
+		Root: "/views/tenant-a",
+	}
+	p, err := ns.Enter(y.VFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The app sees its view as the root.
+	if !p.IsDir("/switches/vsw1") {
+		t.Fatal("view switch invisible inside namespace")
+	}
+	// The real network does not exist for it.
+	if p.Exists("/switches/real1") || p.Exists("/../switches/real1") {
+		t.Fatal("namespace escaped to master region")
+	}
+	// It can operate inside its granted subtree.
+	if err := p.Mkdir("/switches/vsw1/flows/f1", 0o755); err != nil {
+		t.Fatalf("tenant flow mkdir: %v", err)
+	}
+}
+
+func TestNamespaceWithGroupMetersVFSOps(t *testing.T) {
+	y, err := yancfs.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(y.VFS())
+	g := m.CreateGroup("tenant", Limits{MaxOps: 4})
+	p, err := m.Launch(Namespace{Name: "app", Cred: vfs.Root, Group: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Mkdir("/hosts/h1", 0o755); err != nil { // 1 op
+		t.Fatal(err)
+	}
+	if err := p.WriteString("/hosts/h1/ip", "10.0.0.1"); err != nil { // open+write
+		t.Fatal(err)
+	}
+	// Budget is exhausted mid-operation eventually.
+	var lastErr error
+	for i := 0; i < 10 && lastErr == nil; i++ {
+		_, lastErr = p.ReadFile("/hosts/h1/ip")
+	}
+	if !errors.Is(lastErr, vfs.ErrQuota) {
+		t.Errorf("expected quota error, got %v", lastErr)
+	}
+	if g.Usage().Ops == 0 || g.Usage().Denied == 0 {
+		t.Errorf("usage = %+v", g.Usage())
+	}
+	if got := m.List(); len(got) != 1 || got[0] != "app" {
+		t.Errorf("list = %v", got)
+	}
+	if _, ok := m.Of("app"); !ok {
+		t.Error("Of failed")
+	}
+	if m.Group("tenant") != g {
+		t.Error("group lookup failed")
+	}
+}
+
+func TestEnterMissingRootFails(t *testing.T) {
+	fs := vfs.New()
+	_, err := Namespace{Name: "x", Root: "/nope"}.Enter(fs)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,360 @@
+package openflow
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"yanc/internal/ethernet"
+)
+
+// Reserved port numbers in the neutral (OF 1.3-style) port space. The
+// OF 1.0 codec maps them to their 16-bit equivalents.
+const (
+	PortMax        uint32 = 0xffffff00
+	PortInPort     uint32 = 0xfffffff8
+	PortTable      uint32 = 0xfffffff9
+	PortNormal     uint32 = 0xfffffffa
+	PortFlood      uint32 = 0xfffffffb
+	PortAll        uint32 = 0xfffffffc
+	PortController uint32 = 0xfffffffd
+	PortLocal      uint32 = 0xfffffffe
+	PortAny        uint32 = 0xffffffff
+)
+
+// NoBuffer is the buffer id meaning "full packet included".
+const NoBuffer uint32 = 0xffffffff
+
+// ActionType enumerates the neutral action set (the OF 1.0 action list,
+// which both codecs support; OF 1.3 encodes the set-field actions as OXM
+// set-field).
+type ActionType uint8
+
+// Actions.
+const (
+	ActOutput ActionType = iota
+	ActSetVLANID
+	ActSetVLANPCP
+	ActStripVLAN
+	ActSetDLSrc
+	ActSetDLDst
+	ActSetNWSrc
+	ActSetNWDst
+	ActSetNWTos
+	ActSetTPSrc
+	ActSetTPDst
+)
+
+// Action is one packet transformation or output.
+type Action struct {
+	Type    ActionType
+	Port    uint32       // ActOutput
+	MaxLen  uint16       // ActOutput to controller
+	VLANID  uint16       // ActSetVLANID
+	VLANPCP uint8        // ActSetVLANPCP
+	DL      ethernet.MAC // ActSetDLSrc / ActSetDLDst
+	NW      ethernet.IP4 // ActSetNWSrc / ActSetNWDst
+	TOS     uint8        // ActSetNWTos
+	TP      uint16       // ActSetTPSrc / ActSetTPDst
+}
+
+// Output builds an output action.
+func Output(port uint32) Action { return Action{Type: ActOutput, Port: port} }
+
+// OutputController builds an output-to-controller action with a payload cap.
+func OutputController(maxLen uint16) Action {
+	return Action{Type: ActOutput, Port: PortController, MaxLen: maxLen}
+}
+
+// portName renders special ports symbolically.
+func portName(p uint32) string {
+	switch p {
+	case PortInPort:
+		return "in_port"
+	case PortTable:
+		return "table"
+	case PortNormal:
+		return "normal"
+	case PortFlood:
+		return "flood"
+	case PortAll:
+		return "all"
+	case PortController:
+		return "controller"
+	case PortLocal:
+		return "local"
+	case PortAny:
+		return "any"
+	default:
+		return strconv.FormatUint(uint64(p), 10)
+	}
+}
+
+func parsePortName(s string) (uint32, error) {
+	switch strings.TrimSpace(s) {
+	case "in_port":
+		return PortInPort, nil
+	case "table":
+		return PortTable, nil
+	case "normal":
+		return PortNormal, nil
+	case "flood":
+		return PortFlood, nil
+	case "all":
+		return PortAll, nil
+	case "controller":
+		return PortController, nil
+	case "local":
+		return PortLocal, nil
+	case "any":
+		return PortAny, nil
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("openflow: bad port %q", s)
+	}
+	return uint32(v), nil
+}
+
+// String renders the action in yanc's action-file syntax: the value of an
+// action.out file is a port, action.set_dl_dst a MAC, and so on.
+func (a Action) String() string {
+	switch a.Type {
+	case ActOutput:
+		return "out=" + portName(a.Port)
+	case ActSetVLANID:
+		return fmt.Sprintf("set_vlan_vid=%d", a.VLANID)
+	case ActSetVLANPCP:
+		return fmt.Sprintf("set_vlan_pcp=%d", a.VLANPCP)
+	case ActStripVLAN:
+		return "strip_vlan"
+	case ActSetDLSrc:
+		return "set_dl_src=" + a.DL.String()
+	case ActSetDLDst:
+		return "set_dl_dst=" + a.DL.String()
+	case ActSetNWSrc:
+		return "set_nw_src=" + a.NW.String()
+	case ActSetNWDst:
+		return "set_nw_dst=" + a.NW.String()
+	case ActSetNWTos:
+		return fmt.Sprintf("set_nw_tos=%d", a.TOS)
+	case ActSetTPSrc:
+		return fmt.Sprintf("set_tp_src=%d", a.TP)
+	case ActSetTPDst:
+		return fmt.Sprintf("set_tp_dst=%d", a.TP)
+	}
+	return "unknown"
+}
+
+// ActionFileName returns the yanc file name for the action ("out" →
+// action.out). Each action kind is one file in a flow directory.
+func (a Action) ActionFileName() string {
+	name, _, _ := strings.Cut(a.String(), "=")
+	return name
+}
+
+// ActionFileValue returns the yanc file content for the action.
+func (a Action) ActionFileValue() string {
+	_, val, ok := strings.Cut(a.String(), "=")
+	if !ok {
+		return "1" // presence-only actions like strip_vlan
+	}
+	return val
+}
+
+// ParseAction parses the "name=value" (or bare name) form used in
+// action.* files and flow-pusher specs.
+func ParseAction(name, value string) (Action, error) {
+	name = strings.TrimSpace(name)
+	value = strings.TrimSpace(value)
+	var a Action
+	switch name {
+	case "out", "output":
+		p, err := parsePortName(value)
+		if err != nil {
+			return a, err
+		}
+		a = Action{Type: ActOutput, Port: p}
+		if p == PortController {
+			a.MaxLen = 0xffff
+		}
+	case "set_vlan_vid":
+		v, err := strconv.ParseUint(value, 10, 12)
+		if err != nil {
+			return a, fmt.Errorf("openflow: vlan vid %q: %w", value, err)
+		}
+		a = Action{Type: ActSetVLANID, VLANID: uint16(v)}
+	case "set_vlan_pcp":
+		v, err := strconv.ParseUint(value, 10, 3)
+		if err != nil {
+			return a, fmt.Errorf("openflow: vlan pcp %q: %w", value, err)
+		}
+		a = Action{Type: ActSetVLANPCP, VLANPCP: uint8(v)}
+	case "strip_vlan":
+		a = Action{Type: ActStripVLAN}
+	case "set_dl_src", "set_dl_dst":
+		mac, err := ethernet.ParseMAC(value)
+		if err != nil {
+			return a, err
+		}
+		t := ActSetDLSrc
+		if name == "set_dl_dst" {
+			t = ActSetDLDst
+		}
+		a = Action{Type: t, DL: mac}
+	case "set_nw_src", "set_nw_dst":
+		ip, err := ethernet.ParseIP4(value)
+		if err != nil {
+			return a, err
+		}
+		t := ActSetNWSrc
+		if name == "set_nw_dst" {
+			t = ActSetNWDst
+		}
+		a = Action{Type: t, NW: ip}
+	case "set_nw_tos":
+		v, err := strconv.ParseUint(value, 10, 8)
+		if err != nil {
+			return a, fmt.Errorf("openflow: nw tos %q: %w", value, err)
+		}
+		a = Action{Type: ActSetNWTos, TOS: uint8(v)}
+	case "set_tp_src", "set_tp_dst":
+		v, err := strconv.ParseUint(value, 10, 16)
+		if err != nil {
+			return a, fmt.Errorf("openflow: tp port %q: %w", value, err)
+		}
+		t := ActSetTPSrc
+		if name == "set_tp_dst" {
+			t = ActSetTPDst
+		}
+		a = Action{Type: t, TP: uint16(v)}
+	default:
+		return a, fmt.Errorf("openflow: unknown action %q", name)
+	}
+	return a, nil
+}
+
+// ParseActions parses a comma-separated action list
+// ("out=2,set_nw_tos=4").
+func ParseActions(spec string) ([]Action, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []Action
+	for _, el := range strings.Split(spec, ",") {
+		name, value, _ := strings.Cut(el, "=")
+		a, err := ParseAction(name, value)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// FormatActions renders an action list back to the comma form.
+func FormatActions(actions []Action) string {
+	parts := make([]string, len(actions))
+	for i, a := range actions {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Apply transforms a frame according to the non-output actions and
+// returns the (possibly re-serialized) frame together with the list of
+// output ports. The dataplane simulator runs this for every matched
+// packet.
+func Apply(actions []Action, frame []byte) (out []byte, ports []uint32, err error) {
+	f, err := ethernet.DecodeFrame(frame)
+	if err != nil {
+		return nil, nil, err
+	}
+	mutatedL2 := false
+	mutatedL3 := false
+	var ip ethernet.IPv4
+	haveIP := false
+	if f.Type == ethernet.TypeIPv4 {
+		if dec, derr := ethernet.DecodeIPv4(f.Payload); derr == nil {
+			ip = dec
+			haveIP = true
+		}
+	}
+	for _, a := range actions {
+		switch a.Type {
+		case ActOutput:
+			ports = append(ports, a.Port)
+		case ActSetVLANID:
+			f.VLANID = a.VLANID
+			mutatedL2 = true
+		case ActSetVLANPCP:
+			f.VLANPCP = a.VLANPCP
+			mutatedL2 = true
+		case ActStripVLAN:
+			f.VLANID = 0
+			f.VLANPCP = 0
+			mutatedL2 = true
+		case ActSetDLSrc:
+			f.Src = a.DL
+			mutatedL2 = true
+		case ActSetDLDst:
+			f.Dst = a.DL
+			mutatedL2 = true
+		case ActSetNWSrc:
+			if haveIP {
+				ip.Src = a.NW
+				mutatedL3 = true
+			}
+		case ActSetNWDst:
+			if haveIP {
+				ip.Dst = a.NW
+				mutatedL3 = true
+			}
+		case ActSetNWTos:
+			if haveIP {
+				ip.TOS = a.TOS
+				mutatedL3 = true
+			}
+		case ActSetTPSrc, ActSetTPDst:
+			if haveIP && (ip.Protocol == ethernet.ProtoTCP || ip.Protocol == ethernet.ProtoUDP) {
+				mutateTP(&ip, a)
+				mutatedL3 = true
+			}
+		}
+	}
+	if !mutatedL2 && !mutatedL3 {
+		return frame, ports, nil
+	}
+	if mutatedL3 {
+		f.Payload = ip.Serialize()
+	}
+	return f.Serialize(), ports, nil
+}
+
+func mutateTP(ip *ethernet.IPv4, a Action) {
+	switch ip.Protocol {
+	case ethernet.ProtoTCP:
+		t, err := ethernet.DecodeTCP(ip.Payload)
+		if err != nil {
+			return
+		}
+		if a.Type == ActSetTPSrc {
+			t.SrcPort = a.TP
+		} else {
+			t.DstPort = a.TP
+		}
+		ip.Payload = t.Serialize()
+	case ethernet.ProtoUDP:
+		u, err := ethernet.DecodeUDP(ip.Payload)
+		if err != nil {
+			return
+		}
+		if a.Type == ActSetTPSrc {
+			u.SrcPort = a.TP
+		} else {
+			u.DstPort = a.TP
+		}
+		ip.Payload = u.Serialize()
+	}
+}

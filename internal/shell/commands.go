@@ -1,0 +1,576 @@
+package shell
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"yanc/internal/vfs"
+)
+
+// modeString renders a stat like ls -l does (drwxr-xr-x).
+func modeString(st vfs.Stat) string {
+	var b [10]byte
+	switch st.Kind {
+	case vfs.KindDir:
+		b[0] = 'd'
+	case vfs.KindSymlink:
+		b[0] = 'l'
+	default:
+		b[0] = '-'
+	}
+	perms := "rwxrwxrwx"
+	for i := 0; i < 9; i++ {
+		if st.Mode>>(8-i)&1 == 1 {
+			b[i+1] = perms[i]
+		} else {
+			b[i+1] = '-'
+		}
+	}
+	return string(b[:])
+}
+
+func cmdLs(e *Env, args []string, _ []string, out io.Writer) error {
+	long := false
+	var paths []string
+	for _, a := range args {
+		if a == "-l" {
+			long = true
+			continue
+		}
+		if a == "-la" || a == "-al" {
+			long = true
+			continue
+		}
+		paths = append(paths, a)
+	}
+	if len(paths) == 0 {
+		paths = []string{e.Cwd}
+	}
+	printEntry := func(path string, st vfs.Stat, name string) {
+		if !long {
+			fmt.Fprintln(out, name)
+			return
+		}
+		suffix := ""
+		if st.Kind == vfs.KindSymlink {
+			if tgt, err := e.P.Readlink(path); err == nil {
+				suffix = " -> " + tgt
+			}
+		}
+		fmt.Fprintf(out, "%s %2d %4d %4d %6d %s%s\n",
+			modeString(st), st.Nlink, st.UID, st.GID, st.Size, name, suffix)
+	}
+	for _, p := range paths {
+		full := e.abs(p)
+		st, err := e.P.Lstat(full)
+		if err != nil {
+			return err
+		}
+		if !st.IsDir() {
+			printEntry(full, st, full)
+			continue
+		}
+		entries, err := e.P.ReadDir(full)
+		if err != nil {
+			return err
+		}
+		for _, de := range entries {
+			child := vfs.Join(full, de.Name)
+			cst, err := e.P.Lstat(child)
+			if err != nil {
+				continue
+			}
+			printEntry(child, cst, de.Name)
+		}
+	}
+	return nil
+}
+
+func cmdCat(e *Env, args []string, stdin []string, out io.Writer) error {
+	if len(args) == 0 {
+		for _, l := range stdin {
+			fmt.Fprintln(out, l)
+		}
+		return nil
+	}
+	for _, a := range args {
+		b, err := e.P.ReadFile(e.abs(a))
+		if err != nil {
+			return err
+		}
+		if _, err := out.Write(b); err != nil {
+			return err
+		}
+		if len(b) > 0 && b[len(b)-1] != '\n' {
+			fmt.Fprintln(out)
+		}
+	}
+	return nil
+}
+
+func cmdEcho(e *Env, args []string, _ []string, out io.Writer) error {
+	fmt.Fprintln(out, strings.Join(args, " "))
+	return nil
+}
+
+func cmdTree(e *Env, args []string, _ []string, out io.Writer) error {
+	root := e.Cwd
+	if len(args) > 0 {
+		root = e.abs(args[0])
+	}
+	fmt.Fprintln(out, root)
+	var walk func(dir, prefix string) error
+	walk = func(dir, prefix string) error {
+		entries, err := e.P.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for i, de := range entries {
+			connector, childPrefix := "├── ", prefix+"│   "
+			if i == len(entries)-1 {
+				connector, childPrefix = "└── ", prefix+"    "
+			}
+			child := vfs.Join(dir, de.Name)
+			label := de.Name
+			st, err := e.P.Lstat(child)
+			if err == nil && st.Kind == vfs.KindSymlink {
+				if tgt, err := e.P.Readlink(child); err == nil {
+					label += " -> " + tgt
+				}
+			}
+			if de.IsDir() {
+				label += "/"
+			}
+			fmt.Fprintln(out, prefix+connector+label)
+			if de.IsDir() {
+				if err := walk(child, childPrefix); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return walk(root, "")
+}
+
+func cmdFind(e *Env, args []string, _ []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("%w: find <path> [-name pat] [-type f|d|l]", ErrUsage)
+	}
+	root := e.abs(args[0])
+	var namePat, typeFilter string
+	rest := args[1:]
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case "-name":
+			if i+1 >= len(rest) {
+				return fmt.Errorf("%w: -name needs a pattern", ErrUsage)
+			}
+			i++
+			namePat = rest[i]
+		case "-type":
+			if i+1 >= len(rest) {
+				return fmt.Errorf("%w: -type needs f|d|l", ErrUsage)
+			}
+			i++
+			typeFilter = rest[i]
+		default:
+			return fmt.Errorf("%w: find: unknown predicate %q", ErrUsage, rest[i])
+		}
+	}
+	return e.walk(root, func(path string, st vfs.Stat) error {
+		if namePat != "" {
+			ok, _ := matchGlob(namePat, vfs.Base(path))
+			if !ok {
+				return nil
+			}
+		}
+		switch typeFilter {
+		case "f":
+			if st.Kind != vfs.KindFile {
+				return nil
+			}
+		case "d":
+			if st.Kind != vfs.KindDir {
+				return nil
+			}
+		case "l":
+			if st.Kind != vfs.KindSymlink {
+				return nil
+			}
+		}
+		fmt.Fprintln(out, path)
+		return nil
+	})
+}
+
+// matchGlob is find's -name matcher: '*' and '?' wildcards.
+func matchGlob(pattern, name string) (bool, error) {
+	var match func(p, s string) bool
+	match = func(p, s string) bool {
+		for len(p) > 0 {
+			switch p[0] {
+			case '*':
+				for i := 0; i <= len(s); i++ {
+					if match(p[1:], s[i:]) {
+						return true
+					}
+				}
+				return false
+			case '?':
+				if len(s) == 0 {
+					return false
+				}
+				p, s = p[1:], s[1:]
+			default:
+				if len(s) == 0 || s[0] != p[0] {
+					return false
+				}
+				p, s = p[1:], s[1:]
+			}
+		}
+		return len(s) == 0
+	}
+	return match(pattern, name), nil
+}
+
+func cmdGrep(e *Env, args []string, stdin []string, out io.Writer) error {
+	listOnly := false
+	invert := false
+	var rest []string
+	for _, a := range args {
+		switch a {
+		case "-l":
+			listOnly = true
+		case "-v":
+			invert = true
+		default:
+			rest = append(rest, a)
+		}
+	}
+	if len(rest) == 0 {
+		return fmt.Errorf("%w: grep [-l] [-v] <pattern> [files|stdin]", ErrUsage)
+	}
+	pattern := rest[0]
+	files := rest[1:]
+	if len(files) == 0 {
+		for _, l := range stdin {
+			if strings.Contains(l, pattern) != invert {
+				fmt.Fprintln(out, l)
+			}
+		}
+		return nil
+	}
+	for _, f := range files {
+		full := e.abs(f)
+		b, err := e.P.ReadFile(full)
+		if err != nil {
+			continue // grep skips unreadable files
+		}
+		matched := false
+		for _, l := range splitLines(string(b)) {
+			if strings.Contains(l, pattern) != invert {
+				matched = true
+				if listOnly {
+					break
+				}
+				if len(files) > 1 {
+					fmt.Fprintf(out, "%s:%s\n", full, l)
+				} else {
+					fmt.Fprintln(out, l)
+				}
+			}
+		}
+		if matched && listOnly {
+			fmt.Fprintln(out, full)
+		}
+	}
+	return nil
+}
+
+func cmdStat(e *Env, args []string, _ []string, out io.Writer) error {
+	for _, a := range args {
+		st, err := e.P.Lstat(e.abs(a))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: %s ino=%d nlink=%d uid=%d gid=%d size=%d version=%d\n",
+			e.abs(a), modeString(st), st.Ino, st.Nlink, st.UID, st.GID, st.Size, st.Version)
+	}
+	return nil
+}
+
+func cmdRm(e *Env, args []string, stdin []string, out io.Writer) error {
+	recursive := false
+	var paths []string
+	for _, a := range args {
+		if a == "-r" || a == "-rf" {
+			recursive = true
+			continue
+		}
+		paths = append(paths, a)
+	}
+	if len(paths) == 0 {
+		paths = stdin
+	}
+	for _, a := range paths {
+		full := e.abs(a)
+		var err error
+		if recursive {
+			err = e.P.RemoveAll(full)
+		} else {
+			err = e.P.Remove(full)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdMkdir(e *Env, args []string, _ []string, out io.Writer) error {
+	parents := false
+	var paths []string
+	for _, a := range args {
+		if a == "-p" {
+			parents = true
+			continue
+		}
+		paths = append(paths, a)
+	}
+	for _, a := range paths {
+		full := e.abs(a)
+		var err error
+		if parents {
+			err = e.P.MkdirAll(full, 0o755)
+		} else {
+			err = e.P.Mkdir(full, 0o755)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdMv(e *Env, args []string, _ []string, out io.Writer) error {
+	if len(args) != 2 {
+		return fmt.Errorf("%w: mv <src> <dst>", ErrUsage)
+	}
+	return e.P.Rename(e.abs(args[0]), e.abs(args[1]))
+}
+
+func cmdCp(e *Env, args []string, _ []string, out io.Writer) error {
+	recursive := false
+	var paths []string
+	for _, a := range args {
+		if a == "-r" {
+			recursive = true
+			continue
+		}
+		paths = append(paths, a)
+	}
+	if len(paths) != 2 {
+		return fmt.Errorf("%w: cp [-r] <src> <dst>", ErrUsage)
+	}
+	src, dst := e.abs(paths[0]), e.abs(paths[1])
+	return copyTree(e.P, src, dst, recursive)
+}
+
+func copyTree(p FileSystem, src, dst string, recursive bool) error {
+	st, err := p.Lstat(src)
+	if err != nil {
+		return err
+	}
+	// Copying into an existing directory targets dst/<base>.
+	if dstSt, err := p.Lstat(dst); err == nil && dstSt.IsDir() {
+		dst = vfs.Join(dst, vfs.Base(src))
+	}
+	switch st.Kind {
+	case vfs.KindSymlink:
+		target, err := p.Readlink(src)
+		if err != nil {
+			return err
+		}
+		return p.Symlink(target, dst)
+	case vfs.KindDir:
+		if !recursive {
+			return fmt.Errorf("%w: cp: %s is a directory (use -r)", ErrUsage, src)
+		}
+		if err := p.MkdirAll(dst, st.Mode.Perm()); err != nil {
+			return err
+		}
+		entries, err := p.ReadDir(src)
+		if err != nil {
+			return err
+		}
+		for _, de := range entries {
+			if err := copyTree(p, vfs.Join(src, de.Name), vfs.Join(dst, de.Name), true); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		b, err := p.ReadFile(src)
+		if err != nil {
+			return err
+		}
+		return p.WriteFile(dst, b, st.Mode.Perm())
+	}
+}
+
+func cmdLn(e *Env, args []string, _ []string, out io.Writer) error {
+	if len(args) != 3 || args[0] != "-s" {
+		return fmt.Errorf("%w: ln -s <target> <link>", ErrUsage)
+	}
+	return e.P.Symlink(args[1], e.abs(args[2]))
+}
+
+func cmdReadlink(e *Env, args []string, _ []string, out io.Writer) error {
+	for _, a := range args {
+		tgt, err := e.P.Readlink(e.abs(a))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tgt)
+	}
+	return nil
+}
+
+func cmdTouch(e *Env, args []string, _ []string, out io.Writer) error {
+	for _, a := range args {
+		full := e.abs(a)
+		if e.P.Exists(full) {
+			continue
+		}
+		if err := e.P.WriteFile(full, nil, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdWc(e *Env, args []string, stdin []string, out io.Writer) error {
+	if len(args) == 1 && args[0] == "-l" {
+		fmt.Fprintln(out, len(stdin))
+		return nil
+	}
+	if len(args) == 2 && args[0] == "-l" {
+		b, err := e.P.ReadFile(e.abs(args[1]))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, len(splitLines(string(b))))
+		return nil
+	}
+	return fmt.Errorf("%w: wc -l [file]", ErrUsage)
+}
+
+func cmdHead(e *Env, args []string, stdin []string, out io.Writer) error {
+	n := 10
+	if len(args) == 2 && args[0] == "-n" {
+		v, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("%w: head -n <count>", ErrUsage)
+		}
+		n = v
+	}
+	for i, l := range stdin {
+		if i >= n {
+			break
+		}
+		fmt.Fprintln(out, l)
+	}
+	return nil
+}
+
+func cmdSort(e *Env, args []string, stdin []string, out io.Writer) error {
+	lines := append([]string(nil), stdin...)
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(out, l)
+	}
+	return nil
+}
+
+func cmdUniq(e *Env, args []string, stdin []string, out io.Writer) error {
+	var prev string
+	first := true
+	for _, l := range stdin {
+		if first || l != prev {
+			fmt.Fprintln(out, l)
+		}
+		prev = l
+		first = false
+	}
+	return nil
+}
+
+func cmdXargs(e *Env, args []string, stdin []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("%w: xargs <command> [args...]", ErrUsage)
+	}
+	cmd, ok := commands[args[0]]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownCommand, args[0])
+	}
+	return cmd(e, append(args[1:], stdin...), nil, out)
+}
+
+func cmdChmod(e *Env, args []string, _ []string, out io.Writer) error {
+	if len(args) != 2 {
+		return fmt.Errorf("%w: chmod <octal> <path>", ErrUsage)
+	}
+	mode, err := strconv.ParseUint(args[0], 8, 16)
+	if err != nil {
+		return fmt.Errorf("%w: chmod mode %q", ErrUsage, args[0])
+	}
+	return e.P.Chmod(e.abs(args[1]), vfs.FileMode(mode))
+}
+
+func cmdGetfattr(e *Env, args []string, _ []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("%w: getfattr <path>", ErrUsage)
+	}
+	full := e.abs(args[0])
+	names, err := e.P.ListXattr(full)
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		v, err := e.P.GetXattr(full, n)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(out, "%s=%q\n", n, v)
+	}
+	return nil
+}
+
+func cmdSetfattr(e *Env, args []string, _ []string, out io.Writer) error {
+	// setfattr -n name -v value path
+	if len(args) != 5 || args[0] != "-n" || args[2] != "-v" {
+		return fmt.Errorf("%w: setfattr -n <name> -v <value> <path>", ErrUsage)
+	}
+	return e.P.SetXattr(e.abs(args[4]), args[1], []byte(args[3]))
+}
+
+func cmdPwd(e *Env, _ []string, _ []string, out io.Writer) error {
+	fmt.Fprintln(out, e.Cwd)
+	return nil
+}
+
+func cmdCd(e *Env, args []string, _ []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("%w: cd <dir>", ErrUsage)
+	}
+	full := e.abs(args[0])
+	if !e.P.IsDir(full) {
+		return fmt.Errorf("cd %s: %w", full, vfs.ErrNotDir)
+	}
+	e.Cwd = full
+	return nil
+}

@@ -1,0 +1,84 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+
+	"yanc/internal/dfs"
+	"yanc/internal/openflow"
+	"yanc/internal/vfs"
+	"yanc/internal/yancfs"
+)
+
+// TestShellOverRemoteMount runs the coreutils against a dfs mount — the
+// yancsh scenario: administering a remote controller with ls/find/grep.
+func TestShellOverRemoteMount(t *testing.T) {
+	y, err := yancfs.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := y.Root()
+	if _, err := yancfs.CreateSwitch(p, "/", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := openflow.ParseMatch("dl_type=0x0800,nw_proto=6,tp_dst=22")
+	if _, err := yancfs.WriteFlow(p, "/switches/sw1/flows/ssh", yancfs.FlowSpec{
+		Match: m, Priority: 10, Actions: []openflow.Action{openflow.Output(2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := dfs.NewServer(y.VFS())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := dfs.Mount(addr, vfs.Root, dfs.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var out strings.Builder
+	e := NewEnv(client, &out)
+
+	run := func(line string) string {
+		t.Helper()
+		out.Reset()
+		if err := e.Run(line); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+		return out.String()
+	}
+
+	if got := run("ls /switches"); got != "sw1\n" {
+		t.Errorf("remote ls = %q", got)
+	}
+	got := run("find /switches -name match.tp_dst | xargs grep -l 22")
+	if !strings.Contains(got, "/switches/sw1/flows/ssh/match.tp_dst") {
+		t.Errorf("remote find|grep = %q", got)
+	}
+	// Remote writes through the shell land on the server.
+	run("echo 99 > /switches/sw1/flows/ssh/priority")
+	if s, _ := p.ReadString("/switches/sw1/flows/ssh/priority"); s != "99" {
+		t.Errorf("remote echo redirect = %q", s)
+	}
+	// tree, stat, xattrs all work over the wire.
+	if got := run("tree /switches/sw1/flows"); !strings.Contains(got, "ssh/") {
+		t.Errorf("remote tree = %q", got)
+	}
+	run("setfattr -n user.note -v remote /switches/sw1")
+	if got := run("getfattr /switches/sw1"); !strings.Contains(got, `user.note="remote"`) {
+		t.Errorf("remote xattr = %q", got)
+	}
+	// cp and rm -r across the mount.
+	run("cp -r /switches/sw1/flows/ssh /switches/sw1/flows/ssh-copy")
+	if !p.IsDir("/switches/sw1/flows/ssh-copy") {
+		t.Error("remote cp -r failed")
+	}
+	run("rm -r /switches/sw1/flows/ssh-copy")
+	if p.Exists("/switches/sw1/flows/ssh-copy") {
+		t.Error("remote rm -r failed")
+	}
+}

@@ -1,0 +1,37 @@
+package shell
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"yanc/internal/vfs"
+)
+
+// TestRunRandomLinesNeverPanics drives the tokenizer/pipeline machinery
+// with random command lines; errors are fine, panics are not.
+func TestRunRandomLinesNeverPanics(t *testing.T) {
+	fs := vfs.New()
+	p := fs.RootProc()
+	if err := p.MkdirAll("/a/b", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEnv(p, io.Discard)
+	r := rand.New(rand.NewSource(4))
+	pieces := []string{
+		"ls", "cat", "find", "grep", "echo", "tree", "rm", "mkdir", "mv",
+		"cp", "ln", "-l", "-r", "-p", "-s", "-name", "-type", "|", ">",
+		">>", `"`, "/a", "/a/b", "*", "?", "x y", "", "head", "-n", "2",
+		"xargs", "wc", "sort", "uniq", "cd", "pwd", "stat", "chmod", "777",
+	}
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(8)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(pieces[r.Intn(len(pieces))])
+			sb.WriteByte(' ')
+		}
+		_ = e.Run(sb.String()) // must not panic
+	}
+}

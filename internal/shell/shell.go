@@ -1,0 +1,307 @@
+// Package shell implements the coreutils workflow of §5.4 against the
+// yanc VFS: ls, cat, find, grep, tree, and friends, plus a small pipeline
+// runner so administrators' one-liners work the way the paper writes them:
+//
+//	ls -l /net/switches
+//	find /net -name tp_dst | xargs grep -l 22
+//	echo 1 > /net/switches/sw1/ports/2/config.port_down
+//
+// Commands are plain Go functions over a vfs.Proc; nothing here touches
+// the host OS.
+package shell
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"yanc/internal/vfs"
+)
+
+// ErrUsage reports a malformed command line.
+var ErrUsage = errors.New("shell: usage error")
+
+// ErrUnknownCommand reports an unrecognized command name.
+var ErrUnknownCommand = errors.New("shell: unknown command")
+
+// FileSystem is the operation set the shell needs. Both a local
+// *vfs.Proc and a remote *dfs.Client satisfy it, so the same one-liners
+// administer the local controller or a mounted remote one (§6).
+type FileSystem interface {
+	Mkdir(path string, mode vfs.FileMode) error
+	MkdirAll(path string, mode vfs.FileMode) error
+	WriteFile(path string, data []byte, mode vfs.FileMode) error
+	AppendFile(path string, data []byte, mode vfs.FileMode) error
+	ReadFile(path string) ([]byte, error)
+	Remove(path string) error
+	RemoveAll(path string) error
+	Rename(oldPath, newPath string) error
+	Symlink(target, linkPath string) error
+	Readlink(path string) (string, error)
+	ReadDir(path string) ([]vfs.DirEntry, error)
+	Stat(path string) (vfs.Stat, error)
+	Lstat(path string) (vfs.Stat, error)
+	Exists(path string) bool
+	IsDir(path string) bool
+	Chmod(path string, mode vfs.FileMode) error
+	SetXattr(path, attr string, value []byte) error
+	GetXattr(path, attr string) ([]byte, error)
+	ListXattr(path string) ([]string, error)
+}
+
+// Env is a shell execution environment: a file system, a working
+// directory, and the output stream.
+type Env struct {
+	P   FileSystem
+	Cwd string
+	Out io.Writer
+}
+
+// NewEnv creates an environment rooted at "/".
+func NewEnv(p FileSystem, out io.Writer) *Env {
+	return &Env{P: p, Cwd: "/", Out: out}
+}
+
+// walk traverses depth-first in name order using only ReadDir and Lstat,
+// reporting (not following) symlinks.
+func (e *Env) walk(root string, fn func(path string, st vfs.Stat) error) error {
+	st, err := e.P.Lstat(root)
+	if err != nil {
+		return err
+	}
+	var rec func(path string, st vfs.Stat) error
+	rec = func(path string, st vfs.Stat) error {
+		if err := fn(path, st); err != nil {
+			return err
+		}
+		if !st.IsDir() {
+			return nil
+		}
+		entries, err := e.P.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, de := range entries {
+			child := vfs.Join(path, de.Name)
+			cst, err := e.P.Lstat(child)
+			if err != nil {
+				continue
+			}
+			if err := rec(child, cst); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(vfs.Clean(root), st)
+}
+
+// abs resolves a possibly-relative path against the working directory.
+func (e *Env) abs(path string) string {
+	if strings.HasPrefix(path, "/") {
+		return vfs.Clean(path)
+	}
+	return vfs.Join(e.Cwd, path)
+}
+
+// command is one built-in: args (without the command name), stdin lines
+// (nil when first in a pipeline), and the output writer.
+type command func(e *Env, args []string, stdin []string, out io.Writer) error
+
+// commands is populated in init: xargs dispatches back into the table,
+// which would otherwise be an initialization cycle.
+var commands map[string]command
+
+func init() {
+	commands = map[string]command{
+		"ls":       cmdLs,
+		"cat":      cmdCat,
+		"echo":     cmdEcho,
+		"tree":     cmdTree,
+		"find":     cmdFind,
+		"grep":     cmdGrep,
+		"stat":     cmdStat,
+		"rm":       cmdRm,
+		"mkdir":    cmdMkdir,
+		"rmdir":    cmdRm,
+		"mv":       cmdMv,
+		"cp":       cmdCp,
+		"ln":       cmdLn,
+		"readlink": cmdReadlink,
+		"touch":    cmdTouch,
+		"wc":       cmdWc,
+		"head":     cmdHead,
+		"sort":     cmdSort,
+		"uniq":     cmdUniq,
+		"xargs":    cmdXargs,
+		"chmod":    cmdChmod,
+		"getfattr": cmdGetfattr,
+		"setfattr": cmdSetfattr,
+		"pwd":      cmdPwd,
+		"cd":       cmdCd,
+	}
+}
+
+// Run executes a command line: a pipeline of built-ins separated by "|",
+// with optional ">" or ">>" redirection on the final stage.
+func (e *Env) Run(line string) error {
+	stages, redirect, appendMode, err := splitPipeline(line)
+	if err != nil {
+		return err
+	}
+	if len(stages) == 0 {
+		return nil
+	}
+	var stdin []string
+	for i, stage := range stages {
+		args, err := tokenize(stage)
+		if err != nil {
+			return err
+		}
+		if len(args) == 0 {
+			return fmt.Errorf("%w: empty pipeline stage", ErrUsage)
+		}
+		cmd, ok := commands[args[0]]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownCommand, args[0])
+		}
+		last := i == len(stages)-1
+		var buf strings.Builder
+		var out io.Writer = &buf
+		if last && redirect == "" {
+			out = e.Out
+		}
+		if err := cmd(e, args[1:], stdin, out); err != nil {
+			return err
+		}
+		if !last {
+			stdin = splitLines(buf.String())
+			continue
+		}
+		if redirect != "" {
+			target := e.abs(redirect)
+			if appendMode {
+				return e.P.AppendFile(target, []byte(buf.String()), 0o644)
+			}
+			return e.P.WriteFile(target, []byte(buf.String()), 0o644)
+		}
+	}
+	return nil
+}
+
+// RunScript executes multiple newline-separated commands, skipping blanks
+// and "#" comments.
+func (e *Env) RunScript(script string) error {
+	for _, line := range strings.Split(script, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := e.Run(line); err != nil {
+			return fmt.Errorf("%s: %w", line, err)
+		}
+	}
+	return nil
+}
+
+// splitPipeline splits on "|" (respecting quotes) and extracts a trailing
+// "> path" / ">> path" redirection.
+func splitPipeline(line string) (stages []string, redirect string, appendMode bool, err error) {
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		s := strings.TrimSpace(cur.String())
+		if s != "" {
+			stages = append(stages, s)
+		}
+		cur.Reset()
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == '|' && !inQuote:
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, "", false, fmt.Errorf("%w: unterminated quote", ErrUsage)
+	}
+	flush()
+	if len(stages) == 0 {
+		return stages, "", false, nil
+	}
+	last := stages[len(stages)-1]
+	if idx := strings.LastIndex(last, ">>"); idx >= 0 && !strings.Contains(last[idx:], "\"") {
+		redirect = strings.TrimSpace(last[idx+2:])
+		appendMode = true
+		stages[len(stages)-1] = strings.TrimSpace(last[:idx])
+	} else if idx := strings.LastIndex(last, ">"); idx >= 0 && !strings.Contains(last[idx:], "\"") {
+		redirect = strings.TrimSpace(last[idx+1:])
+		stages[len(stages)-1] = strings.TrimSpace(last[:idx])
+	}
+	if redirect == "" && appendMode {
+		return nil, "", false, fmt.Errorf("%w: redirect without target", ErrUsage)
+	}
+	return stages, redirect, appendMode, nil
+}
+
+// tokenize splits a stage into arguments with double-quote support.
+func tokenize(s string) ([]string, error) {
+	var args []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			args = append(args, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			if inQuote {
+				args = append(args, cur.String())
+				cur.Reset()
+			}
+			inQuote = !inQuote
+		case (c == ' ' || c == '\t') && !inQuote:
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("%w: unterminated quote", ErrUsage)
+	}
+	flush()
+	return args, nil
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimRight(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// sortedCommandNames lists the built-ins (for help output).
+func sortedCommandNames() []string {
+	names := make([]string, 0, len(commands))
+	for n := range commands {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Commands returns the available built-in names.
+func Commands() []string { return sortedCommandNames() }

@@ -1,0 +1,290 @@
+package shell
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"yanc/internal/openflow"
+	"yanc/internal/vfs"
+	"yanc/internal/yancfs"
+)
+
+// testEnv builds a small populated yanc fs and a shell over it.
+func testEnv(t *testing.T) (*Env, *strings.Builder) {
+	t.Helper()
+	y, err := yancfs.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := y.Root()
+	for _, sw := range []string{"sw1", "sw2"} {
+		if _, err := yancfs.CreateSwitch(p, "/", sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, _ := openflow.ParseMatch("dl_type=0x0800,nw_proto=6,tp_dst=22")
+	if _, err := yancfs.WriteFlow(p, "/switches/sw1/flows/ssh", yancfs.FlowSpec{
+		Match: m, Priority: 10, Actions: []openflow.Action{openflow.Output(2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m80, _ := openflow.ParseMatch("dl_type=0x0800,nw_proto=6,tp_dst=80")
+	if _, err := yancfs.WriteFlow(p, "/switches/sw2/flows/web", yancfs.FlowSpec{
+		Match: m80, Priority: 10, Actions: []openflow.Action{openflow.Output(1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	return NewEnv(p, &out), &out
+}
+
+func run(t *testing.T, e *Env, out *strings.Builder, line string) string {
+	t.Helper()
+	out.Reset()
+	if err := e.Run(line); err != nil {
+		t.Fatalf("%s: %v", line, err)
+	}
+	return out.String()
+}
+
+func TestLsSwitches(t *testing.T) {
+	e, out := testEnv(t)
+	// "$ ls -l /net/switches" (§5.4) — our fs root is the /net mount.
+	got := run(t, e, out, "ls -l /switches")
+	if !strings.Contains(got, "sw1") || !strings.Contains(got, "sw2") {
+		t.Errorf("ls -l = %q", got)
+	}
+	if !strings.HasPrefix(got, "d") {
+		t.Errorf("long listing must show modes: %q", got)
+	}
+	// Short form.
+	got = run(t, e, out, "ls /switches")
+	if got != "sw1\nsw2\n" {
+		t.Errorf("ls = %q", got)
+	}
+}
+
+func TestFindFlowsAffectingSSH(t *testing.T) {
+	e, out := testEnv(t)
+	// The paper's one-liner: find flow entries affecting ssh traffic.
+	got := run(t, e, out, "find /switches -name match.tp_dst | xargs grep -l 22")
+	if !strings.Contains(got, "/switches/sw1/flows/ssh/match.tp_dst") {
+		t.Errorf("ssh finder = %q", got)
+	}
+	if strings.Contains(got, "sw2") {
+		t.Errorf("web flow matched ssh query: %q", got)
+	}
+}
+
+func TestEchoRedirectBringsPortDown(t *testing.T) {
+	e, out := testEnv(t)
+	if err := e.P.Mkdir("/switches/sw1/ports/2", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// "# echo 1 > port_2/config.port_down" (§3.1).
+	run(t, e, out, "echo 1 > /switches/sw1/ports/2/config.port_down")
+	if b, _ := e.P.ReadFile("/switches/sw1/ports/2/config.port_down"); strings.TrimSpace(string(b)) != "1" {
+		t.Errorf("config.port_down = %q", b)
+	}
+	// Append mode.
+	run(t, e, out, "echo note >> /switches/sw1/ports/2/config.port_down")
+	b, _ := e.P.ReadFile("/switches/sw1/ports/2/config.port_down")
+	if string(b) != "1\nnote\n" {
+		t.Errorf("appended = %q", b)
+	}
+}
+
+func TestCatAndGrep(t *testing.T) {
+	e, out := testEnv(t)
+	got := run(t, e, out, "cat /switches/sw1/flows/ssh/match.tp_dst")
+	if strings.TrimSpace(got) != "22" {
+		t.Errorf("cat = %q", got)
+	}
+	got = run(t, e, out, "cat /switches/sw1/flows/ssh/priority | grep 10")
+	if strings.TrimSpace(got) != "10" {
+		t.Errorf("grep = %q", got)
+	}
+	// grep -v inverts.
+	got = run(t, e, out, "cat /switches/sw1/flows/ssh/priority | grep -v 10")
+	if got != "" {
+		t.Errorf("grep -v = %q", got)
+	}
+}
+
+func TestTree(t *testing.T) {
+	e, out := testEnv(t)
+	got := run(t, e, out, "tree /switches/sw1/flows")
+	for _, want := range []string{"ssh/", "match.tp_dst", "version", "counters/"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("tree missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestPipelineSortUniqHeadWc(t *testing.T) {
+	e, out := testEnv(t)
+	got := run(t, e, out, "find /switches -name version | sort | wc -l")
+	if strings.TrimSpace(got) != "2" {
+		t.Errorf("wc -l = %q", got)
+	}
+	got = run(t, e, out, "find /switches -type d -name flows | sort | head -n 1")
+	if strings.TrimSpace(got) != "/switches/sw1/flows" {
+		t.Errorf("head = %q", got)
+	}
+	got = run(t, e, out, "echo b | sort")
+	if got != "b\n" {
+		t.Errorf("sort = %q", got)
+	}
+}
+
+func TestMkdirTouchMvCpRm(t *testing.T) {
+	e, out := testEnv(t)
+	run(t, e, out, "mkdir -p /tmp/a/b")
+	run(t, e, out, "touch /tmp/a/b/f")
+	run(t, e, out, "echo hello > /tmp/a/b/f")
+	run(t, e, out, "cp -r /tmp/a /tmp/a2")
+	if b, _ := e.P.ReadFile("/tmp/a2/b/f"); strings.TrimSpace(string(b)) != "hello" {
+		t.Errorf("cp -r content = %q", b)
+	}
+	run(t, e, out, "mv /tmp/a2 /tmp/a3")
+	if e.P.Exists("/tmp/a2") || !e.P.Exists("/tmp/a3/b/f") {
+		t.Error("mv failed")
+	}
+	run(t, e, out, "rm -r /tmp/a3")
+	if e.P.Exists("/tmp/a3") {
+		t.Error("rm -r failed")
+	}
+	// cp without -r on a dir fails.
+	out.Reset()
+	if err := e.Run("cp /tmp/a /tmp/a4"); !errors.Is(err, ErrUsage) {
+		t.Errorf("cp dir = %v", err)
+	}
+}
+
+func TestLnAndReadlink(t *testing.T) {
+	e, out := testEnv(t)
+	if err := e.P.MkdirAll("/switches/sw1/ports/1", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.P.MkdirAll("/switches/sw2/ports/2", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	run(t, e, out, "ln -s /switches/sw2/ports/2 /switches/sw1/ports/1/peer")
+	got := run(t, e, out, "readlink /switches/sw1/ports/1/peer")
+	if strings.TrimSpace(got) != "/switches/sw2/ports/2" {
+		t.Errorf("readlink = %q", got)
+	}
+	// ls -l shows the arrow.
+	got = run(t, e, out, "ls -l /switches/sw1/ports/1")
+	if !strings.Contains(got, "peer -> /switches/sw2/ports/2") {
+		t.Errorf("ls -l symlink = %q", got)
+	}
+}
+
+func TestXattrsCommands(t *testing.T) {
+	e, out := testEnv(t)
+	run(t, e, out, "setfattr -n user.consistency -v eventual /switches/sw1")
+	got := run(t, e, out, "getfattr /switches/sw1")
+	if !strings.Contains(got, `user.consistency="eventual"`) {
+		t.Errorf("getfattr = %q", got)
+	}
+}
+
+func TestChmodAndStat(t *testing.T) {
+	e, out := testEnv(t)
+	run(t, e, out, "chmod 700 /switches/sw1")
+	got := run(t, e, out, "stat /switches/sw1")
+	if !strings.Contains(got, "drwx------") {
+		t.Errorf("stat after chmod = %q", got)
+	}
+}
+
+func TestCdPwd(t *testing.T) {
+	e, out := testEnv(t)
+	run(t, e, out, "cd /switches/sw1")
+	if got := run(t, e, out, "pwd"); strings.TrimSpace(got) != "/switches/sw1" {
+		t.Errorf("pwd = %q", got)
+	}
+	// Relative paths resolve against cwd.
+	got := run(t, e, out, "ls flows")
+	if strings.TrimSpace(got) != "ssh" {
+		t.Errorf("relative ls = %q", got)
+	}
+	out.Reset()
+	if err := e.Run("cd /switches/sw1/id"); err == nil {
+		t.Error("cd to a file must fail")
+	}
+}
+
+func TestRunScript(t *testing.T) {
+	e, out := testEnv(t)
+	script := `
+# bring up a maintenance note
+mkdir -p /tmp/notes
+echo "sw1 under maintenance" > /tmp/notes/sw1
+cat /tmp/notes/sw1
+`
+	out.Reset()
+	if err := e.RunScript(script); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "under maintenance") {
+		t.Errorf("script output = %q", out.String())
+	}
+	// A failing line reports which line failed.
+	err := e.RunScript("cat /does/not/exist")
+	if err == nil || !strings.Contains(err.Error(), "cat /does/not/exist") {
+		t.Errorf("script error = %v", err)
+	}
+}
+
+func TestErrorsAndUnknown(t *testing.T) {
+	e, _ := testEnv(t)
+	if err := e.Run("frobnicate /x"); !errors.Is(err, ErrUnknownCommand) {
+		t.Errorf("unknown = %v", err)
+	}
+	if err := e.Run(`echo "unterminated`); !errors.Is(err, ErrUsage) {
+		t.Errorf("unterminated = %v", err)
+	}
+	if err := e.Run(""); err != nil {
+		t.Errorf("empty = %v", err)
+	}
+	if err := e.Run("find"); !errors.Is(err, ErrUsage) {
+		t.Errorf("find usage = %v", err)
+	}
+}
+
+func TestQuotedArguments(t *testing.T) {
+	e, out := testEnv(t)
+	got := run(t, e, out, `echo "two words"`)
+	if got != "two words\n" {
+		t.Errorf("quoted echo = %q", got)
+	}
+	// A quoted pipe is not a pipeline separator.
+	got = run(t, e, out, `echo "a|b"`)
+	if got != "a|b\n" {
+		t.Errorf("quoted pipe = %q", got)
+	}
+}
+
+func TestPermissionDeniedSurfacing(t *testing.T) {
+	e, _ := testEnv(t)
+	alice := e.P.(*vfs.Proc).WithCred(vfs.Cred{UID: 1000})
+	ae := NewEnv(alice, &strings.Builder{})
+	if err := ae.Run("mkdir /switches/sw1/flows/evil"); !errors.Is(err, vfs.ErrAccess) {
+		t.Errorf("unprivileged mkdir = %v", err)
+	}
+}
+
+func TestCommandsList(t *testing.T) {
+	names := Commands()
+	if len(names) < 20 {
+		t.Errorf("commands = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("not sorted at %d: %v", i, names)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package switchsim
+
+import (
+	"sync"
+	"time"
+
+	"yanc/internal/ethernet"
+)
+
+// HostAddr assigns the conventional simulation address 10.0.0.n.
+func HostAddr(n uint32) ethernet.IP4 {
+	return ethernet.IP4{10, 0, byte(n >> 8), byte(n)}
+}
+
+// Host is an end host attached to a switch port. It sends and receives
+// raw Ethernet frames and keeps a receive log for assertions.
+type Host struct {
+	Name string
+	MAC  ethernet.MAC
+	IP   ethernet.IP4
+
+	network *Network
+	dpid    uint64
+	port    uint32
+
+	mu      sync.Mutex
+	rxLog   [][]byte
+	waiters []chan struct{}
+}
+
+// NewHost creates a host; its MAC is derived from the IP so addresses
+// stay readable in dumps.
+func NewHost(name string, ip ethernet.IP4) *Host {
+	return &Host{
+		Name: name,
+		MAC:  ethernet.MACFromUint64(0x0200_0000_0000 | uint64(ip.Uint32())),
+		IP:   ip,
+	}
+}
+
+func (h *Host) attach(n *Network, dpid uint64, port uint32) {
+	h.network = n
+	h.dpid = dpid
+	h.port = port
+}
+
+// Attachment reports where the host is plugged in.
+func (h *Host) Attachment() (dpid uint64, port uint32) { return h.dpid, h.port }
+
+// Send transmits a raw frame into the network.
+func (h *Host) Send(frame []byte) {
+	if h.network != nil {
+		h.network.injectFromHost(h, frame)
+	}
+}
+
+func (h *Host) receive(frame []byte) {
+	h.mu.Lock()
+	h.rxLog = append(h.rxLog, append([]byte(nil), frame...))
+	waiters := h.waiters
+	h.waiters = nil
+	h.mu.Unlock()
+	for _, w := range waiters {
+		close(w)
+	}
+}
+
+// Received returns a snapshot of all frames the host has received.
+func (h *Host) Received() [][]byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([][]byte, len(h.rxLog))
+	copy(out, h.rxLog)
+	return out
+}
+
+// RxCount returns how many frames the host has received.
+func (h *Host) RxCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.rxLog)
+}
+
+// ClearReceived empties the receive log.
+func (h *Host) ClearReceived() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rxLog = nil
+}
+
+// WaitFor blocks until pred is satisfied by the receive log or the
+// timeout elapses; it reports whether pred was satisfied. Delivery in the
+// simulator is synchronous on the sending goroutine, so this exists for
+// tests that send from other goroutines.
+func (h *Host) WaitFor(pred func(frames [][]byte) bool, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		h.mu.Lock()
+		snapshot := make([][]byte, len(h.rxLog))
+		copy(snapshot, h.rxLog)
+		w := make(chan struct{})
+		h.waiters = append(h.waiters, w)
+		h.mu.Unlock()
+		// pred runs without the lock so it may call back into the host
+		// (Received, ReceivedPing, ...).
+		if pred(snapshot) {
+			return true
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		select {
+		case <-w:
+		case <-time.After(remain):
+			return false
+		}
+	}
+}
+
+// SendIPv4 builds and sends an IPv4 packet to dst.
+func (h *Host) SendIPv4(dstMAC ethernet.MAC, dstIP ethernet.IP4, proto uint8, payload []byte) {
+	pkt := ethernet.IPv4{
+		TTL:      64,
+		Protocol: proto,
+		Src:      h.IP,
+		Dst:      dstIP,
+		Payload:  payload,
+	}
+	h.Send(ethernet.Frame{
+		Dst:     dstMAC,
+		Src:     h.MAC,
+		Type:    ethernet.TypeIPv4,
+		Payload: pkt.Serialize(),
+	}.Serialize())
+}
+
+// Ping sends an ICMP echo request to dst (addressed by its real MAC, as
+// if ARP already resolved).
+func (h *Host) Ping(dst *Host, seq uint16) {
+	icmp := ethernet.ICMPEcho{Type: ethernet.ICMPEchoRequest, ID: 1, Seq: seq, Payload: []byte("yanc-ping")}
+	h.SendIPv4(dst.MAC, dst.IP, ethernet.ProtoICMP, icmp.Serialize())
+}
+
+// SendTCP sends a TCP segment to dst.
+func (h *Host) SendTCP(dst *Host, srcPort, dstPort uint16, payload []byte) {
+	seg := ethernet.TCP{SrcPort: srcPort, DstPort: dstPort, Flags: ethernet.TCPPsh | ethernet.TCPAck, Window: 65535, Payload: payload}
+	h.SendIPv4(dst.MAC, dst.IP, ethernet.ProtoTCP, seg.Serialize())
+}
+
+// SendARPRequest broadcasts an ARP request for targetIP.
+func (h *Host) SendARPRequest(targetIP ethernet.IP4) {
+	arp := ethernet.ARP{
+		Op:       ethernet.ARPRequest,
+		SenderHW: h.MAC,
+		SenderIP: h.IP,
+		TargetIP: targetIP,
+	}
+	h.Send(ethernet.Frame{
+		Dst:     ethernet.Broadcast,
+		Src:     h.MAC,
+		Type:    ethernet.TypeARP,
+		Payload: arp.Serialize(),
+	}.Serialize())
+}
+
+// ReceivedPing reports whether the host received an ICMP echo request
+// with the given sequence number.
+func (h *Host) ReceivedPing(seq uint16) bool {
+	for _, raw := range h.Received() {
+		f, err := ethernet.DecodeFrame(raw)
+		if err != nil || f.Type != ethernet.TypeIPv4 {
+			continue
+		}
+		ip, err := ethernet.DecodeIPv4(f.Payload)
+		if err != nil || ip.Protocol != ethernet.ProtoICMP {
+			continue
+		}
+		ic, err := ethernet.DecodeICMPEcho(ip.Payload)
+		if err == nil && ic.Seq == seq {
+			return true
+		}
+	}
+	return false
+}

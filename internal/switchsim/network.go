@@ -1,0 +1,234 @@
+package switchsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// defaultMaxHops bounds how many switch-to-switch hops a single frame may
+// take; it is the loop-breaker for floods in cyclic topologies.
+const defaultMaxHops = 64
+
+type endpoint struct {
+	dpid uint64
+	port uint32
+}
+
+// Network is the fabric: switches, point-to-point links between switch
+// ports, and hosts attached to switch ports. It stands in for the
+// physical network under the controller.
+type Network struct {
+	mu       sync.RWMutex
+	switches map[uint64]*Switch
+	byName   map[string]*Switch
+	links    map[endpoint]endpoint
+	hosts    map[endpoint]*Host
+	hostList []*Host
+	maxHops  int
+}
+
+// NewNetwork creates an empty fabric.
+func NewNetwork() *Network {
+	return &Network{
+		switches: make(map[uint64]*Switch),
+		byName:   make(map[string]*Switch),
+		links:    make(map[endpoint]endpoint),
+		hosts:    make(map[endpoint]*Host),
+		maxHops:  defaultMaxHops,
+	}
+}
+
+// AddSwitch creates a switch with ports 1..numPorts and attaches it to
+// the fabric.
+func (n *Network) AddSwitch(dpid uint64, name string, version uint8, numPorts int) *Switch {
+	sw := NewSwitch(dpid, name, version)
+	for i := 1; i <= numPorts; i++ {
+		sw.AddPort(uint32(i), fmt.Sprintf("%s-eth%d", name, i))
+	}
+	sw.SetOutput(n.forward)
+	n.mu.Lock()
+	n.switches[dpid] = sw
+	n.byName[name] = sw
+	n.mu.Unlock()
+	return sw
+}
+
+// Switch returns a switch by datapath id.
+func (n *Network) Switch(dpid uint64) *Switch {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.switches[dpid]
+}
+
+// SwitchByName returns a switch by name.
+func (n *Network) SwitchByName(name string) *Switch {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.byName[name]
+}
+
+// Switches returns all switches sorted by datapath id.
+func (n *Network) Switches() []*Switch {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]*Switch, 0, len(n.switches))
+	for _, sw := range n.switches {
+		out = append(out, sw)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DPID < out[j].DPID })
+	return out
+}
+
+// Hosts returns all attached hosts in attachment order.
+func (n *Network) Hosts() []*Host {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return append([]*Host(nil), n.hostList...)
+}
+
+// Link connects two switch ports with a bidirectional link.
+func (n *Network) Link(dpidA uint64, portA uint32, dpidB uint64, portB uint32) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	a := endpoint{dpidA, portA}
+	b := endpoint{dpidB, portB}
+	if _, busy := n.links[a]; busy {
+		return fmt.Errorf("switchsim: port %d/%d already linked", dpidA, portA)
+	}
+	if _, busy := n.links[b]; busy {
+		return fmt.Errorf("switchsim: port %d/%d already linked", dpidB, portB)
+	}
+	if _, busy := n.hosts[a]; busy {
+		return fmt.Errorf("switchsim: port %d/%d has a host", dpidA, portA)
+	}
+	if _, busy := n.hosts[b]; busy {
+		return fmt.Errorf("switchsim: port %d/%d has a host", dpidB, portB)
+	}
+	n.links[a] = b
+	n.links[b] = a
+	return nil
+}
+
+// Links returns each link once as a 4-tuple (dpidA, portA, dpidB, portB)
+// with dpidA < dpidB (or portA < portB for same-switch links).
+func (n *Network) Links() [][4]uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out [][4]uint64
+	for a, b := range n.links {
+		if a.dpid < b.dpid || (a.dpid == b.dpid && a.port < b.port) {
+			out = append(out, [4]uint64{a.dpid, uint64(a.port), b.dpid, uint64(b.port)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := 0; k < 4; k++ {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// AttachHost connects a host to a switch port.
+func (n *Network) AttachHost(h *Host, dpid uint64, port uint32) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := endpoint{dpid, port}
+	if _, busy := n.links[ep]; busy {
+		return fmt.Errorf("switchsim: port %d/%d already linked", dpid, port)
+	}
+	if _, busy := n.hosts[ep]; busy {
+		return fmt.Errorf("switchsim: port %d/%d has a host", dpid, port)
+	}
+	if _, ok := n.switches[dpid]; !ok {
+		return fmt.Errorf("switchsim: no switch %d", dpid)
+	}
+	n.hosts[ep] = h
+	n.hostList = append(n.hostList, h)
+	h.attach(n, dpid, port)
+	return nil
+}
+
+// forward is the OutputFn installed on every switch: it carries a frame
+// across the link (or to the attached host) at the far side of a port.
+func (n *Network) forward(sw *Switch, port uint32, frame []byte, hops int) {
+	if hops >= n.maxHops {
+		return
+	}
+	ep := endpoint{sw.DPID, port}
+	n.mu.RLock()
+	peer, isLink := n.links[ep]
+	host := n.hosts[ep]
+	var peerSw *Switch
+	if isLink {
+		peerSw = n.switches[peer.dpid]
+	}
+	n.mu.RUnlock()
+	switch {
+	case host != nil:
+		host.receive(frame)
+	case peerSw != nil:
+		peerSw.IngressHops(peer.port, frame, hops+1)
+	}
+}
+
+// injectFromHost pushes a host-originated frame into its switch port.
+func (n *Network) injectFromHost(h *Host, frame []byte) {
+	n.mu.RLock()
+	sw := n.switches[h.dpid]
+	n.mu.RUnlock()
+	if sw != nil {
+		sw.Ingress(h.port, frame)
+	}
+}
+
+// PeerOf reports the far side of a switch port: either another switch
+// port or a host. Topology tests and the LLDP ground truth use it.
+func (n *Network) PeerOf(dpid uint64, port uint32) (peerDPID uint64, peerPort uint32, host *Host, ok bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ep := endpoint{dpid, port}
+	if p, isLink := n.links[ep]; isLink {
+		return p.dpid, p.port, nil, true
+	}
+	if h, isHost := n.hosts[ep]; isHost {
+		return 0, 0, h, true
+	}
+	return 0, 0, nil, false
+}
+
+// BuildLinear builds a linear topology of k switches (dpids 1..k), each
+// with one host (10.0.0.i, attached on port 1); inter-switch links use
+// ports 2 (left) and 3 (right). Returns the network and hosts.
+func BuildLinear(k int, version uint8) (*Network, []*Host) {
+	n := NewNetwork()
+	hosts := make([]*Host, k)
+	for i := 1; i <= k; i++ {
+		n.AddSwitch(uint64(i), fmt.Sprintf("sw%d", i), version, 3)
+		hosts[i-1] = NewHost(fmt.Sprintf("h%d", i), HostAddr(uint32(i)))
+		if err := n.AttachHost(hosts[i-1], uint64(i), 1); err != nil {
+			panic(err)
+		}
+	}
+	for i := 1; i < k; i++ {
+		if err := n.Link(uint64(i), 3, uint64(i+1), 2); err != nil {
+			panic(err)
+		}
+	}
+	return n, hosts
+}
+
+// BuildRing is BuildLinear plus a link closing the cycle, used to prove
+// flood loops terminate.
+func BuildRing(k int, version uint8) (*Network, []*Host) {
+	n, hosts := BuildLinear(k, version)
+	if k >= 2 {
+		if err := n.Link(uint64(k), 3, 1, 2); err != nil {
+			panic(err)
+		}
+	}
+	return n, hosts
+}

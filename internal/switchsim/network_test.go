@@ -1,0 +1,221 @@
+package switchsim
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"yanc/internal/openflow"
+)
+
+func TestNetworkTopologyQueries(t *testing.T) {
+	n, hosts := BuildLinear(3, openflow.Version10)
+	if sw := n.SwitchByName("sw2"); sw == nil || sw.DPID != 2 {
+		t.Fatalf("SwitchByName = %+v", sw)
+	}
+	if sw := n.SwitchByName("nope"); sw != nil {
+		t.Fatal("phantom switch")
+	}
+	if got := n.Hosts(); len(got) != 3 || got[0] != hosts[0] {
+		t.Fatalf("hosts = %v", got)
+	}
+	links := n.Links()
+	if len(links) != 2 {
+		t.Fatalf("links = %v", links)
+	}
+	// Canonical order: sw1/3 <-> sw2/2, then sw2/3 <-> sw3/2.
+	if links[0] != [4]uint64{1, 3, 2, 2} || links[1] != [4]uint64{2, 3, 3, 2} {
+		t.Fatalf("links = %v", links)
+	}
+	// PeerOf answers links, hosts, and unwired ports.
+	if dpid, port, _, ok := n.PeerOf(1, 3); !ok || dpid != 2 || port != 2 {
+		t.Fatalf("PeerOf link = %d %d %v", dpid, port, ok)
+	}
+	if _, _, h, ok := n.PeerOf(1, 1); !ok || h != hosts[0] {
+		t.Fatalf("PeerOf host = %v %v", h, ok)
+	}
+	if _, _, _, ok := n.PeerOf(1, 2); ok {
+		t.Fatal("PeerOf free port should be false")
+	}
+	// Attachment of hosts.
+	if dpid, port := hosts[2].Attachment(); dpid != 3 || port != 1 {
+		t.Fatalf("attachment = %d %d", dpid, port)
+	}
+}
+
+func TestNetworkWiringErrors(t *testing.T) {
+	n, _ := BuildLinear(2, openflow.Version10)
+	// Port already linked.
+	if err := n.Link(1, 3, 2, 2); err == nil {
+		t.Error("double link allowed")
+	}
+	// Port has a host.
+	if err := n.Link(1, 1, 2, 3); err == nil {
+		t.Error("link over host allowed")
+	}
+	h := NewHost("hx", HostAddr(99))
+	if err := n.AttachHost(h, 1, 3); err == nil {
+		t.Error("host over link allowed")
+	}
+	if err := n.AttachHost(h, 99, 1); err == nil {
+		t.Error("host on missing switch allowed")
+	}
+}
+
+func TestTableModify(t *testing.T) {
+	tab := NewTable()
+	m1, _ := openflow.ParseMatch("dl_type=0x0800,nw_proto=6")
+	m2, _ := openflow.ParseMatch("dl_type=0x0806")
+	tab.Add(&FlowEntry{Match: m1, Priority: 10, Actions: []openflow.Action{openflow.Output(1)}})
+	tab.Add(&FlowEntry{Match: m2, Priority: 20, Actions: []openflow.Action{openflow.Output(1)}})
+	// Non-strict modify with a covering match hits only the covered one.
+	cover, _ := openflow.ParseMatch("dl_type=0x0800")
+	if got := tab.Modify(cover, []openflow.Action{openflow.Output(9)}); got != 1 {
+		t.Fatalf("modify touched %d", got)
+	}
+	for _, e := range tab.Entries() {
+		if e.Match.Equal(m1) && e.Actions[0].Port != 9 {
+			t.Error("modify did not apply")
+		}
+		if e.Match.Equal(m2) && e.Actions[0].Port != 1 {
+			t.Error("modify over-applied")
+		}
+	}
+	// Strict modify needs the exact identity.
+	if got := tab.ModifyStrict(m2, 19, []openflow.Action{openflow.Output(5)}); got != 0 {
+		t.Fatalf("strict with wrong priority modified %d", got)
+	}
+	if got := tab.ModifyStrict(m2, 20, []openflow.Action{openflow.Output(5)}); got != 1 {
+		t.Fatalf("strict modified %d", got)
+	}
+}
+
+func TestFlowModModifyCommandsViaSwitch(t *testing.T) {
+	sw := NewSwitch(1, "sw1", openflow.Version10)
+	sw.AddPort(1, "p1")
+	m, _ := openflow.ParseMatch("in_port=1")
+	add := &openflow.FlowMod{Command: openflow.FlowAdd, Match: m, Priority: 5,
+		BufferID: openflow.NoBuffer, Actions: []openflow.Action{openflow.Output(2)}}
+	if err := sw.FlowMod(add); err != nil {
+		t.Fatal(err)
+	}
+	if sw.FlowModCount() != 1 {
+		t.Errorf("flowmod count = %d", sw.FlowModCount())
+	}
+	mod := &openflow.FlowMod{Command: openflow.FlowModifyStrict, Match: m, Priority: 5,
+		BufferID: openflow.NoBuffer, Actions: []openflow.Action{openflow.Output(7)}}
+	if err := sw.FlowMod(mod); err != nil {
+		t.Fatal(err)
+	}
+	stats := sw.FlowStats(openflow.Match{})
+	if len(stats) != 1 || stats[0].Actions[0].Port != 7 {
+		t.Fatalf("after modify = %+v", stats)
+	}
+	// Unknown command errors.
+	if err := sw.FlowMod(&openflow.FlowMod{Command: 99}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	// Out-of-range table errors.
+	if err := sw.FlowMod(&openflow.FlowMod{Command: openflow.FlowAdd, TableID: 9}); err == nil {
+		t.Error("bad table accepted")
+	}
+}
+
+func TestPortStatsForFiltering(t *testing.T) {
+	n := NewNetwork()
+	n.AddSwitch(1, "sw1", openflow.Version10, 3)
+	h1 := NewHost("h1", HostAddr(1))
+	h2 := NewHost("h2", HostAddr(2))
+	_ = n.AttachHost(h1, 1, 1)
+	_ = n.AttachHost(h2, 1, 2)
+	sw := n.Switch(1)
+	if err := sw.FlowMod(&openflow.FlowMod{Command: openflow.FlowAdd,
+		BufferID: openflow.NoBuffer, Actions: []openflow.Action{openflow.Output(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	h1.Ping(h2, 1)
+	all := sw.PortStatsFor(openflow.PortAny)
+	if len(all) != 3 {
+		t.Fatalf("all ports = %d", len(all))
+	}
+	one := sw.PortStatsFor(2)
+	if len(one) != 1 || one[0].PortNo != 2 || one[0].TxPackets != 1 {
+		t.Fatalf("port 2 stats = %+v", one)
+	}
+	if got := sw.PortStatsFor(99); len(got) != 0 {
+		t.Fatalf("missing port stats = %+v", got)
+	}
+}
+
+func TestHostHelpers(t *testing.T) {
+	n := NewNetwork()
+	n.AddSwitch(1, "sw1", openflow.Version10, 2)
+	h1 := NewHost("h1", HostAddr(1))
+	h2 := NewHost("h2", HostAddr(2))
+	_ = n.AttachHost(h1, 1, 1)
+	_ = n.AttachHost(h2, 1, 2)
+	sw := n.Switch(1)
+	if err := sw.FlowMod(&openflow.FlowMod{Command: openflow.FlowAdd,
+		BufferID: openflow.NoBuffer, Actions: []openflow.Action{openflow.Output(openflow.PortFlood)}}); err != nil {
+		t.Fatal(err)
+	}
+	h1.SendARPRequest(h2.IP)
+	if h2.RxCount() != 1 {
+		t.Fatalf("arp rx = %d", h2.RxCount())
+	}
+	h2.ClearReceived()
+	if h2.RxCount() != 0 {
+		t.Fatal("clear failed")
+	}
+	// WaitFor with a pre-satisfied predicate returns immediately.
+	if !h2.WaitFor(func([][]byte) bool { return true }, time.Millisecond) {
+		t.Fatal("pre-satisfied WaitFor failed")
+	}
+	// And times out when never satisfied.
+	if h2.WaitFor(func([][]byte) bool { return false }, 10*time.Millisecond) {
+		t.Fatal("WaitFor should have timed out")
+	}
+}
+
+func TestDialAgainstTCPController(t *testing.T) {
+	// Dial covers the reconnect entry point used by ofswitchd.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	sw := NewSwitch(1, "sw1", openflow.Version10)
+	sw.AddPort(1, "p1")
+	done := make(chan error, 1)
+	go func() { done <- sw.Dial(ln.Addr().String()) }()
+	var ctrlConn net.Conn
+	select {
+	case ctrlConn = <-accepted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no connection")
+	}
+	conn := openflow.NewConn(ctrlConn)
+	features, err := conn.HandshakeController(openflow.Version13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if features.DatapathID != 1 {
+		t.Fatalf("features = %+v", features)
+	}
+	ctrlConn.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("dial returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dial did not return after close")
+	}
+}

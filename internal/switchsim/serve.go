@@ -1,0 +1,137 @@
+package switchsim
+
+import (
+	"errors"
+	"io"
+	"net"
+
+	"yanc/internal/openflow"
+)
+
+// ServeController runs the switch's side of an OpenFlow control channel:
+// handshake, then a message loop applying flow-mods and packet-outs and
+// answering echoes, barriers, and stats requests. Asynchronous events
+// (packet-in, flow-removed, port-status) flow the other way until the
+// connection closes. It blocks until the channel dies.
+//
+// This is what a yanc driver talks to, byte-for-byte the same dialog a
+// hardware OpenFlow switch would hold.
+func (sw *Switch) ServeController(rw io.ReadWriter) error {
+	conn := openflow.NewConn(rw)
+	// Asynchronous events are queued and written by a dedicated goroutine
+	// so a slow (or synchronous, e.g. net.Pipe) control channel never
+	// stalls the dataplane; on overflow the switch drops events, as
+	// hardware does. Handlers are installed BEFORE the handshake so a
+	// table miss racing connection setup is queued rather than lost; the
+	// writer starts only after the handshake so queued events cannot
+	// interleave with the version negotiation.
+	events := make(chan openflow.Message, 1024)
+	quit := make(chan struct{})
+	writerDone := make(chan struct{})
+	enqueue := func(m openflow.Message) {
+		select {
+		case events <- m:
+		default:
+		}
+	}
+	// The events channel is never closed: a dataplane goroutine may still
+	// be inside a handler when the serve loop exits, and sending on a
+	// buffered open channel is always safe. The writer is stopped via
+	// quit instead.
+	defer func() {
+		sw.SetHandlers(nil, nil, nil)
+		close(quit)
+		<-writerDone
+	}()
+	sw.SetHandlers(
+		func(pi *openflow.PacketIn) { enqueue(pi) },
+		func(fr *openflow.FlowRemoved) { enqueue(fr) },
+		func(reason uint8, info openflow.PortInfo) {
+			enqueue(&openflow.PortStatus{Reason: reason, Port: info})
+		},
+	)
+	if err := conn.HandshakeSwitch(sw.Version, sw.Features()); err != nil {
+		close(writerDone)
+		sw.SetHandlers(nil, nil, nil)
+		return err
+	}
+	go func() {
+		defer close(writerDone)
+		for {
+			select {
+			case m := <-events:
+				if err := conn.Write(m); err != nil {
+					return
+				}
+			case <-quit:
+				return
+			}
+		}
+	}()
+	for {
+		msg, err := conn.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) {
+				return nil
+			}
+			return err
+		}
+		switch m := msg.(type) {
+		case *openflow.EchoRequest:
+			if err := conn.Write(&openflow.EchoReply{Header: openflow.Header{Xid: m.Xid}, Data: m.Data}); err != nil {
+				return err
+			}
+		case *openflow.FlowMod:
+			if err := sw.FlowMod(m); err != nil {
+				_ = conn.Write(&openflow.Error{Header: openflow.Header{Xid: m.Xid}, Code: 0x0003_0000})
+			}
+		case *openflow.PacketOut:
+			sw.PacketOut(m)
+		case *openflow.PortMod:
+			if p, ok := sw.PortCounters(m.PortNo); ok {
+				newConfig := p.Config&^m.Mask | m.Config&m.Mask
+				_ = sw.SetPortConfig(m.PortNo, newConfig)
+			}
+		case *openflow.BarrierRequest:
+			if err := conn.Write(&openflow.BarrierReply{Header: openflow.Header{Xid: m.Xid}}); err != nil {
+				return err
+			}
+		case *openflow.StatsRequest:
+			rep := &openflow.StatsReply{Header: openflow.Header{Xid: m.Xid}, Kind: m.Kind}
+			switch m.Kind {
+			case openflow.StatsFlow:
+				rep.Flows = sw.FlowStats(m.Match)
+			case openflow.StatsPort:
+				rep.Ports = sw.PortStatsFor(m.Port)
+			case openflow.StatsPortDesc:
+				rep.PortDescs = sw.Ports()
+			}
+			if err := conn.Write(rep); err != nil {
+				return err
+			}
+		case *openflow.FeaturesRequest:
+			reply := sw.Features()
+			reply.Xid = m.Xid
+			if conn.Version() >= openflow.Version13 {
+				reply.Ports = nil
+			}
+			if err := conn.Write(reply); err != nil {
+				return err
+			}
+		default:
+			// Hello retransmits, echo replies, and anything else are
+			// ignored, as a tolerant datapath would.
+		}
+	}
+}
+
+// Dial connects the switch to a controller at addr (TCP) and serves the
+// control channel until it closes.
+func (sw *Switch) Dial(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return sw.ServeController(c)
+}

@@ -1,0 +1,510 @@
+package switchsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"yanc/internal/ethernet"
+	"yanc/internal/openflow"
+)
+
+// missSendLen is how much of a missed packet rides inside a packet-in when
+// the packet is buffered (OpenFlow's default miss_send_len).
+const missSendLen = 128
+
+// maxBuffers bounds the switch's packet-in buffer pool.
+const maxBuffers = 256
+
+// Port is one switch port. Link state and configuration mirror the bits
+// the yanc file system exposes as config.port_down / state files.
+type Port struct {
+	No     uint32
+	HWAddr ethernet.MAC
+	Name   string
+	Config uint32
+	State  uint32
+	Speed  uint32
+
+	RxPackets uint64
+	TxPackets uint64
+	RxBytes   uint64
+	TxBytes   uint64
+	RxDropped uint64
+	TxDropped uint64
+}
+
+func (p *Port) down() bool { return p.Config&openflow.PortConfigDown != 0 }
+
+// PortStatusFn is notified when a port's config or state changes.
+type PortStatusFn func(reason uint8, info openflow.PortInfo)
+
+// PacketInFn receives packet-in messages headed for the controller.
+type PacketInFn func(pi *openflow.PacketIn)
+
+// FlowRemovedFn receives flow-removed notifications.
+type FlowRemovedFn func(fr *openflow.FlowRemoved)
+
+// OutputFn carries a frame leaving the switch on a physical port; the
+// Network wires this to the peer port or host.
+type OutputFn func(sw *Switch, port uint32, frame []byte, hops int)
+
+// Switch is one simulated OpenFlow datapath.
+type Switch struct {
+	DPID    uint64
+	Name    string
+	NTables uint8
+	Version uint8 // protocol version this switch speaks
+
+	mu      sync.Mutex
+	tables  []*Table
+	ports   map[uint32]*Port
+	buffers map[uint32][]byte
+	nextBuf uint32
+	started time.Time
+	now     func() time.Time
+
+	onPacketIn    PacketInFn
+	onFlowRemoved FlowRemovedFn
+	onPortStatus  PortStatusFn
+	output        OutputFn
+
+	flowModCount atomic.Uint64
+}
+
+// NewSwitch creates a datapath with the given identity speaking the given
+// OpenFlow version.
+func NewSwitch(dpid uint64, name string, version uint8) *Switch {
+	sw := &Switch{
+		DPID:    dpid,
+		Name:    name,
+		NTables: 1,
+		Version: version,
+		tables:  []*Table{NewTable()},
+		ports:   make(map[uint32]*Port),
+		buffers: make(map[uint32][]byte),
+		now:     time.Now,
+	}
+	sw.started = sw.now()
+	return sw
+}
+
+// SetClock replaces the time source for deterministic timeout tests.
+func (sw *Switch) SetClock(clock func() time.Time) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.now = clock
+}
+
+// SetHandlers installs the controller-facing callbacks.
+func (sw *Switch) SetHandlers(pi PacketInFn, fr FlowRemovedFn, ps PortStatusFn) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.onPacketIn = pi
+	sw.onFlowRemoved = fr
+	sw.onPortStatus = ps
+}
+
+// SetOutput installs the dataplane egress hook.
+func (sw *Switch) SetOutput(fn OutputFn) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.output = fn
+}
+
+// AddPort creates a port. Port numbers are assigned by the caller.
+func (sw *Switch) AddPort(no uint32, name string) *Port {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	p := &Port{
+		No:     no,
+		HWAddr: ethernet.MACFromUint64(sw.DPID<<8 | uint64(no)),
+		Name:   name,
+		Speed:  10_000_000, // 10 Gbps in kbps
+	}
+	sw.ports[no] = p
+	return p
+}
+
+// Ports returns the ports as PortInfo, sorted by number.
+func (sw *Switch) Ports() []openflow.PortInfo {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.portInfosLocked()
+}
+
+func (sw *Switch) portInfosLocked() []openflow.PortInfo {
+	infos := make([]openflow.PortInfo, 0, len(sw.ports))
+	for _, p := range sw.ports {
+		infos = append(infos, openflow.PortInfo{
+			No: p.No, HWAddr: p.HWAddr, Name: p.Name,
+			Config: p.Config, State: p.State, CurrSpeed: p.Speed,
+		})
+	}
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j-1].No > infos[j].No; j-- {
+			infos[j-1], infos[j] = infos[j], infos[j-1]
+		}
+	}
+	return infos
+}
+
+// Features builds the switch's features reply.
+func (sw *Switch) Features() *openflow.FeaturesReply {
+	return &openflow.FeaturesReply{
+		DatapathID: sw.DPID,
+		NBuffers:   maxBuffers,
+		NTables:    sw.NTables,
+		Ports:      sw.Ports(),
+	}
+}
+
+// SetPortConfig updates a port's config bits (e.g. bringing it down) and
+// emits a port-status notification, as a real switch would after a
+// port-mod.
+func (sw *Switch) SetPortConfig(no uint32, config uint32) error {
+	sw.mu.Lock()
+	p, ok := sw.ports[no]
+	if !ok {
+		sw.mu.Unlock()
+		return fmt.Errorf("switchsim: %s has no port %d", sw.Name, no)
+	}
+	p.Config = config
+	if config&openflow.PortConfigDown != 0 {
+		p.State |= openflow.PortStateLinkDown
+	} else {
+		p.State &^= openflow.PortStateLinkDown
+	}
+	info := openflow.PortInfo{No: p.No, HWAddr: p.HWAddr, Name: p.Name, Config: p.Config, State: p.State, CurrSpeed: p.Speed}
+	cb := sw.onPortStatus
+	sw.mu.Unlock()
+	if cb != nil {
+		cb(openflow.PortModified, info)
+	}
+	return nil
+}
+
+// FlowModCount reports how many flow-mod messages the switch has applied
+// — the "hardware programming operations" count benchmarks compare.
+func (sw *Switch) FlowModCount() uint64 { return sw.flowModCount.Load() }
+
+// FlowMod applies a flow-mod message to the tables.
+func (sw *Switch) FlowMod(fm *openflow.FlowMod) error {
+	sw.flowModCount.Add(1)
+	sw.mu.Lock()
+	if int(fm.TableID) >= len(sw.tables) {
+		sw.mu.Unlock()
+		return fmt.Errorf("switchsim: table %d out of range", fm.TableID)
+	}
+	t := sw.tables[fm.TableID]
+	var removed []*FlowEntry
+	switch fm.Command {
+	case openflow.FlowAdd:
+		now := sw.now()
+		t.Add(&FlowEntry{
+			Match:       fm.Match,
+			Priority:    fm.Priority,
+			Actions:     append([]openflow.Action(nil), fm.Actions...),
+			Cookie:      fm.Cookie,
+			IdleTimeout: fm.IdleTimeout,
+			HardTimeout: fm.HardTimeout,
+			Flags:       fm.Flags,
+			Created:     now,
+			LastUsed:    now,
+		})
+	case openflow.FlowModify:
+		t.Modify(fm.Match, fm.Actions)
+	case openflow.FlowModifyStrict:
+		t.ModifyStrict(fm.Match, fm.Priority, fm.Actions)
+	case openflow.FlowDelete:
+		removed = t.Delete(fm.Match, fm.OutPort)
+	case openflow.FlowDeleteStrict:
+		removed = t.DeleteStrict(fm.Match, fm.Priority, fm.OutPort)
+	default:
+		sw.mu.Unlock()
+		return fmt.Errorf("switchsim: flow-mod command %d", fm.Command)
+	}
+	frCB := sw.onFlowRemoved
+	now := sw.now()
+	sw.mu.Unlock()
+
+	// Buffered packet attached to a flow add: release it through the new
+	// tables.
+	if fm.Command == openflow.FlowAdd && fm.BufferID != openflow.NoBuffer {
+		if data, inPort, ok := sw.takeBuffer(fm.BufferID); ok {
+			sw.Ingress(inPort, data)
+		}
+	}
+	if frCB != nil {
+		for _, e := range removed {
+			if e.Flags&openflow.FlagSendFlowRem != 0 {
+				frCB(flowRemovedMsg(e, openflow.RemovedDelete, now))
+			}
+		}
+	}
+	return nil
+}
+
+func flowRemovedMsg(e *FlowEntry, reason uint8, now time.Time) *openflow.FlowRemoved {
+	return &openflow.FlowRemoved{
+		Match:       e.Match,
+		Cookie:      e.Cookie,
+		Priority:    e.Priority,
+		Reason:      reason,
+		DurationSec: uint32(now.Sub(e.Created) / time.Second),
+		PacketCount: e.Packets,
+		ByteCount:   e.Bytes,
+	}
+}
+
+// Tick advances flow timeouts to time now.
+func (sw *Switch) Tick(now time.Time) {
+	sw.mu.Lock()
+	var expired []ExpiredFlow
+	for _, t := range sw.tables {
+		expired = append(expired, t.Expire(now)...)
+	}
+	frCB := sw.onFlowRemoved
+	sw.mu.Unlock()
+	if frCB != nil {
+		for _, ex := range expired {
+			if ex.Entry.Flags&openflow.FlagSendFlowRem != 0 {
+				frCB(flowRemovedMsg(ex.Entry, ex.Reason, now))
+			}
+		}
+	}
+}
+
+// FlowCount returns the number of entries in table 0.
+func (sw *Switch) FlowCount() int {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.tables[0].Len()
+}
+
+// FlowStats answers a flow-stats request.
+func (sw *Switch) FlowStats(m openflow.Match) []openflow.FlowStats {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	now := sw.now()
+	var out []openflow.FlowStats
+	for ti, t := range sw.tables {
+		for _, e := range t.Entries() {
+			if !m.Covers(e.Match) {
+				continue
+			}
+			out = append(out, openflow.FlowStats{
+				TableID:     uint8(ti),
+				Match:       e.Match,
+				Priority:    e.Priority,
+				Cookie:      e.Cookie,
+				DurationSec: uint32(now.Sub(e.Created) / time.Second),
+				PacketCount: e.Packets,
+				ByteCount:   e.Bytes,
+				Actions:     append([]openflow.Action(nil), e.Actions...),
+			})
+		}
+	}
+	return out
+}
+
+// PortStatsFor answers a port-stats request; port PortAny returns all.
+func (sw *Switch) PortStatsFor(port uint32) []openflow.PortStats {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	var out []openflow.PortStats
+	for _, info := range sw.portInfosLocked() {
+		p := sw.ports[info.No]
+		if port != openflow.PortAny && p.No != port {
+			continue
+		}
+		out = append(out, openflow.PortStats{
+			PortNo:    p.No,
+			RxPackets: p.RxPackets,
+			TxPackets: p.TxPackets,
+			RxBytes:   p.RxBytes,
+			TxBytes:   p.TxBytes,
+			RxDropped: p.RxDropped,
+			TxDropped: p.TxDropped,
+		})
+	}
+	return out
+}
+
+// PortCounters returns a snapshot of one port's counters.
+func (sw *Switch) PortCounters(no uint32) (Port, bool) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	p, ok := sw.ports[no]
+	if !ok {
+		return Port{}, false
+	}
+	return *p, true
+}
+
+func (sw *Switch) takeBuffer(id uint32) (data []byte, inPort uint32, ok bool) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	buf, ok := sw.buffers[id]
+	if !ok {
+		return nil, 0, false
+	}
+	delete(sw.buffers, id)
+	// The in-port rides in the first 4 bytes of the stored record.
+	inPort = uint32(buf[0])<<24 | uint32(buf[1])<<16 | uint32(buf[2])<<8 | uint32(buf[3])
+	return buf[4:], inPort, true
+}
+
+func (sw *Switch) storeBuffer(inPort uint32, frame []byte) uint32 {
+	if len(sw.buffers) >= maxBuffers {
+		return openflow.NoBuffer
+	}
+	sw.nextBuf++
+	id := sw.nextBuf
+	rec := make([]byte, 4+len(frame))
+	rec[0], rec[1], rec[2], rec[3] = byte(inPort>>24), byte(inPort>>16), byte(inPort>>8), byte(inPort)
+	copy(rec[4:], frame)
+	sw.buffers[id] = rec
+	return id
+}
+
+// Ingress processes a frame arriving on a port: table lookup, counter
+// update, action application, and egress/packet-in.
+func (sw *Switch) Ingress(inPort uint32, frame []byte) {
+	sw.IngressHops(inPort, frame, 0)
+}
+
+// IngressHops is Ingress with an explicit hop budget, used by the Network
+// to bound flood loops in cyclic topologies.
+func (sw *Switch) IngressHops(inPort uint32, frame []byte, hops int) {
+	sw.mu.Lock()
+	p, ok := sw.ports[inPort]
+	if !ok || p.down() || p.Config&openflow.PortConfigNoRx != 0 {
+		if ok {
+			p.RxDropped++
+		}
+		sw.mu.Unlock()
+		return
+	}
+	p.RxPackets++
+	p.RxBytes += uint64(len(frame))
+	pf, err := openflow.ExtractFields(frame, inPort)
+	if err != nil {
+		p.RxDropped++
+		sw.mu.Unlock()
+		return
+	}
+	entry := sw.tables[0].Lookup(&pf)
+	if entry == nil {
+		// Table miss: buffer the packet and notify the controller.
+		bufID := sw.storeBuffer(inPort, frame)
+		data := frame
+		totalLen := uint16(len(frame))
+		if bufID != openflow.NoBuffer && len(frame) > missSendLen {
+			data = frame[:missSendLen]
+		}
+		cb := sw.onPacketIn
+		sw.mu.Unlock()
+		if cb != nil {
+			cb(&openflow.PacketIn{
+				BufferID: bufID,
+				TotalLen: totalLen,
+				InPort:   inPort,
+				Reason:   openflow.ReasonNoMatch,
+				Data:     append([]byte(nil), data...),
+			})
+		}
+		return
+	}
+	entry.Packets++
+	entry.Bytes += uint64(len(frame))
+	entry.LastUsed = sw.now()
+	actions := append([]openflow.Action(nil), entry.Actions...)
+	sw.mu.Unlock()
+	sw.runActions(inPort, frame, actions, hops)
+}
+
+// PacketOut injects a controller-originated packet.
+func (sw *Switch) PacketOut(po *openflow.PacketOut) {
+	data := po.Data
+	inPort := po.InPort
+	if po.BufferID != openflow.NoBuffer {
+		if buf, bufPort, ok := sw.takeBuffer(po.BufferID); ok {
+			data = buf
+			if inPort == openflow.PortController || inPort == openflow.PortAny {
+				inPort = bufPort
+			}
+		}
+	}
+	if len(data) == 0 {
+		return
+	}
+	sw.runActions(inPort, data, po.Actions, 0)
+}
+
+// runActions applies the action list and emits frames. Must be called
+// without the lock held.
+func (sw *Switch) runActions(inPort uint32, frame []byte, actions []openflow.Action, hops int) {
+	out, ports, err := openflow.Apply(actions, frame)
+	if err != nil {
+		return
+	}
+	for _, port := range ports {
+		switch port {
+		case openflow.PortFlood, openflow.PortAll:
+			sw.mu.Lock()
+			var targets []uint32
+			for no, p := range sw.ports {
+				if no == inPort && port == openflow.PortFlood {
+					continue
+				}
+				if p.down() || p.Config&openflow.PortConfigNoFwd != 0 {
+					continue
+				}
+				targets = append(targets, no)
+			}
+			sw.mu.Unlock()
+			for _, t := range targets {
+				sw.egress(t, out, hops)
+			}
+		case openflow.PortController:
+			sw.mu.Lock()
+			cb := sw.onPacketIn
+			sw.mu.Unlock()
+			if cb != nil {
+				cb(&openflow.PacketIn{
+					BufferID: openflow.NoBuffer,
+					TotalLen: uint16(len(out)),
+					InPort:   inPort,
+					Reason:   openflow.ReasonAction,
+					Data:     append([]byte(nil), out...),
+				})
+			}
+		case openflow.PortInPort:
+			sw.egress(inPort, out, hops)
+		default:
+			sw.egress(port, out, hops)
+		}
+	}
+}
+
+// egress transmits a frame on a physical port.
+func (sw *Switch) egress(port uint32, frame []byte, hops int) {
+	sw.mu.Lock()
+	p, ok := sw.ports[port]
+	if !ok || p.down() || p.Config&openflow.PortConfigNoFwd != 0 {
+		if ok {
+			p.TxDropped++
+		}
+		sw.mu.Unlock()
+		return
+	}
+	p.TxPackets++
+	p.TxBytes += uint64(len(frame))
+	out := sw.output
+	sw.mu.Unlock()
+	if out != nil {
+		out(sw, port, frame, hops)
+	}
+}

@@ -1,0 +1,468 @@
+package switchsim
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"yanc/internal/ethernet"
+	"yanc/internal/openflow"
+)
+
+func mustMatch(t *testing.T, spec string) openflow.Match {
+	t.Helper()
+	m, err := openflow.ParseMatch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func addFlow(t *testing.T, sw *Switch, spec string, priority uint16, actions string) {
+	t.Helper()
+	acts, err := openflow.ParseActions(actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.FlowMod(&openflow.FlowMod{
+		Command:  openflow.FlowAdd,
+		Match:    mustMatch(t, spec),
+		Priority: priority,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortAny,
+		Actions:  acts,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTablePriorityAndReplace(t *testing.T) {
+	tab := NewTable()
+	low := &FlowEntry{Match: openflow.Match{}, Priority: 1, Actions: []openflow.Action{openflow.Output(1)}}
+	high := &FlowEntry{Priority: 100, Actions: []openflow.Action{openflow.Output(2)}}
+	var m openflow.Match
+	if err := m.SetField(openflow.FieldDLType, "0x0800"); err != nil {
+		t.Fatal(err)
+	}
+	high.Match = m
+	tab.Add(low)
+	tab.Add(high)
+	pf := openflow.PacketFields{DLType: 0x0800}
+	if got := tab.Lookup(&pf); got != high {
+		t.Error("high priority entry must win")
+	}
+	pfARP := openflow.PacketFields{DLType: 0x0806}
+	if got := tab.Lookup(&pfARP); got != low {
+		t.Error("fallthrough to wildcard")
+	}
+	// Same identity replaces.
+	repl := &FlowEntry{Match: m, Priority: 100, Actions: []openflow.Action{openflow.Output(9)}}
+	tab.Add(repl)
+	if tab.Len() != 2 {
+		t.Errorf("len = %d", tab.Len())
+	}
+	if got := tab.Lookup(&pf); got != repl {
+		t.Error("replacement must win")
+	}
+}
+
+func TestTableDeleteNonStrictAndStrict(t *testing.T) {
+	tab := NewTable()
+	tcp := &FlowEntry{Match: func() openflow.Match { m, _ := openflow.ParseMatch("dl_type=0x0800,nw_proto=6"); return m }(), Priority: 10}
+	ssh := &FlowEntry{Match: func() openflow.Match { m, _ := openflow.ParseMatch("dl_type=0x0800,nw_proto=6,tp_dst=22"); return m }(), Priority: 20, Actions: []openflow.Action{openflow.Output(3)}}
+	tab.Add(tcp)
+	tab.Add(ssh)
+	// Strict with wrong priority removes nothing.
+	if rm := tab.DeleteStrict(tcp.Match, 99, openflow.PortAny); len(rm) != 0 {
+		t.Error("strict delete with wrong priority removed something")
+	}
+	// Non-strict with covering match removes both.
+	wild, _ := openflow.ParseMatch("dl_type=0x0800")
+	if rm := tab.Delete(wild, openflow.PortAny); len(rm) != 2 {
+		t.Errorf("non-strict removed %d", len(rm))
+	}
+	if tab.Len() != 0 {
+		t.Errorf("len = %d", tab.Len())
+	}
+	// out_port filter.
+	tab.Add(ssh)
+	if rm := tab.Delete(wild, 9); len(rm) != 0 {
+		t.Error("out_port filter must block")
+	}
+	if rm := tab.Delete(wild, 3); len(rm) != 1 {
+		t.Error("out_port filter must allow port 3")
+	}
+}
+
+func TestTableExpire(t *testing.T) {
+	tab := NewTable()
+	t0 := time.Unix(1000, 0)
+	idle := &FlowEntry{Priority: 1, IdleTimeout: 10, Created: t0, LastUsed: t0}
+	hard := &FlowEntry{Priority: 2, HardTimeout: 30, Created: t0, LastUsed: t0}
+	keep := &FlowEntry{Priority: 3, Created: t0, LastUsed: t0}
+	tab.Add(idle)
+	tab.Add(hard)
+	tab.Add(keep)
+	ex := tab.Expire(t0.Add(15 * time.Second))
+	if len(ex) != 1 || ex[0].Entry != idle || ex[0].Reason != openflow.RemovedIdleTimeout {
+		t.Fatalf("expire = %+v", ex)
+	}
+	ex = tab.Expire(t0.Add(31 * time.Second))
+	if len(ex) != 1 || ex[0].Entry != hard || ex[0].Reason != openflow.RemovedHardTimeout {
+		t.Fatalf("hard expire = %+v", ex)
+	}
+	if tab.Len() != 1 {
+		t.Errorf("len = %d", tab.Len())
+	}
+}
+
+func TestSwitchForwardAndCounters(t *testing.T) {
+	n := NewNetwork()
+	n.AddSwitch(1, "sw1", openflow.Version10, 2)
+	h1 := NewHost("h1", HostAddr(1))
+	h2 := NewHost("h2", HostAddr(2))
+	if err := n.AttachHost(h1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachHost(h2, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	sw := n.Switch(1)
+	addFlow(t, sw, "in_port=1", 10, "out=2")
+	addFlow(t, sw, "in_port=2", 10, "out=1")
+	h1.Ping(h2, 1)
+	if !h2.ReceivedPing(1) {
+		t.Fatal("h2 did not receive the ping")
+	}
+	h2.Ping(h1, 2)
+	if !h1.ReceivedPing(2) {
+		t.Fatal("h1 did not receive the reply")
+	}
+	stats := sw.FlowStats(openflow.Match{})
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for _, s := range stats {
+		if s.PacketCount != 1 || s.ByteCount == 0 {
+			t.Errorf("flow counters = %+v", s)
+		}
+	}
+	p1, _ := sw.PortCounters(1)
+	if p1.RxPackets != 1 || p1.TxPackets != 1 {
+		t.Errorf("port1 counters = %+v", p1)
+	}
+}
+
+func TestTableMissPacketInAndBufferRelease(t *testing.T) {
+	n := NewNetwork()
+	n.AddSwitch(1, "sw1", openflow.Version10, 2)
+	h1 := NewHost("h1", HostAddr(1))
+	h2 := NewHost("h2", HostAddr(2))
+	_ = n.AttachHost(h1, 1, 1)
+	_ = n.AttachHost(h2, 1, 2)
+	sw := n.Switch(1)
+	var mu sync.Mutex
+	var pins []*openflow.PacketIn
+	sw.SetHandlers(func(pi *openflow.PacketIn) {
+		mu.Lock()
+		pins = append(pins, pi)
+		mu.Unlock()
+	}, nil, nil)
+
+	h1.Ping(h2, 7)
+	mu.Lock()
+	if len(pins) != 1 {
+		mu.Unlock()
+		t.Fatalf("packet-ins = %d", len(pins))
+	}
+	pi := pins[0]
+	mu.Unlock()
+	if pi.Reason != openflow.ReasonNoMatch || pi.InPort != 1 {
+		t.Fatalf("packet-in = %+v", pi)
+	}
+	if pi.BufferID == openflow.NoBuffer {
+		t.Fatal("expected a buffered packet")
+	}
+	if h2.RxCount() != 0 {
+		t.Fatal("packet leaked before flow install")
+	}
+	// Install the flow referencing the buffer: packet must be released.
+	if err := sw.FlowMod(&openflow.FlowMod{
+		Command:  openflow.FlowAdd,
+		Match:    mustMatch(t, "in_port=1"),
+		Priority: 1,
+		BufferID: pi.BufferID,
+		Actions:  []openflow.Action{openflow.Output(2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !h2.ReceivedPing(7) {
+		t.Fatal("buffered packet was not released")
+	}
+}
+
+func TestFloodAndRingLoopTermination(t *testing.T) {
+	n, hosts := BuildRing(4, openflow.Version10)
+	for _, sw := range n.Switches() {
+		addFlow(t, sw, "*", 1, "out=flood")
+	}
+	hosts[0].Ping(hosts[2], 1)
+	// The flood must reach every other host despite the cycle, and must
+	// terminate (this test completing proves the hop limit works).
+	for i, h := range hosts {
+		if i == 0 {
+			continue
+		}
+		if !h.ReceivedPing(1) {
+			t.Errorf("host %d missed the flood", i)
+		}
+	}
+	// No host should see a catastrophic number of copies.
+	for i, h := range hosts {
+		if c := h.RxCount(); c > 64 {
+			t.Errorf("host %d saw %d copies", i, c)
+		}
+	}
+}
+
+func TestPortDownBlocksTraffic(t *testing.T) {
+	n := NewNetwork()
+	n.AddSwitch(1, "sw1", openflow.Version10, 2)
+	h1 := NewHost("h1", HostAddr(1))
+	h2 := NewHost("h2", HostAddr(2))
+	_ = n.AttachHost(h1, 1, 1)
+	_ = n.AttachHost(h2, 1, 2)
+	sw := n.Switch(1)
+	addFlow(t, sw, "in_port=1", 10, "out=2")
+
+	var statuses []openflow.PortInfo
+	sw.SetHandlers(nil, nil, func(reason uint8, info openflow.PortInfo) {
+		statuses = append(statuses, info)
+	})
+	if err := sw.SetPortConfig(2, openflow.PortConfigDown); err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != 1 || statuses[0].Config&openflow.PortConfigDown == 0 {
+		t.Fatalf("port status = %+v", statuses)
+	}
+	h1.Ping(h2, 1)
+	if h2.RxCount() != 0 {
+		t.Fatal("traffic crossed a downed port")
+	}
+	p, _ := sw.PortCounters(2)
+	if p.TxDropped != 1 {
+		t.Errorf("tx dropped = %d", p.TxDropped)
+	}
+	// Bring it back.
+	if err := sw.SetPortConfig(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	h1.Ping(h2, 2)
+	if !h2.ReceivedPing(2) {
+		t.Fatal("traffic did not resume")
+	}
+}
+
+func TestActionRewrite(t *testing.T) {
+	n := NewNetwork()
+	n.AddSwitch(1, "sw1", openflow.Version10, 2)
+	h1 := NewHost("h1", HostAddr(1))
+	h2 := NewHost("h2", HostAddr(2))
+	_ = n.AttachHost(h1, 1, 1)
+	_ = n.AttachHost(h2, 1, 2)
+	sw := n.Switch(1)
+	addFlow(t, sw, "in_port=1,dl_type=0x0800", 10, "set_nw_dst=192.168.9.9,set_tp_dst=8080,out=2")
+	h1.SendTCP(h2, 1234, 80, []byte("GET /"))
+	frames := h2.Received()
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	pf, err := openflow.ExtractFields(frames[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.NWDst != (ethernet.IP4{192, 168, 9, 9}) || pf.TPDst != 8080 {
+		t.Errorf("rewritten fields = %+v", pf)
+	}
+}
+
+func TestFlowRemovedOnTimeoutAndDelete(t *testing.T) {
+	sw := NewSwitch(1, "sw1", openflow.Version10)
+	sw.AddPort(1, "p1")
+	now := time.Unix(5000, 0)
+	sw.SetClock(func() time.Time { return now })
+	var removed []*openflow.FlowRemoved
+	sw.SetHandlers(nil, func(fr *openflow.FlowRemoved) { removed = append(removed, fr) }, nil)
+	if err := sw.FlowMod(&openflow.FlowMod{
+		Command:     openflow.FlowAdd,
+		Priority:    5,
+		IdleTimeout: 10,
+		Flags:       openflow.FlagSendFlowRem,
+		BufferID:    openflow.NoBuffer,
+		Cookie:      0xabc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(11 * time.Second)
+	sw.Tick(now)
+	if len(removed) != 1 || removed[0].Reason != openflow.RemovedIdleTimeout || removed[0].Cookie != 0xabc {
+		t.Fatalf("removed = %+v", removed)
+	}
+	// Delete-triggered notification.
+	if err := sw.FlowMod(&openflow.FlowMod{
+		Command: openflow.FlowAdd, Priority: 6,
+		Flags: openflow.FlagSendFlowRem, BufferID: openflow.NoBuffer,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.FlowMod(&openflow.FlowMod{
+		Command: openflow.FlowDelete, OutPort: openflow.PortAny, BufferID: openflow.NoBuffer,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 || removed[1].Reason != openflow.RemovedDelete {
+		t.Fatalf("after delete removed = %+v", removed)
+	}
+}
+
+func TestLinearTopologyEndToEnd(t *testing.T) {
+	n, hosts := BuildLinear(3, openflow.Version10)
+	// Static path: h1 (sw1 port1) -> sw1 port3 -> sw2 port2, sw2 port3 ->
+	// sw3 port2 -> h3 on port 1.
+	addFlow(t, n.Switch(1), "in_port=1", 10, "out=3")
+	addFlow(t, n.Switch(2), "in_port=2", 10, "out=3")
+	addFlow(t, n.Switch(3), "in_port=2", 10, "out=1")
+	hosts[0].Ping(hosts[2], 3)
+	if !hosts[2].ReceivedPing(3) {
+		t.Fatal("ping did not traverse the line")
+	}
+	// Every switch on the path counted it.
+	for dpid := uint64(1); dpid <= 3; dpid++ {
+		st := n.Switch(dpid).FlowStats(openflow.Match{})
+		if len(st) != 1 || st[0].PacketCount != 1 {
+			t.Errorf("sw%d stats = %+v", dpid, st)
+		}
+	}
+}
+
+func TestServeControllerProtocolLoop(t *testing.T) {
+	for _, version := range []uint8{openflow.Version10, openflow.Version13} {
+		n := NewNetwork()
+		n.AddSwitch(1, "sw1", version, 2)
+		h1 := NewHost("h1", HostAddr(1))
+		h2 := NewHost("h2", HostAddr(2))
+		_ = n.AttachHost(h1, 1, 1)
+		_ = n.AttachHost(h2, 1, 2)
+		sw := n.Switch(1)
+
+		client, server := net.Pipe()
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- sw.ServeController(server) }()
+
+		ctrl := openflow.NewConn(client)
+		features, err := ctrl.HandshakeController(openflow.Version13)
+		if err != nil {
+			t.Fatalf("v%d handshake: %v", version, err)
+		}
+		if features.DatapathID != 1 || len(features.Ports) != 2 {
+			t.Fatalf("v%d features = %+v", version, features)
+		}
+		if ctrl.Version() != version {
+			t.Fatalf("negotiated %d want %d", ctrl.Version(), version)
+		}
+		// Install a flow over the wire.
+		fm := &openflow.FlowMod{
+			Command:  openflow.FlowAdd,
+			Match:    mustMatch(t, "in_port=1"),
+			Priority: 10,
+			BufferID: openflow.NoBuffer,
+			OutPort:  openflow.PortAny,
+			Actions:  []openflow.Action{openflow.Output(2)},
+		}
+		if err := ctrl.Write(fm); err != nil {
+			t.Fatal(err)
+		}
+		// Barrier to ensure ordering.
+		if err := ctrl.Write(&openflow.BarrierRequest{}); err != nil {
+			t.Fatal(err)
+		}
+		if msg, err := ctrl.Read(); err != nil || msg.Type() != openflow.MsgBarrierReply {
+			t.Fatalf("barrier reply: %v %v", msg, err)
+		}
+		// Dataplane works; a miss from h2 triggers a wire packet-in.
+		h1.Ping(h2, 1)
+		if !h2.ReceivedPing(1) {
+			t.Fatalf("v%d: flow not installed", version)
+		}
+		h2.Ping(h1, 2)
+		msg, err := ctrl.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, ok := msg.(*openflow.PacketIn)
+		if !ok || pi.InPort != 2 {
+			t.Fatalf("v%d packet-in = %+v", version, msg)
+		}
+		// Packet-out the buffered packet to port 1.
+		if err := ctrl.Write(&openflow.PacketOut{
+			BufferID: pi.BufferID,
+			InPort:   openflow.PortController,
+			Actions:  []openflow.Action{openflow.Output(1)},
+			Data:     pi.Data,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !h1.WaitFor(func(frames [][]byte) bool { return len(frames) > 0 }, time.Second) {
+			t.Fatalf("v%d: packet-out not delivered", version)
+		}
+		// Flow stats over the wire.
+		if err := ctrl.Write(&openflow.StatsRequest{Kind: openflow.StatsFlow}); err != nil {
+			t.Fatal(err)
+		}
+		msg, err = ctrl.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, ok := msg.(*openflow.StatsReply)
+		if !ok || len(rep.Flows) != 1 || rep.Flows[0].PacketCount != 1 {
+			t.Fatalf("v%d stats = %+v", version, msg)
+		}
+		client.Close()
+		server.Close()
+		if err := <-serveDone; err != nil {
+			t.Fatalf("v%d serve: %v", version, err)
+		}
+	}
+}
+
+func TestConcurrentDataplane(t *testing.T) {
+	n := NewNetwork()
+	n.AddSwitch(1, "sw1", openflow.Version10, 9)
+	sw := n.Switch(1)
+	hosts := make([]*Host, 8)
+	for i := range hosts {
+		hosts[i] = NewHost("h", HostAddr(uint32(i+1)))
+		_ = n.AttachHost(hosts[i], 1, uint32(i+1))
+	}
+	addFlow(t, sw, "*", 1, "out=flood")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				hosts[i].Ping(hosts[(i+1)%8], uint16(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hosts {
+		total += h.RxCount()
+	}
+	// 8 senders * 50 pings * 7 flood copies each.
+	if total != 8*50*7 {
+		t.Errorf("total received = %d, want %d", total, 8*50*7)
+	}
+}

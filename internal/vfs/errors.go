@@ -1,0 +1,60 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errno mirrors the POSIX error set the paper's file-system API surfaces.
+// Errors returned by the VFS wrap one of these sentinels so callers can use
+// errors.Is the way C code would compare errno values.
+var (
+	ErrNotExist     = errors.New("no such file or directory")         // ENOENT
+	ErrExist        = errors.New("file exists")                       // EEXIST
+	ErrNotDir       = errors.New("not a directory")                   // ENOTDIR
+	ErrIsDir        = errors.New("is a directory")                    // EISDIR
+	ErrNotEmpty     = errors.New("directory not empty")               // ENOTEMPTY
+	ErrPerm         = errors.New("operation not permitted")           // EPERM
+	ErrAccess       = errors.New("permission denied")                 // EACCES
+	ErrInvalid      = errors.New("invalid argument")                  // EINVAL
+	ErrTooManyLinks = errors.New("too many levels of symbolic links") // ELOOP
+	ErrBadHandle    = errors.New("bad file descriptor")               // EBADF
+	ErrNoAttr       = errors.New("no such attribute")                 // ENODATA
+	ErrBusy         = errors.New("device or resource busy")           // EBUSY
+	ErrClosed       = errors.New("file already closed")
+	ErrCrossDevice  = errors.New("invalid cross-device link") // EXDEV
+	ErrQuota        = errors.New("resource quota exceeded")   // EDQUOT
+	ErrReadOnly     = errors.New("read-only file system")     // EROFS
+)
+
+// PathError records an error, the operation that caused it, and the path.
+// It has the same shape as os.PathError so tooling built on the VFS reads
+// naturally.
+type PathError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+func (e *PathError) Error() string { return e.Op + " " + e.Path + ": " + e.Err.Error() }
+
+func (e *PathError) Unwrap() error { return e.Err }
+
+func pathErr(op, path string, err error) error {
+	return &PathError{Op: op, Path: path, Err: err}
+}
+
+// LinkError records an error during a rename, link, or symlink involving
+// two paths.
+type LinkError struct {
+	Op  string
+	Old string
+	New string
+	Err error
+}
+
+func (e *LinkError) Error() string {
+	return fmt.Sprintf("%s %s %s: %v", e.Op, e.Old, e.New, e.Err)
+}
+
+func (e *LinkError) Unwrap() error { return e.Err }

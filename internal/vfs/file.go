@@ -1,0 +1,397 @@
+package vfs
+
+import (
+	"io"
+	"sync"
+)
+
+// Open flags, matching the os package values where the paper's examples
+// would use open(2).
+const (
+	O_RDONLY = 0x0
+	O_WRONLY = 0x1
+	O_RDWR   = 0x2
+	O_APPEND = 0x400
+	O_CREATE = 0x40
+	O_EXCL   = 0x80
+	O_TRUNC  = 0x200
+)
+
+// File is an open file handle. Handles on regular files read and write
+// the inode directly; handles on synthetic files snapshot on open and
+// flush on close, the way a procfs read/write behaves.
+type File struct {
+	mu     sync.Mutex
+	proc   *Proc
+	node   *inode
+	path   string
+	flags  int
+	pos    int64
+	closed bool
+	wrote  bool
+
+	// synthetic buffering
+	synthBuf      []byte
+	synthMode     bool
+	needSynthRead bool
+}
+
+// Open opens path read-only.
+func (p *Proc) Open(path string) (*File, error) {
+	return p.OpenFile(path, O_RDONLY, 0)
+}
+
+// Create creates or truncates path for writing with the given mode.
+func (p *Proc) Create(path string, mode FileMode) (*File, error) {
+	return p.OpenFile(path, O_RDWR|O_CREATE|O_TRUNC, mode)
+}
+
+// OpenFile is the generalized open call.
+func (p *Proc) OpenFile(path string, flags int, mode FileMode) (*File, error) {
+	if err := p.charge("open", 0); err != nil {
+		return nil, err
+	}
+	p.fs.stats.opens.Add(1)
+	fs := p.fs
+	fs.mu.Lock()
+	tx := &Tx{fs: fs}
+	f, err := func() (*File, error) {
+		parent, name, node, err := fs.resolve(p.cred, path, p.opts(true))
+		if err != nil {
+			return nil, pathErr("open", path, err)
+		}
+		created := false
+		if node == nil {
+			if flags&O_CREATE == 0 {
+				return nil, pathErr("open", path, ErrNotExist)
+			}
+			if !allows(parent, p.cred, wantWrite) {
+				return nil, pathErr("open", path, ErrAccess)
+			}
+			node = fs.newInode(KindFile, mode.Perm(), p.cred.UID, p.cred.GID)
+			parent.children[name] = node
+			parent.touchM(fs.clock())
+			created = true
+			fs.stats.creates.Add(1)
+			tx.queue(Event{Op: OpCreate, Path: Join(pathOf(parent), name)})
+		} else {
+			if flags&O_CREATE != 0 && flags&O_EXCL != 0 {
+				return nil, pathErr("open", path, ErrExist)
+			}
+			if node.isDir() {
+				if flags&(O_WRONLY|O_RDWR) != 0 {
+					return nil, pathErr("open", path, ErrIsDir)
+				}
+				return nil, pathErr("open", path, ErrIsDir)
+			}
+		}
+		wantsWrite := flags&(O_WRONLY|O_RDWR) != 0
+		wantsRead := flags&O_WRONLY == 0
+		if wantsWrite && !allows(node, p.cred, wantWrite) {
+			return nil, pathErr("open", path, ErrAccess)
+		}
+		if wantsRead && !created && !allows(node, p.cred, wantRead) {
+			return nil, pathErr("open", path, ErrAccess)
+		}
+		// The handle records the real root-absolute path, not the
+		// caller's (possibly chroot-relative) spelling: events carry this
+		// path, and watchers outside the namespace must see the true
+		// location.
+		f := &File{proc: p, node: node, path: Join(pathOf(parent), name), flags: flags}
+		if node.synth != nil {
+			f.synthMode = true
+			f.needSynthRead = wantsRead && node.synth.Read != nil
+		} else if flags&O_TRUNC != 0 && !created {
+			node.data = node.data[:0]
+			node.touchM(fs.clock())
+			tx.queue(Event{Op: OpWrite, Path: f.path})
+		}
+		if created && parent.sem != nil && parent.sem.OnCreate != nil {
+			if herr := parent.sem.OnCreate(tx, pathOf(parent), name); herr != nil {
+				delete(parent.children, name)
+				tx.events = tx.events[:0]
+				return nil, pathErr("open", path, herr)
+			}
+		}
+		return f, nil
+	}()
+	events := tx.events
+	fs.mu.Unlock()
+	fs.watches.dispatch(events)
+	// Synthetic content is produced outside the tree lock: a provider may
+	// perform slow work (the OpenFlow driver queries the switch here) and
+	// must not stall unrelated file-system operations.
+	if err == nil && f != nil && f.needSynthRead {
+		data, rerr := f.node.synth.Read()
+		if rerr != nil {
+			return nil, pathErr("open", path, rerr)
+		}
+		f.synthBuf = data
+	}
+	return f, err
+}
+
+// Name returns the path the file was opened with.
+func (f *File) Name() string { return f.path }
+
+// Read reads from the current offset.
+func (f *File) Read(b []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, pathErr("read", f.path, ErrClosed)
+	}
+	if f.flags&O_WRONLY != 0 {
+		return 0, pathErr("read", f.path, ErrBadHandle)
+	}
+	f.proc.fs.stats.reads.Add(1)
+	if err := f.proc.charge("read", len(b)); err != nil {
+		return 0, err
+	}
+	var src []byte
+	if f.synthMode {
+		src = f.synthBuf
+	} else {
+		f.proc.fs.mu.RLock()
+		src = f.node.data
+		if f.pos < int64(len(src)) {
+			n := copy(b, src[f.pos:])
+			f.pos += int64(n)
+			f.proc.fs.mu.RUnlock()
+			return n, nil
+		}
+		f.proc.fs.mu.RUnlock()
+		return 0, io.EOF
+	}
+	if f.pos >= int64(len(src)) {
+		return 0, io.EOF
+	}
+	n := copy(b, src[f.pos:])
+	f.pos += int64(n)
+	return n, nil
+}
+
+// Write writes at the current offset (or the end, with O_APPEND).
+func (f *File) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, pathErr("write", f.path, ErrClosed)
+	}
+	if f.flags&(O_WRONLY|O_RDWR) == 0 {
+		return 0, pathErr("write", f.path, ErrBadHandle)
+	}
+	f.proc.fs.stats.writes.Add(1)
+	if err := f.proc.charge("write", len(b)); err != nil {
+		return 0, err
+	}
+	f.wrote = true
+	if f.synthMode {
+		if f.flags&O_APPEND != 0 {
+			f.pos = int64(len(f.synthBuf))
+		}
+		f.synthBuf = writeAt(f.synthBuf, b, f.pos)
+		f.pos += int64(len(b))
+		return len(b), nil
+	}
+	fs := f.proc.fs
+	fs.mu.Lock()
+	if f.flags&O_APPEND != 0 {
+		f.pos = int64(len(f.node.data))
+	}
+	f.node.data = writeAt(f.node.data, b, f.pos)
+	f.pos += int64(len(b))
+	f.node.touchM(fs.clock())
+	fs.mu.Unlock()
+	fs.watches.dispatch([]Event{{Op: OpWrite, Path: f.path}})
+	return len(b), nil
+}
+
+func writeAt(dst, b []byte, pos int64) []byte {
+	end := pos + int64(len(b))
+	if int64(len(dst)) < end {
+		grown := make([]byte, end)
+		copy(grown, dst)
+		dst = grown
+	}
+	copy(dst[pos:end], b)
+	return dst
+}
+
+// WriteString writes a string.
+func (f *File) WriteString(s string) (int, error) { return f.Write([]byte(s)) }
+
+// Seek sets the offset for the next Read or Write.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, pathErr("seek", f.path, ErrClosed)
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		if f.synthMode {
+			base = int64(len(f.synthBuf))
+		} else {
+			f.proc.fs.mu.RLock()
+			base = int64(len(f.node.data))
+			f.proc.fs.mu.RUnlock()
+		}
+	default:
+		return 0, pathErr("seek", f.path, ErrInvalid)
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, pathErr("seek", f.path, ErrInvalid)
+	}
+	f.pos = np
+	return np, nil
+}
+
+// Truncate resizes the file.
+func (f *File) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return pathErr("truncate", f.path, ErrClosed)
+	}
+	if f.flags&(O_WRONLY|O_RDWR) == 0 {
+		return pathErr("truncate", f.path, ErrBadHandle)
+	}
+	if f.synthMode {
+		if size <= int64(len(f.synthBuf)) {
+			f.synthBuf = f.synthBuf[:size]
+		} else {
+			f.synthBuf = append(f.synthBuf, make([]byte, size-int64(len(f.synthBuf)))...)
+		}
+		f.wrote = true
+		return nil
+	}
+	fs := f.proc.fs
+	fs.mu.Lock()
+	if size <= int64(len(f.node.data)) {
+		f.node.data = f.node.data[:size]
+	} else {
+		f.node.data = append(f.node.data, make([]byte, size-int64(len(f.node.data)))...)
+	}
+	f.node.touchM(fs.clock())
+	fs.mu.Unlock()
+	fs.watches.dispatch([]Event{{Op: OpWrite, Path: f.path}})
+	return nil
+}
+
+// Stat describes the open file.
+func (f *File) Stat() (Stat, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return Stat{}, pathErr("stat", f.path, ErrClosed)
+	}
+	f.proc.fs.mu.RLock()
+	defer f.proc.fs.mu.RUnlock()
+	return statOf(f.node, Base(f.path)), nil
+}
+
+// Close releases the handle. For synthetic files opened for writing this
+// is the moment the buffered content is handed to the Write hook; for
+// regular files a CloseWrite event fires if the handle wrote, which is
+// what fanotify-style consumers (drivers) key on.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return pathErr("close", f.path, ErrClosed)
+	}
+	f.closed = true
+	if f.synthMode && f.wrote {
+		if f.node.synth.Write == nil {
+			return pathErr("close", f.path, ErrPerm)
+		}
+		if err := f.node.synth.Write(f.synthBuf); err != nil {
+			return pathErr("close", f.path, err)
+		}
+	}
+	if f.wrote {
+		f.proc.fs.watches.dispatch([]Event{{Op: OpCloseWrite, Path: f.path}})
+	}
+	return nil
+}
+
+// ReadFile returns the content of the file at path.
+func (p *Proc) ReadFile(path string) ([]byte, error) {
+	f, err := p.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := f.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+// ReadString returns the file content as a whitespace-trimmed string,
+// the natural shape for single-value yanc files like "priority".
+func (p *Proc) ReadString(path string) (string, error) {
+	b, err := p.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return trimSpace(string(b)), nil
+}
+
+func trimSpace(s string) string {
+	start, end := 0, len(s)
+	for start < end && (s[start] == ' ' || s[start] == '\n' || s[start] == '\t' || s[start] == '\r') {
+		start++
+	}
+	for end > start && (s[end-1] == ' ' || s[end-1] == '\n' || s[end-1] == '\t' || s[end-1] == '\r') {
+		end--
+	}
+	return s[start:end]
+}
+
+// WriteFile creates or truncates path with data.
+func (p *Proc) WriteFile(path string, data []byte, mode FileMode) error {
+	f, err := p.OpenFile(path, O_WRONLY|O_CREATE|O_TRUNC, mode)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteString writes a string to path, creating it if needed ("echo 1 >
+// port_2/config.port_down").
+func (p *Proc) WriteString(path, s string) error {
+	return p.WriteFile(path, []byte(s), 0o644)
+}
+
+// AppendFile appends data to path, creating it if needed.
+func (p *Proc) AppendFile(path string, data []byte, mode FileMode) error {
+	f, err := p.OpenFile(path, O_WRONLY|O_CREATE|O_APPEND, mode)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,693 @@
+// Package vfs implements an in-memory POSIX-like virtual file system: the
+// substrate yanc needs in place of the Linux VFS + FUSE. It provides
+// inodes, directories, regular files, symbolic links, hard links, rename,
+// Unix permissions, extended attributes, inotify-style watches, synthetic
+// (procfs-like) files, and semantic-directory hooks that let the yanc
+// layer auto-create typed children on mkdir(), exactly as §3.1 of the
+// paper describes.
+//
+// The API is deliberately syscall-shaped (Mkdir, Create, Open, Rename,
+// Symlink, Stat, ...) and every call is counted, because the paper's §8.1
+// performance argument is about the number of such calls.
+package vfs
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxSymlinkHops bounds symlink resolution, mirroring Linux's ELOOP limit.
+const maxSymlinkHops = 40
+
+// Synthetic makes a file behave like a procfs entry: content is produced
+// on open-for-read and consumed on close-after-write. Either func may be
+// nil, making the file write-only or read-only respectively.
+type Synthetic struct {
+	Read  func() ([]byte, error)
+	Write func(data []byte) error
+}
+
+// DirSemantics attaches yanc object behaviour to a directory. Hooks run
+// with the tree lock held and must only touch the tree through the Tx they
+// are handed.
+type DirSemantics struct {
+	// OnMkdir runs after a child directory of this directory was created.
+	// yanc uses it to populate typed children ("mkdir views/new_view"
+	// also creates hosts/, switches/, views/).
+	OnMkdir func(tx *Tx, dir, name string) error
+	// OnCreate runs after a child regular file was created.
+	OnCreate func(tx *Tx, dir, name string) error
+	// OnRemove runs after a child was removed (for either rmdir or unlink).
+	OnRemove func(tx *Tx, dir, name string, kind NodeKind)
+	// ValidateSymlink vets a symlink created in this directory; yanc uses
+	// it to enforce that a port's "peer" link points at another port.
+	ValidateSymlink func(tx *Tx, dir, name, target string) error
+	// RecursiveRmdir permits rmdir on non-empty child directories,
+	// removing the subtree ("the rmdir() call for switches is
+	// automatically recursive").
+	RecursiveRmdir bool
+	// Protected children cannot be removed or renamed by non-root.
+	Protected map[string]bool
+}
+
+type inode struct {
+	ino     uint64
+	kind    NodeKind
+	mode    FileMode
+	uid     int
+	gid     int
+	nlink   int
+	atime   time.Time
+	mtime   time.Time
+	ctime   time.Time
+	version uint64
+	xattrs  map[string][]byte
+
+	// Directory state. parent/name give directories a unique path;
+	// regular files may have multiple names via hard links.
+	children map[string]*inode
+	parent   *inode
+	name     string
+	sem      *DirSemantics
+
+	// File state.
+	data  []byte
+	synth *Synthetic
+
+	// Symlink state.
+	target string
+}
+
+func (n *inode) isDir() bool { return n.kind == KindDir }
+
+// touchC updates ctime and version (metadata change).
+func (n *inode) touchC(now time.Time) {
+	n.ctime = now
+	n.version++
+}
+
+// touchM updates mtime+ctime and version (content change).
+func (n *inode) touchM(now time.Time) {
+	n.mtime = now
+	n.ctime = now
+	n.version++
+}
+
+// OpStats counts VFS entry points, the in-process analog of the system
+// calls (and thus context switches) §8.1 of the paper is concerned with.
+type OpStats struct {
+	Lookups  uint64
+	Opens    uint64
+	Reads    uint64
+	Writes   uint64
+	Creates  uint64
+	Removes  uint64
+	Renames  uint64
+	Stats    uint64
+	Links    uint64
+	Attrs    uint64
+	ReadDirs uint64
+	Watches  uint64
+}
+
+// Total returns the total number of counted entry points — the in-process
+// stand-in for system calls / context switches in §8.1's cost model.
+// Per-component Lookups are excluded: path resolution happens inside the
+// "kernel" and does not cross the boundary on its own.
+func (s OpStats) Total() uint64 {
+	return s.Opens + s.Reads + s.Writes + s.Creates + s.Removes +
+		s.Renames + s.Stats + s.Links + s.Attrs + s.ReadDirs + s.Watches
+}
+
+type statCounters struct {
+	lookups, opens, reads, writes, creates, removes atomic.Uint64
+	renames, stats, links, attrs, readdirs, watches atomic.Uint64
+}
+
+func (c *statCounters) snapshot() OpStats {
+	return OpStats{
+		Lookups:  c.lookups.Load(),
+		Opens:    c.opens.Load(),
+		Reads:    c.reads.Load(),
+		Writes:   c.writes.Load(),
+		Creates:  c.creates.Load(),
+		Removes:  c.removes.Load(),
+		Renames:  c.renames.Load(),
+		Stats:    c.stats.Load(),
+		Links:    c.links.Load(),
+		Attrs:    c.attrs.Load(),
+		ReadDirs: c.readdirs.Load(),
+		Watches:  c.watches.Load(),
+	}
+}
+
+// FS is a single in-memory file system instance.
+type FS struct {
+	mu      sync.RWMutex
+	root    *inode
+	nextIno atomic.Uint64
+	clock   func() time.Time
+	watches watchSet
+	stats   statCounters
+}
+
+// New creates an empty file system whose root is owned by root:root with
+// mode 0755.
+func New() *FS {
+	fs := &FS{clock: time.Now}
+	fs.root = fs.newInode(KindDir, 0o755, 0, 0)
+	fs.root.name = "/"
+	return fs
+}
+
+// SetClock replaces the time source (tests use a fake clock).
+func (fs *FS) SetClock(clock func() time.Time) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.clock = clock
+}
+
+// Stats returns a snapshot of the operation counters.
+func (fs *FS) Stats() OpStats { return fs.stats.snapshot() }
+
+func (fs *FS) newInode(kind NodeKind, mode FileMode, uid, gid int) *inode {
+	now := fs.clock()
+	n := &inode{
+		ino:   fs.nextIno.Add(1),
+		kind:  kind,
+		mode:  mode,
+		uid:   uid,
+		gid:   gid,
+		nlink: 1,
+		atime: now,
+		mtime: now,
+		ctime: now,
+	}
+	if kind == KindDir {
+		n.children = make(map[string]*inode)
+		n.nlink = 2
+	}
+	return n
+}
+
+// splitPath cleans a slash-separated path into components, dropping empty
+// and "." segments. ".." is kept and handled during resolution.
+func splitPath(path string) []string {
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		if p == "" || p == "." {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Clean normalizes a path to an absolute, "/"-rooted form without "." or
+// ".." components (".." above the root clamps to the root).
+func Clean(path string) string {
+	var stack []string
+	for _, p := range splitPath(path) {
+		if p == ".." {
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+			continue
+		}
+		stack = append(stack, p)
+	}
+	return "/" + strings.Join(stack, "/")
+}
+
+// Base returns the last element of path.
+func Base(path string) string {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return "/"
+	}
+	return parts[len(parts)-1]
+}
+
+// Dir returns all but the last element of path.
+func Dir(path string) string {
+	parts := splitPath(path)
+	if len(parts) <= 1 {
+		return "/"
+	}
+	return "/" + strings.Join(parts[:len(parts)-1], "/")
+}
+
+// Join joins path elements with slashes and cleans the result.
+func Join(elem ...string) string {
+	return Clean(strings.Join(elem, "/"))
+}
+
+// pathOf reconstructs the absolute path of a directory (directories have
+// unique parents). Must be called with the lock held.
+func pathOf(n *inode) string {
+	if n.parent == nil {
+		return "/"
+	}
+	var parts []string
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		parts = append(parts, cur.name)
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// resolveOpts controls path resolution.
+type resolveOpts struct {
+	followLast bool   // follow a symlink in the final component
+	root       *inode // resolution root ("" = fs.root); namespaces set this
+}
+
+// resolve walks path from root, enforcing exec permission on every
+// directory traversed, following symlinks (up to maxSymlinkHops). It
+// returns the parent directory, the final name, and the node itself (nil
+// if the final component does not exist). Lock must be held.
+func (fs *FS) resolve(cred Cred, path string, opt resolveOpts) (parent *inode, name string, node *inode, err error) {
+	root := opt.root
+	if root == nil {
+		root = fs.root
+	}
+	hops := 0
+	var walk func(dir *inode, parts []string) (*inode, string, *inode, error)
+	walk = func(dir *inode, parts []string) (*inode, string, *inode, error) {
+		cur := dir
+		for i := 0; i < len(parts); i++ {
+			p := parts[i]
+			if !cur.isDir() {
+				return nil, "", nil, ErrNotDir
+			}
+			if !allows(cur, cred, wantExec) {
+				return nil, "", nil, ErrAccess
+			}
+			if p == ".." {
+				if cur != root && cur.parent != nil {
+					cur = cur.parent
+				}
+				continue
+			}
+			fs.stats.lookups.Add(1)
+			child, ok := cur.children[p]
+			last := i == len(parts)-1
+			if !ok {
+				if last {
+					return cur, p, nil, nil
+				}
+				return nil, "", nil, ErrNotExist
+			}
+			if child.kind == KindSymlink && (!last || opt.followLast) {
+				hops++
+				if hops > maxSymlinkHops {
+					return nil, "", nil, ErrTooManyLinks
+				}
+				tparts := splitPath(child.target)
+				start := cur
+				if strings.HasPrefix(child.target, "/") {
+					start = root
+				}
+				par, nm, nd, werr := walk(start, tparts)
+				if werr != nil {
+					return nil, "", nil, werr
+				}
+				if nd == nil {
+					if last {
+						// Dangling symlink as final component: report the
+						// link's own parent/name so create-through-symlink
+						// lands at the target location.
+						return par, nm, nil, nil
+					}
+					return nil, "", nil, ErrNotExist
+				}
+				if last {
+					return par, nm, nd, nil
+				}
+				cur = nd
+				continue
+			}
+			if last {
+				return cur, p, child, nil
+			}
+			cur = child
+		}
+		// Empty path: the node is the starting directory itself.
+		return cur.parent, cur.name, cur, nil
+	}
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return root.parent, root.name, root, nil
+	}
+	return walk(root, parts)
+}
+
+// Tx is a transactional view of the tree handed to semantic hooks and to
+// the yanc layer for multi-step structural operations that must be atomic
+// with respect to other file-system users. All Tx methods run with the
+// tree lock held and bypass permission checks (they are "kernel code").
+type Tx struct {
+	fs      *FS
+	events  []Event
+	creator Cred
+	hasCred bool
+}
+
+// Creator returns the credential of the process whose operation triggered
+// the current hook (Root when the transaction was opened directly).
+// Semantic-mkdir hooks use it so skeleton entries belong to the user who
+// made the object, the way mkdir(2) ownership works.
+func (tx *Tx) Creator() Cred {
+	if tx.hasCred {
+		return tx.creator
+	}
+	return Root
+}
+
+// WithTx runs fn while holding the tree lock, then delivers the events fn
+// queued. This is the primitive libyanc's batch fastpath builds on.
+func (fs *FS) WithTx(fn func(tx *Tx) error) error {
+	fs.mu.Lock()
+	tx := &Tx{fs: fs}
+	err := fn(tx)
+	events := tx.events
+	fs.mu.Unlock()
+	fs.watches.dispatch(events)
+	return err
+}
+
+// ReadTx runs fn while holding the read lock. fn must not mutate.
+func (fs *FS) ReadTx(fn func(tx *Tx) error) error {
+	fs.mu.RLock()
+	tx := &Tx{fs: fs}
+	err := fn(tx)
+	fs.mu.RUnlock()
+	return err
+}
+
+func (tx *Tx) queue(ev Event) { tx.events = append(tx.events, ev) }
+
+// node resolves path (following symlinks) with root credentials.
+func (tx *Tx) node(path string) (*inode, error) {
+	_, _, n, err := tx.fs.resolve(Root, path, resolveOpts{followLast: true})
+	if err != nil {
+		return nil, err
+	}
+	if n == nil {
+		return nil, ErrNotExist
+	}
+	return n, nil
+}
+
+// Exists reports whether path resolves to a node.
+func (tx *Tx) Exists(path string) bool {
+	n, err := tx.node(path)
+	return err == nil && n != nil
+}
+
+// IsDir reports whether path resolves to a directory.
+func (tx *Tx) IsDir(path string) bool {
+	n, err := tx.node(path)
+	return err == nil && n != nil && n.isDir()
+}
+
+// Mkdir creates a directory. Parent hooks are NOT invoked (hooks create
+// structure themselves and must not recurse).
+func (tx *Tx) Mkdir(path string, mode FileMode, uid, gid int) error {
+	parent, name, node, err := tx.fs.resolve(Root, path, resolveOpts{})
+	if err != nil {
+		return pathErr("mkdir", path, err)
+	}
+	if node != nil {
+		return pathErr("mkdir", path, ErrExist)
+	}
+	d := tx.fs.newInode(KindDir, mode, uid, gid)
+	d.parent = parent
+	d.name = name
+	parent.children[name] = d
+	parent.nlink++
+	parent.touchM(tx.fs.clock())
+	tx.queue(Event{Op: OpCreate, Path: Join(pathOf(parent), name), IsDir: true})
+	return nil
+}
+
+// MkdirAll creates path and any missing parents.
+func (tx *Tx) MkdirAll(path string, mode FileMode, uid, gid int) error {
+	parts := splitPath(path)
+	cur := "/"
+	for _, p := range parts {
+		cur = Join(cur, p)
+		if tx.Exists(cur) {
+			continue
+		}
+		if err := tx.Mkdir(cur, mode, uid, gid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile creates or replaces a regular file's content.
+func (tx *Tx) WriteFile(path string, data []byte, mode FileMode, uid, gid int) error {
+	parent, name, node, err := tx.fs.resolve(Root, path, resolveOpts{followLast: true})
+	if err != nil {
+		return pathErr("write", path, err)
+	}
+	now := tx.fs.clock()
+	if node == nil {
+		f := tx.fs.newInode(KindFile, mode, uid, gid)
+		f.data = append([]byte(nil), data...)
+		parent.children[name] = f
+		parent.touchM(now)
+		full := Join(pathOf(parent), name)
+		tx.queue(Event{Op: OpCreate, Path: full})
+		tx.queue(Event{Op: OpWrite, Path: full})
+		return nil
+	}
+	if node.isDir() {
+		return pathErr("write", path, ErrIsDir)
+	}
+	node.data = append(node.data[:0], data...)
+	node.touchM(now)
+	tx.queue(Event{Op: OpWrite, Path: Join(pathOf(parent), name)})
+	return nil
+}
+
+// ReadFile returns a copy of a file's content.
+func (tx *Tx) ReadFile(path string) ([]byte, error) {
+	n, err := tx.node(path)
+	if err != nil {
+		return nil, pathErr("read", path, err)
+	}
+	if n.isDir() {
+		return nil, pathErr("read", path, ErrIsDir)
+	}
+	if n.synth != nil && n.synth.Read != nil {
+		return n.synth.Read()
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+// Symlink creates a symbolic link without semantic validation.
+func (tx *Tx) Symlink(target, linkPath string, uid, gid int) error {
+	parent, name, node, err := tx.fs.resolve(Root, linkPath, resolveOpts{})
+	if err != nil {
+		return pathErr("symlink", linkPath, err)
+	}
+	if node != nil {
+		return pathErr("symlink", linkPath, ErrExist)
+	}
+	l := tx.fs.newInode(KindSymlink, 0o777, uid, gid)
+	l.target = target
+	parent.children[name] = l
+	parent.touchM(tx.fs.clock())
+	tx.queue(Event{Op: OpCreate, Path: Join(pathOf(parent), name)})
+	return nil
+}
+
+// Remove unlinks a file/symlink or removes a directory subtree.
+func (tx *Tx) Remove(path string) error {
+	parent, name, node, err := tx.fs.resolve(Root, path, resolveOpts{})
+	if err != nil {
+		return pathErr("remove", path, err)
+	}
+	if node == nil {
+		return pathErr("remove", path, ErrNotExist)
+	}
+	tx.fs.unlinkLocked(parent, name, node, tx)
+	return nil
+}
+
+// SetSemantics attaches (or clears) directory semantics.
+func (tx *Tx) SetSemantics(path string, sem *DirSemantics) error {
+	n, err := tx.node(path)
+	if err != nil {
+		return pathErr("semantics", path, err)
+	}
+	if !n.isDir() {
+		return pathErr("semantics", path, ErrNotDir)
+	}
+	n.sem = sem
+	return nil
+}
+
+// SetSynthetic makes (or creates) a synthetic file at path.
+func (tx *Tx) SetSynthetic(path string, synth *Synthetic, mode FileMode, uid, gid int) error {
+	parent, name, node, err := tx.fs.resolve(Root, path, resolveOpts{followLast: true})
+	if err != nil {
+		return pathErr("synthetic", path, err)
+	}
+	if node == nil {
+		f := tx.fs.newInode(KindFile, mode, uid, gid)
+		f.synth = synth
+		parent.children[name] = f
+		parent.touchM(tx.fs.clock())
+		tx.queue(Event{Op: OpCreate, Path: Join(pathOf(parent), name)})
+		return nil
+	}
+	if node.isDir() {
+		return pathErr("synthetic", path, ErrIsDir)
+	}
+	node.synth = synth
+	return nil
+}
+
+// SetXattr sets an extended attribute.
+func (tx *Tx) SetXattr(path, attr string, value []byte) error {
+	n, err := tx.node(path)
+	if err != nil {
+		return pathErr("setxattr", path, err)
+	}
+	if n.xattrs == nil {
+		n.xattrs = make(map[string][]byte)
+	}
+	n.xattrs[attr] = append([]byte(nil), value...)
+	n.touchC(tx.fs.clock())
+	return nil
+}
+
+// GetXattr reads an extended attribute.
+func (tx *Tx) GetXattr(path, attr string) ([]byte, error) {
+	n, err := tx.node(path)
+	if err != nil {
+		return nil, pathErr("getxattr", path, err)
+	}
+	v, ok := n.xattrs[attr]
+	if !ok {
+		return nil, pathErr("getxattr", path, ErrNoAttr)
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Chmod changes permission bits.
+func (tx *Tx) Chmod(path string, mode FileMode) error {
+	n, err := tx.node(path)
+	if err != nil {
+		return pathErr("chmod", path, err)
+	}
+	n.mode = mode
+	n.touchC(tx.fs.clock())
+	tx.queue(Event{Op: OpChmod, Path: Clean(path), IsDir: n.isDir()})
+	return nil
+}
+
+// Chown changes ownership.
+func (tx *Tx) Chown(path string, uid, gid int) error {
+	n, err := tx.node(path)
+	if err != nil {
+		return pathErr("chown", path, err)
+	}
+	n.uid, n.gid = uid, gid
+	n.touchC(tx.fs.clock())
+	tx.queue(Event{Op: OpChmod, Path: Clean(path), IsDir: n.isDir()})
+	return nil
+}
+
+// ReadDir lists a directory in name order.
+func (tx *Tx) ReadDir(path string) ([]DirEntry, error) {
+	n, err := tx.node(path)
+	if err != nil {
+		return nil, pathErr("readdir", path, err)
+	}
+	if !n.isDir() {
+		return nil, pathErr("readdir", path, ErrNotDir)
+	}
+	return listDir(n), nil
+}
+
+// Stat describes the node at path (following symlinks).
+func (tx *Tx) Stat(path string) (Stat, error) {
+	n, err := tx.node(path)
+	if err != nil {
+		return Stat{}, pathErr("stat", path, err)
+	}
+	return statOf(n, Base(path)), nil
+}
+
+func listDir(n *inode) []DirEntry {
+	out := make([]DirEntry, 0, len(n.children))
+	for name, c := range n.children {
+		out = append(out, DirEntry{Name: name, Kind: c.kind, Ino: c.ino})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func statOf(n *inode, name string) Stat {
+	size := int64(len(n.data))
+	if n.isDir() {
+		size = int64(len(n.children))
+	}
+	return Stat{
+		Ino:     n.ino,
+		Kind:    n.kind,
+		Mode:    n.mode,
+		UID:     n.uid,
+		GID:     n.gid,
+		Nlink:   n.nlink,
+		Size:    size,
+		Atime:   n.atime,
+		Mtime:   n.mtime,
+		Ctime:   n.ctime,
+		Name:    name,
+		Target:  n.target,
+		Version: n.version,
+	}
+}
+
+// unlinkLocked removes node (recursively for directories) from parent and
+// queues Remove events. Lock must be held.
+func (fs *FS) unlinkLocked(parent *inode, name string, node *inode, tx *Tx) {
+	full := Join(pathOf(parent), name)
+	if node.isDir() {
+		for cname, c := range node.children {
+			fs.unlinkLocked(node, cname, c, tx)
+		}
+		parent.nlink--
+	}
+	delete(parent.children, name)
+	node.nlink--
+	node.parent = nil
+	parent.touchM(fs.clock())
+	tx.queue(Event{Op: OpRemove, Path: full, IsDir: node.isDir()})
+	if parent.sem != nil && parent.sem.OnRemove != nil {
+		parent.sem.OnRemove(tx, pathOf(parent), name, node.kind)
+	}
+}
+
+// errIsAny reports whether err wraps any of the targets.
+func errIsAny(err error, targets ...error) bool {
+	for _, t := range targets {
+		if errors.Is(err, t) {
+			return true
+		}
+	}
+	return false
+}

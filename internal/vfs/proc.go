@@ -1,0 +1,661 @@
+package vfs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Limiter is charged for every operation a Proc performs. The namespace
+// package implements cgroup-style accounting and rate limits on top of
+// it; a nil Limiter means unlimited.
+type Limiter interface {
+	// Charge records one operation of the named kind moving n bytes.
+	// Returning an error aborts the operation with ErrQuota semantics.
+	Charge(op string, n int) error
+}
+
+// Proc is a process's view of a file system: a credential, a root
+// directory (which a namespace may pin to a subtree, the chroot/mount-
+// namespace analog from §5.3), and an optional resource limiter.
+type Proc struct {
+	fs      *FS
+	cred    Cred
+	root    *inode
+	limiter Limiter
+}
+
+// Proc returns a process context with the given credential rooted at the
+// file system root.
+func (fs *FS) Proc(cred Cred) *Proc {
+	return &Proc{fs: fs, cred: cred, root: fs.root}
+}
+
+// RootProc returns a superuser process context.
+func (fs *FS) RootProc() *Proc { return fs.Proc(Root) }
+
+// FS returns the underlying file system.
+func (p *Proc) FS() *FS { return p.fs }
+
+// Cred returns the process credential.
+func (p *Proc) Cred() Cred { return p.cred }
+
+// WithCred returns a Proc sharing this Proc's root but a new credential.
+func (p *Proc) WithCred(cred Cred) *Proc {
+	return &Proc{fs: p.fs, cred: cred, root: p.root, limiter: p.limiter}
+}
+
+// WithLimiter returns a Proc with resource accounting attached.
+func (p *Proc) WithLimiter(l Limiter) *Proc {
+	return &Proc{fs: p.fs, cred: p.cred, root: p.root, limiter: l}
+}
+
+// Chroot returns a Proc whose root is pinned to the subtree at path. Path
+// resolution (including absolute symlink targets and "..") cannot escape
+// it — the isolation primitive views and slices rely on.
+func (p *Proc) Chroot(path string) (*Proc, error) {
+	p.fs.mu.RLock()
+	defer p.fs.mu.RUnlock()
+	_, _, n, err := p.fs.resolve(p.cred, path, resolveOpts{followLast: true, root: p.root})
+	if err != nil {
+		return nil, pathErr("chroot", path, err)
+	}
+	if n == nil {
+		return nil, pathErr("chroot", path, ErrNotExist)
+	}
+	if !n.isDir() {
+		return nil, pathErr("chroot", path, ErrNotDir)
+	}
+	return &Proc{fs: p.fs, cred: p.cred, root: n, limiter: p.limiter}, nil
+}
+
+// realPath reconstructs the root-absolute path of a resolved (parent,
+// name) pair; events must carry real paths regardless of the caller's
+// namespace.
+func realPath(parent *inode, name string) string {
+	if parent == nil {
+		return "/"
+	}
+	return Join(pathOf(parent), name)
+}
+
+func (p *Proc) charge(op string, n int) error {
+	if p.limiter == nil {
+		return nil
+	}
+	if err := p.limiter.Charge(op, n); err != nil {
+		return pathErr(op, "", ErrQuota)
+	}
+	return nil
+}
+
+// opts returns resolution options for this Proc.
+func (p *Proc) opts(followLast bool) resolveOpts {
+	return resolveOpts{followLast: followLast, root: p.root}
+}
+
+// Mkdir creates a directory and fires the parent's OnMkdir semantics, so
+// creating a yanc object directory automatically populates its typed
+// children (§3.1).
+func (p *Proc) Mkdir(path string, mode FileMode) error {
+	if err := p.charge("mkdir", 0); err != nil {
+		return err
+	}
+	p.fs.stats.creates.Add(1)
+	fs := p.fs
+	fs.mu.Lock()
+	tx := &Tx{fs: fs}
+	err := p.mkdirLocked(tx, path, mode)
+	events := tx.events
+	fs.mu.Unlock()
+	fs.watches.dispatch(events)
+	return err
+}
+
+func (p *Proc) mkdirLocked(tx *Tx, path string, mode FileMode) error {
+	parent, name, node, err := p.fs.resolve(p.cred, path, p.opts(false))
+	if err != nil {
+		return pathErr("mkdir", path, err)
+	}
+	if node != nil {
+		return pathErr("mkdir", path, ErrExist)
+	}
+	if !allows(parent, p.cred, wantWrite) {
+		return pathErr("mkdir", path, ErrAccess)
+	}
+	d := p.fs.newInode(KindDir, mode.Perm(), p.cred.UID, p.cred.GID)
+	d.parent = parent
+	d.name = name
+	parent.children[name] = d
+	parent.nlink++
+	parent.touchM(p.fs.clock())
+	tx.queue(Event{Op: OpCreate, Path: Join(pathOf(parent), name), IsDir: true})
+	if parent.sem != nil && parent.sem.OnMkdir != nil {
+		tx.creator = p.cred
+		tx.hasCred = true
+		if err := parent.sem.OnMkdir(tx, pathOf(parent), name); err != nil {
+			// Semantic veto: roll the directory back out.
+			delete(parent.children, name)
+			parent.nlink--
+			tx.events = tx.events[:0]
+			return pathErr("mkdir", path, err)
+		}
+	}
+	return nil
+}
+
+// MkdirAll creates path and any missing parents (like mkdir -p).
+func (p *Proc) MkdirAll(path string, mode FileMode) error {
+	parts := splitPath(path)
+	cur := "/"
+	for _, part := range parts {
+		cur = Join(cur, part)
+		err := p.Mkdir(cur, mode)
+		if err != nil && !errIsAny(err, ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Symlink creates a symbolic link, subject to the containing directory's
+// ValidateSymlink semantics (yanc rejects a port "peer" link that does not
+// point at another port).
+func (p *Proc) Symlink(target, linkPath string) error {
+	if err := p.charge("symlink", 0); err != nil {
+		return err
+	}
+	p.fs.stats.links.Add(1)
+	fs := p.fs
+	fs.mu.Lock()
+	tx := &Tx{fs: fs}
+	err := func() error {
+		parent, name, node, err := fs.resolve(p.cred, linkPath, p.opts(false))
+		if err != nil {
+			return pathErr("symlink", linkPath, err)
+		}
+		if node != nil {
+			return pathErr("symlink", linkPath, ErrExist)
+		}
+		if !allows(parent, p.cred, wantWrite) {
+			return pathErr("symlink", linkPath, ErrAccess)
+		}
+		if parent.sem != nil && parent.sem.ValidateSymlink != nil {
+			if verr := parent.sem.ValidateSymlink(tx, pathOf(parent), name, target); verr != nil {
+				return pathErr("symlink", linkPath, verr)
+			}
+		}
+		l := fs.newInode(KindSymlink, 0o777, p.cred.UID, p.cred.GID)
+		l.target = target
+		parent.children[name] = l
+		parent.touchM(fs.clock())
+		tx.queue(Event{Op: OpCreate, Path: Join(pathOf(parent), name)})
+		return nil
+	}()
+	events := tx.events
+	fs.mu.Unlock()
+	fs.watches.dispatch(events)
+	return err
+}
+
+// Readlink returns the target of a symbolic link.
+func (p *Proc) Readlink(path string) (string, error) {
+	p.fs.stats.stats.Add(1)
+	p.fs.mu.RLock()
+	defer p.fs.mu.RUnlock()
+	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(false))
+	if err != nil {
+		return "", pathErr("readlink", path, err)
+	}
+	if n == nil {
+		return "", pathErr("readlink", path, ErrNotExist)
+	}
+	if n.kind != KindSymlink {
+		return "", pathErr("readlink", path, ErrInvalid)
+	}
+	return n.target, nil
+}
+
+// Link creates a hard link to a regular file.
+func (p *Proc) Link(oldPath, newPath string) error {
+	if err := p.charge("link", 0); err != nil {
+		return err
+	}
+	p.fs.stats.links.Add(1)
+	fs := p.fs
+	fs.mu.Lock()
+	tx := &Tx{fs: fs}
+	err := func() error {
+		_, _, src, err := fs.resolve(p.cred, oldPath, p.opts(true))
+		if err != nil {
+			return &LinkError{Op: "link", Old: oldPath, New: newPath, Err: err}
+		}
+		if src == nil {
+			return &LinkError{Op: "link", Old: oldPath, New: newPath, Err: ErrNotExist}
+		}
+		if src.isDir() {
+			return &LinkError{Op: "link", Old: oldPath, New: newPath, Err: ErrPerm}
+		}
+		parent, name, node, err := fs.resolve(p.cred, newPath, p.opts(false))
+		if err != nil {
+			return &LinkError{Op: "link", Old: oldPath, New: newPath, Err: err}
+		}
+		if node != nil {
+			return &LinkError{Op: "link", Old: oldPath, New: newPath, Err: ErrExist}
+		}
+		if !allows(parent, p.cred, wantWrite) {
+			return &LinkError{Op: "link", Old: oldPath, New: newPath, Err: ErrAccess}
+		}
+		parent.children[name] = src
+		src.nlink++
+		src.touchC(fs.clock())
+		parent.touchM(fs.clock())
+		tx.queue(Event{Op: OpCreate, Path: Join(pathOf(parent), name)})
+		return nil
+	}()
+	events := tx.events
+	fs.mu.Unlock()
+	fs.watches.dispatch(events)
+	return err
+}
+
+// Remove unlinks a file or symlink, or removes a directory. Directories
+// must be empty unless the parent's semantics set RecursiveRmdir (§3.2:
+// "the rmdir() call for switches is automatically recursive").
+func (p *Proc) Remove(path string) error {
+	if err := p.charge("remove", 0); err != nil {
+		return err
+	}
+	p.fs.stats.removes.Add(1)
+	fs := p.fs
+	fs.mu.Lock()
+	tx := &Tx{fs: fs}
+	err := func() error {
+		parent, name, node, err := fs.resolve(p.cred, path, p.opts(false))
+		if err != nil {
+			return pathErr("remove", path, err)
+		}
+		if node == nil {
+			return pathErr("remove", path, ErrNotExist)
+		}
+		if parent == nil {
+			return pathErr("remove", path, ErrBusy) // the root itself
+		}
+		if !allows(parent, p.cred, wantWrite) {
+			return pathErr("remove", path, ErrAccess)
+		}
+		if parent.sem != nil && parent.sem.Protected[name] && p.cred.UID != 0 {
+			return pathErr("remove", path, ErrPerm)
+		}
+		if node.isDir() && len(node.children) > 0 {
+			recursive := parent.sem != nil && parent.sem.RecursiveRmdir
+			if !recursive {
+				return pathErr("remove", path, ErrNotEmpty)
+			}
+		}
+		fs.unlinkLocked(parent, name, node, tx)
+		return nil
+	}()
+	events := tx.events
+	fs.mu.Unlock()
+	fs.watches.dispatch(events)
+	return err
+}
+
+// RemoveAll removes path and any children it contains, succeeding
+// trivially if the path does not exist (like os.RemoveAll).
+func (p *Proc) RemoveAll(path string) error {
+	if err := p.charge("remove", 0); err != nil {
+		return err
+	}
+	p.fs.stats.removes.Add(1)
+	fs := p.fs
+	fs.mu.Lock()
+	tx := &Tx{fs: fs}
+	err := func() error {
+		parent, name, node, err := fs.resolve(p.cred, path, p.opts(false))
+		if err != nil {
+			return pathErr("removeall", path, err)
+		}
+		if node == nil {
+			return nil
+		}
+		if parent == nil {
+			return pathErr("removeall", path, ErrBusy)
+		}
+		if !allows(parent, p.cred, wantWrite) {
+			return pathErr("removeall", path, ErrAccess)
+		}
+		fs.unlinkLocked(parent, name, node, tx)
+		return nil
+	}()
+	events := tx.events
+	fs.mu.Unlock()
+	fs.watches.dispatch(events)
+	return err
+}
+
+// Rename moves old to new (within this file system). Directories move
+// with their subtrees; an existing empty target directory or target file
+// is replaced, as rename(2) does.
+func (p *Proc) Rename(oldPath, newPath string) error {
+	if err := p.charge("rename", 0); err != nil {
+		return err
+	}
+	p.fs.stats.renames.Add(1)
+	fs := p.fs
+	fs.mu.Lock()
+	tx := &Tx{fs: fs}
+	err := func() error {
+		lerr := func(err error) error {
+			return &LinkError{Op: "rename", Old: oldPath, New: newPath, Err: err}
+		}
+		oldParent, oldName, node, err := fs.resolve(p.cred, oldPath, p.opts(false))
+		if err != nil {
+			return lerr(err)
+		}
+		if node == nil {
+			return lerr(ErrNotExist)
+		}
+		if oldParent == nil {
+			return lerr(ErrBusy)
+		}
+		newParent, newName, target, err := fs.resolve(p.cred, newPath, p.opts(false))
+		if err != nil {
+			return lerr(err)
+		}
+		if !allows(oldParent, p.cred, wantWrite) || !allows(newParent, p.cred, wantWrite) {
+			return lerr(ErrAccess)
+		}
+		if oldParent.sem != nil && oldParent.sem.Protected[oldName] && p.cred.UID != 0 {
+			return lerr(ErrPerm)
+		}
+		if target == node {
+			return nil
+		}
+		if target != nil {
+			if target.isDir() {
+				if !node.isDir() {
+					return lerr(ErrIsDir)
+				}
+				if len(target.children) > 0 {
+					return lerr(ErrNotEmpty)
+				}
+			} else if node.isDir() {
+				return lerr(ErrNotDir)
+			}
+		}
+		// A directory may not be moved into its own subtree.
+		if node.isDir() {
+			for d := newParent; d != nil; d = d.parent {
+				if d == node {
+					return lerr(ErrInvalid)
+				}
+			}
+		}
+		oldFull := Join(pathOf(oldParent), oldName)
+		if target != nil {
+			fs.unlinkLocked(newParent, newName, target, tx)
+		}
+		delete(oldParent.children, oldName)
+		newParent.children[newName] = node
+		if node.isDir() {
+			oldParent.nlink--
+			newParent.nlink++
+			node.parent = newParent
+			node.name = newName
+		}
+		now := fs.clock()
+		oldParent.touchM(now)
+		newParent.touchM(now)
+		node.touchC(now)
+		newFull := Join(pathOf(newParent), newName)
+		tx.queue(Event{Op: OpRename, Path: oldFull, NewPath: newFull, IsDir: node.isDir()})
+		tx.queue(Event{Op: OpCreate, Path: newFull, IsDir: node.isDir()})
+		return nil
+	}()
+	events := tx.events
+	fs.mu.Unlock()
+	fs.watches.dispatch(events)
+	return err
+}
+
+// Stat describes the node at path, following symlinks.
+func (p *Proc) Stat(path string) (Stat, error) {
+	if err := p.charge("stat", 0); err != nil {
+		return Stat{}, err
+	}
+	p.fs.stats.stats.Add(1)
+	p.fs.mu.RLock()
+	defer p.fs.mu.RUnlock()
+	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(true))
+	if err != nil {
+		return Stat{}, pathErr("stat", path, err)
+	}
+	if n == nil {
+		return Stat{}, pathErr("stat", path, ErrNotExist)
+	}
+	return statOf(n, Base(path)), nil
+}
+
+// Lstat describes the node at path without following a final symlink.
+func (p *Proc) Lstat(path string) (Stat, error) {
+	if err := p.charge("stat", 0); err != nil {
+		return Stat{}, err
+	}
+	p.fs.stats.stats.Add(1)
+	p.fs.mu.RLock()
+	defer p.fs.mu.RUnlock()
+	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(false))
+	if err != nil {
+		return Stat{}, pathErr("lstat", path, err)
+	}
+	if n == nil {
+		return Stat{}, pathErr("lstat", path, ErrNotExist)
+	}
+	return statOf(n, Base(path)), nil
+}
+
+// Exists reports whether path resolves (following symlinks).
+func (p *Proc) Exists(path string) bool {
+	_, err := p.Stat(path)
+	return err == nil
+}
+
+// IsDir reports whether path is a directory.
+func (p *Proc) IsDir(path string) bool {
+	st, err := p.Stat(path)
+	return err == nil && st.IsDir()
+}
+
+// ReadDir lists a directory in name order. Requires read permission.
+func (p *Proc) ReadDir(path string) ([]DirEntry, error) {
+	if err := p.charge("readdir", 0); err != nil {
+		return nil, err
+	}
+	p.fs.stats.readdirs.Add(1)
+	p.fs.mu.RLock()
+	defer p.fs.mu.RUnlock()
+	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(true))
+	if err != nil {
+		return nil, pathErr("readdir", path, err)
+	}
+	if n == nil {
+		return nil, pathErr("readdir", path, ErrNotExist)
+	}
+	if !n.isDir() {
+		return nil, pathErr("readdir", path, ErrNotDir)
+	}
+	if !allows(n, p.cred, wantRead) {
+		return nil, pathErr("readdir", path, ErrAccess)
+	}
+	return listDir(n), nil
+}
+
+// Chmod changes permission bits; only the owner or root may do so.
+func (p *Proc) Chmod(path string, mode FileMode) error {
+	if err := p.charge("chmod", 0); err != nil {
+		return err
+	}
+	p.fs.stats.attrs.Add(1)
+	fs := p.fs
+	fs.mu.Lock()
+	tx := &Tx{fs: fs}
+	err := func() error {
+		parent, name, n, err := fs.resolve(p.cred, path, p.opts(true))
+		if err != nil {
+			return pathErr("chmod", path, err)
+		}
+		if n == nil {
+			return pathErr("chmod", path, ErrNotExist)
+		}
+		if p.cred.UID != 0 && p.cred.UID != n.uid {
+			return pathErr("chmod", path, ErrPerm)
+		}
+		n.mode = mode
+		n.touchC(fs.clock())
+		tx.queue(Event{Op: OpChmod, Path: realPath(parent, name), IsDir: n.isDir()})
+		return nil
+	}()
+	events := tx.events
+	fs.mu.Unlock()
+	fs.watches.dispatch(events)
+	return err
+}
+
+// Chown changes ownership; only root may change the owner.
+func (p *Proc) Chown(path string, uid, gid int) error {
+	if err := p.charge("chown", 0); err != nil {
+		return err
+	}
+	p.fs.stats.attrs.Add(1)
+	fs := p.fs
+	fs.mu.Lock()
+	tx := &Tx{fs: fs}
+	err := func() error {
+		parent, name, n, err := fs.resolve(p.cred, path, p.opts(true))
+		if err != nil {
+			return pathErr("chown", path, err)
+		}
+		if n == nil {
+			return pathErr("chown", path, ErrNotExist)
+		}
+		if p.cred.UID != 0 {
+			return pathErr("chown", path, ErrPerm)
+		}
+		n.uid, n.gid = uid, gid
+		n.touchC(fs.clock())
+		tx.queue(Event{Op: OpChmod, Path: realPath(parent, name), IsDir: n.isDir()})
+		return nil
+	}()
+	events := tx.events
+	fs.mu.Unlock()
+	fs.watches.dispatch(events)
+	return err
+}
+
+// WalkFunc visits a path during Walk. Returning SkipDir skips a
+// directory's children.
+type WalkFunc func(path string, st Stat) error
+
+// SkipDir is the WalkFunc sentinel to skip a directory subtree.
+var SkipDir = &PathError{Op: "walk", Path: "", Err: ErrInvalid}
+
+// Walk traverses the tree depth-first in name order starting at root,
+// calling fn for every visitable node. Symlinks are reported, not
+// followed (matching filepath.Walk).
+func (p *Proc) Walk(root string, fn WalkFunc) error {
+	st, err := p.Lstat(root)
+	if err != nil {
+		return err
+	}
+	return p.walk(Clean(root), st, fn)
+}
+
+func (p *Proc) walk(path string, st Stat, fn WalkFunc) error {
+	err := fn(path, st)
+	if err == SkipDir {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if !st.IsDir() {
+		return nil
+	}
+	entries, err := p.ReadDir(path)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		child := Join(path, e.Name)
+		cst, err := p.Lstat(child)
+		if err != nil {
+			continue // removed concurrently
+		}
+		if err := p.walk(child, cst, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Glob returns paths matching a shell pattern with "*" wildcards in any
+// component (no "**"). The pattern must be absolute.
+func (p *Proc) Glob(pattern string) ([]string, error) {
+	parts := splitPath(pattern)
+	cur := []string{"/"}
+	for _, part := range parts {
+		var next []string
+		for _, dir := range cur {
+			if !strings.ContainsAny(part, "*?[") {
+				cand := Join(dir, part)
+				if _, err := p.Lstat(cand); err == nil {
+					next = append(next, cand)
+				}
+				continue
+			}
+			entries, err := p.ReadDir(dir)
+			if err != nil {
+				continue
+			}
+			for _, e := range entries {
+				if ok, _ := matchPattern(part, e.Name); ok {
+					next = append(next, Join(dir, e.Name))
+				}
+			}
+		}
+		cur = next
+	}
+	sort.Strings(cur)
+	return cur, nil
+}
+
+// matchPattern implements a small glob: '*' any run, '?' any char.
+func matchPattern(pattern, name string) (bool, error) {
+	var match func(p, s string) bool
+	match = func(p, s string) bool {
+		for len(p) > 0 {
+			switch p[0] {
+			case '*':
+				for i := 0; i <= len(s); i++ {
+					if match(p[1:], s[i:]) {
+						return true
+					}
+				}
+				return false
+			case '?':
+				if len(s) == 0 {
+					return false
+				}
+				p, s = p[1:], s[1:]
+			default:
+				if len(s) == 0 || s[0] != p[0] {
+					return false
+				}
+				p, s = p[1:], s[1:]
+			}
+		}
+		return len(s) == 0
+	}
+	return match(pattern, name), nil
+}

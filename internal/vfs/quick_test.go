@@ -1,0 +1,358 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickCleanProperties checks the algebra of path normalization.
+func TestQuickCleanProperties(t *testing.T) {
+	gen := func(r *rand.Rand) string {
+		parts := []string{"", ".", "..", "a", "b", "c", "dir", "file.txt"}
+		n := r.Intn(8)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte('/')
+			sb.WriteString(parts[r.Intn(len(parts))])
+		}
+		return sb.String()
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	// Clean is idempotent.
+	if err := quick.Check(func(seed int64) bool {
+		p := gen(rand.New(rand.NewSource(seed)))
+		return Clean(Clean(p)) == Clean(p)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Clean output is absolute and contains no "." or ".." components.
+	if err := quick.Check(func(seed int64) bool {
+		c := Clean(gen(rand.New(rand.NewSource(seed))))
+		if !strings.HasPrefix(c, "/") {
+			return false
+		}
+		for _, part := range strings.Split(c, "/") {
+			if part == "." || part == ".." {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Join(Dir(p), Base(p)) == p for cleaned non-root paths.
+	if err := quick.Check(func(seed int64) bool {
+		p := Clean(gen(rand.New(rand.NewSource(seed))))
+		if p == "/" {
+			return true
+		}
+		return Join(Dir(p), Base(p)) == p
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// treeModel is the reference model: a flat map of cleaned paths.
+type treeModel struct {
+	dirs  map[string]bool
+	files map[string]string
+}
+
+func newTreeModel() *treeModel {
+	return &treeModel{dirs: map[string]bool{"/": true}, files: map[string]string{}}
+}
+
+func (m *treeModel) parentExists(p string) bool { return m.dirs[Dir(p)] }
+
+func (m *treeModel) exists(p string) bool {
+	_, f := m.files[p]
+	return m.dirs[p] || f
+}
+
+func (m *treeModel) hasChildren(p string) bool {
+	prefix := p + "/"
+	for d := range m.dirs {
+		if strings.HasPrefix(d, prefix) {
+			return true
+		}
+	}
+	for f := range m.files {
+		if strings.HasPrefix(f, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestQuickTreeModel runs random operation sequences against both the
+// VFS and a trivial model and checks they agree — the core correctness
+// property of the substrate everything else builds on.
+func TestQuickTreeModel(t *testing.T) {
+	const ops = 3000
+	r := rand.New(rand.NewSource(42))
+	fs := New()
+	p := fs.RootProc()
+	model := newTreeModel()
+
+	paths := func() []string {
+		// A small universe of paths so operations collide often.
+		names := []string{"a", "b", "c"}
+		var out []string
+		for _, x := range names {
+			out = append(out, "/"+x)
+			for _, y := range names {
+				out = append(out, "/"+x+"/"+y)
+				for _, z := range names {
+					out = append(out, "/"+x+"/"+y+"/"+z)
+				}
+			}
+		}
+		return out
+	}()
+	pick := func() string { return paths[r.Intn(len(paths))] }
+
+	for i := 0; i < ops; i++ {
+		switch r.Intn(6) {
+		case 0: // mkdir
+			path := pick()
+			err := p.Mkdir(path, 0o755)
+			wantOK := model.parentExists(path) && !model.exists(path)
+			if (err == nil) != wantOK {
+				t.Fatalf("op %d mkdir %s: err=%v wantOK=%v", i, path, err, wantOK)
+			}
+			if err == nil {
+				model.dirs[path] = true
+			}
+		case 1: // write file
+			path := pick()
+			content := fmt.Sprintf("v%d", i)
+			err := p.WriteString(path, content)
+			wantOK := model.parentExists(path) && !model.dirs[path]
+			if (err == nil) != wantOK {
+				t.Fatalf("op %d write %s: err=%v wantOK=%v", i, path, err, wantOK)
+			}
+			if err == nil {
+				model.files[path] = content
+			}
+		case 2: // read file
+			path := pick()
+			got, err := p.ReadString(path)
+			want, isFile := model.files[path]
+			if isFile {
+				if err != nil || got != want {
+					t.Fatalf("op %d read %s: got %q,%v want %q", i, path, got, err, want)
+				}
+			} else if err == nil && !model.dirs[path] {
+				t.Fatalf("op %d read %s: unexpectedly succeeded", i, path)
+			}
+		case 3: // remove
+			path := pick()
+			err := p.Remove(path)
+			var wantOK bool
+			switch {
+			case model.files[path] != "":
+				wantOK = true
+			case model.dirs[path]:
+				wantOK = !model.hasChildren(path)
+			default:
+				wantOK = false
+			}
+			if (err == nil) != wantOK {
+				t.Fatalf("op %d remove %s: err=%v wantOK=%v (children=%v)",
+					i, path, err, wantOK, model.hasChildren(path))
+			}
+			if err == nil {
+				delete(model.dirs, path)
+				delete(model.files, path)
+			}
+		case 4: // stat agreement
+			path := pick()
+			st, err := p.Stat(path)
+			switch {
+			case model.dirs[path]:
+				if err != nil || !st.IsDir() {
+					t.Fatalf("op %d stat dir %s: %+v %v", i, path, st, err)
+				}
+			case model.files[path] != "":
+				if err != nil || st.IsDir() {
+					t.Fatalf("op %d stat file %s: %+v %v", i, path, st, err)
+				}
+			default:
+				// ENOENT normally; ENOTDIR when an ancestor component is
+				// a regular file, matching POSIX.
+				if !errors.Is(err, ErrNotExist) && !errors.Is(err, ErrNotDir) {
+					t.Fatalf("op %d stat missing %s: %v", i, path, err)
+				}
+			}
+		case 5: // readdir agreement
+			path := pick()
+			entries, err := p.ReadDir(path)
+			if !model.dirs[path] {
+				if err == nil {
+					t.Fatalf("op %d readdir non-dir %s succeeded", i, path)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("op %d readdir %s: %v", i, path, err)
+			}
+			want := map[string]bool{}
+			prefix := path + "/"
+			if path == "/" {
+				prefix = "/"
+			}
+			for d := range model.dirs {
+				if Dir(d) == path && d != "/" {
+					want[strings.TrimPrefix(d, prefix)] = true
+				}
+			}
+			for f := range model.files {
+				if Dir(f) == path {
+					want[strings.TrimPrefix(f, prefix)] = true
+				}
+			}
+			if len(entries) != len(want) {
+				t.Fatalf("op %d readdir %s: got %d entries want %d", i, path, len(entries), len(want))
+			}
+			for _, e := range entries {
+				if !want[e.Name] {
+					t.Fatalf("op %d readdir %s: unexpected entry %s", i, path, e.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickWalkVisitsEverything checks that Walk visits exactly the
+// model's set of nodes after random construction.
+func TestQuickWalkVisitsEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	fs := New()
+	p := fs.RootProc()
+	created := map[string]bool{"/": true}
+	for i := 0; i < 300; i++ {
+		depth := 1 + r.Intn(4)
+		path := ""
+		for d := 0; d < depth; d++ {
+			path += fmt.Sprintf("/n%d", r.Intn(5))
+		}
+		if r.Intn(2) == 0 {
+			if err := p.MkdirAll(path, 0o755); err == nil {
+				cur := ""
+				for _, part := range strings.Split(strings.Trim(path, "/"), "/") {
+					cur += "/" + part
+					created[cur] = true
+				}
+			}
+		} else {
+			if created[Dir(path)] && !created[path] {
+				if err := p.WriteString(path, "x"); err == nil {
+					created[path] = true
+				}
+			}
+		}
+	}
+	visited := map[string]bool{}
+	if err := p.Walk("/", func(path string, st Stat) error {
+		visited[path] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for c := range created {
+		if !visited[c] {
+			t.Errorf("walk missed %s", c)
+		}
+	}
+	for v := range visited {
+		if !created[v] {
+			t.Errorf("walk invented %s", v)
+		}
+	}
+}
+
+// TestQuickNlinkInvariant checks that a directory's nlink always equals
+// 2 + number of subdirectories, across random mkdir/remove sequences.
+func TestQuickNlinkInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	fs := New()
+	p := fs.RootProc()
+	if err := p.Mkdir("/root", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	children := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("/root/c%d", r.Intn(20))
+		if r.Intn(2) == 0 {
+			if err := p.Mkdir(name, 0o755); err == nil {
+				children[name] = true
+			}
+		} else {
+			if err := p.Remove(name); err == nil {
+				delete(children, name)
+			}
+		}
+		st, err := p.Stat("/root")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Nlink != 2+len(children) {
+			t.Fatalf("op %d: nlink = %d, want %d", i, st.Nlink, 2+len(children))
+		}
+	}
+}
+
+// TestQuickRenamePreservesContent moves files around randomly and checks
+// content is never lost or duplicated.
+func TestQuickRenamePreservesContent(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	fs := New()
+	p := fs.RootProc()
+	for _, d := range []string{"/a", "/b"} {
+		if err := p.Mkdir(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	where := map[string]string{} // content -> current path
+	for i := 0; i < 20; i++ {
+		content := fmt.Sprintf("content-%d", i)
+		path := fmt.Sprintf("/a/f%d", i)
+		if err := p.WriteString(path, content); err != nil {
+			t.Fatal(err)
+		}
+		where[content] = path
+	}
+	dirs := []string{"/a", "/b"}
+	for i := 0; i < 500; i++ {
+		// Pick a random content and move its file somewhere random.
+		var contents []string
+		for c := range where {
+			contents = append(contents, c)
+		}
+		c := contents[r.Intn(len(contents))]
+		src := where[c]
+		dst := fmt.Sprintf("%s/m%d", dirs[r.Intn(2)], r.Intn(40))
+		err := p.Rename(src, dst)
+		if err != nil {
+			// Destination occupied by another tracked file is the only
+			// acceptable failure... rename onto a file actually replaces
+			// it, so any error here is a bug unless src == dst conflict.
+			t.Fatalf("op %d rename %s -> %s: %v", i, src, dst, err)
+		}
+		// If dst held other content, that content was replaced: drop it.
+		for oc, op := range where {
+			if op == dst && oc != c {
+				delete(where, oc)
+			}
+		}
+		where[c] = dst
+		got, err := p.ReadString(dst)
+		if err != nil || got != c {
+			t.Fatalf("op %d after rename: %q %v want %q", i, got, err, c)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestTxAPI exercises the transactional (hook-level) surface directly.
+func TestTxAPI(t *testing.T) {
+	fs := New()
+	err := fs.WithTx(func(tx *Tx) error {
+		if err := tx.MkdirAll("/a/b/c", 0o755, 0, 0); err != nil {
+			return err
+		}
+		if !tx.Exists("/a/b/c") || !tx.IsDir("/a/b") {
+			t.Error("Exists/IsDir inside tx")
+		}
+		if tx.Exists("/nope") || tx.IsDir("/a/b/c/nope") {
+			t.Error("phantom existence")
+		}
+		if err := tx.WriteFile("/a/b/c/f", []byte("x"), 0o644, 0, 0); err != nil {
+			return err
+		}
+		// Overwrite path.
+		if err := tx.WriteFile("/a/b/c/f", []byte("yz"), 0o644, 0, 0); err != nil {
+			return err
+		}
+		b, err := tx.ReadFile("/a/b/c/f")
+		if err != nil || string(b) != "yz" {
+			t.Errorf("tx read = %q %v", b, err)
+		}
+		if _, err := tx.ReadFile("/a/b"); !errors.Is(err, ErrIsDir) {
+			t.Errorf("tx read dir = %v", err)
+		}
+		if err := tx.Symlink("/a/b", "/link", 0, 0); err != nil {
+			return err
+		}
+		if err := tx.Symlink("/a/b", "/link", 0, 0); !errors.Is(err, ErrExist) {
+			t.Errorf("tx symlink exist = %v", err)
+		}
+		entries, err := tx.ReadDir("/a/b/c")
+		if err != nil || len(entries) != 1 {
+			t.Errorf("tx readdir = %v %v", entries, err)
+		}
+		if _, err := tx.ReadDir("/a/b/c/f"); !errors.Is(err, ErrNotDir) {
+			t.Errorf("tx readdir file = %v", err)
+		}
+		st, err := tx.Stat("/a/b/c/f")
+		if err != nil || st.Size != 2 {
+			t.Errorf("tx stat = %+v %v", st, err)
+		}
+		if err := tx.Chmod("/a/b/c/f", 0o600); err != nil {
+			return err
+		}
+		if err := tx.Chown("/a/b/c/f", 7, 8); err != nil {
+			return err
+		}
+		st, _ = tx.Stat("/a/b/c/f")
+		if st.Mode.Perm() != 0o600 || st.UID != 7 || st.GID != 8 {
+			t.Errorf("tx chmod/chown = %+v", st)
+		}
+		if err := tx.SetXattr("/a/b/c/f", "user.k", []byte("v")); err != nil {
+			return err
+		}
+		v, err := tx.GetXattr("/a/b/c/f", "user.k")
+		if err != nil || string(v) != "v" {
+			t.Errorf("tx xattr = %q %v", v, err)
+		}
+		if _, err := tx.GetXattr("/a/b/c/f", "user.missing"); !errors.Is(err, ErrNoAttr) {
+			t.Errorf("tx missing xattr = %v", err)
+		}
+		if err := tx.Remove("/a/b/c"); err != nil { // recursive in Tx
+			return err
+		}
+		if tx.Exists("/a/b/c") {
+			t.Error("tx remove did not remove")
+		}
+		if err := tx.Remove("/a/b/c"); !errors.Is(err, ErrNotExist) {
+			t.Errorf("tx remove missing = %v", err)
+		}
+		if c := tx.Creator(); c.UID != 0 || c.GID != 0 {
+			t.Errorf("tx creator = %+v", c)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ReadTx sees the committed state.
+	if err := fs.ReadTx(func(tx *Tx) error {
+		if !tx.IsDir("/a/b") {
+			t.Error("readtx missing dir")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetClockAffectsTimestamps(t *testing.T) {
+	fs := New()
+	base := time.Unix(1_700_000_000, 0)
+	fs.SetClock(func() time.Time { return base })
+	p := fs.RootProc()
+	if err := p.WriteString("/f", "x"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := p.Stat("/f")
+	if !st.Mtime.Equal(base) {
+		t.Errorf("mtime = %v want %v", st.Mtime, base)
+	}
+}
+
+func TestFileHandleStatNameWriteString(t *testing.T) {
+	fs := New()
+	p := fs.RootProc()
+	f, err := p.Create("/f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "/f" {
+		t.Errorf("name = %q", f.Name())
+	}
+	if _, err := f.WriteString("hello"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Stat()
+	if err != nil || st.Size != 5 {
+		t.Errorf("handle stat = %+v %v", st, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat(); !errors.Is(err, ErrClosed) {
+		t.Errorf("stat closed = %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double close = %v", err)
+	}
+	// Name records the real path even when opened via a namespace.
+	if err := p.MkdirAll("/jail/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	jail, err := p.Chroot("/jail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := jail.Create("/sub/x", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jf.Name() != "/jail/sub/x" {
+		t.Errorf("jail file name = %q", jf.Name())
+	}
+	jf.Close()
+}
+
+func TestPathAndLinkErrorStrings(t *testing.T) {
+	pe := &PathError{Op: "open", Path: "/x", Err: ErrNotExist}
+	if pe.Error() == "" || !errors.Is(pe, ErrNotExist) {
+		t.Error("PathError surface")
+	}
+	le := &LinkError{Op: "rename", Old: "/a", New: "/b", Err: ErrExist}
+	if le.Error() == "" || !errors.Is(le, ErrExist) {
+		t.Error("LinkError surface")
+	}
+}
+
+func TestAppendFileCreatesWhenMissing(t *testing.T) {
+	p := New().RootProc()
+	if err := p.AppendFile("/log", []byte("a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AppendFile("/log", []byte("b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := p.ReadFile("/log")
+	if string(b) != "a\nb\n" {
+		t.Errorf("appended = %q", b)
+	}
+	// Append into an unwritable location fails.
+	if err := p.Mkdir("/ro", 0o555); err != nil {
+		t.Fatal(err)
+	}
+	alice := p.WithCred(Cred{UID: 9})
+	if err := alice.AppendFile("/ro/f", []byte("x"), 0o644); !errors.Is(err, ErrAccess) {
+		t.Errorf("append denied = %v", err)
+	}
+}

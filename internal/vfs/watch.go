@@ -1,0 +1,222 @@
+package vfs
+
+import (
+	"strings"
+	"sync"
+)
+
+// EventOp is a bitmask of file-system event kinds, mirroring the inotify
+// mask bits the paper's applications subscribe with (§5.2).
+type EventOp uint32
+
+const (
+	OpCreate EventOp = 1 << iota
+	OpWrite
+	OpRemove
+	OpRename
+	OpChmod
+	OpCloseWrite
+	OpOverflow
+)
+
+// OpAll subscribes to every event kind.
+const OpAll = OpCreate | OpWrite | OpRemove | OpRename | OpChmod | OpCloseWrite
+
+func (op EventOp) String() string {
+	var parts []string
+	add := func(bit EventOp, name string) {
+		if op&bit != 0 {
+			parts = append(parts, name)
+		}
+	}
+	add(OpCreate, "CREATE")
+	add(OpWrite, "WRITE")
+	add(OpRemove, "REMOVE")
+	add(OpRename, "RENAME")
+	add(OpChmod, "CHMOD")
+	add(OpCloseWrite, "CLOSE_WRITE")
+	add(OpOverflow, "OVERFLOW")
+	if len(parts) == 0 {
+		return "NONE"
+	}
+	return strings.Join(parts, "|")
+}
+
+// Event describes one file-system change.
+type Event struct {
+	Op      EventOp
+	Path    string // absolute path of the affected object
+	NewPath string // for OpRename: the destination path
+	IsDir   bool
+}
+
+// Watch is a subscription to events on a path (and optionally its whole
+// subtree). Events arrive on C; if the consumer falls behind by more than
+// the buffer capacity, events are dropped and a single Overflow event is
+// queued, matching inotify's IN_Q_OVERFLOW behaviour.
+type Watch struct {
+	C <-chan Event
+
+	id        uint64
+	path      string // watched path, cleaned; "" never matches
+	mask      EventOp
+	recursive bool
+	ch        chan Event
+	set       *watchSet
+
+	mu         sync.Mutex
+	overflowed bool
+	closed     bool
+}
+
+// Close removes the watch and closes its channel.
+func (w *Watch) Close() {
+	w.set.remove(w)
+}
+
+// WatchOption configures AddWatch.
+type WatchOption func(*Watch)
+
+// Recursive makes the watch cover the entire subtree under the path.
+func Recursive() WatchOption {
+	return func(w *Watch) { w.recursive = true }
+}
+
+// BufferSize sets the event channel capacity (default 1024).
+func BufferSize(n int) WatchOption {
+	return func(w *Watch) {
+		if n > 0 {
+			w.ch = make(chan Event, n)
+		}
+	}
+}
+
+type watchSet struct {
+	mu      sync.RWMutex
+	nextID  uint64
+	watches map[uint64]*Watch
+}
+
+// AddWatch subscribes to events under path. The path need not exist yet —
+// a watch on a directory sees events for entries created later, the usage
+// pattern from §5.2 ("to monitor for new switches a watch can be placed
+// on the switches directory").
+func (p *Proc) AddWatch(path string, mask EventOp, opts ...WatchOption) (*Watch, error) {
+	p.fs.stats.watches.Add(1)
+	if mask == 0 {
+		mask = OpAll
+	}
+	w := &Watch{
+		path: Clean(path),
+		mask: mask,
+		ch:   make(chan Event, 1024),
+		set:  &p.fs.watches,
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	w.C = w.ch
+	set := &p.fs.watches
+	set.mu.Lock()
+	if set.watches == nil {
+		set.watches = make(map[uint64]*Watch)
+	}
+	set.nextID++
+	w.id = set.nextID
+	set.watches[w.id] = w
+	set.mu.Unlock()
+	return w, nil
+}
+
+func (s *watchSet) remove(w *Watch) {
+	s.mu.Lock()
+	_, present := s.watches[w.id]
+	delete(s.watches, w.id)
+	s.mu.Unlock()
+	if present {
+		w.mu.Lock()
+		if !w.closed {
+			w.closed = true
+			close(w.ch)
+		}
+		w.mu.Unlock()
+	}
+}
+
+// matches reports whether the watch covers an event at path: either the
+// path is directly inside the watched directory (inotify semantics: a
+// watch on a dir reports its children and the dir itself), or anywhere
+// beneath it when recursive.
+func (w *Watch) matches(path string) bool {
+	if path == w.path {
+		return true
+	}
+	dir := Dir(path)
+	if dir == w.path {
+		return true
+	}
+	if w.recursive {
+		prefix := w.path
+		if prefix != "/" {
+			prefix += "/"
+		}
+		return strings.HasPrefix(path, prefix)
+	}
+	return false
+}
+
+// dispatch fans events out to all matching watches. Called without the
+// tree lock so a slow consumer can never stall file-system operations;
+// per-watch buffering with overflow drop bounds memory.
+func (s *watchSet) dispatch(events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	s.mu.RLock()
+	if len(s.watches) == 0 {
+		s.mu.RUnlock()
+		return
+	}
+	watches := make([]*Watch, 0, len(s.watches))
+	for _, w := range s.watches {
+		watches = append(watches, w)
+	}
+	s.mu.RUnlock()
+	for _, ev := range events {
+		for _, w := range watches {
+			if ev.Op&w.mask == 0 {
+				continue
+			}
+			if !w.matches(ev.Path) && !(ev.Op == OpRename && w.matches(ev.NewPath)) {
+				continue
+			}
+			w.deliver(ev)
+		}
+	}
+}
+
+func (w *Watch) deliver(ev Event) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	select {
+	case w.ch <- ev:
+		w.overflowed = false
+	default:
+		if !w.overflowed {
+			w.overflowed = true
+			// Evict the oldest queued event so the overflow marker always
+			// fits — the consumer must learn it lost events (IN_Q_OVERFLOW).
+			select {
+			case <-w.ch:
+			default:
+			}
+			select {
+			case w.ch <- Event{Op: OpOverflow}:
+			default:
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package yancfs
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"yanc/internal/openflow"
+	"yanc/internal/vfs"
+)
+
+// eventSeq numbers delivered events so message directory names are unique
+// and ordered across the process.
+var eventSeq atomic.Uint64
+
+// Subscribe creates a per-application private event buffer: a directory
+// under <region>/events named after the app (§3.5: "each application
+// interested in packet-in events creates a directory in the events/
+// subdirectory"). It returns the buffer path and a watch delivering a
+// Create event per message.
+func Subscribe(p *vfs.Proc, region, app string) (string, *vfs.Watch, error) {
+	buf := vfs.Join(region, DirEvents, app)
+	if !p.Exists(buf) {
+		if err := p.Mkdir(buf, 0o755); err != nil {
+			return "", nil, err
+		}
+	}
+	w, err := p.AddWatch(buf, vfs.OpCreate)
+	if err != nil {
+		return "", nil, err
+	}
+	return buf, w, nil
+}
+
+// Subscribers lists the event buffer paths in a region.
+func Subscribers(p *vfs.Proc, region string) ([]string, error) {
+	dir := vfs.Join(region, DirEvents)
+	entries, err := p.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, vfs.Join(dir, e.Name))
+		}
+	}
+	return out, nil
+}
+
+// PacketInEvent is the parsed form of a packet-in message directory.
+type PacketInEvent struct {
+	Switch   string
+	BufferID uint32
+	InPort   uint32
+	Reason   uint8
+	TotalLen uint16
+	Data     []byte
+}
+
+// DeliverPacketIn writes a packet-in message into every subscriber buffer
+// in the region, concurrently visible to all of them ("our current design
+// concurrently feeds packet-in messages to all applications interested in
+// such events"). Each message is a subdirectory containing one file per
+// attribute plus the raw frame bytes. The write is transactional so an
+// application never observes a half-written message.
+func (y *FS) DeliverPacketIn(region, switchName string, pi *openflow.PacketIn) error {
+	subs, err := Subscribers(y.root, region)
+	if err != nil {
+		return err
+	}
+	if len(subs) == 0 {
+		return nil
+	}
+	seq := eventSeq.Add(1)
+	name := "pktin-" + pad12(seq)
+	return y.vfs.WithTx(func(tx *vfs.Tx) error {
+		for _, buf := range subs {
+			base := vfs.Join(buf, name)
+			if err := tx.Mkdir(base, 0o755, 0, 0); err != nil {
+				return err
+			}
+			files := map[string]string{
+				"switch":    switchName + "\n",
+				"buffer_id": strconv.FormatUint(uint64(pi.BufferID), 10) + "\n",
+				"in_port":   strconv.FormatUint(uint64(pi.InPort), 10) + "\n",
+				"reason":    strconv.FormatUint(uint64(pi.Reason), 10) + "\n",
+				"total_len": strconv.FormatUint(uint64(pi.TotalLen), 10) + "\n",
+			}
+			for f, content := range files {
+				if err := tx.WriteFile(vfs.Join(base, f), []byte(content), 0o644, 0, 0); err != nil {
+					return err
+				}
+			}
+			if err := tx.WriteFile(vfs.Join(base, "data"), pi.Data, 0o644, 0, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// pad12 zero-pads to 12 digits so lexicographic order equals numeric.
+func pad12(v uint64) string {
+	s := strconv.FormatUint(v, 10)
+	for len(s) < 12 {
+		s = "0" + s
+	}
+	return s
+}
+
+// ReadPacketIn parses a packet-in message directory.
+func ReadPacketIn(p *vfs.Proc, msgPath string) (PacketInEvent, error) {
+	var ev PacketInEvent
+	var err error
+	if ev.Switch, err = p.ReadString(vfs.Join(msgPath, "switch")); err != nil {
+		return ev, err
+	}
+	read32 := func(name string) uint32 {
+		s, err2 := p.ReadString(vfs.Join(msgPath, name))
+		if err2 != nil {
+			return 0
+		}
+		v, _ := strconv.ParseUint(s, 10, 32)
+		return uint32(v)
+	}
+	ev.BufferID = read32("buffer_id")
+	ev.InPort = read32("in_port")
+	ev.Reason = uint8(read32("reason"))
+	ev.TotalLen = uint16(read32("total_len"))
+	if ev.Data, err = p.ReadFile(vfs.Join(msgPath, "data")); err != nil {
+		return ev, err
+	}
+	return ev, nil
+}
+
+// ConsumePacketIn reads and removes a message from the buffer, the
+// typical handle-then-delete pattern of an event-driven app.
+func ConsumePacketIn(p *vfs.Proc, msgPath string) (PacketInEvent, error) {
+	ev, err := ReadPacketIn(p, msgPath)
+	if err != nil {
+		return ev, err
+	}
+	return ev, p.RemoveAll(msgPath)
+}
+
+// PendingEvents lists message directories in a buffer in delivery order.
+func PendingEvents(p *vfs.Proc, bufPath string) ([]string, error) {
+	entries, err := p.ReadDir(bufPath)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, vfs.Join(bufPath, e.Name))
+		}
+	}
+	return out, nil
+}

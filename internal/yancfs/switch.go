@@ -1,0 +1,193 @@
+package yancfs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"yanc/internal/openflow"
+	"yanc/internal/vfs"
+)
+
+// CreateSwitch makes a switch object in a region via mkdir; the skeleton
+// (counters/, flows/, ports/, info files) appears atomically thanks to
+// the directory semantics.
+func CreateSwitch(p *vfs.Proc, region, name string) (string, error) {
+	path := vfs.Join(region, DirSwitches, name)
+	if err := p.Mkdir(path, 0o755); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// PopulateSwitch fills a switch directory from an OpenFlow features
+// reply: identity files and one port directory per physical port. The
+// driver calls this right after the handshake.
+func PopulateSwitch(p *vfs.Proc, switchPath string, features *openflow.FeaturesReply, protocol string) error {
+	writes := map[string]string{
+		"id":          fmt.Sprintf("%016x", features.DatapathID),
+		"num_buffers": strconv.FormatUint(uint64(features.NBuffers), 10),
+		"num_tables":  strconv.FormatUint(uint64(features.NTables), 10),
+		"protocol":    protocol,
+	}
+	for file, content := range writes {
+		if err := p.WriteString(vfs.Join(switchPath, file), content+"\n"); err != nil {
+			return err
+		}
+	}
+	for _, port := range features.Ports {
+		if err := PopulatePort(p, switchPath, port); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PopulatePort creates or refreshes one port directory from its PortInfo.
+func PopulatePort(p *vfs.Proc, switchPath string, port openflow.PortInfo) error {
+	portPath := vfs.Join(switchPath, "ports", strconv.FormatUint(uint64(port.No), 10))
+	if !p.Exists(portPath) {
+		if err := p.Mkdir(portPath, 0o755); err != nil {
+			return err
+		}
+	}
+	down := "0"
+	if port.Config&openflow.PortConfigDown != 0 {
+		down = "1"
+	}
+	status := "up"
+	if port.State&openflow.PortStateLinkDown != 0 {
+		status = "down"
+	}
+	for file, content := range map[string]string{
+		"hw_addr":            port.HWAddr.String(),
+		"name":               port.Name,
+		"speed":              strconv.FormatUint(uint64(port.CurrSpeed), 10),
+		"config.port_down":   down,
+		"config.port_status": status,
+	} {
+		if err := p.WriteString(vfs.Join(portPath, file), content+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SwitchID reads a switch's datapath id.
+func SwitchID(p *vfs.Proc, switchPath string) (uint64, error) {
+	s, err := p.ReadString(vfs.Join(switchPath, "id"))
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseUint(strings.TrimSpace(s), 16, 64)
+}
+
+// ListSwitches returns switch names in a region.
+func ListSwitches(p *vfs.Proc, region string) ([]string, error) {
+	entries, err := p.ReadDir(vfs.Join(region, DirSwitches))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name)
+		}
+	}
+	return out, nil
+}
+
+// ListPorts returns the numeric ports of a switch in ascending order.
+func ListPorts(p *vfs.Proc, switchPath string) ([]uint32, error) {
+	entries, err := p.ReadDir(vfs.Join(switchPath, "ports"))
+	if err != nil {
+		return nil, err
+	}
+	var out []uint32
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if v, err := strconv.ParseUint(e.Name, 10, 32); err == nil {
+			out = append(out, uint32(v))
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out, nil
+}
+
+// PortDown reports whether config.port_down is set on a port.
+func PortDown(p *vfs.Proc, portPath string) (bool, error) {
+	s, err := p.ReadString(vfs.Join(portPath, "config.port_down"))
+	if err != nil {
+		return false, err
+	}
+	return strings.TrimSpace(s) == "1", nil
+}
+
+// SetPeer points a port's peer symlink at another port, replacing any
+// existing link. Physical topology is represented exclusively through
+// these links (§3.3).
+func SetPeer(p *vfs.Proc, portPath, peerPortPath string) error {
+	link := vfs.Join(portPath, "peer")
+	if p.Exists(link) || linkExists(p, link) {
+		if err := p.Remove(link); err != nil {
+			return err
+		}
+	}
+	return p.Symlink(peerPortPath, link)
+}
+
+// linkExists detects a dangling symlink (Exists follows and fails).
+func linkExists(p *vfs.Proc, path string) bool {
+	_, err := p.Lstat(path)
+	return err == nil
+}
+
+// Peer resolves a port's peer symlink to (switchName, portNo). ok is
+// false when the port has no peer.
+func Peer(p *vfs.Proc, portPath string) (switchName string, portNo uint32, ok bool) {
+	target, err := p.Readlink(vfs.Join(portPath, "peer"))
+	if err != nil {
+		return "", 0, false
+	}
+	resolved := target
+	if !strings.HasPrefix(target, "/") {
+		resolved = vfs.Join(portPath, target)
+	}
+	// .../switches/<name>/ports/<no>
+	parts := strings.Split(strings.Trim(resolved, "/"), "/")
+	if len(parts) < 4 || parts[len(parts)-2] != "ports" {
+		return "", 0, false
+	}
+	no, err := strconv.ParseUint(parts[len(parts)-1], 10, 32)
+	if err != nil {
+		return "", 0, false
+	}
+	return parts[len(parts)-3], uint32(no), true
+}
+
+// AddHost records a host object (name, mac, ip, attachment) under hosts/.
+func AddHost(p *vfs.Proc, region, name, mac, ip, attachedSwitch string, attachedPort uint32) error {
+	base := vfs.Join(region, DirHosts, name)
+	if !p.Exists(base) {
+		if err := p.Mkdir(base, 0o755); err != nil {
+			return err
+		}
+	}
+	for file, content := range map[string]string{
+		"mac":    mac,
+		"ip":     ip,
+		"switch": attachedSwitch,
+		"port":   strconv.FormatUint(uint64(attachedPort), 10),
+	} {
+		if err := p.WriteString(vfs.Join(base, file), content+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

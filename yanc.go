@@ -1,0 +1,261 @@
+// Package yanc is the public API of the yanc controller platform — the
+// reproduction of "Applying Operating System Principles to SDN Controller
+// Design" (Monaco, Michel, Keller; HotNets 2013).
+//
+// yanc exposes network configuration and state as a file system:
+// applications are ordinary processes that read and write files, watch
+// directories, and consume per-application event buffers. A Controller
+// bundles the pieces a deployment needs: the yanc file system, the
+// OpenFlow drivers (1.0 and 1.3), the namespace manager for view
+// isolation, and hooks for the fastpath library and the distributed
+// file-system layer.
+//
+// Quickstart:
+//
+//	ctrl, _ := yanc.NewController()
+//	ln, _ := net.Listen("tcp", ":6633")
+//	go ctrl.Serve(ln)            // switches connect here
+//	p := ctrl.Root()             // file I/O from here on
+//	p.ReadDir("/switches")
+package yanc
+
+import (
+	"io"
+	"net"
+
+	"yanc/internal/apps"
+	"yanc/internal/dfs"
+	"yanc/internal/driver"
+	"yanc/internal/ethernet"
+	"yanc/internal/libyanc"
+	"yanc/internal/middlebox"
+	"yanc/internal/namespace"
+	"yanc/internal/openflow"
+	"yanc/internal/shell"
+	"yanc/internal/vfs"
+	"yanc/internal/yancfs"
+)
+
+// Re-exported types so applications only import the yanc package.
+type (
+	// Proc is a process context on the file system (credential + root).
+	Proc = vfs.Proc
+	// Cred is a uid/gid credential.
+	Cred = vfs.Cred
+	// Stat describes a file-system node.
+	Stat = vfs.Stat
+	// DirEntry is one directory listing entry.
+	DirEntry = vfs.DirEntry
+	// Watch is an inotify-style subscription.
+	Watch = vfs.Watch
+	// Event is one file-system change notification.
+	Event = vfs.Event
+	// FileMode holds permission bits.
+	FileMode = vfs.FileMode
+	// FlowSpec is the in-memory form of a flow directory.
+	FlowSpec = yancfs.FlowSpec
+	// Match is a version-neutral OpenFlow match.
+	Match = openflow.Match
+	// Action is a version-neutral OpenFlow action.
+	Action = openflow.Action
+	// Namespace confines an application to a view subtree.
+	Namespace = namespace.Namespace
+	// Limits configures a control group.
+	Limits = namespace.Limits
+)
+
+// Event mask bits (inotify analog).
+const (
+	OpCreate     = vfs.OpCreate
+	OpWrite      = vfs.OpWrite
+	OpRemove     = vfs.OpRemove
+	OpRename     = vfs.OpRename
+	OpChmod      = vfs.OpChmod
+	OpCloseWrite = vfs.OpCloseWrite
+	OpAll        = vfs.OpAll
+)
+
+// Root is the superuser credential.
+var Root = vfs.Root
+
+// Controller is a running yanc instance: the file system plus its system
+// services.
+type Controller struct {
+	y  *yancfs.FS
+	d  *driver.Driver
+	ns *namespace.Manager
+}
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithMaxProtocolVersion caps the OpenFlow version the drivers offer
+// (openflow.Version10 or openflow.Version13).
+func WithMaxProtocolVersion(v uint8) Option {
+	return func(c *Controller) { c.d.MaxVersion = v }
+}
+
+// WithSwitchNamer overrides how datapath ids map to switch directory
+// names (default "sw<dpid>").
+func WithSwitchNamer(name func(dpid uint64) string) Option {
+	return func(c *Controller) { c.d.NameFor = name }
+}
+
+// NewController creates a controller with an empty /net hierarchy.
+func NewController(opts ...Option) (*Controller, error) {
+	y, err := yancfs.New()
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{y: y, d: driver.New(y)}
+	c.ns = namespace.NewManager(y.VFS())
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Root returns a superuser process context — the administrator's shell.
+func (c *Controller) Root() *Proc { return c.y.Root() }
+
+// Proc returns a process context with the given credential.
+func (c *Controller) Proc(cred Cred) *Proc { return c.y.Proc(cred) }
+
+// FS returns the yanc file system (for packages that need schema-level
+// helpers).
+func (c *Controller) FS() *yancfs.FS { return c.y }
+
+// Serve accepts switch control connections on the listener (the
+// controller side of OpenFlow) until it closes.
+func (c *Controller) Serve(l net.Listener) error { return c.d.Serve(l) }
+
+// AttachSwitch handshakes one switch control channel directly (useful
+// with in-memory pipes and tests).
+func (c *Controller) AttachSwitch(rw io.ReadWriter) error {
+	_, err := c.d.Attach(rw)
+	return err
+}
+
+// Driver exposes the driver layer (protocol version policy, fastpath
+// hook).
+func (c *Controller) Driver() *driver.Driver { return c.d }
+
+// Namespaces returns the namespace manager (view isolation, cgroups).
+func (c *Controller) Namespaces() *namespace.Manager { return c.ns }
+
+// Launch enters a namespace and returns the Proc an application should
+// use for all its file I/O.
+func (c *Controller) Launch(ns Namespace) (*Proc, error) { return c.ns.Launch(ns) }
+
+// Close stops all switch connections.
+func (c *Controller) Close() { c.d.Close() }
+
+// Shell returns a coreutils environment over the controller's file
+// system, writing command output to out.
+func (c *Controller) Shell(out io.Writer) *shell.Env {
+	return shell.NewEnv(c.Root(), out)
+}
+
+// Fastpath returns a libyanc client: batched atomic flow writes without
+// per-field file I/O (§8.1).
+func (c *Controller) Fastpath() *libyanc.Client { return libyanc.New(c.y) }
+
+// NewPacketRing installs a zero-copy packet-in ring as the fastpath event
+// channel: packet-ins are published to the ring instead of being copied
+// into event directories. Pass capacity 0 for the 4096 default.
+func (c *Controller) NewPacketRing(capacity int) *libyanc.Ring {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	ring := libyanc.NewRing(capacity)
+	c.d.PacketInHook = func(sw string, pi *openflow.PacketIn) bool {
+		ring.Publish(libyanc.PacketInMsg{Switch: sw, PI: pi})
+		return true
+	}
+	return ring
+}
+
+// ExportDFS starts serving the controller's file system over TCP so
+// other machines can mount it (§6). It returns the bound address.
+func (c *Controller) ExportDFS(addr string) (string, *dfs.Server, error) {
+	s := dfs.NewServer(c.y.VFS())
+	bound, err := s.Listen(addr)
+	if err != nil {
+		return "", nil, err
+	}
+	return bound, s, nil
+}
+
+// MountDFS mounts a remote controller's file system.
+func MountDFS(addr string, cred Cred, consistency dfs.Consistency) (*dfs.Client, error) {
+	return dfs.Mount(addr, cred, consistency)
+}
+
+// WriteFlow writes and commits a flow through ordinary file I/O.
+func WriteFlow(p *Proc, flowPath string, spec FlowSpec) (uint64, error) {
+	return yancfs.WriteFlow(p, flowPath, spec)
+}
+
+// ReadFlow parses a flow directory.
+func ReadFlow(p *Proc, flowPath string) (FlowSpec, error) {
+	return yancfs.ReadFlow(p, flowPath)
+}
+
+// ParseMatch parses "field=value,..." into a Match.
+func ParseMatch(spec string) (Match, error) { return openflow.ParseMatch(spec) }
+
+// ParseActions parses "out=2,set_nw_tos=4" into an action list.
+func ParseActions(spec string) ([]Action, error) { return openflow.ParseActions(spec) }
+
+// Output builds an output action.
+func Output(port uint32) Action { return openflow.Output(port) }
+
+// Subscribe creates an application's private packet-in buffer (§3.5).
+func Subscribe(p *Proc, region, app string) (string, *Watch, error) {
+	return yancfs.Subscribe(p, region, app)
+}
+
+// System applications (§4, §8), constructed over any region.
+
+// NewTopod creates the LLDP topology discovery daemon.
+func NewTopod(p *Proc, region string) *apps.Topod { return apps.NewTopod(p, region) }
+
+// NewRouter creates the reactive exact-match router daemon.
+func NewRouter(p *Proc, region string) *apps.Router { return apps.NewRouter(p, region) }
+
+// NewARPd creates the ARP responder daemon.
+func NewARPd(p *Proc, region string) *apps.ARPd { return apps.NewARPd(p, region) }
+
+// NewDHCPd creates the DHCP daemon serving `count` addresses starting at
+// start; leases are files under <region>/services/dhcp/leases.
+func NewDHCPd(p *Proc, region string, start ethernet.IP4, count int) *apps.DHCPd {
+	return apps.NewDHCPd(p, region, start, count)
+}
+
+// NewFlowPusher creates the static flow pusher.
+func NewFlowPusher(p *Proc, region string) *apps.FlowPusher { return apps.NewFlowPusher(p, region) }
+
+// NewAuditor creates the cron-style policy auditor.
+func NewAuditor(p *Proc, region string) *apps.Auditor { return apps.NewAuditor(p, region) }
+
+// NewSlicer creates a header-space slice over member switches (§4.2).
+func (c *Controller) NewSlicer(region, name string, filter Match, switches []string) *apps.Slicer {
+	return apps.NewSlicer(c.y, region, name, filter, switches)
+}
+
+// NewBigSwitch creates a single-big-switch virtualization view (§4.2).
+func (c *Controller) NewBigSwitch(region, name string, portMap map[uint32]apps.PortRef) *apps.BigSwitch {
+	return apps.NewBigSwitch(c.y, region, name, portMap)
+}
+
+// NewMiddlebox creates a stateful-firewall middlebox whose connection
+// state and policy live in the file system under
+// <region>/middleboxes/<name> (§7.2). Start the returned driver to begin
+// the two-way sync; migrate live state between middleboxes with cp/mv.
+func (c *Controller) NewMiddlebox(region, name string) (*middlebox.Engine, *middlebox.Driver) {
+	engine := middlebox.NewEngine(name)
+	return engine, middlebox.NewDriver(c.y, region, engine)
+}
+
+// PortRef names a physical (switch, port) pair for virtualization maps.
+type PortRef = apps.PortRef

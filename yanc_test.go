@@ -1,0 +1,247 @@
+package yanc
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"yanc/internal/openflow"
+	"yanc/internal/switchsim"
+)
+
+// startNetwork connects a simulated linear network to the controller over
+// real TCP and registers hosts.
+func startNetwork(t *testing.T, ctrl *Controller, k int) (*switchsim.Network, []*switchsim.Host) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = ctrl.Serve(ln) }()
+	t.Cleanup(func() { ln.Close() })
+	n, hosts := switchsim.BuildLinear(k, openflow.Version10)
+	for _, sw := range n.Switches() {
+		sw := sw
+		go func() { _ = sw.Dial(ln.Addr().String()) }()
+	}
+	p := ctrl.Root()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		entries, _ := p.ReadDir("/switches")
+		if len(entries) == k {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d switches attached", len(entries), k)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, h := range hosts {
+		dpid, port := h.Attachment()
+		sh := ctrl.Shell(nil)
+		_ = sh
+		if err := p.MkdirAll("/hosts/"+h.Name, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for file, val := range map[string]string{
+			"mac":    h.MAC.String(),
+			"ip":     h.IP.String(),
+			"switch": n.Switch(dpid).Name,
+			"port":   itoa(int(port)),
+		} {
+			if err := p.WriteString("/hosts/"+h.Name+"/"+file, val+"\n"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return n, hosts
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	ctrl, err := NewController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	n, hosts := startNetwork(t, ctrl, 3)
+	_ = n
+	p := ctrl.Root()
+
+	// Topology discovery, then the reactive router.
+	td := NewTopod(p, "/")
+	if err := td.DiscoverOnce(); err != nil {
+		t.Fatal(err)
+	}
+	td.Stop()
+	rt := NewRouter(p, "/")
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	hosts[2].ClearReceived()
+	hosts[0].Ping(hosts[2], 1)
+	if !hosts[2].WaitFor(func([][]byte) bool { return hosts[2].ReceivedPing(1) }, 5*time.Second) {
+		t.Fatal("end-to-end ping failed")
+	}
+
+	// The administrator inspects state with coreutils.
+	var out strings.Builder
+	sh := ctrl.Shell(&out)
+	if err := sh.Run("ls /switches"); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "sw1\nsw2\nsw3\n" {
+		t.Errorf("ls = %q", got)
+	}
+	out.Reset()
+	if err := sh.Run("find /switches -name peer -type l | wc -l"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "4" {
+		t.Errorf("peer links = %q", out.String())
+	}
+}
+
+func TestPublicAPIFlowHelpers(t *testing.T) {
+	ctrl, err := NewController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	p := ctrl.Root()
+	if err := p.Mkdir("/switches/sw1", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseMatch("dl_type=0x0800,tp_dst=443,nw_proto=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions, err := ParseActions("set_nw_tos=16,out=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := WriteFlow(p, "/switches/sw1/flows/https", FlowSpec{Match: m, Priority: 9, Actions: actions})
+	if err != nil || v != 1 {
+		t.Fatalf("WriteFlow = %d %v", v, err)
+	}
+	spec, err := ReadFlow(p, "/switches/sw1/flows/https")
+	if err != nil || !spec.Match.Equal(m) || spec.Priority != 9 {
+		t.Fatalf("ReadFlow = %+v %v", spec, err)
+	}
+	// The fastpath produces the same result.
+	if _, err := ctrl.Fastpath().PutFlow("/switches/sw1/flows/fast", spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFlow(p, "/switches/sw1/flows/fast")
+	if err != nil || !got.Match.Equal(m) {
+		t.Fatalf("fastpath flow = %+v %v", got, err)
+	}
+}
+
+func TestNamespaceLaunchIsolation(t *testing.T) {
+	ctrl, err := NewController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	root := ctrl.Root()
+	if err := root.Mkdir("/views/tenant", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	g := ctrl.Namespaces().CreateGroup("tenant", Limits{MaxOps: 100})
+	p, err := ctrl.Launch(Namespace{
+		Name:  "tenant-app",
+		Cred:  Cred{UID: 2000, GID: 2000},
+		Root:  "/views/tenant",
+		Group: g,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Exists("/switches/anything") {
+		t.Error("tenant sees master region")
+	}
+	// Accounting runs.
+	_ = p.Exists("/switches")
+	if g.Usage().Ops == 0 {
+		t.Error("control group not metering")
+	}
+}
+
+func TestPacketRingFastpath(t *testing.T) {
+	ctrl, err := NewController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	ring := ctrl.NewPacketRing(0)
+	cur := ring.NewCursor()
+	_, hosts := startNetwork(t, ctrl, 1)
+	// Subscribe a slow-path app too: it must NOT receive anything while
+	// the ring consumes events.
+	_, w, err := Subscribe(ctrl.Root(), "/", "slowpath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	hosts[0].Ping(hosts[0], 1) // self-ping still misses and packet-ins
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if m, ok := cur.Next(false); ok {
+			if m.Switch != "sw1" {
+				t.Errorf("ring msg = %+v", m)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ring never received the packet-in")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	select {
+	case ev := <-w.C:
+		t.Errorf("slow path received %+v despite fastpath", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestExportAndMountDFS(t *testing.T) {
+	ctrl, err := NewController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	if err := ctrl.Root().Mkdir("/switches/sw1", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	addr, srv, err := ctrl.ExportDFS("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	remote, err := MountDFS(addr, Root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	entries, err := remote.ReadDir("/switches")
+	if err != nil || len(entries) != 1 || entries[0].Name != "sw1" {
+		t.Fatalf("remote readdir = %v %v", entries, err)
+	}
+}
