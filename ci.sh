@@ -1,0 +1,21 @@
+#!/bin/sh
+# ci.sh - the repo's verification gate: formatting, static analysis, and
+# the full test suite under the race detector. Run before every push.
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "==> ok"

@@ -16,6 +16,7 @@ import (
 	"log"
 	"time"
 
+	"yanc/internal/backoff"
 	"yanc/internal/openflow"
 	"yanc/internal/switchsim"
 )
@@ -26,6 +27,8 @@ func main() {
 	k := flag.Int("switches", 3, "number of switches")
 	proto := flag.String("proto", "of10", "protocol version: of10 or of13")
 	traffic := flag.Int("traffic", 0, "pings per second between random host pairs (0 = none)")
+	retryMin := flag.Duration("retry-min", 100*time.Millisecond, "initial controller reconnect delay")
+	retryMax := flag.Duration("retry-max", 10*time.Second, "maximum controller reconnect delay")
 	flag.Parse()
 
 	version := openflow.Version10
@@ -42,16 +45,12 @@ func main() {
 	default:
 		log.Fatalf("ofswitchd: unknown topology %q", *topo)
 	}
+	// Each switch maintains its control channel forever, redialing with
+	// capped exponential backoff (and jitter, so a controller restart does
+	// not trigger a synchronized reconnect stampede from the whole rack).
+	pol := backoff.Policy{Min: *retryMin, Max: *retryMax}
 	for _, sw := range n.Switches() {
-		sw := sw
-		go func() {
-			for {
-				if err := sw.Dial(*controller); err != nil {
-					log.Printf("ofswitchd: %s: %v", sw.Name, err)
-				}
-				time.Sleep(time.Second) // reconnect forever
-			}
-		}()
+		go sw.DialRetry(*controller, pol, nil, log.Printf)
 	}
 	fmt.Printf("ofswitchd: %d switches (%s, %s) dialing %s\n", *k, *topo, *proto, *controller)
 

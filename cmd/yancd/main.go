@@ -7,6 +7,7 @@
 // Usage:
 //
 //	yancd [-listen :6633] [-dfs :7070] [-interval 2s] [-verbose]
+//	      [-echo-interval 5s] [-echo-misses 3]
 package main
 
 import (
@@ -27,9 +28,11 @@ func main() {
 	dfsAddr := flag.String("dfs", "", "export the file system over TCP at this address (empty = off)")
 	interval := flag.Duration("interval", 2*time.Second, "topology discovery interval")
 	verbose := flag.Bool("verbose", false, "log driver activity")
+	echoInterval := flag.Duration("echo-interval", 5*time.Second, "switch liveness probe interval (0 disables)")
+	echoMisses := flag.Int("echo-misses", 3, "unanswered probes before a switch is declared disconnected")
 	flag.Parse()
 
-	ctrl, err := yanc.NewController()
+	ctrl, err := yanc.NewController(yanc.WithEchoProbes(*echoInterval, *echoMisses))
 	if err != nil {
 		log.Fatalf("yancd: %v", err)
 	}

@@ -9,6 +9,7 @@
 //	yancsh -connect 127.0.0.1:7070                 # interactive REPL
 //	yancsh -connect 127.0.0.1:7070 -c "ls -l /switches"
 //	yancsh -connect 127.0.0.1:7070 -eventual       # batched writes
+//	yancsh -connect 127.0.0.1:7070 -reconnect      # survive controller restarts
 //
 // Start a controller exporting its fs with: yancd -dfs :7070
 package main
@@ -32,13 +33,22 @@ func main() {
 	eventual := flag.Bool("eventual", false, "mount with eventual consistency")
 	uid := flag.Int("uid", 0, "credential uid")
 	gid := flag.Int("gid", 0, "credential gid")
+	rpcTimeout := flag.Duration("rpc-timeout", dfs.DefaultCallTimeout, "per-RPC deadline (negative disables)")
+	reconnect := flag.Bool("reconnect", false, "redial the controller with backoff if the mount drops")
+	retryMin := flag.Duration("retry-min", dfs.DefaultRetryMin, "initial reconnect delay")
+	retryMax := flag.Duration("retry-max", dfs.DefaultRetryMax, "maximum reconnect delay")
 	flag.Parse()
 
 	mode := dfs.Strict
 	if *eventual {
 		mode = dfs.Eventual
 	}
-	client, err := dfs.Mount(*connect, vfs.Cred{UID: *uid, GID: *gid}, mode)
+	client, err := dfs.MountOptions(*connect, vfs.Cred{UID: *uid, GID: *gid}, mode, dfs.Options{
+		CallTimeout: *rpcTimeout,
+		Reconnect:   *reconnect,
+		RetryMin:    *retryMin,
+		RetryMax:    *retryMax,
+	})
 	if err != nil {
 		log.Fatalf("yancsh: %v", err)
 	}

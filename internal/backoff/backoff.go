@@ -1,0 +1,138 @@
+// Package backoff implements capped exponential backoff with jitter —
+// the retry discipline shared by every reconnect path in the tree (the
+// switch side of a control channel, the distributed-FS remount loop,
+// the eventual-consistency flusher). Centralizing it keeps the failure
+// behaviour of the system uniform and testable: all retry loops grow
+// delays the same way, cap at the same knob, and decorrelate themselves
+// with the same jitter so a mass disconnect does not become a
+// synchronized reconnect stampede.
+package backoff
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy describes a backoff schedule. The zero value is usable and
+// means: start at 50ms, double each attempt, cap at 5s, with 50%
+// jitter.
+type Policy struct {
+	Min    time.Duration // first delay (default 50ms)
+	Max    time.Duration // delay cap (default 5s)
+	Factor float64       // growth factor per attempt (default 2)
+	Jitter float64       // randomized fraction of each delay, 0..1 (default 0.5; negative disables)
+}
+
+// Defaults for zero-valued Policy fields.
+const (
+	DefaultMin    = 50 * time.Millisecond
+	DefaultMax    = 5 * time.Second
+	DefaultFactor = 2.0
+	DefaultJitter = 0.5
+)
+
+func (p Policy) withDefaults() Policy {
+	if p.Min <= 0 {
+		p.Min = DefaultMin
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultMax
+	}
+	if p.Max < p.Min {
+		p.Max = p.Min
+	}
+	if p.Factor < 1 {
+		p.Factor = DefaultFactor
+	}
+	switch {
+	case p.Jitter == 0:
+		p.Jitter = DefaultJitter
+	case p.Jitter < 0: // negative disables jitter
+		p.Jitter = 0
+	case p.Jitter > 1:
+		p.Jitter = 1
+	}
+	return p
+}
+
+// delay computes the base (unjittered) delay for attempt n (0-based).
+func (p Policy) delay(attempt int) time.Duration {
+	d := float64(p.Min)
+	for i := 0; i < attempt; i++ {
+		d *= p.Factor
+		if d >= float64(p.Max) {
+			return p.Max
+		}
+	}
+	if d > float64(p.Max) {
+		return p.Max
+	}
+	return time.Duration(d)
+}
+
+// Backoff tracks the attempt count of one retry loop. It is safe for
+// concurrent use.
+type Backoff struct {
+	mu      sync.Mutex
+	pol     Policy
+	attempt int
+	rng     *rand.Rand
+}
+
+// New creates a Backoff following pol (zero fields take defaults).
+func New(pol Policy) *Backoff {
+	return &Backoff{
+		pol: pol.withDefaults(),
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Next returns the delay to sleep before the next attempt and advances
+// the schedule. With Jitter j, the returned delay is uniform in
+// [base*(1-j), base] so delays never exceed the cap.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	base := b.pol.delay(b.attempt)
+	b.attempt++
+	if b.pol.Jitter == 0 {
+		return base
+	}
+	spread := float64(base) * b.pol.Jitter
+	return base - time.Duration(b.rng.Float64()*spread)
+}
+
+// Reset rewinds the schedule to the first delay; call it after a
+// successful attempt (e.g. a completed handshake).
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.attempt = 0
+	b.mu.Unlock()
+}
+
+// Attempts reports how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempts() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempt
+}
+
+// Retry runs fn until it returns nil, sleeping per pol between
+// failures. It stops early — returning the last error — when stop is
+// closed. A nil stop channel means retry forever.
+func Retry(stop <-chan struct{}, pol Policy, fn func() error) error {
+	b := New(pol)
+	for {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		select {
+		case <-stop:
+			return err
+		case <-time.After(b.Next()):
+		}
+	}
+}

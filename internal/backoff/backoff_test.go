@@ -1,0 +1,78 @@
+package backoff
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPolicyGrowthAndCap(t *testing.T) {
+	p := Policy{Min: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: -1}.withDefaults()
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := p.delay(i); got != w*time.Millisecond {
+			t.Errorf("delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestZeroPolicyDefaults(t *testing.T) {
+	p := Policy{}.withDefaults()
+	if p.Min != DefaultMin || p.Max != DefaultMax || p.Factor != DefaultFactor || p.Jitter != DefaultJitter {
+		t.Errorf("defaults = %+v", p)
+	}
+	// Max below Min is clamped, not inverted.
+	q := Policy{Min: time.Second, Max: time.Millisecond}.withDefaults()
+	if q.Max != time.Second {
+		t.Errorf("clamped max = %v", q.Max)
+	}
+}
+
+func TestJitterStaysWithinBounds(t *testing.T) {
+	b := New(Policy{Min: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5})
+	for i := 0; i < 50; i++ {
+		b.Reset()
+		d := b.Next()
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("jittered first delay %v outside [50ms,100ms]", d)
+		}
+	}
+}
+
+func TestResetRewindsSchedule(t *testing.T) {
+	b := New(Policy{Min: time.Millisecond, Max: time.Second, Factor: 2, Jitter: -1})
+	first := b.Next()
+	b.Next()
+	b.Next()
+	if b.Attempts() != 3 {
+		t.Errorf("attempts = %d", b.Attempts())
+	}
+	b.Reset()
+	if got := b.Next(); got != first {
+		t.Errorf("after reset, Next = %v want %v", got, first)
+	}
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	n := 0
+	err := Retry(nil, Policy{Min: time.Millisecond, Max: 2 * time.Millisecond, Jitter: -1}, func() error {
+		n++
+		if n < 3 {
+			return errors.New("nope")
+		}
+		return nil
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("retry = %v after %d attempts", err, n)
+	}
+}
+
+func TestRetryStops(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	sentinel := errors.New("still failing")
+	err := Retry(stop, Policy{Min: time.Millisecond, Jitter: -1}, func() error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("stopped retry = %v", err)
+	}
+}

@@ -1,0 +1,253 @@
+package dfs
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"yanc/internal/faultnet"
+	"yanc/internal/vfs"
+	"yanc/internal/yancfs"
+)
+
+// eventually polls cond for up to five seconds.
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// fastOpts are mount options tuned for test-speed failure detection.
+func fastOpts(reconnect bool) Options {
+	return Options{
+		CallTimeout: 2 * time.Second,
+		Reconnect:   reconnect,
+		RetryMin:    5 * time.Millisecond,
+		RetryMax:    50 * time.Millisecond,
+	}
+}
+
+// TestCallsFailFastAfterDisconnect is the regression test for the mount
+// hang: once the connection is lost, strict calls must return the
+// connection error immediately — not block forever on a dead pending
+// channel.
+func TestCallsFailFastAfterDisconnect(t *testing.T) {
+	y, err := yancfs.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(y.VFS())
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := MountOptions(addr, vfs.Root, Strict, fastOpts(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Mkdir("/pre", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// The first call after the close may race the readLoop noticing EOF;
+	// either way it must error out, not hang.
+	eventually(t, "disconnect surfaced", func() bool {
+		return c.Mkdir("/x", 0o755) != nil
+	})
+	// From here every call fails fast with the connection sentinel.
+	start := time.Now()
+	err = c.Mkdir("/y", 0o755)
+	if !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("post-disconnect error = %v, want ErrDisconnected", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("post-disconnect call took %v, want immediate", elapsed)
+	}
+}
+
+// TestMountSurvivesServerRestart drives the full recovery story: the
+// server dies; pending strict RPCs fail fast; eventual writes queue;
+// the mount reconnects with backoff, replays its consistency overrides,
+// re-registers its watch (announcing the gap with an Overflow event),
+// and flushes the queued writes.
+func TestMountSurvivesServerRestart(t *testing.T) {
+	y, err := yancfs.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(y.VFS())
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := MountOptions(addr, vfs.Root, Eventual, fastOpts(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Mkdir("/hosts/h1", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetConsistency("/hosts", Strict); err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.AddWatch("/hosts", vfs.OpCreate|vfs.OpWrite|vfs.OpOverflow, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := c.WriteString("/hosts/h1/ip", "10.0.0.1\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Close()
+	// Strict calls fail fast while down (the /hosts override routes this
+	// write strictly).
+	eventually(t, "disconnect surfaced", func() bool {
+		return c.WriteString("/hosts/h1/ip", "10.0.0.2\n") != nil
+	})
+	// Eventual writes queue for the recovery instead of failing.
+	if err := c.WriteString("/limbo", "queued during outage\n"); err != nil {
+		t.Fatalf("eventual write during outage = %v", err)
+	}
+
+	// Restart the server on the same address and fs (its state survives,
+	// as any durable export's would).
+	var s2 *Server
+	eventually(t, "rebind", func() bool {
+		s2 = NewServer(y.VFS())
+		_, err := s2.Listen(addr)
+		return err == nil
+	})
+	defer s2.Close()
+
+	// The mount recovers: the flush barrier completes and the queued
+	// write landed.
+	eventually(t, "flush after recovery", func() bool {
+		if err := c.Flush(); err != nil {
+			return false
+		}
+		got, err := c.ReadString("/limbo")
+		return err == nil && got == "queued during outage"
+	})
+	// The consistency override survived the remount: strict writes under
+	// /hosts work synchronously again.
+	if err := c.WriteString("/hosts/h1/ip", "10.0.0.3\n"); err != nil {
+		t.Fatalf("strict write after recovery = %v", err)
+	}
+	if got, _ := y.Root().ReadString("/hosts/h1/ip"); got != "10.0.0.3" {
+		t.Fatalf("strict write not visible server-side: %q", got)
+	}
+
+	// The watch was re-registered: first the synthetic Overflow marking
+	// the gap, then live events from the fresh connection.
+	sawOverflow, sawLive := false, false
+	deadline := time.After(5 * time.Second)
+	for !sawOverflow || !sawLive {
+		select {
+		case ev := <-w.C:
+			switch {
+			case ev.Op&vfs.OpOverflow != 0:
+				sawOverflow = true
+			case sawOverflow && ev.Path == "/hosts/h1/ip":
+				sawLive = true
+			}
+		case <-deadline:
+			t.Fatalf("watch recovery incomplete: overflow=%v live=%v", sawOverflow, sawLive)
+		}
+	}
+}
+
+// TestMountPartitionFailsFastAndRecovers uses faultnet's blackhole — the
+// failure TCP alone never surfaces as an error — to prove the per-RPC
+// deadline is what unsticks callers, and that the timeout-triggered
+// teardown feeds the same reconnect path as a clean close.
+func TestMountPartitionFailsFastAndRecovers(t *testing.T) {
+	y, err := yancfs.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(y.VFS())
+	inj := faultnet.New(1)
+	ln, err := inj.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ListenOn(ln); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	opts := fastOpts(true)
+	opts.CallTimeout = 200 * time.Millisecond
+	c, err := MountOptions(ln.Addr().String(), vfs.Root, Strict, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Mkdir("/pre", 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Partition()
+	start := time.Now()
+	err = c.Mkdir("/blackholed", 0o755)
+	if err == nil {
+		t.Fatal("call into a blackhole succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("blackholed call took %v, want ~CallTimeout", elapsed)
+	}
+	inj.Heal()
+
+	eventually(t, "recovery through faultnet", func() bool {
+		return c.Mkdir("/after-heal", 0o755) == nil
+	})
+}
+
+// TestChaosNoGoroutineLeaks closes everything down after a
+// disconnect/reconnect cycle and checks the goroutine population
+// returns to baseline — reconnect loops, read loops, and flushers must
+// all terminate.
+func TestChaosNoGoroutineLeaks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	y, err := yancfs.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(y.VFS())
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := MountOptions(addr, vfs.Root, Eventual, fastOpts(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mkdir("/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	eventually(t, "down", func() bool { return c.state.Load() != stateUp })
+	// The reconnect loop is spinning against a dead address now.
+	time.Sleep(50 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatalf("close = %v", err)
+	}
+	eventually(t, "goroutines drained", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= base+3
+	})
+}

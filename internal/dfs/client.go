@@ -8,27 +8,110 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"yanc/internal/backoff"
 	"yanc/internal/vfs"
 )
 
 // ErrClosed reports use of a closed mount.
 var ErrClosed = errors.New("dfs: mount closed")
 
+// ErrDisconnected reports an operation attempted (or orphaned) while the
+// mount's connection to the server is down. With Options.Reconnect the
+// condition is transient: the mount keeps redialing in the background.
+var ErrDisconnected = errors.New("dfs: connection lost")
+
+// ErrTimeout reports a strict RPC that exceeded Options.CallTimeout; the
+// connection is torn down, since a server that stopped answering is
+// indistinguishable from a dead one.
+var ErrTimeout = errors.New("dfs: call timed out")
+
+// ErrQueueFull reports that the bounded eventual-consistency write queue
+// is at capacity (typically during a long disconnection).
+var ErrQueueFull = errors.New("dfs: eventual write queue full")
+
+// Resilience defaults (overridable per mount through Options).
+const (
+	DefaultCallTimeout = 10 * time.Second
+	DefaultMaxQueue    = 4096
+	DefaultRetryMin    = 50 * time.Millisecond
+	DefaultRetryMax    = 5 * time.Second
+)
+
+// Options tunes a mount's failure behaviour.
+type Options struct {
+	// CallTimeout bounds every synchronous RPC (and the reconnect dial).
+	// 0 means DefaultCallTimeout; negative disables the deadline.
+	CallTimeout time.Duration
+	// Reconnect makes the mount survive connection loss: it redials with
+	// capped exponential backoff, replays the hello and the per-subtree
+	// consistency overrides, re-registers watches (delivering a synthetic
+	// Overflow event so subscribers know to rescan), and flushes writes
+	// queued during the outage.
+	Reconnect bool
+	// RetryMin/RetryMax bound the reconnect and flush-retry backoff
+	// (defaults DefaultRetryMin/DefaultRetryMax).
+	RetryMin time.Duration
+	RetryMax time.Duration
+	// MaxQueue bounds the eventual-consistency write queue; writes beyond
+	// it fail with ErrQueueFull. 0 means DefaultMaxQueue.
+	MaxQueue int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CallTimeout == 0 {
+		o.CallTimeout = DefaultCallTimeout
+	}
+	if o.RetryMin <= 0 {
+		o.RetryMin = DefaultRetryMin
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = DefaultRetryMax
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = DefaultMaxQueue
+	}
+	return o
+}
+
+func (o Options) retryPolicy() backoff.Policy {
+	return backoff.Policy{Min: o.RetryMin, Max: o.RetryMax}
+}
+
+// Connection lifecycle states.
+const (
+	stateUp int32 = iota
+	stateDown
+	stateClosed
+)
+
 // Client is a remote mount of an exported file system. Its method set
 // mirrors vfs.Proc, so code written against the local file system works
 // against the mount — the property §6 relies on to distribute yanc
 // applications across machines.
 type Client struct {
+	addr        string
+	cred        vfs.Cred
 	consistency Consistency
+	opts        Options
+
+	// state is read lock-free on hot paths; transitions happen under mu.
+	state atomic.Int32
 
 	mu      sync.Mutex
 	conn    net.Conn
 	enc     *gob.Encoder
+	gen     uint64 // bumped on every (re)connect; stale I/O detects itself
+	connErr error  // why state is down
 	nextID  uint64
 	pending map[uint64]chan *response
 	watches map[uint64]*RemoteWatch
-	closed  bool
+
+	// sendMu serializes encoder writes so a blocked send never holds mu
+	// (the failAll/call deadlock of the unbounded design).
+	sendMu sync.Mutex
 
 	// Eventual-consistency write pipeline.
 	queueMu   sync.Mutex
@@ -45,14 +128,24 @@ type Client struct {
 }
 
 // Mount connects to a server with the given credential and default
-// consistency mode.
+// consistency mode, using default resilience options (bounded RPCs, no
+// automatic reconnect).
 func Mount(addr string, cred vfs.Cred, consistency Consistency) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return MountOptions(addr, cred, consistency, Options{})
+}
+
+// MountOptions is Mount with explicit resilience options.
+func MountOptions(addr string, cred vfs.Cred, consistency Consistency, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout(opts))
 	if err != nil {
 		return nil, fmt.Errorf("dfs: mount %s: %w", addr, err)
 	}
 	c := &Client{
+		addr:        addr,
+		cred:        cred,
 		consistency: consistency,
+		opts:        opts,
 		conn:        conn,
 		enc:         gob.NewEncoder(conn),
 		pending:     make(map[uint64]chan *response),
@@ -66,34 +159,65 @@ func Mount(addr string, cred vfs.Cred, consistency Consistency) (*Client, error)
 		conn.Close()
 		return nil, err
 	}
-	go c.readLoop()
+	go c.readLoop(0, conn)
 	go c.flushLoop()
 	return c, nil
 }
 
-// Close flushes pending writes and tears the mount down.
+func dialTimeout(opts Options) time.Duration {
+	if opts.CallTimeout > 0 {
+		return opts.CallTimeout
+	}
+	return DefaultCallTimeout
+}
+
+// Close flushes pending writes and tears the mount down. When the
+// connection is already gone, queued eventual writes are dropped (with
+// Reconnect they would otherwise hold Close hostage to the server's
+// return).
 func (c *Client) Close() error {
-	_ = c.Flush()
+	if c.state.Load() == stateUp {
+		_ = c.Flush()
+	}
 	c.mu.Lock()
-	if c.closed {
+	if c.state.Load() == stateClosed {
 		c.mu.Unlock()
 		return nil
 	}
-	c.closed = true
-	close(c.stopFlush)
+	c.state.Store(stateClosed)
 	conn := c.conn
+	pending := c.pending
+	c.pending = make(map[uint64]chan *response)
+	watches := c.watches
+	c.watches = make(map[uint64]*RemoteWatch)
 	c.mu.Unlock()
+	close(c.stopFlush)
 	c.queueCond.Broadcast()
 	<-c.flushDone
-	return conn.Close()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	for _, ch := range pending {
+		ch <- &response{Err: "mount closed", ErrKind: errConn}
+	}
+	for _, w := range watches {
+		w.close()
+	}
+	if errors.Is(err, net.ErrClosed) {
+		err = nil // the connection was already torn down by a fault
+	}
+	return err
 }
 
-func (c *Client) readLoop() {
-	dec := gob.NewDecoder(c.conn)
+// readLoop decodes responses and watch events for one connection
+// generation. Any decode error reports the connection lost.
+func (c *Client) readLoop(gen uint64, conn net.Conn) {
+	dec := gob.NewDecoder(conn)
 	for {
 		var rsp response
 		if err := dec.Decode(&rsp); err != nil {
-			c.failAll(err)
+			c.connLost(gen, err)
 			return
 		}
 		if rsp.Event != nil {
@@ -115,47 +239,234 @@ func (c *Client) readLoop() {
 	}
 }
 
-func (c *Client) failAll(err error) {
+// connLost transitions generation gen from up to down: every pending
+// call fails immediately with the connection error (no caller is ever
+// left hanging), and — with Reconnect — a background remount loop
+// starts. Without Reconnect the failure is permanent: watches close and
+// later calls keep failing fast with the same error.
+func (c *Client) connLost(gen uint64, err error) {
 	c.mu.Lock()
+	if c.gen != gen || c.state.Load() != stateUp {
+		c.mu.Unlock()
+		return // a different generation already owns the connection
+	}
+	c.state.Store(stateDown)
+	c.connErr = err
+	conn := c.conn
 	pending := c.pending
 	c.pending = make(map[uint64]chan *response)
-	watches := c.watches
-	c.watches = make(map[uint64]*RemoteWatch)
-	c.closed = true
-	c.mu.Unlock()
-	for _, ch := range pending {
-		ch <- &response{Err: "connection lost: " + err.Error(), ErrKind: errOther}
+	var dead []*RemoteWatch
+	if !c.opts.Reconnect {
+		for _, w := range c.watches {
+			dead = append(dead, w)
+		}
+		c.watches = make(map[uint64]*RemoteWatch)
 	}
-	for _, w := range watches {
+	c.mu.Unlock()
+	conn.Close()
+	for _, ch := range pending {
+		ch <- &response{Err: err.Error(), ErrKind: errConn}
+	}
+	for _, w := range dead {
 		w.close()
 	}
 	c.queueCond.Broadcast()
+	if c.opts.Reconnect {
+		go c.reconnectLoop(gen)
+	}
+}
+
+// reconnectLoop redials with capped exponential backoff until the mount
+// is re-established or closed.
+func (c *Client) reconnectLoop(gen uint64) {
+	bo := backoff.New(c.opts.retryPolicy())
+	for {
+		select {
+		case <-c.stopFlush:
+			return
+		case <-time.After(bo.Next()):
+		}
+		if c.state.Load() == stateClosed {
+			return
+		}
+		if c.remount(gen) {
+			return
+		}
+	}
+}
+
+// remount performs one reconnect attempt: dial, replay the hello, swap
+// the connection in under a new generation, then restore session state —
+// consistency overrides and watches — and wake the flusher so writes
+// queued during the outage drain. It reports whether the loop is done
+// (success, or the mount closed underneath it).
+func (c *Client) remount(gen uint64) bool {
+	conn, err := net.DialTimeout("tcp", c.addr, dialTimeout(c.opts))
+	if err != nil {
+		return false
+	}
+	enc := gob.NewEncoder(conn)
+	conn.SetWriteDeadline(time.Now().Add(dialTimeout(c.opts)))
+	err = c.withSend(func() error {
+		return enc.Encode(hello{UID: c.cred.UID, GID: c.cred.GID, Groups: c.cred.Groups, Consistency: c.consistency})
+	})
+	conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return false
+	}
+
+	c.mu.Lock()
+	if c.state.Load() == stateClosed || c.gen != gen {
+		c.mu.Unlock()
+		conn.Close()
+		return true
+	}
+	c.conn, c.enc = conn, enc
+	c.gen++
+	newGen := c.gen
+	c.connErr = nil
+	c.state.Store(stateUp)
+	watches := make(map[uint64]*RemoteWatch, len(c.watches))
+	for id, w := range c.watches {
+		watches[id] = w
+	}
+	c.mu.Unlock()
+
+	go c.readLoop(newGen, conn)
+
+	// Replay per-subtree consistency overrides so the server again knows
+	// which subtrees demand strict routing.
+	c.overrideMu.RLock()
+	overrides := make(map[string]Consistency, len(c.overrides))
+	for p, m := range c.overrides {
+		overrides[p] = m
+	}
+	c.overrideMu.RUnlock()
+	for path, mode := range overrides {
+		_ = c.SetXattr(path, ConsistencyXattr, []byte(mode.String()))
+	}
+
+	// Re-register watches under their original IDs. Events emitted while
+	// the mount was down are gone forever, so each watch gets a synthetic
+	// Overflow — the same signal the kernel-side buffer uses — telling the
+	// subscriber to rescan rather than trust its incremental view.
+	for id, w := range watches {
+		if c.reRegisterWatch(id, w) == nil {
+			w.deliver(vfs.Event{Op: vfs.OpOverflow, Path: w.path})
+		}
+	}
+	c.queueCond.Broadcast()
+	return true
+}
+
+// reRegisterWatch replays one watch subscription on the fresh
+// connection. Failures are left for the next reconnect round.
+func (c *Client) reRegisterWatch(id uint64, w *RemoteWatch) error {
+	ch := make(chan *response, 1)
+	c.mu.Lock()
+	if c.state.Load() != stateUp {
+		c.mu.Unlock()
+		return ErrDisconnected
+	}
+	gen, conn, enc := c.gen, c.conn, c.enc
+	c.pending[id] = ch
+	c.mu.Unlock()
+	req := request{ID: id, Op: opWatch, Path: w.path, Mask: uint32(w.mask), Recursive: w.recursive}
+	if err := c.send(conn, enc, &req); err != nil {
+		c.unregister(id)
+		c.connLost(gen, err)
+		return err
+	}
+	_, err := c.await(id, ch, gen)
+	return err
+}
+
+// register allocates an ID for req and parks ch to receive its
+// response. It fails fast when the mount is closed or down.
+func (c *Client) register(req *request, ch chan *response) (gen uint64, conn net.Conn, enc *gob.Encoder, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state.Load() {
+	case stateClosed:
+		return 0, nil, nil, ErrClosed
+	case stateDown:
+		return 0, nil, nil, fmt.Errorf("%w: %v", ErrDisconnected, c.connErr)
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	return c.gen, c.conn, c.enc, nil
+}
+
+func (c *Client) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// withSend runs fn (an encoder write) under the send lock.
+func (c *Client) withSend(fn func() error) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return fn()
+}
+
+// send encodes req on conn under the send lock with a write deadline, so
+// a jammed transport can never wedge the whole client.
+func (c *Client) send(conn net.Conn, enc *gob.Encoder, req *request) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if t := c.opts.CallTimeout; t > 0 {
+		conn.SetWriteDeadline(time.Now().Add(t))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	return enc.Encode(req)
+}
+
+// await blocks for the response to id, bounded by CallTimeout. A timeout
+// tears the connection down: a server that stopped answering must not
+// be allowed to wedge every subsequent call.
+func (c *Client) await(id uint64, ch chan *response, gen uint64) (*response, error) {
+	var timeout <-chan time.Time
+	if c.opts.CallTimeout > 0 {
+		timer := time.NewTimer(c.opts.CallTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case rsp := <-ch:
+		if err := wireError(rsp); err != nil {
+			return rsp, err
+		}
+		return rsp, nil
+	case <-timeout:
+		c.unregister(id)
+		err := fmt.Errorf("%w after %v", ErrTimeout, c.opts.CallTimeout)
+		c.connLost(gen, err)
+		return nil, err
+	}
 }
 
 // call performs one synchronous round trip.
 func (c *Client) call(req request) (*response, error) {
 	ch := make(chan *response, 1)
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
-	}
-	c.nextID++
-	req.ID = c.nextID
-	c.pending[req.ID] = ch
-	err := c.enc.Encode(&req)
-	c.mu.Unlock()
+	gen, conn, enc, err := c.register(&req, ch)
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, req.ID)
-		c.mu.Unlock()
 		return nil, err
 	}
-	rsp := <-ch
-	if err := wireError(rsp); err != nil {
-		return rsp, err
+	if err := c.send(conn, enc, &req); err != nil {
+		c.unregister(req.ID)
+		c.connLost(gen, err)
+		return nil, fmt.Errorf("%w: %v", ErrDisconnected, err)
 	}
-	return rsp, nil
+	return c.await(req.ID, ch, gen)
+}
+
+// isConnError reports whether err means the transport failed (retryable
+// after a remount) rather than the server refusing the operation.
+func isConnError(err error) bool {
+	return errors.Is(err, ErrDisconnected) || errors.Is(err, ErrTimeout)
 }
 
 // SetConsistency records a subtree override and persists it as the
@@ -194,15 +505,20 @@ func (c *Client) modeFor(path string) Consistency {
 }
 
 // write routes a mutating request per the governing consistency mode.
+// Eventual writes join a bounded queue; during an outage (with
+// Reconnect) they wait there for the remount instead of failing.
 func (c *Client) write(path string, req request) error {
 	if c.modeFor(path) == Strict {
 		_, err := c.call(req)
 		return err
 	}
-	c.queueMu.Lock()
-	if c.closed {
-		c.queueMu.Unlock()
+	if c.state.Load() == stateClosed {
 		return ErrClosed
+	}
+	c.queueMu.Lock()
+	if len(c.queue) >= c.opts.MaxQueue {
+		c.queueMu.Unlock()
+		return fmt.Errorf("%w (%d writes)", ErrQueueFull, c.opts.MaxQueue)
 	}
 	c.queue = append(c.queue, req)
 	c.queueMu.Unlock()
@@ -211,9 +527,12 @@ func (c *Client) write(path string, req request) error {
 }
 
 // flushLoop drains the eventual-consistency queue in order, batching
-// whatever has accumulated into one round trip.
+// whatever has accumulated into one round trip. Transport failures
+// requeue the batch and retry with backoff (the writes survive a
+// remount); server-side errors surface at the next Flush, as before.
 func (c *Client) flushLoop() {
 	defer close(c.flushDone)
+	bo := backoff.New(c.opts.retryPolicy())
 	for {
 		c.queueMu.Lock()
 		for len(c.queue) == 0 {
@@ -222,10 +541,6 @@ func (c *Client) flushLoop() {
 				c.queueMu.Unlock()
 				return
 			default:
-			}
-			if c.isClosed() {
-				c.queueMu.Unlock()
-				return
 			}
 			c.queueCond.Wait()
 		}
@@ -236,6 +551,19 @@ func (c *Client) flushLoop() {
 
 		_, err := c.call(request{Op: opBatch, Sub: batch})
 
+		if err != nil && isConnError(err) && c.opts.Reconnect && c.state.Load() != stateClosed {
+			c.queueMu.Lock()
+			c.queue = append(batch, c.queue...)
+			c.flushing = false
+			c.queueMu.Unlock()
+			select {
+			case <-c.stopFlush:
+				return
+			case <-time.After(bo.Next()):
+			}
+			continue
+		}
+		bo.Reset()
 		c.queueMu.Lock()
 		c.flushing = false
 		if err != nil && c.flushErr == nil {
@@ -246,20 +574,17 @@ func (c *Client) flushLoop() {
 	}
 }
 
-func (c *Client) isClosed() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.closed
-}
-
 // Flush blocks until every queued eventual write has been applied on the
 // server, returning the first flush error since the previous Flush. This
 // is the barrier an application uses before reading back its own
-// eventual-mode writes.
+// eventual-mode writes. With Reconnect, Flush waits out an outage (the
+// barrier holds until the writes actually land); without it, a dead
+// connection drains the queue as fast-failing batches and the error
+// surfaces here.
 func (c *Client) Flush() error {
 	c.queueMu.Lock()
 	defer c.queueMu.Unlock()
-	for (len(c.queue) > 0 || c.flushing) && !c.isClosedLocked() {
+	for (len(c.queue) > 0 || c.flushing) && !c.stopped() {
 		c.queueCond.Wait()
 	}
 	err := c.flushErr
@@ -267,8 +592,9 @@ func (c *Client) Flush() error {
 	return err
 }
 
-func (c *Client) isClosedLocked() bool {
-	// Called with queueMu held; peek at closed without blocking on mu.
+// stopped reports whether the flush pipeline has shut down (mount
+// closed). Called with queueMu held; must not take mu.
+func (c *Client) stopped() bool {
 	select {
 	case <-c.stopFlush:
 		return true
@@ -444,50 +770,70 @@ func (c *Client) Glob(pattern string) ([]string, error) {
 }
 
 // RemoteWatch is a watch on the exported file system; events stream over
-// the mount connection.
+// the mount connection. On a reconnecting mount the subscription
+// survives connection loss: it is replayed on the fresh connection and a
+// synthetic Overflow event marks the gap.
 type RemoteWatch struct {
 	C  <-chan vfs.Event
 	ch chan vfs.Event
 
-	client *Client
-	id     uint64
+	client    *Client
+	id        uint64
+	path      string
+	mask      vfs.EventOp
+	recursive bool
+
 	mu     sync.Mutex
 	closed bool
 }
 
 // AddWatch subscribes to events under path on the server.
 func (c *Client) AddWatch(path string, mask vfs.EventOp, recursive bool) (*RemoteWatch, error) {
-	w := &RemoteWatch{client: c, ch: make(chan vfs.Event, 4096)}
+	w := &RemoteWatch{
+		client:    c,
+		ch:        make(chan vfs.Event, 4096),
+		path:      path,
+		mask:      mask,
+		recursive: recursive,
+	}
 	w.C = w.ch
 	// Register the watch entry before the call so no event can race past.
 	ch := make(chan *response, 1)
 	c.mu.Lock()
-	if c.closed {
+	switch c.state.Load() {
+	case stateClosed:
 		c.mu.Unlock()
 		return nil, ErrClosed
+	case stateDown:
+		err := fmt.Errorf("%w: %v", ErrDisconnected, c.connErr)
+		c.mu.Unlock()
+		return nil, err
 	}
+	gen, conn, enc := c.gen, c.conn, c.enc
 	c.nextID++
 	id := c.nextID
 	w.id = id
 	c.pending[id] = ch
 	c.watches[id] = w
-	err := c.enc.Encode(&request{ID: id, Op: opWatch, Path: path, Mask: uint32(mask), Recursive: recursive})
 	c.mu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		delete(c.watches, id)
-		c.mu.Unlock()
-		return nil, err
+	req := request{ID: id, Op: opWatch, Path: path, Mask: uint32(mask), Recursive: recursive}
+	if err := c.send(conn, enc, &req); err != nil {
+		c.unregister(id)
+		c.dropWatch(id)
+		c.connLost(gen, err)
+		return nil, fmt.Errorf("%w: %v", ErrDisconnected, err)
 	}
-	rsp := <-ch
-	if err := wireError(rsp); err != nil {
-		c.mu.Lock()
-		delete(c.watches, id)
-		c.mu.Unlock()
+	if _, err := c.await(id, ch, gen); err != nil {
+		c.dropWatch(id)
 		return nil, err
 	}
 	return w, nil
+}
+
+func (c *Client) dropWatch(id uint64) {
+	c.mu.Lock()
+	delete(c.watches, id)
+	c.mu.Unlock()
 }
 
 func (w *RemoteWatch) deliver(ev vfs.Event) {
@@ -514,9 +860,7 @@ func (w *RemoteWatch) close() {
 // Close unsubscribes.
 func (w *RemoteWatch) Close() {
 	c := w.client
-	c.mu.Lock()
-	delete(c.watches, w.id)
-	c.mu.Unlock()
+	c.dropWatch(w.id)
 	_, _ = c.call(request{Op: opUnwatch, Mask: uint32(w.id)})
 	w.close()
 }

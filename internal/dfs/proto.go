@@ -124,6 +124,9 @@ const (
 	errNoAttr
 	errQuota
 	errOther
+	// errConn is fabricated client-side for requests orphaned by a lost
+	// connection; it never crosses the wire.
+	errConn
 )
 
 var kindToErr = map[int]error{
@@ -137,6 +140,7 @@ var kindToErr = map[int]error{
 	errInvalid:  vfs.ErrInvalid,
 	errNoAttr:   vfs.ErrNoAttr,
 	errQuota:    vfs.ErrQuota,
+	errConn:     ErrDisconnected,
 }
 
 func errKind(err error) int {

@@ -33,6 +33,13 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return s.ListenOn(l)
+}
+
+// ListenOn starts accepting on an existing listener — the hook a fault
+// harness (or any custom transport) uses to interpose on the server's
+// connections. The server takes ownership of l.
+func (s *Server) ListenOn(l net.Listener) (string, error) {
 	s.mu.Lock()
 	s.listener = l
 	s.mu.Unlock()

@@ -1,0 +1,147 @@
+package driver
+
+import (
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"yanc/internal/backoff"
+	"yanc/internal/faultnet"
+	"yanc/internal/openflow"
+	"yanc/internal/switchsim"
+	"yanc/internal/yancfs"
+)
+
+// TestEchoProbesDetectBlackholedSwitch is the headline chaos scenario:
+// the control connection of a live switch is blackholed (writes swallowed,
+// reads stalled — TCP itself never reports an error), and the driver's
+// echo probes are the only thing that can notice. The status file must
+// flip to disconnected within the miss window; after the partition heals
+// and the switch redials, the flow table must be re-pushed.
+func TestEchoProbesDetectBlackholedSwitch(t *testing.T) {
+	base := runtime.NumGoroutine()
+	y, err := yancfs.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(y)
+	d.EchoInterval = 20 * time.Millisecond
+	d.EchoMisses = 3
+
+	inj := faultnet.New(1)
+	ln, err := inj.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); _ = d.Serve(ln) }()
+
+	n := switchsim.NewNetwork()
+	n.AddSwitch(1, "sw1", openflow.Version10, 2)
+	sw := n.Switch(1)
+	stop := make(chan struct{})
+	dialDone := make(chan struct{})
+	go func() {
+		defer close(dialDone)
+		sw.DialRetry(ln.Addr().String(),
+			backoff.Policy{Min: 5 * time.Millisecond, Max: 50 * time.Millisecond, Jitter: -1},
+			stop, nil)
+	}()
+
+	p := y.Root()
+	eventually(t, "initial attach", func() bool {
+		s, _ := p.ReadString("/switches/sw1/status")
+		return s == "connected"
+	})
+	m, _ := openflow.ParseMatch("in_port=1")
+	if _, err := yancfs.WriteFlow(p, "/switches/sw1/flows/f", yancfs.FlowSpec{
+		Match: m, Priority: 5, Actions: []openflow.Action{openflow.Output(2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "flow install", func() bool { return sw.FlowCount() == 1 })
+	if !p.Exists("/switches/sw1/last_seen") {
+		t.Fatal("last_seen missing on a live connection")
+	}
+	modsBefore := sw.FlowModCount()
+
+	// Blackhole the existing control channel and refuse fresh ones, so
+	// the only detection signal is the missed echoes.
+	inj.RejectAccepts(true)
+	inj.Partition()
+	detect := time.Now()
+	eventually(t, "echo-driven teardown", func() bool {
+		s, _ := p.ReadString("/switches/sw1/status")
+		return s == "disconnected"
+	})
+	// Detection must come from the miss window ((misses+1) probe ticks),
+	// not some multi-second transport timeout.
+	if elapsed := time.Since(detect); elapsed > 2*time.Second {
+		t.Fatalf("detection took %v, want about %v",
+			elapsed, time.Duration(d.EchoMisses+1)*d.EchoInterval)
+	}
+
+	inj.Heal()
+	inj.RejectAccepts(false)
+	eventually(t, "reattach after heal", func() bool {
+		s, _ := p.ReadString("/switches/sw1/status")
+		return s == "connected"
+	})
+	// The committed flow outlived the connection and was re-pushed to the
+	// (empty-tabled, in a real outage possibly power-cycled) switch.
+	eventually(t, "flow resync", func() bool {
+		return sw.FlowModCount() > modsBefore && sw.FlowCount() == 1
+	})
+
+	close(stop)
+	ln.Close()
+	<-serveDone
+	d.Close()
+	<-dialDone
+	eventually(t, "goroutines drained", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= base+3
+	})
+}
+
+// TestEchoRepliesHoldConnectionOpen: a healthy switch answering probes
+// must never be torn down, and last_seen keeps advancing.
+func TestEchoRepliesHoldConnectionOpen(t *testing.T) {
+	y, err := yancfs.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(y)
+	d.EchoInterval = 10 * time.Millisecond
+	d.EchoMisses = 2
+	defer d.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = d.Serve(ln) }()
+	defer ln.Close()
+
+	n := switchsim.NewNetwork()
+	n.AddSwitch(1, "sw1", openflow.Version10, 2)
+	stop := make(chan struct{})
+	defer close(stop)
+	go n.Switch(1).DialRetry(ln.Addr().String(), backoff.Policy{Min: 5 * time.Millisecond}, stop, nil)
+
+	p := y.Root()
+	eventually(t, "attach", func() bool {
+		s, _ := p.ReadString("/switches/sw1/status")
+		return s == "connected"
+	})
+	first, _ := p.ReadString("/switches/sw1/last_seen")
+	// Outlive several full miss windows.
+	time.Sleep(10 * time.Duration(d.EchoMisses) * d.EchoInterval)
+	if s, _ := p.ReadString("/switches/sw1/status"); s != "connected" {
+		t.Fatalf("healthy switch torn down: status %q", s)
+	}
+	eventually(t, "last_seen advances", func() bool {
+		now, _ := p.ReadString("/switches/sw1/last_seen")
+		return now != "" && now >= first
+	})
+}

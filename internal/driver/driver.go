@@ -37,6 +37,12 @@ import (
 // statsTimeout bounds synchronous counter queries to the switch.
 const statsTimeout = 2 * time.Second
 
+// Liveness-probe defaults (overridable per Driver).
+const (
+	DefaultEchoInterval = 5 * time.Second
+	DefaultEchoMisses   = 3
+)
+
 // Driver manages the control connections of all switches speaking some
 // OpenFlow version range, translating to one yanc file system region.
 type Driver struct {
@@ -50,6 +56,15 @@ type Driver struct {
 	// true consumes the message and skips the event-directory copies.
 	PacketInHook func(switchName string, pi *openflow.PacketIn) bool
 
+	// EchoInterval is how often the driver probes each switch with an
+	// OpenFlow echo request; EchoMisses is how many consecutive unanswered
+	// probes tear the connection down. A hung switch — one whose TCP
+	// connection never errors — is detected this way, so the status file
+	// stays truthful about liveness even when the transport lies.
+	// EchoInterval <= 0 disables probing.
+	EchoInterval time.Duration
+	EchoMisses   int
+
 	mu    sync.Mutex
 	conns map[string]*SwitchConn
 }
@@ -57,11 +72,13 @@ type Driver struct {
 // New creates a driver for the master region offering up to OF 1.3.
 func New(y *yancfs.FS) *Driver {
 	return &Driver{
-		Y:          y,
-		Region:     "/",
-		MaxVersion: openflow.Version13,
-		NameFor:    func(dpid uint64) string { return fmt.Sprintf("sw%d", dpid) },
-		Logf:       func(string, ...any) {},
+		Y:            y,
+		Region:       "/",
+		MaxVersion:   openflow.Version13,
+		NameFor:      func(dpid uint64) string { return fmt.Sprintf("sw%d", dpid) },
+		Logf:         func(string, ...any) {},
+		EchoInterval: DefaultEchoInterval,
+		EchoMisses:   DefaultEchoMisses,
 	}
 }
 
@@ -92,6 +109,7 @@ type SwitchConn struct {
 	flows      map[string]flowState // flow dir name -> pushed state
 	portConfig map[uint32]uint32    // hardware port config as last seen
 	pending    map[uint32]chan *openflow.StatsReply
+	echoMiss   int // consecutive unanswered liveness probes
 	closed     bool
 	done       chan struct{}
 }
@@ -170,6 +188,13 @@ func (d *Driver) Attach(rw io.ReadWriter) (*SwitchConn, error) {
 
 	go sc.readLoop()
 	go sc.watchLoop()
+	if d.EchoInterval > 0 {
+		misses := d.EchoMisses
+		if misses <= 0 {
+			misses = DefaultEchoMisses
+		}
+		go sc.echoLoop(d.EchoInterval, misses)
+	}
 	d.Logf("driver: %s attached (dpid %016x, %s, %d ports)",
 		name, features.DatapathID, sc.Protocol, len(features.Ports))
 	return sc, nil
@@ -252,6 +277,40 @@ func (sc *SwitchConn) stop() {
 // Done is closed when the connection has shut down.
 func (sc *SwitchConn) Done() <-chan struct{} { return sc.done }
 
+// touchLastSeen records proof-of-life from the switch in its last_seen
+// file (unix seconds), so operators and apps can judge staleness by
+// reading a file, per the everything-is-a-file discipline.
+func (sc *SwitchConn) touchLastSeen() {
+	_ = sc.proc.WriteString(vfs.Join(sc.Path, "last_seen"),
+		strconv.FormatInt(time.Now().Unix(), 10)+"\n")
+}
+
+// echoLoop probes the switch with echo requests every interval. When
+// `misses` consecutive probes go unanswered the connection is torn down,
+// which flips status to "disconnected" even though TCP never reported
+// an error — the hung-switch case a production controller must detect.
+func (sc *SwitchConn) echoLoop(interval time.Duration, misses int) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-sc.done:
+			return
+		case <-t.C:
+		}
+		sc.mu.Lock()
+		missed := sc.echoMiss
+		sc.echoMiss++
+		sc.mu.Unlock()
+		if missed >= misses {
+			sc.driver.Logf("driver: %s: %d echo probes unanswered, tearing down", sc.Name, missed)
+			sc.stop()
+			return
+		}
+		_ = sc.conn.Write(&openflow.EchoRequest{})
+	}
+}
+
 // readLoop dispatches messages arriving from the switch.
 func (sc *SwitchConn) readLoop() {
 	defer func() {
@@ -259,10 +318,22 @@ func (sc *SwitchConn) readLoop() {
 		// The file system stays truthful about liveness: the switch
 		// directory (and its committed flows) persists across disconnects
 		// so a reconnecting or upgraded switch is resynced from it, but
-		// its status file says the control channel is down.
-		_ = sc.proc.WriteString(vfs.Join(sc.Path, "status"), "disconnected\n")
+		// its status file says the control channel is down. If another
+		// connection has already replaced this one (fast reconnect), the
+		// replacement owns the status file and this write is skipped.
+		d := sc.driver
+		d.mu.Lock()
+		current := d.conns == nil || d.conns[sc.Name] == sc
+		if d.conns != nil && d.conns[sc.Name] == sc {
+			delete(d.conns, sc.Name)
+		}
+		d.mu.Unlock()
+		if current {
+			_ = sc.proc.WriteString(vfs.Join(sc.Path, "status"), "disconnected\n")
+		}
 	}()
 	_ = sc.proc.WriteString(vfs.Join(sc.Path, "status"), "connected\n")
+	sc.touchLastSeen()
 	for {
 		msg, err := sc.conn.Read()
 		if err != nil {
@@ -283,6 +354,11 @@ func (sc *SwitchConn) readLoop() {
 			sc.handleFlowRemoved(m)
 		case *openflow.EchoRequest:
 			_ = sc.conn.Write(&openflow.EchoReply{Header: openflow.Header{Xid: m.Xid}, Data: m.Data})
+		case *openflow.EchoReply:
+			sc.mu.Lock()
+			sc.echoMiss = 0
+			sc.mu.Unlock()
+			sc.touchLastSeen()
 		case *openflow.StatsReply:
 			sc.mu.Lock()
 			ch := sc.pending[m.Xid]

@@ -1,0 +1,295 @@
+// Package faultnet wraps net.Conn and net.Listener with injectable
+// network faults, so every partial-failure mode a production controller
+// meets — a hung switch, a partitioned control channel, a slow or lossy
+// WAN between controllers — is reproducible inside an ordinary unit
+// test. An Injector owns a fault configuration and every connection
+// wrapped through it; tests flip faults on and off at runtime while
+// traffic is flowing:
+//
+//	inj := faultnet.New(seed)
+//	l, _ := inj.Listen("tcp", "127.0.0.1:0") // server side sees faults
+//	...
+//	inj.Partition()  // blackhole: writes vanish, reads stall, no error
+//	inj.Heal()
+//	inj.KillAll()    // mid-stream connection kills
+//
+// Faults injected:
+//
+//   - one-way latency plus uniform jitter on delivered bytes;
+//   - a byte-rate cap (token-less: each op sleeps n/rate);
+//   - probabilistic mid-stream connection kills per I/O op;
+//   - partitions: writes are silently swallowed and incoming bytes are
+//     dropped, exactly like a switch that is up but unreachable — the
+//     failure TCP alone can never surface as an error;
+//   - accept-time rejections, for servers that are up but refusing.
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is returned from I/O on a connection the injector killed.
+var ErrInjected = errors.New("faultnet: injected connection kill")
+
+// Config is the tunable fault set. The zero value injects nothing.
+type Config struct {
+	Latency  time.Duration // added delay per delivered read
+	Jitter   time.Duration // uniform extra delay in [0, Jitter)
+	ByteRate int           // max bytes/second per op direction (0 = unlimited)
+	KillProb float64       // chance per I/O op of killing the connection
+}
+
+// Injector owns a fault configuration and the set of live wrapped
+// connections. All methods are safe for concurrent use; fault changes
+// apply immediately to existing connections.
+type Injector struct {
+	mu            sync.Mutex
+	cond          *sync.Cond
+	cfg           Config
+	rng           *rand.Rand
+	partitioned   bool
+	rejectAccepts bool
+	conns         map[*Conn]struct{}
+}
+
+// New creates an injector with no faults. The seed makes probabilistic
+// kills reproducible.
+func New(seed int64) *Injector {
+	in := &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		conns: make(map[*Conn]struct{}),
+	}
+	in.cond = sync.NewCond(&in.mu)
+	return in
+}
+
+// SetConfig replaces the fault configuration.
+func (in *Injector) SetConfig(cfg Config) {
+	in.mu.Lock()
+	in.cfg = cfg
+	in.mu.Unlock()
+}
+
+// Partition starts a blackhole: every wrapped connection's writes are
+// swallowed and reads stall, with no error surfaced to either side.
+func (in *Injector) Partition() {
+	in.mu.Lock()
+	in.partitioned = true
+	in.mu.Unlock()
+}
+
+// Heal ends a partition; stalled reads resume.
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	in.partitioned = false
+	in.mu.Unlock()
+	in.cond.Broadcast()
+}
+
+// PartitionFor schedules a partition lasting d, returning immediately.
+func (in *Injector) PartitionFor(d time.Duration) {
+	in.Partition()
+	time.AfterFunc(d, in.Heal)
+}
+
+// RejectAccepts toggles accept-time rejection: listeners accept and
+// immediately drop new connections (the server is up but refusing).
+func (in *Injector) RejectAccepts(v bool) {
+	in.mu.Lock()
+	in.rejectAccepts = v
+	in.mu.Unlock()
+}
+
+// KillAll abruptly closes every live wrapped connection (a mid-stream
+// kill of the whole fabric).
+func (in *Injector) KillAll() {
+	in.mu.Lock()
+	conns := make([]*Conn, 0, len(in.conns))
+	for c := range in.conns {
+		conns = append(conns, c)
+	}
+	in.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Conns reports the number of live wrapped connections.
+func (in *Injector) Conns() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.conns)
+}
+
+// Wrap returns c with this injector's faults applied to its I/O.
+func (in *Injector) Wrap(c net.Conn) net.Conn {
+	fc := &Conn{Conn: c, in: in}
+	in.mu.Lock()
+	in.conns[fc] = struct{}{}
+	in.mu.Unlock()
+	return fc
+}
+
+// Listen is a convenience: net.Listen then WrapListener.
+func (in *Injector) Listen(network, addr string) (net.Listener, error) {
+	l, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return in.WrapListener(l), nil
+}
+
+// WrapListener wraps every accepted connection with the injector.
+func (in *Injector) WrapListener(l net.Listener) net.Listener {
+	return &Listener{Listener: l, in: in}
+}
+
+func (in *Injector) isPartitioned() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.partitioned
+}
+
+// waitHealthy blocks while the fabric is partitioned; it returns an
+// error only if the connection is closed while waiting.
+func (in *Injector) waitHealthy(c *Conn) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for in.partitioned {
+		if c.closed.Load() {
+			return net.ErrClosed
+		}
+		in.cond.Wait()
+	}
+	if c.closed.Load() {
+		return net.ErrClosed
+	}
+	return nil
+}
+
+// delay sleeps for the configured latency, jitter, and byte-rate cost
+// of moving n bytes.
+func (in *Injector) delay(n int) {
+	in.mu.Lock()
+	cfg := in.cfg
+	var jitter time.Duration
+	if cfg.Jitter > 0 {
+		jitter = time.Duration(in.rng.Int63n(int64(cfg.Jitter)))
+	}
+	in.mu.Unlock()
+	d := cfg.Latency + jitter
+	if cfg.ByteRate > 0 {
+		d += time.Duration(float64(n) / float64(cfg.ByteRate) * float64(time.Second))
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// roll reports whether this I/O op should kill the connection.
+func (in *Injector) roll() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.cfg.KillProb > 0 && in.rng.Float64() < in.cfg.KillProb
+}
+
+func (in *Injector) drop(c *Conn) {
+	in.mu.Lock()
+	delete(in.conns, c)
+	in.mu.Unlock()
+	in.cond.Broadcast()
+}
+
+// Conn is a fault-injected connection. Faults are controlled by the
+// Injector that wrapped it.
+type Conn struct {
+	net.Conn
+	in     *Injector
+	closed atomic.Bool
+}
+
+// Read delivers bytes from the peer through the fault model: delayed by
+// latency/jitter/rate, dropped during a partition, and occasionally
+// killing the connection.
+func (c *Conn) Read(b []byte) (int, error) {
+	for {
+		if err := c.in.waitHealthy(c); err != nil {
+			return 0, err
+		}
+		n, err := c.Conn.Read(b)
+		if err != nil {
+			return n, err
+		}
+		// Bytes that were in flight when a partition hit are lost, not
+		// delivered late: discard and stall like a real blackhole.
+		if c.in.isPartitioned() {
+			continue
+		}
+		c.in.delay(n)
+		if c.in.roll() {
+			c.Close()
+			return 0, ErrInjected
+		}
+		return n, nil
+	}
+}
+
+// Write sends bytes through the fault model. During a partition the
+// write "succeeds" and the bytes vanish — the caller cannot tell, which
+// is the point.
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.closed.Load() {
+		return 0, net.ErrClosed
+	}
+	if c.in.isPartitioned() {
+		return len(b), nil
+	}
+	c.in.delay(len(b))
+	if c.in.roll() {
+		c.Close()
+		return 0, ErrInjected
+	}
+	return c.Conn.Write(b)
+}
+
+// Close closes the underlying connection and wakes any reader stalled
+// in a partition.
+func (c *Conn) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	err := c.Conn.Close()
+	c.in.drop(c)
+	return err
+}
+
+// Listener applies an injector to every accepted connection.
+type Listener struct {
+	net.Listener
+	in *Injector
+}
+
+// Accept waits for a connection, dropping it immediately when the
+// injector is rejecting accepts.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if func() bool {
+			l.in.mu.Lock()
+			defer l.in.mu.Unlock()
+			return l.in.rejectAccepts
+		}() {
+			c.Close()
+			continue
+		}
+		return l.in.Wrap(c), nil
+	}
+}

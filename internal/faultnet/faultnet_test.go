@@ -1,0 +1,231 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pair returns a wrapped server-side conn and a raw client-side conn
+// joined over loopback TCP.
+func pair(t *testing.T, in *Injector) (server net.Conn, client net.Conn) {
+	t.Helper()
+	l, err := in.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan net.Conn, 1)
+	errs := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			errs <- err
+			return
+		}
+		accepted <- c
+	}()
+	client, err = net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case server = <-accepted:
+	case err := <-errs:
+		t.Fatal(err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	t.Cleanup(func() { server.Close(); client.Close() })
+	return server, client
+}
+
+func TestTransparentWhenHealthy(t *testing.T) {
+	in := New(1)
+	server, client := pair(t, in)
+	if _, err := client.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(server, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("read = %q %v", buf, err)
+	}
+	if _, err := server.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(client, buf); err != nil || string(buf) != "pong" {
+		t.Fatalf("reply = %q %v", buf, err)
+	}
+	if in.Conns() != 1 {
+		t.Errorf("live conns = %d", in.Conns())
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	in := New(1)
+	in.SetConfig(Config{Latency: 50 * time.Millisecond})
+	server, client := pair(t, in)
+	start := time.Now()
+	client.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Errorf("delivery took %v, want >= ~50ms", d)
+	}
+}
+
+func TestByteRateCapsThroughput(t *testing.T) {
+	in := New(1)
+	in.SetConfig(Config{ByteRate: 10_000}) // 10 KB/s
+	server, client := pair(t, in)
+	payload := make([]byte, 1000) // should cost ~100ms to deliver
+	client.Write(payload)
+	start := time.Now()
+	if _, err := io.ReadFull(server, make([]byte, len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("1000B at 10KB/s delivered in %v, want >= ~100ms", d)
+	}
+}
+
+func TestPartitionBlackholesBothDirections(t *testing.T) {
+	in := New(1)
+	server, client := pair(t, in)
+	in.Partition()
+	// Wrapped-side writes "succeed" but vanish.
+	if n, err := server.Write([]byte("lost")); n != 4 || err != nil {
+		t.Fatalf("partitioned write = %d %v", n, err)
+	}
+	// Bytes sent toward the wrapped side are dropped, and the read stalls
+	// with no error.
+	client.Write([]byte("also lost"))
+	readDone := make(chan struct{})
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := server.Read(buf)
+		_ = n
+		close(readDone)
+	}()
+	select {
+	case <-readDone:
+		t.Fatal("read returned during partition")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Nothing reached the raw peer.
+	client.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if n, err := client.Read(make([]byte, 16)); err == nil {
+		t.Fatalf("peer received %d bytes through a partition", n)
+	}
+	client.SetReadDeadline(time.Time{})
+	// Heal: traffic sent after the heal flows again.
+	in.Heal()
+	client.Write([]byte("fresh"))
+	select {
+	case <-readDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("read did not resume after heal")
+	}
+}
+
+func TestKillProbKillsMidStream(t *testing.T) {
+	in := New(7)
+	in.SetConfig(Config{KillProb: 1})
+	server, client := pair(t, in)
+	if _, err := server.Write([]byte("doomed")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write on killed fabric = %v", err)
+	}
+	// The kill is a real close: the raw peer sees EOF/reset.
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := client.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer still alive after injected kill")
+	}
+	if in.Conns() != 0 {
+		t.Errorf("conns after kill = %d", in.Conns())
+	}
+}
+
+func TestKillAllClosesEverything(t *testing.T) {
+	in := New(1)
+	server, _ := pair(t, in)
+	server2, _ := pair(t, in)
+	if in.Conns() != 2 {
+		t.Fatalf("conns = %d", in.Conns())
+	}
+	in.KillAll()
+	if in.Conns() != 0 {
+		t.Errorf("conns after KillAll = %d", in.Conns())
+	}
+	if _, err := server.Read(make([]byte, 1)); err == nil {
+		t.Error("read succeeded on killed conn")
+	}
+	if _, err := server2.Read(make([]byte, 1)); err == nil {
+		t.Error("read succeeded on killed conn 2")
+	}
+}
+
+func TestPartitionedReadUnblocksOnClose(t *testing.T) {
+	in := New(1)
+	server, _ := pair(t, in)
+	in.Partition()
+	done := make(chan error, 1)
+	go func() {
+		_, err := server.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	server.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("read returned nil after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read stayed blocked after close")
+	}
+	in.Heal()
+}
+
+func TestRejectAccepts(t *testing.T) {
+	in := New(1)
+	l, err := in.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	in.RejectAccepts(true)
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err) // TCP handshake completes; rejection is at accept time
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("rejected connection delivered data")
+	}
+	c.Close()
+	// Accepts work again once rejection is lifted.
+	in.RejectAccepts(false)
+	c2, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if in.Conns() == 0 {
+		// Give the accept loop a beat to wrap the conn.
+		time.Sleep(50 * time.Millisecond)
+	}
+	if in.Conns() != 1 {
+		t.Errorf("accepted conns = %d", in.Conns())
+	}
+}

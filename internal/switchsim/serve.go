@@ -4,7 +4,9 @@ import (
 	"errors"
 	"io"
 	"net"
+	"time"
 
+	"yanc/internal/backoff"
 	"yanc/internal/openflow"
 )
 
@@ -17,6 +19,13 @@ import (
 // This is what a yanc driver talks to, byte-for-byte the same dialog a
 // hardware OpenFlow switch would hold.
 func (sw *Switch) ServeController(rw io.ReadWriter) error {
+	return sw.ServeControllerReady(rw, nil)
+}
+
+// ServeControllerReady is ServeController with a hook: ready (if
+// non-nil) is called once, after the handshake completes — the moment a
+// reconnect loop should reset its backoff schedule.
+func (sw *Switch) ServeControllerReady(rw io.ReadWriter, ready func()) error {
 	conn := openflow.NewConn(rw)
 	// Asynchronous events are queued and written by a dedicated goroutine
 	// so a slow (or synchronous, e.g. net.Pipe) control channel never
@@ -54,6 +63,9 @@ func (sw *Switch) ServeController(rw io.ReadWriter) error {
 		close(writerDone)
 		sw.SetHandlers(nil, nil, nil)
 		return err
+	}
+	if ready != nil {
+		ready()
 	}
 	go func() {
 		defer close(writerDone)
@@ -134,4 +146,29 @@ func (sw *Switch) Dial(addr string) error {
 	}
 	defer c.Close()
 	return sw.ServeController(c)
+}
+
+// DialRetry keeps the switch connected to the controller at addr for as
+// long as stop stays open, redialing with capped exponential backoff on
+// every failure — the discipline a real datapath follows when its
+// controller goes away. A completed handshake resets the schedule, so a
+// controller that flaps after a long outage is re-approached quickly.
+// Failures are reported through logf (which may be nil).
+func (sw *Switch) DialRetry(addr string, pol backoff.Policy, stop <-chan struct{}, logf func(format string, args ...any)) {
+	bo := backoff.New(pol)
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			err = sw.ServeControllerReady(c, bo.Reset)
+			c.Close()
+		}
+		if err != nil && logf != nil {
+			logf("switchsim: %s: control channel: %v", sw.Name, err)
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(bo.Next()):
+		}
+	}
 }

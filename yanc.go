@@ -22,6 +22,7 @@ package yanc
 import (
 	"io"
 	"net"
+	"time"
 
 	"yanc/internal/apps"
 	"yanc/internal/dfs"
@@ -72,6 +73,7 @@ const (
 	OpRename     = vfs.OpRename
 	OpChmod      = vfs.OpChmod
 	OpCloseWrite = vfs.OpCloseWrite
+	OpOverflow   = vfs.OpOverflow
 	OpAll        = vfs.OpAll
 )
 
@@ -99,6 +101,19 @@ func WithMaxProtocolVersion(v uint8) Option {
 // names (default "sw<dpid>").
 func WithSwitchNamer(name func(dpid uint64) string) Option {
 	return func(c *Controller) { c.d.NameFor = name }
+}
+
+// WithEchoProbes tunes the driver's liveness probing: each switch is
+// sent an OpenFlow echo request every interval, and the connection is
+// torn down — flipping the switch's status file to "disconnected" —
+// after missThreshold consecutive unanswered probes. This catches the
+// failures TCP alone never reports (a silent partition, a wedged
+// datapath). interval <= 0 disables probing.
+func WithEchoProbes(interval time.Duration, missThreshold int) Option {
+	return func(c *Controller) {
+		c.d.EchoInterval = interval
+		c.d.EchoMisses = missThreshold
+	}
 }
 
 // NewController creates a controller with an empty /net hierarchy.
@@ -186,9 +201,24 @@ func (c *Controller) ExportDFS(addr string) (string, *dfs.Server, error) {
 	return bound, s, nil
 }
 
+// DFSOptions tunes a remote mount's failure behaviour: per-RPC
+// deadlines, automatic reconnection with backoff, and the bound on the
+// eventual-consistency write queue.
+type DFSOptions = dfs.Options
+
 // MountDFS mounts a remote controller's file system.
 func MountDFS(addr string, cred Cred, consistency dfs.Consistency) (*dfs.Client, error) {
 	return dfs.Mount(addr, cred, consistency)
+}
+
+// MountDFSOptions mounts a remote controller's file system with explicit
+// resilience options. With Reconnect set, the mount survives server
+// restarts: strict calls fail fast while the server is down, eventual
+// writes queue, and on recovery the mount replays its consistency
+// overrides, re-registers watches (each receives a synthetic Overflow
+// event marking the gap), and flushes the queue.
+func MountDFSOptions(addr string, cred Cred, consistency dfs.Consistency, opts DFSOptions) (*dfs.Client, error) {
+	return dfs.MountOptions(addr, cred, consistency, opts)
 }
 
 // WriteFlow writes and commits a flow through ordinary file I/O.
