@@ -1,14 +1,16 @@
 #!/bin/sh
-# ci.sh - the repo's verification gate: formatting, static analysis, and
-# the full test suite under the race detector. Run before every push.
+# ci.sh - the repo's verification gate: formatting, static analysis, the
+# full test suite under the race detector, and a benchmark smoke pass
+# (every benchmark runs one iteration, so a broken rig fails CI even
+# when no one is measuring). Run before every push.
 set -eu
 cd "$(dirname "$0")"
 
 echo "==> gofmt"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
-    echo "gofmt: needs formatting:" >&2
-    echo "$unformatted" >&2
+    echo "FAIL: gofmt: the following files need 'gofmt -w':" >&2
+    echo "$unformatted" | sed 's/^/    /' >&2
     exit 1
 fi
 
@@ -17,5 +19,8 @@ go vet ./...
 
 echo "==> go test -race"
 go test -race ./...
+
+echo "==> go test -bench (smoke, 1 iteration)"
+go test -bench=. -benchtime=1x -run='^$' ./...
 
 echo "==> ok"

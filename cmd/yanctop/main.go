@@ -8,6 +8,7 @@
 //
 //	yanctop            # Figure 2: the /net hierarchy
 //	yanctop -objects   # Figure 3: switch and flow representations
+//	yanctop -stats     # walk /.proc and print every metrics file
 package main
 
 import (
@@ -15,12 +16,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"yanc"
 )
 
 func main() {
 	objects := flag.Bool("objects", false, "print the switch/flow object representations (Figure 3)")
+	stats := flag.Bool("stats", false, "walk /.proc and print the controller's metrics files")
 	flag.Parse()
 
 	ctrl, err := yanc.NewController()
@@ -53,6 +56,13 @@ func main() {
 	}
 
 	sh := ctrl.Shell(os.Stdout)
+	if *stats {
+		fmt.Println("# /net/.proc: controller metrics exposed as files")
+		if err := printProc(p, "/.proc"); err != nil {
+			log.Fatalf("yanctop: %v", err)
+		}
+		return
+	}
 	if *objects {
 		fmt.Println("# Figure 3: partial representations of a yanc switch and flow")
 		fmt.Println("## sw1")
@@ -69,4 +79,32 @@ func main() {
 	if err := sh.Run("tree /"); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// printProc walks the metrics subtree depth-first, printing each file's
+// path followed by its indented contents — the `grep -r`-style dump an
+// operator would run against a real procfs.
+func printProc(p *yanc.Proc, dir string) error {
+	entries, err := p.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		path := dir + "/" + e.Name
+		if e.IsDir() {
+			if err := printProc(p, path); err != nil {
+				return err
+			}
+			continue
+		}
+		s, err := p.ReadString(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s\n", path)
+		for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+			fmt.Printf("   %s\n", line)
+		}
+	}
+	return nil
 }

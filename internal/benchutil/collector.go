@@ -1,0 +1,54 @@
+package benchutil
+
+import (
+	"fmt"
+	"strings"
+
+	"yanc/internal/vfs"
+)
+
+// Collector snapshots a file system's .proc-style counters so an
+// experiment can report the operation mix and latency profile of exactly
+// the interval it measured. Take one with NewCollector before the work
+// and call Report after it; the report is the delta.
+type Collector struct {
+	fs    *vfs.FS
+	ops   vfs.OpStats
+	lat   vfs.LatencySnapshot
+	taken bool
+}
+
+// NewCollector records the starting snapshot.
+func NewCollector(fs *vfs.FS) *Collector {
+	return &Collector{fs: fs, ops: fs.Stats(), lat: fs.Latency(), taken: true}
+}
+
+// Report is what happened between NewCollector and Report.
+type Report struct {
+	Ops vfs.OpStats
+	Lat vfs.LatencySnapshot
+}
+
+// Report returns the counter deltas since the collector was created.
+func (c *Collector) Report() Report {
+	if !c.taken {
+		return Report{}
+	}
+	return Report{
+		Ops: c.fs.Stats().Sub(c.ops),
+		Lat: c.fs.Latency().Sub(c.lat),
+	}
+}
+
+// String renders the report as two compact lines: the op totals and the
+// aggregate latency profile, suitable for appending under an
+// experiment's result rows.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  vfs ops: total %d (opens %d reads %d writes %d creates %d removes %d stats %d)\n",
+		r.Ops.Total(), r.Ops.Opens, r.Ops.Reads, r.Ops.Writes, r.Ops.Creates, r.Ops.Removes, r.Ops.Stats)
+	t := r.Lat.Total()
+	fmt.Fprintf(&b, "  vfs latency: count %d avg %v p50 %v p99 %v max %v",
+		t.Count, t.Avg(), t.Quantile(0.50), t.Quantile(0.99), t.Max)
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package benchutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCollectorReportsDelta(t *testing.T) {
+	y, err := NewFSOnlyRig(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := y.Root()
+	if err := p.MkdirAll("/scratch", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-collector traffic must not appear in the report.
+	for i := 0; i < 50; i++ {
+		if err := p.WriteString("/scratch/warm", "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCollector(y.VFS())
+	if err := p.WriteString("/scratch/one", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ReadString("/scratch/one"); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	if r.Ops.Writes != 1 || r.Ops.Reads == 0 {
+		t.Fatalf("delta ops = %+v", r.Ops)
+	}
+	if got := r.Lat.Total().Count; got == 0 {
+		t.Fatalf("latency delta empty: %+v", got)
+	}
+	s := r.String()
+	for _, want := range []string{"vfs ops:", "vfs latency:", "p99"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestZeroCollector(t *testing.T) {
+	var c Collector
+	r := c.Report()
+	if r.Ops.Total() != 0 {
+		t.Fatalf("zero collector reported ops: %+v", r.Ops)
+	}
+}

@@ -125,6 +125,8 @@ type Client struct {
 	// Per-subtree consistency overrides (path prefix -> mode).
 	overrideMu sync.RWMutex
 	overrides  map[string]Consistency
+
+	counters clientCounters
 }
 
 // Mount connects to a server with the given credential and default
@@ -327,6 +329,7 @@ func (c *Client) remount(gen uint64) bool {
 	newGen := c.gen
 	c.connErr = nil
 	c.state.Store(stateUp)
+	c.counters.reconnects.Add(1)
 	watches := make(map[uint64]*RemoteWatch, len(c.watches))
 	for id, w := range c.watches {
 		watches[id] = w
@@ -450,17 +453,27 @@ func (c *Client) await(id uint64, ch chan *response, gen uint64) (*response, err
 
 // call performs one synchronous round trip.
 func (c *Client) call(req request) (*response, error) {
+	c.counters.calls.Add(1)
 	ch := make(chan *response, 1)
 	gen, conn, enc, err := c.register(&req, ch)
 	if err != nil {
+		c.counters.errors.Add(1)
 		return nil, err
 	}
 	if err := c.send(conn, enc, &req); err != nil {
 		c.unregister(req.ID)
 		c.connLost(gen, err)
+		c.counters.errors.Add(1)
 		return nil, fmt.Errorf("%w: %v", ErrDisconnected, err)
 	}
-	return c.await(req.ID, ch, gen)
+	rsp, err := c.await(req.ID, ch, gen)
+	if err != nil {
+		c.counters.errors.Add(1)
+		if errors.Is(err, ErrTimeout) {
+			c.counters.timeouts.Add(1)
+		}
+	}
+	return rsp, err
 }
 
 // isConnError reports whether err means the transport failed (retryable
@@ -518,10 +531,12 @@ func (c *Client) write(path string, req request) error {
 	c.queueMu.Lock()
 	if len(c.queue) >= c.opts.MaxQueue {
 		c.queueMu.Unlock()
+		c.counters.queueRejects.Add(1)
 		return fmt.Errorf("%w (%d writes)", ErrQueueFull, c.opts.MaxQueue)
 	}
 	c.queue = append(c.queue, req)
 	c.queueMu.Unlock()
+	c.counters.queued.Add(1)
 	c.queueCond.Signal()
 	return nil
 }
@@ -564,6 +579,9 @@ func (c *Client) flushLoop() {
 			continue
 		}
 		bo.Reset()
+		if err == nil {
+			c.counters.flushed.Add(uint64(len(batch)))
+		}
 		c.queueMu.Lock()
 		c.flushing = false
 		if err != nil && c.flushErr == nil {

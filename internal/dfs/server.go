@@ -19,6 +19,8 @@ type Server struct {
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+
+	counters serverCounters
 }
 
 // NewServer creates a server exporting fs.
@@ -101,6 +103,7 @@ func (s *Server) serve(c net.Conn) {
 	if err := dec.Decode(&h); err != nil {
 		return
 	}
+	s.counters.sessions.Add(1)
 	sess := &session{
 		server:  s,
 		conn:    c,
@@ -152,6 +155,7 @@ func (sess *session) handle(req *request) *response {
 			rsp.Err = err.Error()
 			rsp.ErrKind = errKind(err)
 		}
+		sess.server.countRequest(req.Op, err != nil)
 		return rsp
 	}
 	p := sess.proc
@@ -219,9 +223,10 @@ func (sess *session) handle(req *request) *response {
 			if sub := sess.handle(&req.Sub[i]); sub != nil && sub.Err != "" {
 				rsp.Err = sub.Err
 				rsp.ErrKind = sub.ErrKind
-				return rsp
+				break
 			}
 		}
+		sess.server.countRequest(opBatch, rsp.Err != "")
 		return rsp
 	case opWatch:
 		opts := []vfs.WatchOption{vfs.BufferSize(4096)}
@@ -232,6 +237,7 @@ func (sess *session) handle(req *request) *response {
 		if err != nil {
 			return fail(err)
 		}
+		sess.server.countRequest(opWatch, false)
 		sess.watchMu.Lock()
 		sess.watches[req.ID] = w
 		sess.watchMu.Unlock()
@@ -258,10 +264,12 @@ func (sess *session) handle(req *request) *response {
 		if w != nil {
 			w.Close()
 		}
+		sess.server.countRequest(opUnwatch, false)
 		return rsp
 	default:
 		rsp.Err = "dfs: unknown op"
 		rsp.ErrKind = errInvalid
+		sess.server.countRequest(req.Op, true)
 		return rsp
 	}
 }

@@ -1,0 +1,121 @@
+package dfs
+
+import "sync/atomic"
+
+// ClientStats is a snapshot of one mount's health, the source for the
+// controller's .proc/dfs/{rpc,queue,reconnects} files.
+type ClientStats struct {
+	Calls        uint64 // synchronous RPCs attempted
+	Errors       uint64 // RPCs that returned an error (incl. transport)
+	Timeouts     uint64 // RPCs that hit CallTimeout
+	Reconnects   uint64 // successful remounts after a lost connection
+	Queued       uint64 // eventual writes accepted into the queue
+	Flushed      uint64 // eventual writes applied on the server
+	QueueRejects uint64 // eventual writes refused with ErrQueueFull
+	QueueDepth   int    // eventual writes waiting right now
+	QueueCap     int    // queue bound (Options.MaxQueue)
+	Connected    bool   // transport currently up
+}
+
+// clientCounters is the live atomic form embedded in Client.
+type clientCounters struct {
+	calls, errors, timeouts, reconnects atomic.Uint64
+	queued, flushed, queueRejects       atomic.Uint64
+}
+
+// Stats snapshots the mount's counters and queue gauges.
+func (c *Client) Stats() ClientStats {
+	s := ClientStats{
+		Calls:        c.counters.calls.Load(),
+		Errors:       c.counters.errors.Load(),
+		Timeouts:     c.counters.timeouts.Load(),
+		Reconnects:   c.counters.reconnects.Load(),
+		Queued:       c.counters.queued.Load(),
+		Flushed:      c.counters.flushed.Load(),
+		QueueRejects: c.counters.queueRejects.Load(),
+		QueueCap:     c.opts.MaxQueue,
+		Connected:    c.state.Load() == stateUp,
+	}
+	c.queueMu.Lock()
+	s.QueueDepth = len(c.queue)
+	c.queueMu.Unlock()
+	return s
+}
+
+// Addr returns the server address this mount points at.
+func (c *Client) Addr() string { return c.addr }
+
+// ServerStats is a snapshot of an export's request handling, the source
+// for the .proc/dfs/rpc file on the serving controller.
+type ServerStats struct {
+	Sessions uint64 // connections accepted over the server's lifetime
+	Requests uint64 // requests handled (batch sub-requests included)
+	Errors   uint64 // requests answered with an error
+	Watches  uint64 // watch registrations
+	PerOp    map[string]uint64
+}
+
+// serverCounters is the live atomic form embedded in Server.
+type serverCounters struct {
+	sessions, requests, errors, watches atomic.Uint64
+	perOp                               [opBatch + 1]atomic.Uint64
+}
+
+// opNames maps wire opcodes to the names ServerStats.PerOp reports.
+var opNames = [...]string{
+	opMkdir:       "mkdir",
+	opMkdirAll:    "mkdirall",
+	opWriteFile:   "write",
+	opAppendFile:  "append",
+	opReadFile:    "read",
+	opRemove:      "remove",
+	opRemoveAll:   "removeall",
+	opRename:      "rename",
+	opSymlink:     "symlink",
+	opReadlink:    "readlink",
+	opLink:        "link",
+	opReadDir:     "readdir",
+	opStat:        "stat",
+	opLstat:       "lstat",
+	opChmod:       "chmod",
+	opChown:       "chown",
+	opSetXattr:    "setxattr",
+	opGetXattr:    "getxattr",
+	opListXattr:   "listxattr",
+	opRemoveXattr: "removexattr",
+	opWatch:       "watch",
+	opUnwatch:     "unwatch",
+	opGlob:        "glob",
+	opBatch:       "batch",
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats {
+	out := ServerStats{
+		Sessions: s.counters.sessions.Load(),
+		Requests: s.counters.requests.Load(),
+		Errors:   s.counters.errors.Load(),
+		Watches:  s.counters.watches.Load(),
+		PerOp:    make(map[string]uint64),
+	}
+	for op, name := range opNames {
+		if n := s.counters.perOp[op].Load(); n > 0 {
+			out.PerOp[name] = n
+		}
+	}
+	return out
+}
+
+// countRequest records one handled request and its outcome.
+func (s *Server) countRequest(op int, failed bool) {
+	s.counters.requests.Add(1)
+	if op >= 0 && op < len(s.counters.perOp) {
+		s.counters.perOp[op].Add(1)
+	}
+	if failed {
+		s.counters.errors.Add(1)
+	}
+	if op == opWatch && !failed {
+		s.counters.watches.Add(1)
+	}
+}

@@ -3,6 +3,8 @@ package driver
 import (
 	"net"
 	"runtime"
+	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -143,5 +145,101 @@ func TestEchoRepliesHoldConnectionOpen(t *testing.T) {
 	eventually(t, "last_seen advances", func() bool {
 		now, _ := p.ReadString("/switches/sw1/last_seen")
 		return now != "" && now >= first
+	})
+}
+
+// fakeClock is a mutex-guarded settable time source safe to share between
+// the test and the driver's goroutines.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Set(t time.Time) {
+	c.mu.Lock()
+	c.now = t
+	c.mu.Unlock()
+}
+
+// TestLastSeenUsesFSClock is the regression test for last_seen being
+// stamped from the wall clock instead of the file-system clock: under
+// simulated time (vfs.FS.SetClock) the staleness judgement chaos tests
+// make against last_seen was inconsistent — inode mtimes moved with the
+// fake clock while the file's content moved with real time. The driver
+// must route the timestamp through the FS clock.
+func TestLastSeenUsesFSClock(t *testing.T) {
+	y, err := yancfs.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{now: time.Date(2031, 5, 4, 3, 2, 1, 0, time.UTC)}
+	y.VFS().SetClock(clk.Now)
+
+	d := New(y)
+	d.EchoInterval = 5 * time.Millisecond
+	d.EchoMisses = 100 // never tear down during the test
+	defer d.Close()
+
+	n := switchsim.NewNetwork()
+	n.AddSwitch(1, "sw1", openflow.Version10, 2)
+	a, b := net.Pipe()
+	go func() { _ = n.Switch(1).ServeController(b) }()
+	if _, err := d.Attach(a); err != nil {
+		t.Fatal(err)
+	}
+
+	p := y.Root()
+	eventually(t, "last_seen written", func() bool {
+		return p.Exists("/switches/sw1/last_seen")
+	})
+	want := strconv.FormatInt(clk.Now().Unix(), 10)
+	got, err := p.ReadString("/switches/sw1/last_seen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("last_seen = %q, want fake-clock time %q: driver bypassed the FS clock", got, want)
+	}
+
+	// Advance simulated time; echo replies must move last_seen with it.
+	clk.Set(clk.Now().Add(90 * time.Second))
+	want = strconv.FormatInt(clk.Now().Unix(), 10)
+	eventually(t, "last_seen tracks the fake clock", func() bool {
+		got, _ := p.ReadString("/switches/sw1/last_seen")
+		return got == want
+	})
+}
+
+// TestLastSeenUsesClockOverride: an explicit Driver.Clock takes
+// precedence over the file-system clock.
+func TestLastSeenUsesClockOverride(t *testing.T) {
+	y, err := yancfs.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	override := time.Date(2040, 1, 1, 0, 0, 0, 0, time.UTC)
+	d := New(y)
+	d.Clock = func() time.Time { return override }
+	d.EchoInterval = 0 // attach stamps last_seen once; that is enough
+	defer d.Close()
+
+	n := switchsim.NewNetwork()
+	n.AddSwitch(1, "sw1", openflow.Version10, 2)
+	a, b := net.Pipe()
+	go func() { _ = n.Switch(1).ServeController(b) }()
+	if _, err := d.Attach(a); err != nil {
+		t.Fatal(err)
+	}
+	p := y.Root()
+	want := strconv.FormatInt(override.Unix(), 10)
+	eventually(t, "last_seen follows Clock override", func() bool {
+		got, _ := p.ReadString("/switches/sw1/last_seen")
+		return got == want
 	})
 }

@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"yanc/internal/openflow"
@@ -64,6 +65,17 @@ type Driver struct {
 	// EchoInterval <= 0 disables probing.
 	EchoInterval time.Duration
 	EchoMisses   int
+
+	// Clock overrides the time source for file-stamped timestamps
+	// (last_seen). When nil the driver uses the file system's clock
+	// (vfs.FS.SetClock), so simulated time in tests governs staleness the
+	// same way it governs inode times.
+	Clock func() time.Time
+
+	// ProcDir, when non-empty, names a directory (usually
+	// /.proc/driver) where the driver publishes per-switch telemetry
+	// files: <ProcDir>/<name>/{rtt,echo,tx_rx}.
+	ProcDir string
 
 	mu    sync.Mutex
 	conns map[string]*SwitchConn
@@ -112,6 +124,29 @@ type SwitchConn struct {
 	echoMiss   int // consecutive unanswered liveness probes
 	closed     bool
 	done       chan struct{}
+
+	// Control-channel telemetry, published as <ProcDir>/<name> files.
+	txMsgs      atomic.Uint64
+	rxMsgs      atomic.Uint64
+	echoSent    atomic.Uint64
+	echoReplies atomic.Uint64
+	echoSentAt  atomic.Int64 // unixnano of the latest probe, for RTT
+	rtt         vfs.Histogram
+}
+
+// now returns the driver's timestamp source for file-stamped times: the
+// Clock override when set, else the file system clock.
+func (d *Driver) now() time.Time {
+	if d.Clock != nil {
+		return d.Clock()
+	}
+	return d.Y.VFS().Now()
+}
+
+// write sends one message to the switch, counting it.
+func (sc *SwitchConn) write(msg openflow.Message) error {
+	sc.txMsgs.Add(1)
+	return sc.conn.Write(msg)
 }
 
 // Serve accepts switch connections until the listener closes.
@@ -180,6 +215,9 @@ func (d *Driver) Attach(rw io.ReadWriter) (*SwitchConn, error) {
 	}
 	d.conns[name] = sc
 	d.mu.Unlock()
+	if d.ProcDir != "" {
+		d.installProcFiles(name)
+	}
 
 	// Push any flows already committed in the file system (controller
 	// restart / live protocol upgrade: the network state outlives the
@@ -282,7 +320,7 @@ func (sc *SwitchConn) Done() <-chan struct{} { return sc.done }
 // reading a file, per the everything-is-a-file discipline.
 func (sc *SwitchConn) touchLastSeen() {
 	_ = sc.proc.WriteString(vfs.Join(sc.Path, "last_seen"),
-		strconv.FormatInt(time.Now().Unix(), 10)+"\n")
+		strconv.FormatInt(sc.driver.now().Unix(), 10)+"\n")
 }
 
 // echoLoop probes the switch with echo requests every interval. When
@@ -307,7 +345,9 @@ func (sc *SwitchConn) echoLoop(interval time.Duration, misses int) {
 			sc.stop()
 			return
 		}
-		_ = sc.conn.Write(&openflow.EchoRequest{})
+		sc.echoSent.Add(1)
+		sc.echoSentAt.Store(time.Now().UnixNano())
+		_ = sc.write(&openflow.EchoRequest{})
 	}
 }
 
@@ -339,6 +379,7 @@ func (sc *SwitchConn) readLoop() {
 		if err != nil {
 			return
 		}
+		sc.rxMsgs.Add(1)
 		switch m := msg.(type) {
 		case *openflow.PacketIn:
 			if hook := sc.driver.PacketInHook; hook != nil && hook(sc.Name, m) {
@@ -353,11 +394,15 @@ func (sc *SwitchConn) readLoop() {
 		case *openflow.FlowRemoved:
 			sc.handleFlowRemoved(m)
 		case *openflow.EchoRequest:
-			_ = sc.conn.Write(&openflow.EchoReply{Header: openflow.Header{Xid: m.Xid}, Data: m.Data})
+			_ = sc.write(&openflow.EchoReply{Header: openflow.Header{Xid: m.Xid}, Data: m.Data})
 		case *openflow.EchoReply:
 			sc.mu.Lock()
 			sc.echoMiss = 0
 			sc.mu.Unlock()
+			sc.echoReplies.Add(1)
+			if at := sc.echoSentAt.Swap(0); at > 0 {
+				sc.rtt.Observe(time.Duration(time.Now().UnixNano() - at))
+			}
 			sc.touchLastSeen()
 		case *openflow.StatsReply:
 			sc.mu.Lock()
@@ -493,7 +538,7 @@ func (sc *SwitchConn) syncFlow(name string) {
 
 	// Identity change: remove the superseded hardware entry first.
 	if known && (prev.priority != spec.Priority || !prev.match.Equal(spec.Match)) {
-		_ = sc.conn.Write(&openflow.FlowMod{
+		_ = sc.write(&openflow.FlowMod{
 			Command:  openflow.FlowDeleteStrict,
 			Match:    prev.match,
 			Priority: prev.priority,
@@ -513,7 +558,7 @@ func (sc *SwitchConn) syncFlow(name string) {
 		Flags:       openflow.FlagSendFlowRem,
 		Actions:     spec.Actions,
 	}
-	if err := sc.conn.Write(fm); err != nil {
+	if err := sc.write(fm); err != nil {
 		sc.driver.Logf("driver: %s: flow-mod: %v", sc.Name, err)
 	}
 }
@@ -527,7 +572,7 @@ func (sc *SwitchConn) removeFlow(name string) {
 	if !ok {
 		return
 	}
-	_ = sc.conn.Write(&openflow.FlowMod{
+	_ = sc.write(&openflow.FlowMod{
 		Command:  openflow.FlowDeleteStrict,
 		Match:    st.match,
 		Priority: st.priority,
@@ -578,7 +623,7 @@ func (sc *SwitchConn) syncPortConfig(path string) {
 		}
 		return openflow.PortInfo{}, false
 	}()
-	_ = sc.conn.Write(&openflow.PortMod{
+	_ = sc.write(&openflow.PortMod{
 		PortNo: no,
 		HWAddr: hw.HWAddr,
 		Config: want,
@@ -625,7 +670,7 @@ func (sc *SwitchConn) handlePacketOutWrite(data []byte) error {
 	if len(po.Actions) == 0 {
 		return fmt.Errorf("driver: packet_out needs an action: %w", vfs.ErrInvalid)
 	}
-	return sc.conn.Write(po)
+	return sc.write(po)
 }
 
 // queryStats performs a synchronous stats round trip.
@@ -640,7 +685,7 @@ func (sc *SwitchConn) queryStats(req *openflow.StatsRequest) (*openflow.StatsRep
 	}
 	sc.pending[xid] = ch
 	sc.mu.Unlock()
-	if err := sc.conn.Write(req); err != nil {
+	if err := sc.write(req); err != nil {
 		sc.mu.Lock()
 		delete(sc.pending, xid)
 		sc.mu.Unlock()

@@ -1,0 +1,70 @@
+package driver
+
+import (
+	"fmt"
+	"strings"
+
+	"yanc/internal/vfs"
+)
+
+// installProcFiles publishes the switch's control-channel telemetry as
+// synthetic files under <ProcDir>/<name>. The files capture the driver
+// and the switch name — not the SwitchConn — and resolve the live
+// connection through Lookup on every read, so they survive reconnects
+// and report "disconnected" while the switch is away.
+func (d *Driver) installProcFiles(name string) {
+	dir := vfs.Join(d.ProcDir, name)
+	file := func(render func(sc *SwitchConn) string) *vfs.Synthetic {
+		return &vfs.Synthetic{Read: func() ([]byte, error) {
+			sc := d.Lookup(name)
+			if sc == nil {
+				return []byte("disconnected\n"), nil
+			}
+			return []byte(render(sc)), nil
+		}}
+	}
+	err := d.Y.VFS().WithTx(func(tx *vfs.Tx) error {
+		if err := tx.MkdirAll(dir, 0o555, 0, 0); err != nil {
+			return err
+		}
+		for fname, render := range map[string]func(*SwitchConn) string{
+			"rtt":   renderRTT,
+			"echo":  renderEcho,
+			"tx_rx": renderTxRx,
+		} {
+			if err := tx.SetSynthetic(vfs.Join(dir, fname), file(render), 0o444, 0, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		d.Logf("driver: %s: install proc files: %v", name, err)
+	}
+}
+
+// renderRTT reports the echo round-trip-time histogram.
+func renderRTT(sc *SwitchConn) string {
+	s := sc.rtt.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "count %d\n", s.Count)
+	fmt.Fprintf(&b, "avg %v\n", s.Avg())
+	fmt.Fprintf(&b, "p50 %v\n", s.Quantile(0.50))
+	fmt.Fprintf(&b, "p99 %v\n", s.Quantile(0.99))
+	fmt.Fprintf(&b, "max %v\n", s.Max)
+	return b.String()
+}
+
+// renderEcho reports liveness-probe accounting.
+func renderEcho(sc *SwitchConn) string {
+	sc.mu.Lock()
+	streak := sc.echoMiss
+	sc.mu.Unlock()
+	return fmt.Sprintf("sent %d\nreplies %d\nmiss_streak %d\n",
+		sc.echoSent.Load(), sc.echoReplies.Load(), streak)
+}
+
+// renderTxRx reports control-channel message counts.
+func renderTxRx(sc *SwitchConn) string {
+	return fmt.Sprintf("tx %d\nrx %d\n", sc.txMsgs.Load(), sc.rxMsgs.Load())
+}

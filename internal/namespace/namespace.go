@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -238,7 +239,50 @@ func (m *Manager) Launch(ns Namespace) (*vfs.Proc, error) {
 	m.mu.Lock()
 	m.spaces[ns.Name] = ns
 	m.mu.Unlock()
+	m.publishProc(ns)
 	return p, nil
+}
+
+// procAppsDir is where launches publish per-application accounting when a
+// procfs-style metrics subtree is installed (see internal/procfs).
+const procAppsDir = "/.proc/apps"
+
+// publishProc exposes the namespace's identity and cgroup accounting as a
+// synthetic /.proc/apps/<name> file. A controller without the metrics
+// subtree simply skips this — the manager stays usable on a bare FS.
+func (m *Manager) publishProc(ns Namespace) {
+	_ = m.fs.WithTx(func(tx *vfs.Tx) error {
+		if !tx.IsDir(procAppsDir) {
+			return nil
+		}
+		return tx.SetSynthetic(vfs.Join(procAppsDir, ns.Name), &vfs.Synthetic{
+			Read: func() ([]byte, error) { return renderNamespace(ns), nil },
+		}, 0o444, 0, 0)
+	})
+}
+
+func renderNamespace(ns Namespace) []byte {
+	var b strings.Builder
+	root := ns.Root
+	if root == "" {
+		root = "/"
+	}
+	fmt.Fprintf(&b, "name %s\nuid %d\ngid %d\nroot %s\n", ns.Name, ns.Cred.UID, ns.Cred.GID, root)
+	if ns.Group == nil {
+		b.WriteString("group -\n")
+		return []byte(b.String())
+	}
+	u := ns.Group.Usage()
+	fmt.Fprintf(&b, "group %s\nops %d\nbytes %d\ndenied %d\n", ns.Group.Name(), u.Ops, u.Bytes, u.Denied)
+	ops := make([]string, 0, len(u.PerOp))
+	for op := range u.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Fprintf(&b, "op.%s %d\n", op, u.PerOp[op])
+	}
+	return []byte(b.String())
 }
 
 // List returns registered namespace names in order.

@@ -2,6 +2,7 @@ package namespace
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -172,5 +173,57 @@ func TestEnterMissingRootFails(t *testing.T) {
 	_, err := Namespace{Name: "x", Root: "/nope"}.Enter(fs)
 	if err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+func TestLaunchPublishesProcApps(t *testing.T) {
+	fs := vfs.New()
+	root := fs.RootProc()
+	if err := root.MkdirAll("/.proc/apps", 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.MkdirAll("/view", 0o777); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewManager(fs)
+	g := m.CreateGroup("tenant", Limits{})
+	p, err := m.Launch(Namespace{
+		Name: "fw", Cred: vfs.Cred{UID: 7, GID: 8}, Root: "/view", Group: g,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteString("/state", "up"); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := root.ReadString("/.proc/apps/fw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"name fw", "uid 7", "gid 8", "root /view", "group tenant"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+	// Accounting is live: the write above must show up on re-read.
+	if !strings.Contains(s, "op.write 1") {
+		t.Fatalf("write not accounted:\n%s", s)
+	}
+	// The file is a metric, not writable state.
+	if err := fs.Proc(vfs.Cred{UID: 7, GID: 8}).WriteString("/.proc/apps/fw", "x"); err == nil {
+		t.Fatal("app overwrote its own proc file")
+	}
+}
+
+func TestLaunchWithoutProcTreeIsFine(t *testing.T) {
+	fs := vfs.New()
+	m := NewManager(fs)
+	if _, err := m.Launch(Namespace{Name: "bare", Cred: vfs.Root}); err != nil {
+		t.Fatal(err)
+	}
+	if fs.RootProc().Exists("/.proc/apps/bare") {
+		t.Fatal("proc file appeared without an installed tree")
 	}
 }

@@ -1,0 +1,222 @@
+// Package procfs claims the last OS abstraction §5 of the paper leaves on
+// the table: introspection of the controller itself through file I/O. It
+// mounts a procfs-style metrics subtree (by convention /.proc, i.e.
+// /net/.proc from outside) into the controller file system. Every metric
+// is a synthetic read-only file, so the whole observability surface
+// composes with what the repo already has — shell one-liners, dfs remote
+// mounts, watches, and namespaced views all read it the same way they
+// read switch state.
+//
+// Layout:
+//
+//	/.proc/vfs/ops        VFS entry-point counters (vfs.OpStats)
+//	/.proc/vfs/latency    per-op latency histograms (count/avg/p50/p99/max)
+//	/.proc/watch/queues   per-watch queue depth, capacity, drops, overflows
+//	/.proc/driver/<name>  per-switch rtt/echo/tx_rx (installed by the driver)
+//	/.proc/dfs/rpc        dfs server request counters
+//	/.proc/dfs/queue      per-mount eventual-write queue state
+//	/.proc/dfs/reconnects per-mount reconnect counts and connection state
+//	/.proc/apps/<name>    per-application namespace/cgroup accounting
+package procfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"yanc/internal/dfs"
+	"yanc/internal/vfs"
+)
+
+// Dir is the root of the metrics subtree inside the controller FS.
+const Dir = "/.proc"
+
+// DriverDir is where the driver publishes per-switch telemetry
+// (Driver.ProcDir is pointed here by yanc.NewController).
+const DriverDir = Dir + "/driver"
+
+// AppsDir is where namespace launches publish per-application accounting.
+const AppsDir = Dir + "/apps"
+
+// Tree is the installed metrics subtree plus the registries of dynamic
+// sources (dfs servers and mounts) it reports on.
+type Tree struct {
+	fs *vfs.FS
+
+	mu      sync.Mutex
+	servers []*dfs.Server
+	mounts  map[string]*dfs.Client
+}
+
+// Install creates the .proc hierarchy on fs and returns the Tree handle
+// used to bind dynamic sources. Directories are 0555 and files 0444: the
+// subtree is strictly read-only, even for root's file I/O (metrics change
+// only through the system doing work).
+func Install(fs *vfs.FS) (*Tree, error) {
+	t := &Tree{fs: fs, mounts: make(map[string]*dfs.Client)}
+	err := fs.WithTx(func(tx *vfs.Tx) error {
+		for _, d := range []string{Dir, Dir + "/vfs", Dir + "/watch", DriverDir, Dir + "/dfs", AppsDir} {
+			if err := tx.MkdirAll(d, 0o555, 0, 0); err != nil {
+				return err
+			}
+		}
+		files := map[string]func() ([]byte, error){
+			Dir + "/vfs/ops":        t.renderOps,
+			Dir + "/vfs/latency":    t.renderLatency,
+			Dir + "/watch/queues":   t.renderWatchQueues,
+			Dir + "/dfs/rpc":        t.renderDFSRPC,
+			Dir + "/dfs/queue":      t.renderDFSQueue,
+			Dir + "/dfs/reconnects": t.renderDFSReconnects,
+		}
+		for path, read := range files {
+			read := read
+			if err := tx.SetSynthetic(path, &vfs.Synthetic{Read: read}, 0o444, 0, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("procfs: install: %w", err)
+	}
+	return t, nil
+}
+
+// BindDFSServer adds a dfs export whose request counters .proc/dfs/rpc
+// reports.
+func (t *Tree) BindDFSServer(s *dfs.Server) {
+	t.mu.Lock()
+	t.servers = append(t.servers, s)
+	t.mu.Unlock()
+}
+
+// BindDFSClient adds a remote mount under the given name; its queue and
+// reconnect state appear in .proc/dfs/{queue,reconnects}.
+func (t *Tree) BindDFSClient(name string, c *dfs.Client) {
+	t.mu.Lock()
+	t.mounts[name] = c
+	t.mu.Unlock()
+}
+
+// UnbindDFSClient removes a mount from the registry (after Close).
+func (t *Tree) UnbindDFSClient(name string) {
+	t.mu.Lock()
+	delete(t.mounts, name)
+	t.mu.Unlock()
+}
+
+func (t *Tree) renderOps() ([]byte, error) {
+	s := t.fs.Stats()
+	var b strings.Builder
+	for _, row := range []struct {
+		name string
+		n    uint64
+	}{
+		{"lookups", s.Lookups}, {"opens", s.Opens}, {"reads", s.Reads},
+		{"writes", s.Writes}, {"creates", s.Creates}, {"removes", s.Removes},
+		{"renames", s.Renames}, {"stats", s.Stats}, {"links", s.Links},
+		{"attrs", s.Attrs}, {"readdirs", s.ReadDirs}, {"watches", s.Watches},
+	} {
+		fmt.Fprintf(&b, "%-8s %d\n", row.name, row.n)
+	}
+	fmt.Fprintf(&b, "%-8s %d\n", "total", s.Total())
+	return []byte(b.String()), nil
+}
+
+func (t *Tree) renderLatency() ([]byte, error) {
+	return []byte(t.fs.Latency().Render()), nil
+}
+
+func (t *Tree) renderWatchQueues() ([]byte, error) {
+	infos := t.fs.WatchInfos()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-6s %-9s %8s %8s %8s %s\n",
+		"id", "depth", "capacity", "drops", "overflow", "mask", "path")
+	for _, w := range infos {
+		path := w.Path
+		if w.Recursive {
+			path += " (recursive)"
+		}
+		fmt.Fprintf(&b, "%-4d %-6d %-9d %8d %8d %8x %s\n",
+			w.ID, w.Depth, w.Capacity, w.Drops, w.Overflows, uint32(w.Mask), path)
+	}
+	return []byte(b.String()), nil
+}
+
+func (t *Tree) renderDFSRPC() ([]byte, error) {
+	t.mu.Lock()
+	servers := append([]*dfs.Server(nil), t.servers...)
+	t.mu.Unlock()
+	var b strings.Builder
+	if len(servers) == 0 {
+		b.WriteString("no exports\n")
+	}
+	for i, s := range servers {
+		st := s.Stats()
+		fmt.Fprintf(&b, "export %d: sessions %d requests %d errors %d watches %d\n",
+			i, st.Sessions, st.Requests, st.Errors, st.Watches)
+		ops := make([]string, 0, len(st.PerOp))
+		for op := range st.PerOp {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			fmt.Fprintf(&b, "  %-12s %d\n", op, st.PerOp[op])
+		}
+	}
+	return []byte(b.String()), nil
+}
+
+// sortedMounts returns the bound mounts in name order.
+func (t *Tree) sortedMounts() []struct {
+	name string
+	c    *dfs.Client
+} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]struct {
+		name string
+		c    *dfs.Client
+	}, 0, len(t.mounts))
+	for name, c := range t.mounts {
+		out = append(out, struct {
+			name string
+			c    *dfs.Client
+		}{name, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (t *Tree) renderDFSQueue() ([]byte, error) {
+	mounts := t.sortedMounts()
+	var b strings.Builder
+	if len(mounts) == 0 {
+		b.WriteString("no mounts\n")
+	}
+	for _, m := range mounts {
+		st := m.c.Stats()
+		fmt.Fprintf(&b, "%s: depth %d/%d queued %d flushed %d rejects %d\n",
+			m.name, st.QueueDepth, st.QueueCap, st.Queued, st.Flushed, st.QueueRejects)
+	}
+	return []byte(b.String()), nil
+}
+
+func (t *Tree) renderDFSReconnects() ([]byte, error) {
+	mounts := t.sortedMounts()
+	var b strings.Builder
+	if len(mounts) == 0 {
+		b.WriteString("no mounts\n")
+	}
+	for _, m := range mounts {
+		st := m.c.Stats()
+		state := "down"
+		if st.Connected {
+			state = "up"
+		}
+		fmt.Fprintf(&b, "%s: %s addr %s reconnects %d calls %d errors %d timeouts %d\n",
+			m.name, state, m.c.Addr(), st.Reconnects, st.Calls, st.Errors, st.Timeouts)
+	}
+	return []byte(b.String()), nil
+}

@@ -3,6 +3,7 @@ package vfs
 import (
 	"io"
 	"sync"
+	"time"
 )
 
 // Open flags, matching the os package values where the paper's examples
@@ -52,6 +53,7 @@ func (p *Proc) OpenFile(path string, flags int, mode FileMode) (*File, error) {
 		return nil, err
 	}
 	p.fs.stats.opens.Add(1)
+	defer p.fs.observe(LatOpen, time.Now())
 	fs := p.fs
 	fs.mu.Lock()
 	tx := &Tx{fs: fs}
@@ -145,6 +147,7 @@ func (f *File) Read(b []byte) (int, error) {
 		return 0, pathErr("read", f.path, ErrBadHandle)
 	}
 	f.proc.fs.stats.reads.Add(1)
+	defer f.proc.fs.observe(LatRead, time.Now())
 	if err := f.proc.charge("read", len(b)); err != nil {
 		return 0, err
 	}
@@ -182,6 +185,7 @@ func (f *File) Write(b []byte) (int, error) {
 		return 0, pathErr("write", f.path, ErrBadHandle)
 	}
 	f.proc.fs.stats.writes.Add(1)
+	defer f.proc.fs.observe(LatWrite, time.Now())
 	if err := f.proc.charge("write", len(b)); err != nil {
 		return 0, err
 	}

@@ -123,6 +123,25 @@ func (s OpStats) Total() uint64 {
 		s.Renames + s.Stats + s.Links + s.Attrs + s.ReadDirs + s.Watches
 }
 
+// Sub returns the counter deltas s - prev, for reporting the operation
+// mix of a measured interval.
+func (s OpStats) Sub(prev OpStats) OpStats {
+	return OpStats{
+		Lookups:  s.Lookups - prev.Lookups,
+		Opens:    s.Opens - prev.Opens,
+		Reads:    s.Reads - prev.Reads,
+		Writes:   s.Writes - prev.Writes,
+		Creates:  s.Creates - prev.Creates,
+		Removes:  s.Removes - prev.Removes,
+		Renames:  s.Renames - prev.Renames,
+		Stats:    s.Stats - prev.Stats,
+		Links:    s.Links - prev.Links,
+		Attrs:    s.Attrs - prev.Attrs,
+		ReadDirs: s.ReadDirs - prev.ReadDirs,
+		Watches:  s.Watches - prev.Watches,
+	}
+}
+
 type statCounters struct {
 	lookups, opens, reads, writes, creates, removes atomic.Uint64
 	renames, stats, links, attrs, readdirs, watches atomic.Uint64
@@ -153,6 +172,7 @@ type FS struct {
 	clock   func() time.Time
 	watches watchSet
 	stats   statCounters
+	lat     latencySet
 }
 
 // New creates an empty file system whose root is owned by root:root with
@@ -169,6 +189,16 @@ func (fs *FS) SetClock(clock func() time.Time) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.clock = clock
+}
+
+// Now returns the file system's notion of the current time — the clock
+// installed via SetClock. Components that stamp times into files (e.g.
+// the driver's last_seen) must use this rather than time.Now so that
+// simulated time in tests stays consistent with inode timestamps.
+func (fs *FS) Now() time.Time {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.clock()
 }
 
 // Stats returns a snapshot of the operation counters.

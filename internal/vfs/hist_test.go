@@ -1,0 +1,119 @@
+package vfs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		ns   uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1023, 9}, {1024, 10}, {1 << 39, 39}, {1 << 45, 39}, {^uint64(0), 39},
+	}
+	for _, c := range cases {
+		if got := histBucketOf(c.ns); got != c.want {
+			t.Errorf("histBucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{1, 100, 1000, 10000, 100000} {
+		h.Observe(d)
+	}
+	h.Observe(-5 * time.Second) // clamped to zero, must not corrupt sum
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 111101 {
+		t.Fatalf("sum = %d, want 111101", s.Sum)
+	}
+	if s.Max != 100000 {
+		t.Fatalf("max = %v, want 100µs", s.Max)
+	}
+	if avg := s.Avg(); avg != 111101/6 {
+		t.Fatalf("avg = %v", avg)
+	}
+	// p50 of {0,1,100,1000,10000,100000}: rank 3 lands in 100's bucket.
+	if q := s.Quantile(0.5); q < 100 || q > 256 {
+		t.Fatalf("p50 = %v, want within (100, 256]", q)
+	}
+	if q := s.Quantile(1.0); q < 100000 {
+		t.Fatalf("p100 = %v, want >= 100µs", q)
+	}
+}
+
+func TestHistogramSub(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	before := h.Snapshot()
+	h.Observe(20)
+	h.Observe(30)
+	delta := h.Snapshot().Sub(before)
+	if delta.Count != 2 || delta.Sum != 50 {
+		t.Fatalf("delta = %+v, want count 2 sum 50", delta)
+	}
+}
+
+func TestFSLatencyInstrumentation(t *testing.T) {
+	fs := New()
+	p := fs.RootProc()
+	if err := p.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteString("/d/f", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ReadFile("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Stat("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ReadDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Rename("/d/f", "/d/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove("/d/g"); err != nil {
+		t.Fatal(err)
+	}
+	lat := fs.Latency()
+	for _, op := range []LatencyOp{LatOpen, LatRead, LatWrite, LatMkdir, LatRemove, LatRename, LatStat, LatReadDir} {
+		if lat.Ops[op].Count == 0 {
+			t.Errorf("no %v latency recorded", op)
+		}
+	}
+	if tot := lat.Total(); tot.Count == 0 || tot.Sum < 0 {
+		t.Fatalf("bad total %+v", tot)
+	}
+	r := lat.Render()
+	for _, col := range []string{"op", "count", "avg", "p50", "p99", "max", "open", "readdir"} {
+		if !strings.Contains(r, col) {
+			t.Errorf("render missing %q:\n%s", col, r)
+		}
+	}
+}
+
+func TestLatencySnapshotDeltaAcrossOps(t *testing.T) {
+	fs := New()
+	p := fs.RootProc()
+	_ = p.WriteString("/a", "1")
+	before := fs.Latency()
+	_ = p.WriteString("/b", "2")
+	_, _ = p.ReadFile("/b")
+	delta := fs.Latency().Sub(before)
+	if delta.Ops[LatOpen].Count != 2 {
+		t.Fatalf("open delta = %d, want 2", delta.Ops[LatOpen].Count)
+	}
+	if delta.Ops[LatRead].Count == 0 {
+		t.Fatal("read delta empty")
+	}
+}

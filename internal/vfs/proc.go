@@ -3,6 +3,7 @@ package vfs
 import (
 	"sort"
 	"strings"
+	"time"
 )
 
 // Limiter is charged for every operation a Proc performs. The namespace
@@ -101,6 +102,7 @@ func (p *Proc) Mkdir(path string, mode FileMode) error {
 		return err
 	}
 	p.fs.stats.creates.Add(1)
+	defer p.fs.observe(LatMkdir, time.Now())
 	fs := p.fs
 	fs.mu.Lock()
 	tx := &Tx{fs: fs}
@@ -266,6 +268,7 @@ func (p *Proc) Remove(path string) error {
 		return err
 	}
 	p.fs.stats.removes.Add(1)
+	defer p.fs.observe(LatRemove, time.Now())
 	fs := p.fs
 	fs.mu.Lock()
 	tx := &Tx{fs: fs}
@@ -308,6 +311,7 @@ func (p *Proc) RemoveAll(path string) error {
 		return err
 	}
 	p.fs.stats.removes.Add(1)
+	defer p.fs.observe(LatRemove, time.Now())
 	fs := p.fs
 	fs.mu.Lock()
 	tx := &Tx{fs: fs}
@@ -342,6 +346,7 @@ func (p *Proc) Rename(oldPath, newPath string) error {
 		return err
 	}
 	p.fs.stats.renames.Add(1)
+	defer p.fs.observe(LatRename, time.Now())
 	fs := p.fs
 	fs.mu.Lock()
 	tx := &Tx{fs: fs}
@@ -425,6 +430,7 @@ func (p *Proc) Stat(path string) (Stat, error) {
 		return Stat{}, err
 	}
 	p.fs.stats.stats.Add(1)
+	defer p.fs.observe(LatStat, time.Now())
 	p.fs.mu.RLock()
 	defer p.fs.mu.RUnlock()
 	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(true))
@@ -443,6 +449,7 @@ func (p *Proc) Lstat(path string) (Stat, error) {
 		return Stat{}, err
 	}
 	p.fs.stats.stats.Add(1)
+	defer p.fs.observe(LatStat, time.Now())
 	p.fs.mu.RLock()
 	defer p.fs.mu.RUnlock()
 	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(false))
@@ -473,6 +480,7 @@ func (p *Proc) ReadDir(path string) ([]DirEntry, error) {
 		return nil, err
 	}
 	p.fs.stats.readdirs.Add(1)
+	defer p.fs.observe(LatReadDir, time.Now())
 	p.fs.mu.RLock()
 	defer p.fs.mu.RUnlock()
 	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(true))

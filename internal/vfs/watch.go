@@ -1,8 +1,10 @@
 package vfs
 
 import (
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // EventOp is a bitmask of file-system event kinds, mirroring the inotify
@@ -67,6 +69,12 @@ type Watch struct {
 	mu         sync.Mutex
 	overflowed bool
 	closed     bool
+
+	// Queue-pressure accounting, exported via Info for the .proc/watch
+	// files. drops counts events discarded (including marker evictions);
+	// overflows counts distinct overflow episodes.
+	drops     atomic.Uint64
+	overflows atomic.Uint64
 }
 
 // Close removes the watch and closes its channel.
@@ -204,19 +212,70 @@ func (w *Watch) deliver(ev Event) {
 	select {
 	case w.ch <- ev:
 		w.overflowed = false
+		return
 	default:
-		if !w.overflowed {
-			w.overflowed = true
-			// Evict the oldest queued event so the overflow marker always
-			// fits — the consumer must learn it lost events (IN_Q_OVERFLOW).
-			select {
-			case <-w.ch:
-			default:
-			}
-			select {
-			case w.ch <- Event{Op: OpOverflow}:
-			default:
-			}
+	}
+	// Queue full: the event is lost either way. The consumer must learn
+	// about the gap (IN_Q_OVERFLOW), so on the first drop of an episode the
+	// marker slot is reserved unconditionally — evict queued events until
+	// the marker fits, never bailing out on a failed send the way a single
+	// non-blocking attempt could if the consumer raced a slot away.
+	w.drops.Add(1)
+	if w.overflowed {
+		return
+	}
+	w.overflowed = true
+	w.overflows.Add(1)
+	for {
+		select {
+		case w.ch <- Event{Op: OpOverflow}:
+			return
+		default:
+		}
+		select {
+		case <-w.ch:
+			w.drops.Add(1)
+		default:
 		}
 	}
+}
+
+// WatchInfo is a point-in-time description of one watch's subscription and
+// queue pressure, the row format behind .proc/watch/queues.
+type WatchInfo struct {
+	ID        uint64
+	Path      string
+	Mask      EventOp
+	Recursive bool
+	Depth     int // events currently queued
+	Capacity  int
+	Drops     uint64
+	Overflows uint64
+}
+
+// Info snapshots the watch's subscription and queue gauges.
+func (w *Watch) Info() WatchInfo {
+	return WatchInfo{
+		ID:        w.id,
+		Path:      w.path,
+		Mask:      w.mask,
+		Recursive: w.recursive,
+		Depth:     len(w.ch),
+		Capacity:  cap(w.ch),
+		Drops:     w.drops.Load(),
+		Overflows: w.overflows.Load(),
+	}
+}
+
+// WatchInfos snapshots every live watch, ordered by id.
+func (fs *FS) WatchInfos() []WatchInfo {
+	s := &fs.watches
+	s.mu.RLock()
+	out := make([]WatchInfo, 0, len(s.watches))
+	for _, w := range s.watches {
+		out = append(out, w.Info())
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }

@@ -1,0 +1,109 @@
+package vfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestOverflowMarkerNeverLost is the regression test for the silent event
+// loss bug: when a watch queue saturates, the Overflow marker send itself
+// used to go through a non-blocking attempt that could fail while the
+// overflowed flag stayed set — so the consumer would drain the queue and
+// never learn events were lost. The marker slot must be reserved
+// unconditionally: after any saturation episode, the first thing the
+// consumer sees past the queued prefix is OpOverflow.
+func TestOverflowMarkerNeverLost(t *testing.T) {
+	fs := New()
+	p := fs.RootProc()
+	w, err := p.AddWatch("/", OpAll, Recursive(), BufferSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// Saturate: with capacity 1, the second write must overflow.
+	for i := 0; i < 10; i++ {
+		if err := p.WriteString(fmt.Sprintf("/f%d", i), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	info := w.Info()
+	if info.Overflows == 0 {
+		t.Fatal("no overflow episode recorded on a saturated BufferSize(1) watch")
+	}
+	if info.Drops == 0 {
+		t.Fatal("no drops recorded despite saturation")
+	}
+	if info.Capacity != 1 {
+		t.Fatalf("capacity = %d, want 1", info.Capacity)
+	}
+
+	// The single queued slot must hold the overflow marker — the old code
+	// could leave a stale data event there with the marker silently dropped.
+	sawOverflow := false
+	for {
+		select {
+		case ev := <-w.C:
+			if ev.Op == OpOverflow {
+				sawOverflow = true
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if !sawOverflow {
+		t.Fatal("queue drained without an OpOverflow marker: events were lost silently")
+	}
+}
+
+// TestOverflowMarkerSurvivesConsumerRace hammers the exact interleaving
+// the old code lost: a consumer draining concurrently with producers that
+// keep saturating the queue. Every time the consumer observes a gap in
+// the event stream, an OpOverflow must have been delivered before it.
+func TestOverflowMarkerSurvivesConsumerRace(t *testing.T) {
+	fs := New()
+	p := fs.RootProc()
+	w, err := p.AddWatch("/", OpAll, Recursive(), BufferSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writes = 500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			_ = p.WriteString("/spin", "x")
+		}
+		w.Close()
+	}()
+
+	delivered, overflows := 0, 0
+	for ev := range w.C {
+		if ev.Op == OpOverflow {
+			overflows++
+		} else {
+			delivered++
+		}
+	}
+	wg.Wait()
+
+	info := w.Info()
+	// Conservation: every event was either delivered, or accounted as a
+	// drop; overflow markers delivered must match episodes recorded.
+	// (+1: the create event for /spin's first write.)
+	if uint64(delivered)+info.Drops < writes {
+		t.Fatalf("lost events unaccounted: delivered %d + drops %d < %d writes",
+			delivered, info.Drops, writes)
+	}
+	if info.Drops > 0 && overflows == 0 {
+		t.Fatalf("%d events dropped but no OpOverflow ever delivered", info.Drops)
+	}
+	if uint64(overflows) != info.Overflows {
+		t.Fatalf("delivered %d overflow markers, recorded %d episodes", overflows, info.Overflows)
+	}
+}

@@ -1,0 +1,94 @@
+package vfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestWatchLifecycleStress interleaves AddWatch, Close, event dispatch,
+// and the queue-depth gauges from every direction. Run under -race (ci.sh
+// does), it locks in the watchSet invariants the .proc/watch files report:
+// no send on a closed channel, no double close, and Info/WatchInfos safe
+// against concurrent delivery and teardown.
+func TestWatchLifecycleStress(t *testing.T) {
+	fs := New()
+	p := fs.RootProc()
+	const (
+		writers  = 4
+		churners = 4
+		rounds   = 200
+	)
+	var bg, churn sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writers: generate events continuously.
+	for i := 0; i < writers; i++ {
+		bg.Add(1)
+		go func(id int) {
+			defer bg.Done()
+			path := fmt.Sprintf("/w%d", id)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = p.WriteString(path, "x")
+				_ = p.Remove(path)
+			}
+		}(i)
+	}
+
+	// Churners: add watches, drain a little, close them — racing dispatch.
+	for i := 0; i < churners; i++ {
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for r := 0; r < rounds; r++ {
+				w, err := p.AddWatch("/", OpAll, Recursive(), BufferSize(2))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := 0; j < 3; j++ {
+					select {
+					case <-w.C:
+					default:
+					}
+				}
+				_ = w.Info()
+				w.Close()
+				w.Close() // double close must be safe
+			}
+		}()
+	}
+
+	// Gauge reader: snapshot the whole set while it churns.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, info := range fs.WatchInfos() {
+				if info.Depth > info.Capacity {
+					t.Errorf("depth %d exceeds capacity %d", info.Depth, info.Capacity)
+					return
+				}
+			}
+		}
+	}()
+
+	// Let churners finish their rounds, then stop writers and the reader.
+	churn.Wait()
+	close(stop)
+	bg.Wait()
+
+	if n := len(fs.WatchInfos()); n != 0 {
+		t.Fatalf("%d watches leaked", n)
+	}
+}

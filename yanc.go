@@ -32,6 +32,7 @@ import (
 	"yanc/internal/middlebox"
 	"yanc/internal/namespace"
 	"yanc/internal/openflow"
+	"yanc/internal/procfs"
 	"yanc/internal/shell"
 	"yanc/internal/vfs"
 	"yanc/internal/yancfs"
@@ -83,9 +84,10 @@ var Root = vfs.Root
 // Controller is a running yanc instance: the file system plus its system
 // services.
 type Controller struct {
-	y  *yancfs.FS
-	d  *driver.Driver
-	ns *namespace.Manager
+	y    *yancfs.FS
+	d    *driver.Driver
+	ns   *namespace.Manager
+	proc *procfs.Tree
 }
 
 // Option configures a Controller.
@@ -124,11 +126,20 @@ func NewController(opts ...Option) (*Controller, error) {
 	}
 	c := &Controller{y: y, d: driver.New(y)}
 	c.ns = namespace.NewManager(y.VFS())
+	c.proc, err = procfs.Install(y.VFS())
+	if err != nil {
+		return nil, err
+	}
+	c.d.ProcDir = procfs.DriverDir
 	for _, o := range opts {
 		o(c)
 	}
 	return c, nil
 }
+
+// Metrics returns the controller's .proc metrics subtree handle — use it
+// to bind additional dfs exports or mounts into the observability files.
+func (c *Controller) Metrics() *procfs.Tree { return c.proc }
 
 // Root returns a superuser process context — the administrator's shell.
 func (c *Controller) Root() *Proc { return c.y.Root() }
@@ -198,7 +209,20 @@ func (c *Controller) ExportDFS(addr string) (string, *dfs.Server, error) {
 	if err != nil {
 		return "", nil, err
 	}
+	c.proc.BindDFSServer(s)
 	return bound, s, nil
+}
+
+// BindMount registers a remote mount under name so its queue and
+// reconnect state appear in /.proc/dfs/{queue,reconnects}. Call
+// UnbindMount after closing the client.
+func (c *Controller) BindMount(name string, client *dfs.Client) {
+	c.proc.BindDFSClient(name, client)
+}
+
+// UnbindMount removes a mount from the metrics registry.
+func (c *Controller) UnbindMount(name string) {
+	c.proc.UnbindDFSClient(name)
 }
 
 // DFSOptions tunes a remote mount's failure behaviour: per-RPC

@@ -1,6 +1,7 @@
 package yanc
 
 import (
+	"bytes"
 	"net"
 	"strings"
 	"testing"
@@ -244,4 +245,80 @@ func TestExportAndMountDFS(t *testing.T) {
 	if err != nil || len(entries) != 1 || entries[0].Name != "sw1" {
 		t.Fatalf("remote readdir = %v %v", entries, err)
 	}
+}
+
+func TestProcMetricsLocalAndRemote(t *testing.T) {
+	ctrl, err := NewController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	_, _ = startNetwork(t, ctrl, 2)
+
+	// Locally, the metrics are plain files for the shell.
+	var out bytes.Buffer
+	sh := ctrl.Shell(&out)
+	if err := sh.Run("cat /.proc/vfs/ops"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "total") {
+		t.Fatalf("shell cat /.proc/vfs/ops:\n%s", out.String())
+	}
+	out.Reset()
+	if err := sh.Run("ls /.proc/driver"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sw1") {
+		t.Fatalf("driver telemetry missing:\n%s", out.String())
+	}
+
+	// Remotely, the same files are readable through a dfs mount, and the
+	// mount itself shows up in the metrics once bound.
+	addr, srv, err := ctrl.ExportDFS("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	remote, err := MountDFS(addr, Root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	ctrl.BindMount("peer", remote)
+
+	lat, err := remote.ReadFile("/.proc/vfs/latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(lat), "p99") {
+		t.Fatalf("remote latency read:\n%s", lat)
+	}
+	rec, err := remote.ReadFile("/.proc/dfs/reconnects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rec), "peer: up") {
+		t.Fatalf("mount not visible in metrics:\n%s", rec)
+	}
+	rpc, err := remote.ReadFile("/.proc/dfs/rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rpc), "export 0:") {
+		t.Fatalf("export not visible in metrics:\n%s", rpc)
+	}
+
+	// Per-app accounting appears once a namespace launches.
+	if _, err := ctrl.Launch(Namespace{Name: "probe", Cred: Root}); err != nil {
+		t.Fatal(err)
+	}
+	app, err := remote.ReadFile("/.proc/apps/probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(app), "name probe") {
+		t.Fatalf("app accounting:\n%s", app)
+	}
+
+	ctrl.UnbindMount("peer")
 }
