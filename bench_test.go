@@ -412,6 +412,77 @@ func BenchmarkE13ZeroCopyPacketIn(b *testing.B) {
 	})
 }
 
+// BenchmarkE14ConcurrentApps measures aggregate multicore throughput of
+// the mixed app workload (flow rewrite+commit, switch stat, flow-table
+// list, periodic packet-in) at increasing worker counts (§8.2). The
+// cmd/yancbench E14 runner prints the same series as ops/s with the
+// speedup gate; here b.N operations are split evenly across workers so
+// ns/op reflects the per-op cost under contention.
+func BenchmarkE14ConcurrentApps(b *testing.B) {
+	pi := &openflow.PacketIn{InPort: 1, TotalLen: 64, Data: make([]byte, 64)}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			y, err := benchutil.NewFSOnlyRig(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := y.Root()
+			_, w, err := yancfs.Subscribe(p, "/", "e14app")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			go func() {
+				for range w.C {
+				}
+			}()
+			for i := 0; i < workers; i++ {
+				flow := fmt.Sprintf("/switches/sw%d/flows/app%d", 1+i%8, i)
+				if _, err := yancfs.WriteFlow(p, flow, benchutil.SampleFlowSpec(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			per := b.N/workers + 1
+			done := make(chan struct{}, workers)
+			b.ResetTimer()
+			for i := 0; i < workers; i++ {
+				go func(wid int) {
+					defer func() { done <- struct{}{} }()
+					sw := fmt.Sprintf("/switches/sw%d", 1+wid%8)
+					flow := fmt.Sprintf("%s/flows/app%d", sw, wid)
+					for n := 0; n < per; n++ {
+						if err := p.WriteString(flow+"/match.nw_src", fmt.Sprintf("10.0.%d.%d\n", wid, n%250)); err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := yancfs.CommitFlow(p, flow); err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := p.Stat(sw + "/id"); err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := p.ReadDir(sw + "/flows"); err != nil {
+							b.Error(err)
+							return
+						}
+						if n%32 == 0 {
+							if err := y.DeliverPacketIn("/", "sw1", pi); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}
+				}(i)
+			}
+			for i := 0; i < workers; i++ {
+				<-done
+			}
+		})
+	}
+}
+
 // BenchmarkVFSPathWalk is the supporting ablation for path resolution
 // cost at increasing depth.
 func BenchmarkVFSPathWalk(b *testing.B) {

@@ -1,8 +1,11 @@
 #!/bin/sh
 # ci.sh - the repo's verification gate: formatting, static analysis, the
-# full test suite under the race detector, and a benchmark smoke pass
-# (every benchmark runs one iteration, so a broken rig fails CI even
-# when no one is measuring). Run before every push.
+# full test suite under the race detector, a doubled run of the
+# concurrency stress/chaos battery, a benchmark smoke pass (every
+# benchmark runs one iteration, so a broken rig fails CI even when no
+# one is measuring), and the E14 multicore scaling gate (fails the build
+# if 4 workers are slower than 1 on a 4+-core machine). Run before every
+# push.
 set -eu
 cd "$(dirname "$0")"
 
@@ -20,7 +23,13 @@ go vet ./...
 echo "==> go test -race"
 go test -race ./...
 
+echo "==> go test -race concurrency battery (Stress|Chaos, -count=2)"
+go test -race -run 'Stress|Chaos' -count=2 ./...
+
 echo "==> go test -bench (smoke, 1 iteration)"
 go test -bench=. -benchtime=1x -run='^$' ./...
+
+echo "==> E14 smoke (multicore scaling sanity gate)"
+go run ./cmd/yancbench -run E14 -quick -gate
 
 echo "==> ok"

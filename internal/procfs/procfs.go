@@ -11,6 +11,10 @@
 //
 //	/.proc/vfs/ops        VFS entry-point counters (vfs.OpStats)
 //	/.proc/vfs/latency    per-op latency histograms (count/avg/p50/p99/max)
+//	/.proc/vfs/lock_shards  per-stripe acquisition counts for the sharded
+//	                        inode locks (vfs.LockStats.PerShard)
+//	/.proc/vfs/contention   tree/stripe lock acquisition + contention
+//	                        counters and watch-dispatcher gauges
 //	/.proc/watch/queues   per-watch queue depth, capacity, drops, overflows
 //	/.proc/driver/<name>  per-switch rtt/echo/tx_rx (installed by the driver)
 //	/.proc/dfs/rpc        dfs server request counters
@@ -62,12 +66,14 @@ func Install(fs *vfs.FS) (*Tree, error) {
 			}
 		}
 		files := map[string]func() ([]byte, error){
-			Dir + "/vfs/ops":        t.renderOps,
-			Dir + "/vfs/latency":    t.renderLatency,
-			Dir + "/watch/queues":   t.renderWatchQueues,
-			Dir + "/dfs/rpc":        t.renderDFSRPC,
-			Dir + "/dfs/queue":      t.renderDFSQueue,
-			Dir + "/dfs/reconnects": t.renderDFSReconnects,
+			Dir + "/vfs/ops":         t.renderOps,
+			Dir + "/vfs/latency":     t.renderLatency,
+			Dir + "/vfs/lock_shards": t.renderLockShards,
+			Dir + "/vfs/contention":  t.renderContention,
+			Dir + "/watch/queues":    t.renderWatchQueues,
+			Dir + "/dfs/rpc":         t.renderDFSRPC,
+			Dir + "/dfs/queue":       t.renderDFSQueue,
+			Dir + "/dfs/reconnects":  t.renderDFSReconnects,
 		}
 		for path, read := range files {
 			read := read
@@ -126,6 +132,44 @@ func (t *Tree) renderOps() ([]byte, error) {
 
 func (t *Tree) renderLatency() ([]byte, error) {
 	return []byte(t.fs.Latency().Render()), nil
+}
+
+func (t *Tree) renderLockShards() ([]byte, error) {
+	s := t.fs.LockStats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "shards %d\n", s.Shards)
+	for i, n := range s.PerShard {
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "shard %-3d %d\n", i, n)
+	}
+	return []byte(b.String()), nil
+}
+
+func (t *Tree) renderContention() ([]byte, error) {
+	s := t.fs.LockStats()
+	queued, batches, backlog := t.fs.DispatchStats()
+	var b strings.Builder
+	for _, row := range []struct {
+		name string
+		n    uint64
+	}{
+		{"tree_read", s.TreeRead},
+		{"tree_write", s.TreeWrite},
+		{"tree_read_contended", s.TreeReadContended},
+		{"tree_write_contended", s.TreeWriteContended},
+		{"shard_read", s.ShardRead},
+		{"shard_write", s.ShardWrite},
+		{"shard_contended", s.ShardContended},
+		{"contended_total", s.Contended()},
+		{"watch_dispatch_queued", queued},
+		{"watch_dispatch_batches", batches},
+		{"watch_dispatch_backlog", uint64(backlog)},
+	} {
+		fmt.Fprintf(&b, "%-22s %d\n", row.name, row.n)
+	}
+	return []byte(b.String()), nil
 }
 
 func (t *Tree) renderWatchQueues() ([]byte, error) {

@@ -21,6 +21,8 @@ func TestInstallCreatesReadOnlyTree(t *testing.T) {
 	for _, path := range []string{
 		Dir + "/vfs/ops",
 		Dir + "/vfs/latency",
+		Dir + "/vfs/lock_shards",
+		Dir + "/vfs/contention",
 		Dir + "/watch/queues",
 		Dir + "/dfs/rpc",
 		Dir + "/dfs/queue",
@@ -92,6 +94,28 @@ func TestOpsAndLatencyReflectActivity(t *testing.T) {
 		if !strings.Contains(lat, col) {
 			t.Fatalf("latency missing %q:\n%s", col, lat)
 		}
+	}
+
+	// Lock telemetry: the activity above took tree and stripe locks, so
+	// both files must show non-zero counters.
+	shards, err := p.ReadString(Dir + "/vfs/lock_shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(shards, "shards") || !strings.Contains(shards, "shard ") {
+		t.Fatalf("lock_shards shows no per-stripe activity:\n%s", shards)
+	}
+	cont, err := p.ReadString(Dir + "/vfs/contention")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"tree_read", "tree_write", "shard_read", "contended_total", "watch_dispatch_queued"} {
+		if !strings.Contains(cont, field) {
+			t.Fatalf("contention missing %q:\n%s", field, cont)
+		}
+	}
+	if strings.Contains(cont, "tree_read               0\n") {
+		t.Fatalf("tree_read counter stuck at zero:\n%s", cont)
 	}
 }
 

@@ -1,6 +1,7 @@
 package vfs
 
 import (
+	"errors"
 	"io"
 	"sync"
 	"time"
@@ -47,15 +48,96 @@ func (p *Proc) Create(path string, mode FileMode) (*File, error) {
 	return p.OpenFile(path, O_RDWR|O_CREATE|O_TRUNC, mode)
 }
 
-// OpenFile is the generalized open call.
+// errNeedCreate routes an open from the read-locked fast path to the
+// write-locked slow path when the file must be created.
+var errNeedCreate = errors.New("vfs: open needs create")
+
+// OpenFile is the generalized open call. Opens of existing files run
+// under the tree read lock (the hot path for every flow read/write);
+// only an open that has to create the file takes the tree write lock.
 func (p *Proc) OpenFile(path string, flags int, mode FileMode) (*File, error) {
 	if err := p.charge("open", 0); err != nil {
 		return nil, err
 	}
 	p.fs.stats.opens.Add(1)
 	defer p.fs.observe(LatOpen, time.Now())
+
+	f, events, err := p.openFast(path, flags)
+	if errors.Is(err, errNeedCreate) {
+		f, events, err = p.openSlow(path, flags, mode)
+	}
+	p.fs.watches.dispatch(events)
+	if err != nil {
+		return nil, err
+	}
+	// Synthetic content is produced outside the tree lock: a provider may
+	// perform slow work (the OpenFlow driver queries the switch here) and
+	// must not stall unrelated file-system operations.
+	if f.needSynthRead {
+		data, rerr := f.node.synth.Read()
+		if rerr != nil {
+			return nil, pathErr("open", path, rerr)
+		}
+		f.synthBuf = data
+	}
+	return f, nil
+}
+
+// openFast handles opens that do not create: it holds only the tree read
+// lock, so opens of distinct existing files proceed in parallel. Returns
+// errNeedCreate when the path does not exist and O_CREATE was given.
+func (p *Proc) openFast(path string, flags int) (*File, []Event, error) {
 	fs := p.fs
-	fs.mu.Lock()
+	fs.rlockTree()
+	defer fs.runlockTree()
+	parent, name, node, err := fs.resolve(p.cred, path, p.opts(true))
+	if err != nil {
+		return nil, nil, pathErr("open", path, err)
+	}
+	if node == nil {
+		if flags&O_CREATE == 0 {
+			return nil, nil, pathErr("open", path, ErrNotExist)
+		}
+		return nil, nil, errNeedCreate
+	}
+	if flags&O_CREATE != 0 && flags&O_EXCL != 0 {
+		return nil, nil, pathErr("open", path, ErrExist)
+	}
+	if node.isDir() {
+		return nil, nil, pathErr("open", path, ErrIsDir)
+	}
+	wantsWrite := flags&(O_WRONLY|O_RDWR) != 0
+	wantsRead := flags&O_WRONLY == 0
+	if wantsWrite && !allows(node, p.cred, wantWrite) {
+		return nil, nil, pathErr("open", path, ErrAccess)
+	}
+	if wantsRead && !allows(node, p.cred, wantRead) {
+		return nil, nil, pathErr("open", path, ErrAccess)
+	}
+	// The handle records the real root-absolute path, not the caller's
+	// (possibly chroot-relative) spelling: events carry this path, and
+	// watchers outside the namespace must see the true location.
+	f := &File{proc: p, node: node, path: Join(pathOf(parent), name), flags: flags}
+	var events []Event
+	if node.synth != nil {
+		f.synthMode = true
+		f.needSynthRead = wantsRead && node.synth.Read != nil
+	} else if flags&O_TRUNC != 0 {
+		s := fs.lockNode(node)
+		node.data = node.data[:0]
+		node.touchM(fs.clock())
+		s.mu.Unlock()
+		events = []Event{{Op: OpWrite, Path: f.path}}
+	}
+	return f, events, nil
+}
+
+// openSlow creates the file under the tree write lock, running the parent
+// directory's OnCreate hook. It re-resolves from scratch: another open may
+// have created the file between the fast path's read lock and here.
+func (p *Proc) openSlow(path string, flags int, mode FileMode) (*File, []Event, error) {
+	fs := p.fs
+	fs.lockTree()
 	tx := &Tx{fs: fs}
 	f, err := func() (*File, error) {
 		parent, name, node, err := fs.resolve(p.cred, path, p.opts(true))
@@ -64,9 +146,6 @@ func (p *Proc) OpenFile(path string, flags int, mode FileMode) (*File, error) {
 		}
 		created := false
 		if node == nil {
-			if flags&O_CREATE == 0 {
-				return nil, pathErr("open", path, ErrNotExist)
-			}
 			if !allows(parent, p.cred, wantWrite) {
 				return nil, pathErr("open", path, ErrAccess)
 			}
@@ -77,13 +156,11 @@ func (p *Proc) OpenFile(path string, flags int, mode FileMode) (*File, error) {
 			fs.stats.creates.Add(1)
 			tx.queue(Event{Op: OpCreate, Path: Join(pathOf(parent), name)})
 		} else {
+			// Lost the create race: apply the existing-file rules.
 			if flags&O_CREATE != 0 && flags&O_EXCL != 0 {
 				return nil, pathErr("open", path, ErrExist)
 			}
 			if node.isDir() {
-				if flags&(O_WRONLY|O_RDWR) != 0 {
-					return nil, pathErr("open", path, ErrIsDir)
-				}
 				return nil, pathErr("open", path, ErrIsDir)
 			}
 		}
@@ -95,10 +172,6 @@ func (p *Proc) OpenFile(path string, flags int, mode FileMode) (*File, error) {
 		if wantsRead && !created && !allows(node, p.cred, wantRead) {
 			return nil, pathErr("open", path, ErrAccess)
 		}
-		// The handle records the real root-absolute path, not the
-		// caller's (possibly chroot-relative) spelling: events carry this
-		// path, and watchers outside the namespace must see the true
-		// location.
 		f := &File{proc: p, node: node, path: Join(pathOf(parent), name), flags: flags}
 		if node.synth != nil {
 			f.synthMode = true
@@ -118,19 +191,8 @@ func (p *Proc) OpenFile(path string, flags int, mode FileMode) (*File, error) {
 		return f, nil
 	}()
 	events := tx.events
-	fs.mu.Unlock()
-	fs.watches.dispatch(events)
-	// Synthetic content is produced outside the tree lock: a provider may
-	// perform slow work (the OpenFlow driver queries the switch here) and
-	// must not stall unrelated file-system operations.
-	if err == nil && f != nil && f.needSynthRead {
-		data, rerr := f.node.synth.Read()
-		if rerr != nil {
-			return nil, pathErr("open", path, rerr)
-		}
-		f.synthBuf = data
-	}
-	return f, err
+	fs.unlockTree()
+	return f, events, err
 }
 
 // Name returns the path the file was opened with.
@@ -151,27 +213,28 @@ func (f *File) Read(b []byte) (int, error) {
 	if err := f.proc.charge("read", len(b)); err != nil {
 		return 0, err
 	}
-	var src []byte
 	if f.synthMode {
-		src = f.synthBuf
-	} else {
-		f.proc.fs.mu.RLock()
-		src = f.node.data
-		if f.pos < int64(len(src)) {
-			n := copy(b, src[f.pos:])
-			f.pos += int64(n)
-			f.proc.fs.mu.RUnlock()
-			return n, nil
+		if f.pos >= int64(len(f.synthBuf)) {
+			return 0, io.EOF
 		}
-		f.proc.fs.mu.RUnlock()
-		return 0, io.EOF
+		n := copy(b, f.synthBuf[f.pos:])
+		f.pos += int64(n)
+		return n, nil
 	}
-	if f.pos >= int64(len(src)) {
-		return 0, io.EOF
+	fs := f.proc.fs
+	fs.rlockTree()
+	s := fs.rlockNode(f.node)
+	src := f.node.data
+	if f.pos < int64(len(src)) {
+		n := copy(b, src[f.pos:])
+		f.pos += int64(n)
+		s.mu.RUnlock()
+		fs.runlockTree()
+		return n, nil
 	}
-	n := copy(b, src[f.pos:])
-	f.pos += int64(n)
-	return n, nil
+	s.mu.RUnlock()
+	fs.runlockTree()
+	return 0, io.EOF
 }
 
 // Write writes at the current offset (or the end, with O_APPEND).
@@ -199,14 +262,16 @@ func (f *File) Write(b []byte) (int, error) {
 		return len(b), nil
 	}
 	fs := f.proc.fs
-	fs.mu.Lock()
+	fs.rlockTree()
+	s := fs.lockNode(f.node)
 	if f.flags&O_APPEND != 0 {
 		f.pos = int64(len(f.node.data))
 	}
 	f.node.data = writeAt(f.node.data, b, f.pos)
 	f.pos += int64(len(b))
 	f.node.touchM(fs.clock())
-	fs.mu.Unlock()
+	s.mu.Unlock()
+	fs.runlockTree()
 	fs.watches.dispatch([]Event{{Op: OpWrite, Path: f.path}})
 	return len(b), nil
 }
@@ -242,9 +307,12 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 		if f.synthMode {
 			base = int64(len(f.synthBuf))
 		} else {
-			f.proc.fs.mu.RLock()
+			fs := f.proc.fs
+			fs.rlockTree()
+			s := fs.rlockNode(f.node)
 			base = int64(len(f.node.data))
-			f.proc.fs.mu.RUnlock()
+			s.mu.RUnlock()
+			fs.runlockTree()
 		}
 	default:
 		return 0, pathErr("seek", f.path, ErrInvalid)
@@ -277,14 +345,16 @@ func (f *File) Truncate(size int64) error {
 		return nil
 	}
 	fs := f.proc.fs
-	fs.mu.Lock()
+	fs.rlockTree()
+	s := fs.lockNode(f.node)
 	if size <= int64(len(f.node.data)) {
 		f.node.data = f.node.data[:size]
 	} else {
 		f.node.data = append(f.node.data, make([]byte, size-int64(len(f.node.data)))...)
 	}
 	f.node.touchM(fs.clock())
-	fs.mu.Unlock()
+	s.mu.Unlock()
+	fs.runlockTree()
 	fs.watches.dispatch([]Event{{Op: OpWrite, Path: f.path}})
 	return nil
 }
@@ -296,8 +366,11 @@ func (f *File) Stat() (Stat, error) {
 	if f.closed {
 		return Stat{}, pathErr("stat", f.path, ErrClosed)
 	}
-	f.proc.fs.mu.RLock()
-	defer f.proc.fs.mu.RUnlock()
+	fs := f.proc.fs
+	fs.rlockTree()
+	defer fs.runlockTree()
+	s := fs.rlockNode(f.node)
+	defer s.mu.RUnlock()
 	return statOf(f.node, Base(f.path)), nil
 }
 

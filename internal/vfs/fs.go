@@ -9,6 +9,11 @@
 // The API is deliberately syscall-shaped (Mkdir, Create, Open, Rename,
 // Symlink, Stat, ...) and every call is counted, because the paper's §8.1
 // performance argument is about the number of such calls.
+//
+// Concurrency: the tree scales on multicore through two lock levels — a
+// structural tree lock plus ino-sharded inode-state stripes (see lock.go
+// and DESIGN.md §8). Non-structural operations on distinct inodes never
+// serialize on a global mutex.
 package vfs
 
 import (
@@ -25,15 +30,18 @@ const maxSymlinkHops = 40
 
 // Synthetic makes a file behave like a procfs entry: content is produced
 // on open-for-read and consumed on close-after-write. Either func may be
-// nil, making the file write-only or read-only respectively.
+// nil, making the file write-only or read-only respectively. Providers run
+// outside all tree locks (from the open/close path) and may perform
+// arbitrary file I/O of their own.
 type Synthetic struct {
 	Read  func() ([]byte, error)
 	Write func(data []byte) error
 }
 
 // DirSemantics attaches yanc object behaviour to a directory. Hooks run
-// with the tree lock held and must only touch the tree through the Tx they
-// are handed.
+// with the tree lock held in write mode and must only touch the tree
+// through the Tx they are handed: calling a Proc-level entry point from a
+// hook re-acquires the tree lock and self-deadlocks.
 type DirSemantics struct {
 	// OnMkdir runs after a child directory of this directory was created.
 	// yanc uses it to populate typed children ("mkdir views/new_view"
@@ -54,13 +62,23 @@ type DirSemantics struct {
 	Protected map[string]bool
 }
 
+// inode field locking:
+//
+//   - ino, kind, target: immutable after creation.
+//   - mode, uid, gid: atomics, read lock-free during path resolution.
+//   - children, parent, name, nlink, sem, synth: structural — mutated only
+//     under the tree write lock, readable under either tree mode.
+//   - data, atime, mtime, ctime, version, xattrs: inode-local — under the
+//     tree read lock they require the inode's shard stripe; under the
+//     tree write lock the stripe is optional (writers are excluded).
 type inode struct {
-	ino     uint64
-	kind    NodeKind
-	mode    FileMode
-	uid     int
-	gid     int
-	nlink   int
+	ino   uint64
+	kind  NodeKind
+	mode  atomic.Uint32 // FileMode bits
+	uid   atomic.Int32
+	gid   atomic.Int32
+	nlink int
+
 	atime   time.Time
 	mtime   time.Time
 	ctime   time.Time
@@ -84,13 +102,24 @@ type inode struct {
 
 func (n *inode) isDir() bool { return n.kind == KindDir }
 
-// touchC updates ctime and version (metadata change).
+func (n *inode) loadMode() FileMode   { return FileMode(n.mode.Load()) }
+func (n *inode) storeMode(m FileMode) { n.mode.Store(uint32(m)) }
+func (n *inode) loadUID() int         { return int(n.uid.Load()) }
+func (n *inode) loadGID() int         { return int(n.gid.Load()) }
+func (n *inode) storeOwner(uid, gid int) {
+	n.uid.Store(int32(uid))
+	n.gid.Store(int32(gid))
+}
+
+// touchC updates ctime and version (metadata change). Caller must hold the
+// inode's stripe in write mode, or the tree lock in write mode.
 func (n *inode) touchC(now time.Time) {
 	n.ctime = now
 	n.version++
 }
 
-// touchM updates mtime+ctime and version (content change).
+// touchM updates mtime+ctime and version (content change). Same locking
+// contract as touchC.
 func (n *inode) touchM(now time.Time) {
 	n.mtime = now
 	n.ctime = now
@@ -166,7 +195,10 @@ func (c *statCounters) snapshot() OpStats {
 
 // FS is a single in-memory file system instance.
 type FS struct {
-	mu      sync.RWMutex
+	tree    sync.RWMutex // structural lock; see lock.go
+	shards  [LockShards]shardLock
+	lockCtr lockCounters
+
 	root    *inode
 	nextIno atomic.Uint64
 	clock   func() time.Time
@@ -186,8 +218,8 @@ func New() *FS {
 
 // SetClock replaces the time source (tests use a fake clock).
 func (fs *FS) SetClock(clock func() time.Time) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.lockTree()
+	defer fs.unlockTree()
 	fs.clock = clock
 }
 
@@ -196,8 +228,8 @@ func (fs *FS) SetClock(clock func() time.Time) {
 // the driver's last_seen) must use this rather than time.Now so that
 // simulated time in tests stays consistent with inode timestamps.
 func (fs *FS) Now() time.Time {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	fs.rlockTree()
+	defer fs.runlockTree()
 	return fs.clock()
 }
 
@@ -209,14 +241,13 @@ func (fs *FS) newInode(kind NodeKind, mode FileMode, uid, gid int) *inode {
 	n := &inode{
 		ino:   fs.nextIno.Add(1),
 		kind:  kind,
-		mode:  mode,
-		uid:   uid,
-		gid:   gid,
 		nlink: 1,
 		atime: now,
 		mtime: now,
 		ctime: now,
 	}
+	n.storeMode(mode)
+	n.storeOwner(uid, gid)
 	if kind == KindDir {
 		n.children = make(map[string]*inode)
 		n.nlink = 2
@@ -278,7 +309,7 @@ func Join(elem ...string) string {
 }
 
 // pathOf reconstructs the absolute path of a directory (directories have
-// unique parents). Must be called with the lock held.
+// unique parents). Must be called with the tree lock held in either mode.
 func pathOf(n *inode) string {
 	if n.parent == nil {
 		return "/"
@@ -302,7 +333,9 @@ type resolveOpts struct {
 // resolve walks path from root, enforcing exec permission on every
 // directory traversed, following symlinks (up to maxSymlinkHops). It
 // returns the parent directory, the final name, and the node itself (nil
-// if the final component does not exist). Lock must be held.
+// if the final component does not exist). The tree lock must be held in
+// either mode; resolution touches only structural state and lock-free
+// permission atomics, so it takes no stripe locks.
 func (fs *FS) resolve(cred Cred, path string, opt resolveOpts) (parent *inode, name string, node *inode, err error) {
 	root := opt.root
 	if root == nil {
@@ -388,6 +421,7 @@ type Tx struct {
 	events  []Event
 	creator Cred
 	hasCred bool
+	ro      bool // opened by ReadTx: tree lock held in read mode
 }
 
 // Creator returns the credential of the process whose operation triggered
@@ -401,24 +435,28 @@ func (tx *Tx) Creator() Cred {
 	return Root
 }
 
-// WithTx runs fn while holding the tree lock, then delivers the events fn
-// queued. This is the primitive libyanc's batch fastpath builds on.
+// WithTx runs fn while holding the tree lock in write mode, then delivers
+// the events fn queued. This is the primitive libyanc's batch fastpath
+// builds on. Note that a transaction serializes against every other
+// file-system operation — it is the whole-tree critical section; the
+// syscall-shaped entry points are the scalable path.
 func (fs *FS) WithTx(fn func(tx *Tx) error) error {
-	fs.mu.Lock()
+	fs.lockTree()
 	tx := &Tx{fs: fs}
 	err := fn(tx)
 	events := tx.events
-	fs.mu.Unlock()
+	fs.unlockTree()
 	fs.watches.dispatch(events)
 	return err
 }
 
-// ReadTx runs fn while holding the read lock. fn must not mutate.
+// ReadTx runs fn while holding the tree lock in read mode. fn must not
+// mutate the tree: only the read-only Tx methods are safe.
 func (fs *FS) ReadTx(fn func(tx *Tx) error) error {
-	fs.mu.RLock()
-	tx := &Tx{fs: fs}
+	fs.rlockTree()
+	tx := &Tx{fs: fs, ro: true}
 	err := fn(tx)
-	fs.mu.RUnlock()
+	fs.runlockTree()
 	return err
 }
 
@@ -510,7 +548,12 @@ func (tx *Tx) WriteFile(path string, data []byte, mode FileMode, uid, gid int) e
 	return nil
 }
 
-// ReadFile returns a copy of a file's content.
+// ReadFile returns a copy of a file's content. Synthetic files are
+// returned as their stored bytes: a Synthetic.Read provider may itself
+// perform file I/O and must never run under the tree lock (see the
+// lock-ordering rules in lock.go), so transactional reads see the raw
+// storage and the open path is the only one that materializes provider
+// content.
 func (tx *Tx) ReadFile(path string) ([]byte, error) {
 	n, err := tx.node(path)
 	if err != nil {
@@ -519,8 +562,9 @@ func (tx *Tx) ReadFile(path string) ([]byte, error) {
 	if n.isDir() {
 		return nil, pathErr("read", path, ErrIsDir)
 	}
-	if n.synth != nil && n.synth.Read != nil {
-		return n.synth.Read()
+	if tx.ro {
+		s := tx.fs.rlockNode(n)
+		defer s.mu.RUnlock()
 	}
 	return append([]byte(nil), n.data...), nil
 }
@@ -609,6 +653,10 @@ func (tx *Tx) GetXattr(path, attr string) ([]byte, error) {
 	if err != nil {
 		return nil, pathErr("getxattr", path, err)
 	}
+	if tx.ro {
+		s := tx.fs.rlockNode(n)
+		defer s.mu.RUnlock()
+	}
 	v, ok := n.xattrs[attr]
 	if !ok {
 		return nil, pathErr("getxattr", path, ErrNoAttr)
@@ -622,7 +670,7 @@ func (tx *Tx) Chmod(path string, mode FileMode) error {
 	if err != nil {
 		return pathErr("chmod", path, err)
 	}
-	n.mode = mode
+	n.storeMode(mode)
 	n.touchC(tx.fs.clock())
 	tx.queue(Event{Op: OpChmod, Path: Clean(path), IsDir: n.isDir()})
 	return nil
@@ -634,7 +682,7 @@ func (tx *Tx) Chown(path string, uid, gid int) error {
 	if err != nil {
 		return pathErr("chown", path, err)
 	}
-	n.uid, n.gid = uid, gid
+	n.storeOwner(uid, gid)
 	n.touchC(tx.fs.clock())
 	tx.queue(Event{Op: OpChmod, Path: Clean(path), IsDir: n.isDir()})
 	return nil
@@ -658,6 +706,10 @@ func (tx *Tx) Stat(path string) (Stat, error) {
 	if err != nil {
 		return Stat{}, pathErr("stat", path, err)
 	}
+	if tx.ro {
+		s := tx.fs.rlockNode(n)
+		defer s.mu.RUnlock()
+	}
 	return statOf(n, Base(path)), nil
 }
 
@@ -670,6 +722,9 @@ func listDir(n *inode) []DirEntry {
 	return out
 }
 
+// statOf snapshots an inode. The caller must hold either the tree write
+// lock, or the tree read lock plus the inode's stripe (read mode is
+// enough) — inode-local times/version/data are read here.
 func statOf(n *inode, name string) Stat {
 	size := int64(len(n.data))
 	if n.isDir() {
@@ -678,9 +733,9 @@ func statOf(n *inode, name string) Stat {
 	return Stat{
 		Ino:     n.ino,
 		Kind:    n.kind,
-		Mode:    n.mode,
-		UID:     n.uid,
-		GID:     n.gid,
+		Mode:    n.loadMode(),
+		UID:     n.loadUID(),
+		GID:     n.loadGID(),
 		Nlink:   n.nlink,
 		Size:    size,
 		Atime:   n.atime,
@@ -693,7 +748,7 @@ func statOf(n *inode, name string) Stat {
 }
 
 // unlinkLocked removes node (recursively for directories) from parent and
-// queues Remove events. Lock must be held.
+// queues Remove events. The tree write lock must be held.
 func (fs *FS) unlinkLocked(parent *inode, name string, node *inode, tx *Tx) {
 	full := Join(pathOf(parent), name)
 	if node.isDir() {

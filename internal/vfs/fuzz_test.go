@@ -1,0 +1,158 @@
+package vfs
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fuzzFS builds the resolution fixture: a few nested directories, a
+// dangling link, a self-loop, a mutual two-link loop, and a long (but
+// legal) symlink chain, so fuzzed paths can reach every branch of the
+// resolver — "..", absolute and relative targets, loops, and the ELOOP
+// bound.
+func fuzzFS(tb testing.TB) *FS {
+	tb.Helper()
+	fs := New()
+	p := fs.RootProc()
+	must := func(err error) {
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	must(p.MkdirAll("/a/b/c", 0o755))
+	must(p.WriteString("/a/b/c/file", "data"))
+	must(p.Symlink("/a/b", "/a/abs"))
+	must(p.Symlink("b/c", "/a/rel"))
+	must(p.Symlink("/nowhere", "/a/dangling"))
+	must(p.Symlink("/self", "/self"))
+	must(p.Symlink("/loop2", "/loop1"))
+	must(p.Symlink("/loop1", "/loop2"))
+	must(p.Symlink("../a", "/a/up"))
+	// A chain of maxSymlinkHops-1 links: legal, one short of ELOOP.
+	must(p.Symlink("/a/b/c", "/chain0"))
+	for i := 1; i < maxSymlinkHops-1; i++ {
+		must(p.Symlink("/chain"+itoa(i-1), "/chain"+itoa(i)))
+	}
+	return fs
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// resolveErrOK is the closed set of errors path resolution may return;
+// anything else (or a panic) is a bug.
+func resolveErrOK(err error) bool {
+	if err == nil {
+		return true
+	}
+	return errIsAny(err, ErrNotExist, ErrNotDir, ErrIsDir, ErrAccess,
+		ErrTooManyLinks, ErrInvalid, ErrExist)
+}
+
+// FuzzPathResolve feeds arbitrary path strings through every resolving
+// entry point. Invariants: never panic, never hang (the hop bound is the
+// only loop breaker for /loop1 <-> /loop2), and errors stay in the closed
+// resolveErrOK set.
+func FuzzPathResolve(f *testing.F) {
+	for _, seed := range []string{
+		"/",
+		"",
+		"/a/b/c/file",
+		"/a/./b/../b/c//file",
+		"../../..",
+		"/a/abs/c/file",
+		"/a/rel/file",
+		"/a/dangling",
+		"/self",
+		"/loop1",
+		"/loop1/deeper/path",
+		"/chain" + itoa(maxSymlinkHops-2) + "/file",
+		"/a/up/up/up/b",
+		strings.Repeat("/a/b/..", 50) + "/b/c",
+		strings.Repeat("../", 60) + "a/b",
+		"/a/b/c/file/not-a-dir",
+		"//a///b/./c/",
+	} {
+		f.Add(seed)
+	}
+	fs := fuzzFS(f)
+	p := fs.RootProc()
+	user := fs.Proc(Cred{UID: 7, GID: 7})
+	f.Fuzz(func(t *testing.T, path string) {
+		if _, err := p.Stat(path); !resolveErrOK(err) {
+			t.Fatalf("Stat(%q): unexpected error class %v", path, err)
+		}
+		if _, err := p.Lstat(path); !resolveErrOK(err) {
+			t.Fatalf("Lstat(%q): unexpected error class %v", path, err)
+		}
+		if _, err := p.ReadDir(path); !resolveErrOK(err) {
+			t.Fatalf("ReadDir(%q): unexpected error class %v", path, err)
+		}
+		if _, err := p.ReadFile(path); !resolveErrOK(err) {
+			t.Fatalf("ReadFile(%q): unexpected error class %v", path, err)
+		}
+		if _, err := user.Stat(path); !resolveErrOK(err) {
+			t.Fatalf("user Stat(%q): unexpected error class %v", path, err)
+		}
+		// Clean must be idempotent and always produce an absolute path.
+		c := Clean(path)
+		if !strings.HasPrefix(c, "/") || Clean(c) != c {
+			t.Fatalf("Clean(%q) = %q, not an idempotent absolute path", path, c)
+		}
+	})
+}
+
+// TestResolveLoopHitsELOOPBound pins the exact bound: a chain of
+// maxSymlinkHops-1 links resolves, the true loops fail with
+// ErrTooManyLinks, and neither hangs.
+func TestResolveLoopHitsELOOPBound(t *testing.T) {
+	fs := fuzzFS(t)
+	p := fs.RootProc()
+	if _, err := p.Stat("/chain" + itoa(maxSymlinkHops-2)); err != nil {
+		t.Fatalf("legal %d-hop chain rejected: %v", maxSymlinkHops-1, err)
+	}
+	for _, path := range []string{"/self", "/loop1", "/loop2", "/loop1/x/y"} {
+		_, err := p.Stat(path)
+		if !errors.Is(err, ErrTooManyLinks) {
+			t.Fatalf("Stat(%q) = %v, want ErrTooManyLinks", path, err)
+		}
+	}
+}
+
+// TestFuzzPathResolveRandom complements the fuzz harness in normal `go
+// test` runs (which only replay the corpus): 20k random path strings in
+// the openflow fuzz-test style, biased toward resolver-relevant tokens.
+func TestFuzzPathResolveRandom(t *testing.T) {
+	fs := fuzzFS(t)
+	p := fs.RootProc()
+	r := rand.New(rand.NewSource(2))
+	tokens := []string{"a", "b", "c", "file", "..", ".", "abs", "rel",
+		"dangling", "self", "loop1", "loop2", "up", "chain0", "", "x"}
+	for i := 0; i < 20000; i++ {
+		var sb strings.Builder
+		if r.Intn(2) == 0 {
+			sb.WriteByte('/')
+		}
+		for j := r.Intn(8); j >= 0; j-- {
+			sb.WriteString(tokens[r.Intn(len(tokens))])
+			sb.WriteByte('/')
+		}
+		path := sb.String()
+		if _, err := p.Stat(path); !resolveErrOK(err) {
+			t.Fatalf("Stat(%q): unexpected error class %v", path, err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package vfs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The VFS locking model (DESIGN.md §8) has two levels:
+//
+//   - The tree lock (FS.tree) protects the *structure* of the tree: the
+//     children maps, parent/name back-links, nlink, and the sem/synth
+//     attachment points. Structural operations (mkdir, create, remove,
+//     rename, link, symlink, WithTx and every DirSemantics hook) hold it
+//     in write mode; every other operation holds it in read mode, so any
+//     number of non-structural operations run concurrently.
+//
+//   - Inode-state locks, sharded by inode number over LockShards stripes
+//     (FS.shards), protect the *content* of one inode: data, mtime/ctime/
+//     atime, version, and xattrs. They are taken under the tree lock
+//     (either mode), so two writers to different files — or a writer and
+//     a reader of unrelated files — never serialize on a global mutex.
+//
+// Permission state (mode, uid, gid) is atomic and read lock-free during
+// path resolution, which keeps the per-component permission check off
+// every lock.
+//
+// Lock-ordering discipline (violations deadlock; the stress battery's
+// canary tests enforce it):
+//
+//  1. tree lock before shard lock, never the reverse: a goroutine holding
+//     a shard must not acquire the tree lock in any mode.
+//  2. at most one shard lock at a time; if a future operation ever needs
+//     two, it must take them in ascending shard-index order.
+//  3. DirSemantics hooks and Synthetic providers invoked under the tree
+//     write lock must only touch the tree through the Tx they are handed.
+//     Calling a Proc-level entry point re-acquires the tree lock and
+//     self-deadlocks (sync.RWMutex is not reentrant).
+//  4. Synthetic.Read/Write providers run *outside* all tree locks (from
+//     the open/close path) and may perform arbitrary Proc I/O.
+
+// LockShards is the number of inode-state lock stripes. A power of two so
+// the shard index is a mask of the inode number.
+const LockShards = 64
+
+// shardLock is one inode-state stripe. The padding keeps hot stripes on
+// separate cache lines.
+type shardLock struct {
+	mu  sync.RWMutex
+	acq atomic.Uint64 // total acquisitions (read + write), for .proc
+	_   [64]byte
+}
+
+// lockCounters accumulates acquisition and contention telemetry for the
+// .proc/vfs/{lock_shards,contention} files. A "contended" acquisition is
+// one whose initial TryLock failed and had to block.
+type lockCounters struct {
+	treeRead           atomic.Uint64
+	treeWrite          atomic.Uint64
+	treeReadContended  atomic.Uint64
+	treeWriteContended atomic.Uint64
+	shardRead          atomic.Uint64
+	shardWrite         atomic.Uint64
+	shardContended     atomic.Uint64
+}
+
+// lockTree acquires the tree lock in write mode (structural operations).
+func (fs *FS) lockTree() {
+	if !fs.tree.TryLock() {
+		fs.lockCtr.treeWriteContended.Add(1)
+		fs.tree.Lock()
+	}
+	fs.lockCtr.treeWrite.Add(1)
+}
+
+func (fs *FS) unlockTree() { fs.tree.Unlock() }
+
+// rlockTree acquires the tree lock in read mode (all non-structural
+// operations).
+func (fs *FS) rlockTree() {
+	if !fs.tree.TryRLock() {
+		fs.lockCtr.treeReadContended.Add(1)
+		fs.tree.RLock()
+	}
+	fs.lockCtr.treeRead.Add(1)
+}
+
+func (fs *FS) runlockTree() { fs.tree.RUnlock() }
+
+// shardOf returns the inode-state stripe for n.
+func (fs *FS) shardOf(n *inode) *shardLock { return &fs.shards[n.ino&(LockShards-1)] }
+
+// lockNode write-locks n's inode-state stripe. Caller must hold the tree
+// lock in some mode and must not already hold any stripe.
+func (fs *FS) lockNode(n *inode) *shardLock {
+	s := fs.shardOf(n)
+	if !s.mu.TryLock() {
+		fs.lockCtr.shardContended.Add(1)
+		s.mu.Lock()
+	}
+	fs.lockCtr.shardWrite.Add(1)
+	s.acq.Add(1)
+	return s
+}
+
+// rlockNode read-locks n's inode-state stripe under the same rules.
+func (fs *FS) rlockNode(n *inode) *shardLock {
+	s := fs.shardOf(n)
+	if !s.mu.TryRLock() {
+		fs.lockCtr.shardContended.Add(1)
+		s.mu.RLock()
+	}
+	fs.lockCtr.shardRead.Add(1)
+	s.acq.Add(1)
+	return s
+}
+
+// LockStats is a point-in-time snapshot of lock telemetry, the data
+// behind /.proc/vfs/lock_shards and /.proc/vfs/contention.
+type LockStats struct {
+	Shards             int
+	TreeRead           uint64 // tree read-mode acquisitions
+	TreeWrite          uint64 // tree write-mode acquisitions
+	TreeReadContended  uint64
+	TreeWriteContended uint64
+	ShardRead          uint64 // stripe read-mode acquisitions
+	ShardWrite         uint64 // stripe write-mode acquisitions
+	ShardContended     uint64
+	PerShard           [LockShards]uint64 // total acquisitions per stripe
+}
+
+// Contended returns the total number of blocking acquisitions.
+func (s LockStats) Contended() uint64 {
+	return s.TreeReadContended + s.TreeWriteContended + s.ShardContended
+}
+
+// LockStats snapshots the lock telemetry counters.
+func (fs *FS) LockStats() LockStats {
+	s := LockStats{
+		Shards:             LockShards,
+		TreeRead:           fs.lockCtr.treeRead.Load(),
+		TreeWrite:          fs.lockCtr.treeWrite.Load(),
+		TreeReadContended:  fs.lockCtr.treeReadContended.Load(),
+		TreeWriteContended: fs.lockCtr.treeWriteContended.Load(),
+		ShardRead:          fs.lockCtr.shardRead.Load(),
+		ShardWrite:         fs.lockCtr.shardWrite.Load(),
+		ShardContended:     fs.lockCtr.shardContended.Load(),
+	}
+	for i := range fs.shards {
+		s.PerShard[i] = fs.shards[i].acq.Load()
+	}
+	return s
+}

@@ -54,8 +54,8 @@ func (p *Proc) WithLimiter(l Limiter) *Proc {
 // resolution (including absolute symlink targets and "..") cannot escape
 // it — the isolation primitive views and slices rely on.
 func (p *Proc) Chroot(path string) (*Proc, error) {
-	p.fs.mu.RLock()
-	defer p.fs.mu.RUnlock()
+	p.fs.rlockTree()
+	defer p.fs.runlockTree()
 	_, _, n, err := p.fs.resolve(p.cred, path, resolveOpts{followLast: true, root: p.root})
 	if err != nil {
 		return nil, pathErr("chroot", path, err)
@@ -104,11 +104,11 @@ func (p *Proc) Mkdir(path string, mode FileMode) error {
 	p.fs.stats.creates.Add(1)
 	defer p.fs.observe(LatMkdir, time.Now())
 	fs := p.fs
-	fs.mu.Lock()
+	fs.lockTree()
 	tx := &Tx{fs: fs}
 	err := p.mkdirLocked(tx, path, mode)
 	events := tx.events
-	fs.mu.Unlock()
+	fs.unlockTree()
 	fs.watches.dispatch(events)
 	return err
 }
@@ -168,7 +168,7 @@ func (p *Proc) Symlink(target, linkPath string) error {
 	}
 	p.fs.stats.links.Add(1)
 	fs := p.fs
-	fs.mu.Lock()
+	fs.lockTree()
 	tx := &Tx{fs: fs}
 	err := func() error {
 		parent, name, node, err := fs.resolve(p.cred, linkPath, p.opts(false))
@@ -194,7 +194,7 @@ func (p *Proc) Symlink(target, linkPath string) error {
 		return nil
 	}()
 	events := tx.events
-	fs.mu.Unlock()
+	fs.unlockTree()
 	fs.watches.dispatch(events)
 	return err
 }
@@ -202,8 +202,8 @@ func (p *Proc) Symlink(target, linkPath string) error {
 // Readlink returns the target of a symbolic link.
 func (p *Proc) Readlink(path string) (string, error) {
 	p.fs.stats.stats.Add(1)
-	p.fs.mu.RLock()
-	defer p.fs.mu.RUnlock()
+	p.fs.rlockTree()
+	defer p.fs.runlockTree()
 	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(false))
 	if err != nil {
 		return "", pathErr("readlink", path, err)
@@ -224,7 +224,7 @@ func (p *Proc) Link(oldPath, newPath string) error {
 	}
 	p.fs.stats.links.Add(1)
 	fs := p.fs
-	fs.mu.Lock()
+	fs.lockTree()
 	tx := &Tx{fs: fs}
 	err := func() error {
 		_, _, src, err := fs.resolve(p.cred, oldPath, p.opts(true))
@@ -255,7 +255,7 @@ func (p *Proc) Link(oldPath, newPath string) error {
 		return nil
 	}()
 	events := tx.events
-	fs.mu.Unlock()
+	fs.unlockTree()
 	fs.watches.dispatch(events)
 	return err
 }
@@ -270,7 +270,7 @@ func (p *Proc) Remove(path string) error {
 	p.fs.stats.removes.Add(1)
 	defer p.fs.observe(LatRemove, time.Now())
 	fs := p.fs
-	fs.mu.Lock()
+	fs.lockTree()
 	tx := &Tx{fs: fs}
 	err := func() error {
 		parent, name, node, err := fs.resolve(p.cred, path, p.opts(false))
@@ -299,7 +299,7 @@ func (p *Proc) Remove(path string) error {
 		return nil
 	}()
 	events := tx.events
-	fs.mu.Unlock()
+	fs.unlockTree()
 	fs.watches.dispatch(events)
 	return err
 }
@@ -313,7 +313,7 @@ func (p *Proc) RemoveAll(path string) error {
 	p.fs.stats.removes.Add(1)
 	defer p.fs.observe(LatRemove, time.Now())
 	fs := p.fs
-	fs.mu.Lock()
+	fs.lockTree()
 	tx := &Tx{fs: fs}
 	err := func() error {
 		parent, name, node, err := fs.resolve(p.cred, path, p.opts(false))
@@ -333,7 +333,7 @@ func (p *Proc) RemoveAll(path string) error {
 		return nil
 	}()
 	events := tx.events
-	fs.mu.Unlock()
+	fs.unlockTree()
 	fs.watches.dispatch(events)
 	return err
 }
@@ -348,7 +348,7 @@ func (p *Proc) Rename(oldPath, newPath string) error {
 	p.fs.stats.renames.Add(1)
 	defer p.fs.observe(LatRename, time.Now())
 	fs := p.fs
-	fs.mu.Lock()
+	fs.lockTree()
 	tx := &Tx{fs: fs}
 	err := func() error {
 		lerr := func(err error) error {
@@ -419,7 +419,7 @@ func (p *Proc) Rename(oldPath, newPath string) error {
 		return nil
 	}()
 	events := tx.events
-	fs.mu.Unlock()
+	fs.unlockTree()
 	fs.watches.dispatch(events)
 	return err
 }
@@ -431,8 +431,8 @@ func (p *Proc) Stat(path string) (Stat, error) {
 	}
 	p.fs.stats.stats.Add(1)
 	defer p.fs.observe(LatStat, time.Now())
-	p.fs.mu.RLock()
-	defer p.fs.mu.RUnlock()
+	p.fs.rlockTree()
+	defer p.fs.runlockTree()
 	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(true))
 	if err != nil {
 		return Stat{}, pathErr("stat", path, err)
@@ -440,6 +440,8 @@ func (p *Proc) Stat(path string) (Stat, error) {
 	if n == nil {
 		return Stat{}, pathErr("stat", path, ErrNotExist)
 	}
+	s := p.fs.rlockNode(n)
+	defer s.mu.RUnlock()
 	return statOf(n, Base(path)), nil
 }
 
@@ -450,8 +452,8 @@ func (p *Proc) Lstat(path string) (Stat, error) {
 	}
 	p.fs.stats.stats.Add(1)
 	defer p.fs.observe(LatStat, time.Now())
-	p.fs.mu.RLock()
-	defer p.fs.mu.RUnlock()
+	p.fs.rlockTree()
+	defer p.fs.runlockTree()
 	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(false))
 	if err != nil {
 		return Stat{}, pathErr("lstat", path, err)
@@ -459,6 +461,8 @@ func (p *Proc) Lstat(path string) (Stat, error) {
 	if n == nil {
 		return Stat{}, pathErr("lstat", path, ErrNotExist)
 	}
+	s := p.fs.rlockNode(n)
+	defer s.mu.RUnlock()
 	return statOf(n, Base(path)), nil
 }
 
@@ -481,8 +485,8 @@ func (p *Proc) ReadDir(path string) ([]DirEntry, error) {
 	}
 	p.fs.stats.readdirs.Add(1)
 	defer p.fs.observe(LatReadDir, time.Now())
-	p.fs.mu.RLock()
-	defer p.fs.mu.RUnlock()
+	p.fs.rlockTree()
+	defer p.fs.runlockTree()
 	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(true))
 	if err != nil {
 		return nil, pathErr("readdir", path, err)
@@ -505,10 +509,13 @@ func (p *Proc) Chmod(path string, mode FileMode) error {
 		return err
 	}
 	p.fs.stats.attrs.Add(1)
+	// Metadata-only change: the tree read lock suffices (mode is atomic,
+	// ctime/version go under the inode's stripe).
 	fs := p.fs
-	fs.mu.Lock()
-	tx := &Tx{fs: fs}
+	var events []Event
 	err := func() error {
+		fs.rlockTree()
+		defer fs.runlockTree()
 		parent, name, n, err := fs.resolve(p.cred, path, p.opts(true))
 		if err != nil {
 			return pathErr("chmod", path, err)
@@ -516,16 +523,16 @@ func (p *Proc) Chmod(path string, mode FileMode) error {
 		if n == nil {
 			return pathErr("chmod", path, ErrNotExist)
 		}
-		if p.cred.UID != 0 && p.cred.UID != n.uid {
+		if p.cred.UID != 0 && p.cred.UID != n.loadUID() {
 			return pathErr("chmod", path, ErrPerm)
 		}
-		n.mode = mode
+		n.storeMode(mode)
+		s := fs.lockNode(n)
 		n.touchC(fs.clock())
-		tx.queue(Event{Op: OpChmod, Path: realPath(parent, name), IsDir: n.isDir()})
+		s.mu.Unlock()
+		events = append(events, Event{Op: OpChmod, Path: realPath(parent, name), IsDir: n.isDir()})
 		return nil
 	}()
-	events := tx.events
-	fs.mu.Unlock()
 	fs.watches.dispatch(events)
 	return err
 }
@@ -537,9 +544,10 @@ func (p *Proc) Chown(path string, uid, gid int) error {
 	}
 	p.fs.stats.attrs.Add(1)
 	fs := p.fs
-	fs.mu.Lock()
-	tx := &Tx{fs: fs}
+	var events []Event
 	err := func() error {
+		fs.rlockTree()
+		defer fs.runlockTree()
 		parent, name, n, err := fs.resolve(p.cred, path, p.opts(true))
 		if err != nil {
 			return pathErr("chown", path, err)
@@ -550,13 +558,13 @@ func (p *Proc) Chown(path string, uid, gid int) error {
 		if p.cred.UID != 0 {
 			return pathErr("chown", path, ErrPerm)
 		}
-		n.uid, n.gid = uid, gid
+		n.storeOwner(uid, gid)
+		s := fs.lockNode(n)
 		n.touchC(fs.clock())
-		tx.queue(Event{Op: OpChmod, Path: realPath(parent, name), IsDir: n.isDir()})
+		s.mu.Unlock()
+		events = append(events, Event{Op: OpChmod, Path: realPath(parent, name), IsDir: n.isDir()})
 		return nil
 	}()
-	events := tx.events
-	fs.mu.Unlock()
 	fs.watches.dispatch(events)
 	return err
 }

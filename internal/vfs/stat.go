@@ -126,24 +126,27 @@ const (
 	wantExec  accessWant = 1
 )
 
-// allows implements the classic Unix owner/group/other check.
+// allows implements the classic Unix owner/group/other check. It reads
+// only atomic permission state, so it is safe during path resolution with
+// no stripe lock held.
 func allows(st *inode, c Cred, want accessWant) bool {
+	mode := st.loadMode()
 	if c.UID == 0 {
 		// Root: exec still requires some x bit on files, like Linux.
-		if want == wantExec && st.kind == KindFile && st.mode&0o111 == 0 {
+		if want == wantExec && st.kind == KindFile && mode&0o111 == 0 {
 			return false
 		}
 		return true
 	}
 	var shift uint
 	switch {
-	case c.UID == st.uid:
+	case c.UID == st.loadUID():
 		shift = 6
-	case c.inGroup(st.gid):
+	case c.inGroup(st.loadGID()):
 		shift = 3
 	default:
 		shift = 0
 	}
-	bits := uint8(st.mode>>shift) & 7
+	bits := uint8(mode>>shift) & 7
 	return bits&uint8(want) == uint8(want)
 }

@@ -1,0 +1,419 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The stress battery exercises the two-level locking scheme (lock.go)
+// under -race: mixed structural and non-structural operations from many
+// goroutines over overlapping subtrees. Every test runs inside a deadlock
+// canary — a lock-ordering violation shows up as a hung test, and the
+// canary converts the hang into a failure with full goroutine stacks
+// instead of a silent suite timeout.
+
+// runWithDeadline is the deadlock canary: fn must finish within d or the
+// test fails with a dump of all goroutine stacks.
+func runWithDeadline(t *testing.T, d time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		buf := make([]byte, 1<<22)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("deadlock canary tripped after %v; goroutine stacks:\n%s", d, buf[:n])
+	}
+}
+
+// stressDeadline leaves ample headroom for -race -count=2 on a loaded
+// 1-core CI machine while still catching a genuine deadlock quickly.
+const stressDeadline = 60 * time.Second
+
+// TestStressMixedStructuralOps runs mkdir/rename/rmdir/readdir/symlink/
+// write/stat from 12 goroutines against a small set of overlapping
+// subtrees, so structural operations constantly collide on the same
+// parents. The assertions are (a) no data race (the -race leg), (b) no
+// deadlock (canary), and (c) errors stay within the expected set —
+// concurrent structural races surface as ENOENT/EEXIST/ENOTEMPTY, never
+// as corruption or panic.
+func TestStressMixedStructuralOps(t *testing.T) {
+	fs := New()
+	p := fs.RootProc()
+	const tops = 4
+	for i := 0; i < tops; i++ {
+		if err := p.MkdirAll(fmt.Sprintf("/t%d/a/b", i), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allowed := []error{ErrNotExist, ErrExist, ErrNotEmpty, ErrNotDir, ErrIsDir, ErrInvalid, ErrBusy, ErrAccess, ErrTooManyLinks}
+	checkErr := func(err error) error {
+		if err == nil || errIsAny(err, allowed...) {
+			return nil
+		}
+		return err
+	}
+
+	const workers = 12
+	const opsPerWorker = 400
+	runWithDeadline(t, stressDeadline, func() {
+		var wg sync.WaitGroup
+		var bad atomic.Value
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < opsPerWorker; i++ {
+					top := fmt.Sprintf("/t%d", rng.Intn(tops))
+					sub := fmt.Sprintf("%s/a/d%d", top, rng.Intn(6))
+					var err error
+					switch rng.Intn(8) {
+					case 0:
+						err = p.Mkdir(sub, 0o755)
+					case 1:
+						err = p.Remove(sub)
+					case 2:
+						err = p.Rename(sub, fmt.Sprintf("%s/a/r%d", top, rng.Intn(6)))
+					case 3:
+						_, err = p.ReadDir(top + "/a")
+					case 4:
+						err = p.Symlink(top+"/a/b", fmt.Sprintf("%s/a/l%d", top, rng.Intn(6)))
+					case 5:
+						err = p.WriteString(fmt.Sprintf("%s/a/b/f%d", top, rng.Intn(6)), "x")
+					case 6:
+						_, err = p.Stat(top + "/a/b")
+					case 7:
+						err = p.RemoveAll(fmt.Sprintf("%s/a/r%d", top, rng.Intn(6)))
+					}
+					if e := checkErr(err); e != nil {
+						bad.Store(e)
+						return
+					}
+				}
+			}(int64(w) + 1)
+		}
+		wg.Wait()
+		if e := bad.Load(); e != nil {
+			t.Errorf("unexpected error class under stress: %v", e)
+		}
+	})
+
+	// The tree must still be coherent: every top-level skeleton readable.
+	for i := 0; i < tops; i++ {
+		if _, err := p.ReadDir(fmt.Sprintf("/t%d/a", i)); err != nil {
+			t.Fatalf("tree corrupt after stress: %v", err)
+		}
+	}
+}
+
+// TestStressRenameVsLookup interleaves a renamer bouncing a directory
+// between two names with readers resolving paths through it. A lookup
+// must see exactly one of the two names — never both, never neither (the
+// rename is atomic under the tree write lock) — and file content reached
+// through the moving directory must stay intact.
+func TestStressRenameVsLookup(t *testing.T) {
+	fs := New()
+	p := fs.RootProc()
+	if err := p.MkdirAll("/mv/one/leaf", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteString("/mv/one/leaf/payload", "intact"); err != nil {
+		t.Fatal(err)
+	}
+
+	runWithDeadline(t, stressDeadline, func() {
+		stop := make(chan struct{})
+		renamerDone := make(chan struct{})
+		go func() { // renamer: bounce the directory until the lookers finish
+			defer close(renamerDone)
+			names := [2]string{"/mv/one", "/mv/two"}
+			cur := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				next := 1 - cur
+				if err := p.Rename(names[cur], names[next]); err != nil {
+					t.Errorf("rename: %v", err)
+					return
+				}
+				cur = next
+			}
+		}()
+		var found atomic.Uint64
+		var wg sync.WaitGroup
+		for r := 0; r < 8; r++ {
+			wg.Add(1)
+			go func() { // lookers
+				defer wg.Done()
+				for i := 0; i < 2000; i++ {
+					// The payload lives under exactly one of the two names
+					// at any instant. Two separate Stats can both miss when
+					// a rename lands between them, so the exactly-one
+					// invariant is asserted inside a single read
+					// transaction — an atomic snapshot no rename can
+					// interleave.
+					var one, two bool
+					_ = fs.ReadTx(func(tx *Tx) error {
+						one = tx.Exists("/mv/one/leaf/payload")
+						two = tx.Exists("/mv/two/leaf/payload")
+						return nil
+					})
+					if one == two {
+						t.Errorf("payload visibility one=%v two=%v; want exactly one name live", one, two)
+						return
+					}
+					found.Add(1)
+					// Plain lookups through the moving directory must fail
+					// only with ENOENT, never see a half-renamed state.
+					if _, err := p.Stat("/mv/one/leaf/payload"); err != nil && !errors.Is(err, ErrNotExist) {
+						t.Errorf("lookup during rename: %v", err)
+						return
+					}
+					if b, err := p.ReadFile("/mv/one/leaf/payload"); err == nil && string(b) != "intact" {
+						t.Errorf("payload corrupted: %q", b)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(stop)
+		<-renamerDone
+		if found.Load() == 0 {
+			t.Error("no successful lookups recorded")
+		}
+	})
+}
+
+// TestStressHooksUnderLoad drives semantic mkdirs (whose OnMkdir hook
+// populates children through the Tx, under the tree write lock) while
+// readers walk the same subtree and a recursive watch consumes events.
+// This is the lock-ordering rule-3 regression test: a hook that touched
+// anything but its Tx would self-deadlock here.
+func TestStressHooksUnderLoad(t *testing.T) {
+	fs := New()
+	p := fs.RootProc()
+	if err := p.Mkdir("/objs", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sem := &DirSemantics{
+		OnMkdir: func(tx *Tx, dir, name string) error {
+			base := Join(dir, name)
+			if err := tx.Mkdir(Join(base, "ports"), 0o755, 0, 0); err != nil {
+				return err
+			}
+			return tx.WriteFile(Join(base, "state"), []byte("init"), 0o644, 0, 0)
+		},
+		RecursiveRmdir: true,
+	}
+	if err := fs.WithTx(func(tx *Tx) error { return tx.SetSemantics("/objs", sem) }); err != nil {
+		t.Fatal(err)
+	}
+	w, err := p.AddWatch("/objs", OpAll, Recursive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	go func() {
+		for range w.C { // slow-ish consumer; must never stall writers
+			time.Sleep(10 * time.Microsecond)
+		}
+	}()
+
+	runWithDeadline(t, stressDeadline, func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					obj := fmt.Sprintf("/objs/o%d_%d", g, i)
+					if err := p.Mkdir(obj, 0o755); err != nil {
+						t.Errorf("mkdir %s: %v", obj, err)
+						return
+					}
+					if s, err := p.ReadString(obj + "/state"); err != nil || s != "init" {
+						t.Errorf("hook children missing for %s: %q %v", obj, s, err)
+						return
+					}
+					if i%3 == 0 {
+						if err := p.Remove(obj); err != nil {
+							t.Errorf("recursive rmdir %s: %v", obj, err)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+}
+
+// TestStressSharedFileHandles hammers one inode through independent
+// handles (stripe-level contention) while another goroutine stats it and
+// a third truncates. Guards the File fast paths that hold the tree read
+// lock plus a stripe.
+func TestStressSharedFileHandles(t *testing.T) {
+	fs := New()
+	p := fs.RootProc()
+	if err := p.WriteString("/shared", "seed"); err != nil {
+		t.Fatal(err)
+	}
+	runWithDeadline(t, stressDeadline, func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 300; i++ {
+					if err := p.AppendFile("/shared", []byte("x"), 0o644); err != nil {
+						t.Errorf("append: %v", err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if _, err := p.Stat("/shared"); err != nil {
+					t.Errorf("stat: %v", err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				f, err := p.OpenFile("/shared", O_WRONLY, 0)
+				if err != nil {
+					t.Errorf("open: %v", err)
+					return
+				}
+				if err := f.Truncate(1); err != nil {
+					t.Errorf("truncate: %v", err)
+				}
+				f.Close()
+			}
+		}()
+		wg.Wait()
+	})
+	if _, err := p.ReadFile("/shared"); err != nil {
+		t.Fatalf("file unreadable after stress: %v", err)
+	}
+}
+
+// TestStressOpenCreateRace opens the same not-yet-existing path with
+// O_CREATE from many goroutines: exactly the fast-path/slow-path handoff
+// in OpenFile. All opens must succeed (or lose the race benignly with
+// O_EXCL), and exactly one create event may result per path generation.
+func TestStressOpenCreateRace(t *testing.T) {
+	fs := New()
+	p := fs.RootProc()
+	runWithDeadline(t, stressDeadline, func() {
+		for round := 0; round < 50; round++ {
+			path := fmt.Sprintf("/race%d", round)
+			var wg sync.WaitGroup
+			var exclWins atomic.Uint64
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					flags := O_RDWR | O_CREATE
+					if g%2 == 0 {
+						flags |= O_EXCL
+					}
+					f, err := p.OpenFile(path, flags, 0o644)
+					if err != nil {
+						if flags&O_EXCL != 0 && errors.Is(err, ErrExist) {
+							return // lost the exclusive race: expected
+						}
+						t.Errorf("open %s: %v", path, err)
+						return
+					}
+					if flags&O_EXCL != 0 {
+						exclWins.Add(1)
+					}
+					f.Close()
+				}(g)
+			}
+			wg.Wait()
+			if exclWins.Load() > 1 {
+				t.Fatalf("%d O_EXCL winners for %s; want at most 1", exclWins.Load(), path)
+			}
+			if !p.Exists(path) {
+				t.Fatalf("%s missing after create race", path)
+			}
+		}
+	})
+}
+
+// TestStressChaosAttrsAndXattrs mixes metadata paths that now run under
+// the tree read lock (chmod/chown/xattr) with structural churn on the
+// same nodes. Named Chaos so the CI -run 'Stress|Chaos' leg picks it up
+// alongside the Stress tests.
+func TestStressChaosAttrsAndXattrs(t *testing.T) {
+	fs := New()
+	p := fs.RootProc()
+	if err := p.MkdirAll("/meta/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteString("/meta/d/f", "x"); err != nil {
+		t.Fatal(err)
+	}
+	allowed := []error{ErrNotExist, ErrExist, ErrNoAttr, ErrNotEmpty}
+	runWithDeadline(t, stressDeadline, func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 10; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 300; i++ {
+					var err error
+					switch rng.Intn(6) {
+					case 0:
+						err = p.Chmod("/meta/d/f", FileMode(0o600+rng.Intn(0o100)))
+					case 1:
+						err = p.Chown("/meta/d/f", rng.Intn(4), rng.Intn(4))
+					case 2:
+						err = p.SetXattr("/meta/d/f", "user.k", []byte{byte(i)})
+					case 3:
+						_, err = p.GetXattr("/meta/d/f", "user.k")
+					case 4:
+						_, err = p.ListXattr("/meta/d/f")
+					case 5:
+						_, err = p.Stat("/meta/d/f")
+					}
+					if err != nil && !errIsAny(err, allowed...) {
+						t.Errorf("metadata op: %v", err)
+						return
+					}
+				}
+			}(int64(g) + 99)
+		}
+		wg.Wait()
+	})
+	st, err := p.Stat("/meta/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version == 0 {
+		t.Fatal("metadata churn never bumped the version")
+	}
+}

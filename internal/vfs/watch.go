@@ -103,6 +103,16 @@ type watchSet struct {
 	mu      sync.RWMutex
 	nextID  uint64
 	watches map[uint64]*Watch
+
+	// Async dispatch queue. Writers enqueue under qmu and return; a single
+	// lazily-started worker goroutine drains the queue in FIFO order and
+	// exits when it is empty. drained signals queue-empty to SyncWatches.
+	qmu     sync.Mutex
+	queue   []Event
+	running bool
+	drained *sync.Cond
+	batches atomic.Uint64 // worker drain batches, for .proc
+	queued  atomic.Uint64 // events ever enqueued, for .proc
 }
 
 // AddWatch subscribes to events under path. The path need not exist yet —
@@ -125,6 +135,10 @@ func (p *Proc) AddWatch(path string, mask EventOp, opts ...WatchOption) (*Watch,
 	}
 	w.C = w.ch
 	set := &p.fs.watches
+	// Drain the async queue before registering: events that happened
+	// before this call must not reach the new watch (inotify semantics —
+	// a subscription starts from "now", not from the dispatcher backlog).
+	set.waitDrained()
 	set.mu.Lock()
 	if set.watches == nil {
 		set.watches = make(map[uint64]*Watch)
@@ -173,13 +187,65 @@ func (w *Watch) matches(path string) bool {
 	return false
 }
 
-// dispatch fans events out to all matching watches. Called without the
-// tree lock so a slow consumer can never stall file-system operations;
-// per-watch buffering with overflow drop bounds memory.
+// condLocked returns the queue-drained condition, creating it on first
+// use. qmu must be held.
+func (s *watchSet) condLocked() *sync.Cond {
+	if s.drained == nil {
+		s.drained = sync.NewCond(&s.qmu)
+	}
+	return s.drained
+}
+
+// dispatch hands events to the asynchronous dispatcher and returns
+// immediately: the write path never pays matching or delivery cost, and a
+// watch-heavy workload can never stall writers. Called without the tree
+// lock. Ordering is preserved — a single worker drains the queue FIFO.
 func (s *watchSet) dispatch(events []Event) {
 	if len(events) == 0 {
 		return
 	}
+	s.mu.RLock()
+	empty := len(s.watches) == 0
+	s.mu.RUnlock()
+	if empty {
+		// No subscribers: drop without queueing. A watch added after this
+		// point could not have seen these events under the synchronous
+		// scheme either.
+		return
+	}
+	s.qmu.Lock()
+	s.queue = append(s.queue, events...)
+	s.queued.Add(uint64(len(events)))
+	if !s.running {
+		s.running = true
+		go s.drain()
+	}
+	s.qmu.Unlock()
+}
+
+// drain is the dispatcher worker: it repeatedly swaps the queue out and
+// fans each batch out to the matching watches, exiting when the queue is
+// empty. Delivery itself never blocks (deliver drops on a full channel),
+// so the queue empties at memory speed regardless of consumers.
+func (s *watchSet) drain() {
+	for {
+		s.qmu.Lock()
+		if len(s.queue) == 0 {
+			s.running = false
+			s.condLocked().Broadcast()
+			s.qmu.Unlock()
+			return
+		}
+		batch := s.queue
+		s.queue = nil
+		s.batches.Add(1)
+		s.qmu.Unlock()
+		s.fanout(batch)
+	}
+}
+
+// fanout synchronously delivers a batch to all matching watches.
+func (s *watchSet) fanout(events []Event) {
 	s.mu.RLock()
 	if len(s.watches) == 0 {
 		s.mu.RUnlock()
@@ -201,6 +267,36 @@ func (s *watchSet) dispatch(events []Event) {
 			w.deliver(ev)
 		}
 	}
+}
+
+// waitDrained blocks until the dispatch queue is empty and the worker has
+// exited. Callers must not hold the tree lock (the worker never takes it,
+// but a writer blocked on the tree lock could never enqueue the events
+// this wait would otherwise race with).
+func (s *watchSet) waitDrained() {
+	s.qmu.Lock()
+	for s.running || len(s.queue) > 0 {
+		s.condLocked().Wait()
+	}
+	s.qmu.Unlock()
+}
+
+// SyncWatches blocks until every event enqueued before the call has been
+// delivered (or counted as dropped) on all watches. Tests and anything
+// that asserts on watch channels after performing writes should call this
+// barrier; production consumers just read their channels.
+func (fs *FS) SyncWatches() {
+	fs.watches.waitDrained()
+}
+
+// DispatchStats reports async-dispatcher gauges for .proc: events ever
+// enqueued, worker drain batches, and the current backlog.
+func (fs *FS) DispatchStats() (queued, batches uint64, backlog int) {
+	s := &fs.watches
+	s.qmu.Lock()
+	backlog = len(s.queue)
+	s.qmu.Unlock()
+	return s.queued.Load(), s.batches.Load(), backlog
 }
 
 func (w *Watch) deliver(ev Event) {

@@ -28,6 +28,7 @@ func TestOverflowMarkerNeverLost(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	fs.SyncWatches()
 
 	info := w.Info()
 	if info.Overflows == 0 {
@@ -79,6 +80,10 @@ func TestOverflowMarkerSurvivesConsumerRace(t *testing.T) {
 		for i := 0; i < writes; i++ {
 			_ = p.WriteString("/spin", "x")
 		}
+		// Wait for the async dispatcher to finish before closing: events
+		// still in its queue at Close would be neither delivered nor
+		// counted as drops, breaking the conservation check below.
+		fs.SyncWatches()
 		w.Close()
 	}()
 

@@ -14,8 +14,8 @@ func (p *Proc) SetXattr(path, attr string, value []byte) error {
 	}
 	p.fs.stats.attrs.Add(1)
 	fs := p.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.rlockTree()
+	defer fs.runlockTree()
 	_, _, n, err := fs.resolve(p.cred, path, p.opts(true))
 	if err != nil {
 		return pathErr("setxattr", path, err)
@@ -26,6 +26,8 @@ func (p *Proc) SetXattr(path, attr string, value []byte) error {
 	if !allows(n, p.cred, wantWrite) {
 		return pathErr("setxattr", path, ErrAccess)
 	}
+	s := fs.lockNode(n)
+	defer s.mu.Unlock()
 	if n.xattrs == nil {
 		n.xattrs = make(map[string][]byte)
 	}
@@ -41,8 +43,8 @@ func (p *Proc) GetXattr(path, attr string) ([]byte, error) {
 	}
 	p.fs.stats.attrs.Add(1)
 	fs := p.fs
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	fs.rlockTree()
+	defer fs.runlockTree()
 	_, _, n, err := fs.resolve(p.cred, path, p.opts(true))
 	if err != nil {
 		return nil, pathErr("getxattr", path, err)
@@ -53,6 +55,8 @@ func (p *Proc) GetXattr(path, attr string) ([]byte, error) {
 	if !allows(n, p.cred, wantRead) {
 		return nil, pathErr("getxattr", path, ErrAccess)
 	}
+	s := fs.rlockNode(n)
+	defer s.mu.RUnlock()
 	v, ok := n.xattrs[attr]
 	if !ok {
 		return nil, pathErr("getxattr", path, ErrNoAttr)
@@ -67,8 +71,8 @@ func (p *Proc) ListXattr(path string) ([]string, error) {
 	}
 	p.fs.stats.attrs.Add(1)
 	fs := p.fs
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	fs.rlockTree()
+	defer fs.runlockTree()
 	_, _, n, err := fs.resolve(p.cred, path, p.opts(true))
 	if err != nil {
 		return nil, pathErr("listxattr", path, err)
@@ -76,6 +80,8 @@ func (p *Proc) ListXattr(path string) ([]string, error) {
 	if n == nil {
 		return nil, pathErr("listxattr", path, ErrNotExist)
 	}
+	s := fs.rlockNode(n)
+	defer s.mu.RUnlock()
 	names := make([]string, 0, len(n.xattrs))
 	for k := range n.xattrs {
 		names = append(names, k)
@@ -91,8 +97,8 @@ func (p *Proc) RemoveXattr(path, attr string) error {
 	}
 	p.fs.stats.attrs.Add(1)
 	fs := p.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.rlockTree()
+	defer fs.runlockTree()
 	_, _, n, err := fs.resolve(p.cred, path, p.opts(true))
 	if err != nil {
 		return pathErr("removexattr", path, err)
@@ -103,6 +109,8 @@ func (p *Proc) RemoveXattr(path, attr string) error {
 	if !allows(n, p.cred, wantWrite) {
 		return pathErr("removexattr", path, ErrAccess)
 	}
+	s := fs.lockNode(n)
+	defer s.mu.Unlock()
 	if _, ok := n.xattrs[attr]; !ok {
 		return pathErr("removexattr", path, ErrNoAttr)
 	}
