@@ -76,6 +76,30 @@ func BenchmarkE3PacketInFanout(b *testing.B) {
 				}
 			}
 		})
+		// The batched form the driver's coalescing loop actually calls:
+		// one transaction and one watch drain per burst of 8.
+		b.Run(fmt.Sprintf("apps-%d-batch8", subs), func(b *testing.B) {
+			y, err := yancfs.New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := y.Root()
+			for i := 0; i < subs; i++ {
+				if _, _, err := yancfs.Subscribe(p, "/", fmt.Sprintf("app%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			batch := make([]*openflow.PacketIn, 8)
+			for i := range batch {
+				batch[i] = &openflow.PacketIn{InPort: 1, TotalLen: 128, Data: make([]byte, 128)}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(batch) {
+				if err := y.DeliverPacketInBatch("/", "sw1", batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

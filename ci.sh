@@ -3,9 +3,10 @@
 # full test suite under the race detector, a doubled run of the
 # concurrency stress/chaos battery, a benchmark smoke pass (every
 # benchmark runs one iteration, so a broken rig fails CI even when no
-# one is measuring), and the E14 multicore scaling gate (fails the build
-# if 4 workers are slower than 1 on a 4+-core machine). Run before every
-# push.
+# one is measuring), the E14 multicore scaling gate (fails the build
+# if 4 workers are slower than 1 on a 4+-core machine), and the E15
+# zero-copy fan-out gate (fails if delivering to 8 subscribers costs
+# more than 2x delivering to 1). Run before every push.
 set -eu
 cd "$(dirname "$0")"
 
@@ -23,13 +24,16 @@ go vet ./...
 echo "==> go test -race"
 go test -race ./...
 
-echo "==> go test -race concurrency battery (Stress|Chaos, -count=2)"
-go test -race -run 'Stress|Chaos' -count=2 ./...
+echo "==> go test -race concurrency battery (Stress|Chaos|Alloc, -count=2)"
+go test -race -run 'Stress|Chaos|Alloc' -count=2 ./...
 
 echo "==> go test -bench (smoke, 1 iteration)"
 go test -bench=. -benchtime=1x -run='^$' ./...
 
 echo "==> E14 smoke (multicore scaling sanity gate)"
 go run ./cmd/yancbench -run E14 -quick -gate
+
+echo "==> E15 smoke (zero-copy fan-out gate: 8 subscribers <= 2x 1)"
+go run ./cmd/yancbench -run E15 -quick -gate
 
 echo "==> ok"

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"yanc"
+	"yanc/internal/openflow"
 )
 
 func main() {
@@ -57,6 +58,20 @@ func main() {
 
 	sh := ctrl.Shell(os.Stdout)
 	if *stats {
+		// Exercise the event data path so /.proc/events shows live
+		// counters: two subscribers, one coalesced batch of packet-ins.
+		for _, app := range []string{"router", "monitor"} {
+			if _, _, err := yanc.Subscribe(p, "/", app); err != nil {
+				log.Fatalf("yanctop: %v", err)
+			}
+		}
+		batch := make([]*openflow.PacketIn, 8)
+		for i := range batch {
+			batch[i] = &openflow.PacketIn{InPort: 1, TotalLen: 64, Data: make([]byte, 64)}
+		}
+		if err := ctrl.FS().DeliverPacketInBatch("/", "sw1", batch); err != nil {
+			log.Fatalf("yanctop: %v", err)
+		}
 		fmt.Println("# /net/.proc: controller metrics exposed as files")
 		if err := printProc(p, "/.proc"); err != nil {
 			log.Fatalf("yanctop: %v", err)

@@ -1,0 +1,104 @@
+package yanc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"yanc/internal/openflow"
+	"yanc/internal/yancfs"
+)
+
+// TestProcEventsMetrics drives packet-in deliveries through a controller
+// and asserts the event data path's accounting through the real
+// /.proc/events files: counters move, linked bytes dominate copied bytes
+// with many subscribers, the batch histogram fills, per-app rows appear,
+// and blocks_live drains back to zero once every copy is consumed.
+func TestProcEventsMetrics(t *testing.T) {
+	ctrl, err := NewController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	p := ctrl.Root()
+
+	read := func(path string) string {
+		t.Helper()
+		b, err := p.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		return string(b)
+	}
+	field := func(text, key string) string {
+		for _, line := range strings.Split(text, "\n") {
+			if f := strings.Fields(line); len(f) == 2 && f[0] == key {
+				return f[1]
+			}
+		}
+		t.Fatalf("no %q in:\n%s", key, text)
+		return ""
+	}
+
+	if got := read("/.proc/events/stats"); field(got, "messages") != "0" {
+		t.Fatalf("fresh controller stats:\n%s", got)
+	}
+
+	const subs = 4
+	var bufs []string
+	for i := 0; i < subs; i++ {
+		buf, w, err := yancfs.Subscribe(p, "/", fmt.Sprintf("app%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		bufs = append(bufs, buf)
+	}
+	batch := make([]*openflow.PacketIn, 8)
+	for i := range batch {
+		batch[i] = &openflow.PacketIn{InPort: 1, TotalLen: 512, Data: make([]byte, 512)}
+	}
+	if err := ctrl.FS().DeliverPacketInBatch("/", "sw1", batch); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := read("/.proc/events/stats")
+	if field(stats, "messages") != "8" || field(stats, "deliveries") != "32" {
+		t.Fatalf("counters after one batch of 8 x %d subs:\n%s", subs, stats)
+	}
+	var copied, linked int
+	fmt.Sscan(field(stats, "copied_bytes"), &copied)
+	fmt.Sscan(field(stats, "linked_bytes"), &linked)
+	if copied == 0 || linked <= copied {
+		t.Fatalf("zero-copy accounting: copied=%d linked=%d\n%s", copied, linked, stats)
+	}
+	if field(stats, "blocks_live") != "8" {
+		t.Fatalf("blocks_live:\n%s", stats)
+	}
+
+	if got := read("/.proc/events/batch"); !strings.Contains(got, "<=8") {
+		t.Fatalf("batch histogram:\n%s", got)
+	}
+	apps := read("/.proc/events/apps")
+	if strings.Count(apps, "/events/") != subs || !strings.Contains(apps, "app0") {
+		t.Fatalf("per-app rows:\n%s", apps)
+	}
+
+	// Consume everything everywhere: the shared payload blocks must be
+	// reclaimed, and /.proc/events must say so.
+	for _, buf := range bufs {
+		msgs, err := yancfs.PendingEvents(p, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			if _, err := yancfs.ConsumePacketIn(p, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stats = read("/.proc/events/stats")
+	if field(stats, "blocks_live") != "0" || field(stats, "bytes_live") != "0" {
+		t.Fatalf("stranded blocks after full consume:\n%s", stats)
+	}
+}

@@ -125,14 +125,30 @@ type SwitchConn struct {
 	closed     bool
 	done       chan struct{}
 
+	// Packet-in coalescing: readLoop enqueues, deliverLoop drains bursts
+	// into DeliverPacketInBatch so a flood of packet-ins costs one file
+	// system transaction per batch instead of one per message.
+	pktin chan *openflow.PacketIn
+
 	// Control-channel telemetry, published as <ProcDir>/<name> files.
-	txMsgs      atomic.Uint64
-	rxMsgs      atomic.Uint64
-	echoSent    atomic.Uint64
-	echoReplies atomic.Uint64
-	echoSentAt  atomic.Int64 // unixnano of the latest probe, for RTT
-	rtt         vfs.Histogram
+	txMsgs       atomic.Uint64
+	rxMsgs       atomic.Uint64
+	echoSent     atomic.Uint64
+	echoReplies  atomic.Uint64
+	echoSentAt   atomic.Int64 // unixnano of the latest probe, for RTT
+	rtt          vfs.Histogram
+	pktinSeen    atomic.Uint64 // packet-ins read off the wire
+	pktinDropped atomic.Uint64 // shed because the coalescing queue was full
+	pktinBatches atomic.Uint64 // DeliverPacketInBatch calls issued
 }
+
+// maxPktInBatch bounds how many queued packet-ins one delivery
+// transaction will coalesce.
+const maxPktInBatch = 64
+
+// pktInQueueLen is the readLoop->deliverLoop queue depth; beyond it the
+// driver sheds packet-ins rather than stall the control channel reader.
+const pktInQueueLen = 1024
 
 // now returns the driver's timestamp source for file-stamped times: the
 // Clock override when set, else the file system clock.
@@ -191,6 +207,7 @@ func (d *Driver) Attach(rw io.ReadWriter) (*SwitchConn, error) {
 		flows:      make(map[string]flowState),
 		portConfig: make(map[uint32]uint32),
 		pending:    make(map[uint32]chan *openflow.StatsReply),
+		pktin:      make(chan *openflow.PacketIn, pktInQueueLen),
 		done:       make(chan struct{}),
 	}
 	for _, p := range features.Ports {
@@ -225,6 +242,7 @@ func (d *Driver) Attach(rw io.ReadWriter) (*SwitchConn, error) {
 	sc.syncAllFlows()
 
 	go sc.readLoop()
+	go sc.deliverLoop()
 	go sc.watchLoop()
 	if d.EchoInterval > 0 {
 		misses := d.EchoMisses
@@ -382,12 +400,17 @@ func (sc *SwitchConn) readLoop() {
 		sc.rxMsgs.Add(1)
 		switch m := msg.(type) {
 		case *openflow.PacketIn:
+			sc.pktinSeen.Add(1)
 			if hook := sc.driver.PacketInHook; hook != nil && hook(sc.Name, m) {
 				continue
 			}
-			region := sc.driver.Region
-			if err := sc.driver.Y.DeliverPacketIn(region, sc.Name, m); err != nil {
-				sc.driver.Logf("driver: %s: deliver packet-in: %v", sc.Name, err)
+			// Hand off to the coalescing deliverer; shedding here (full
+			// queue = the file system cannot keep up) keeps the control
+			// channel reader responsive to echoes and barriers.
+			select {
+			case sc.pktin <- m:
+			default:
+				sc.pktinDropped.Add(1)
 			}
 		case *openflow.PortStatus:
 			sc.handlePortStatus(m)
@@ -414,6 +437,36 @@ func (sc *SwitchConn) readLoop() {
 			}
 		case *openflow.Error:
 			sc.driver.Logf("driver: %s: switch error 0x%08x", sc.Name, m.Code)
+		}
+	}
+}
+
+// deliverLoop coalesces queued packet-ins into batched file-system
+// deliveries: it blocks for the first message, then drains whatever burst
+// has accumulated (up to maxPktInBatch) so a packet-in flood costs one
+// transaction and one watch-dispatch drain per batch.
+func (sc *SwitchConn) deliverLoop() {
+	batch := make([]*openflow.PacketIn, 0, maxPktInBatch)
+	region := sc.driver.Region
+	for {
+		select {
+		case <-sc.done:
+			return
+		case pi := <-sc.pktin:
+			batch = append(batch[:0], pi)
+		drain:
+			for len(batch) < maxPktInBatch {
+				select {
+				case pi := <-sc.pktin:
+					batch = append(batch, pi)
+				default:
+					break drain
+				}
+			}
+			sc.pktinBatches.Add(1)
+			if err := sc.driver.Y.DeliverPacketInBatch(region, sc.Name, batch); err != nil {
+				sc.driver.Logf("driver: %s: deliver packet-in batch (%d): %v", sc.Name, len(batch), err)
+			}
 		}
 	}
 }
@@ -499,14 +552,19 @@ func isPortFile(switchPath, p string) bool {
 	return len(parts) == 3 && parts[0] == "ports"
 }
 
-// syncAllFlows pushes every committed flow directory to hardware.
+// syncAllFlows pushes every committed flow directory to hardware. The
+// whole table is captured in one read-transaction snapshot — O(1) lock
+// acquisitions and a mutually consistent view, instead of a separate
+// locked read per flow file — and the flow-mods are pushed to the switch
+// after the snapshot, outside any file system lock.
 func (sc *SwitchConn) syncAllFlows() {
-	names, err := yancfs.ListFlows(sc.proc, sc.Path)
+	snaps, err := sc.driver.Y.SnapshotFlows(sc.Path)
 	if err != nil {
+		sc.driver.Logf("driver: %s: snapshot flows: %v", sc.Name, err)
 		return
 	}
-	for _, name := range names {
-		sc.syncFlow(name)
+	for _, fs := range snaps {
+		sc.pushFlow(fs.Name, fs.Version, fs.Spec)
 	}
 }
 
@@ -527,6 +585,12 @@ func (sc *SwitchConn) syncFlow(name string) {
 		sc.driver.Logf("driver: %s: read flow %s: %v", sc.Name, name, err)
 		return
 	}
+	sc.pushFlow(name, version, spec)
+}
+
+// pushFlow sends one already-read flow to hardware if its committed
+// version is newer than what hardware has.
+func (sc *SwitchConn) pushFlow(name string, version uint64, spec yancfs.FlowSpec) {
 	sc.mu.Lock()
 	prev, known := sc.flows[name]
 	if known && prev.version >= version {

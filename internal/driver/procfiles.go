@@ -31,6 +31,7 @@ func (d *Driver) installProcFiles(name string) {
 			"rtt":   renderRTT,
 			"echo":  renderEcho,
 			"tx_rx": renderTxRx,
+			"pktin": renderPktIn,
 		} {
 			if err := tx.SetSynthetic(vfs.Join(dir, fname), file(render), 0o444, 0, 0); err != nil {
 				return err
@@ -67,4 +68,11 @@ func renderEcho(sc *SwitchConn) string {
 // renderTxRx reports control-channel message counts.
 func renderTxRx(sc *SwitchConn) string {
 	return fmt.Sprintf("tx %d\nrx %d\n", sc.txMsgs.Load(), sc.rxMsgs.Load())
+}
+
+// renderPktIn reports the packet-in coalescing pipeline: messages read
+// off the wire, shed under backpressure, and delivery batches issued.
+func renderPktIn(sc *SwitchConn) string {
+	return fmt.Sprintf("seen %d\nshed %d\nbatches %d\n",
+		sc.pktinSeen.Load(), sc.pktinDropped.Load(), sc.pktinBatches.Load())
 }

@@ -21,6 +21,10 @@
 //	/.proc/dfs/queue      per-mount eventual-write queue state
 //	/.proc/dfs/reconnects per-mount reconnect counts and connection state
 //	/.proc/apps/<name>    per-application namespace/cgroup accounting
+//	/.proc/events/stats   packet-in delivery counters (linked vs copied
+//	                      bytes, live payload blocks, drops)
+//	/.proc/events/batch   delivery batch-size histogram (power-of-2 buckets)
+//	/.proc/events/apps    per-subscriber-buffer delivered/drops/depth
 package procfs
 
 import (
@@ -31,6 +35,7 @@ import (
 
 	"yanc/internal/dfs"
 	"yanc/internal/vfs"
+	"yanc/internal/yancfs"
 )
 
 // Dir is the root of the metrics subtree inside the controller FS.
@@ -51,6 +56,7 @@ type Tree struct {
 	mu      sync.Mutex
 	servers []*dfs.Server
 	mounts  map[string]*dfs.Client
+	events  *yancfs.FS
 }
 
 // Install creates the .proc hierarchy on fs and returns the Tree handle
@@ -60,7 +66,7 @@ type Tree struct {
 func Install(fs *vfs.FS) (*Tree, error) {
 	t := &Tree{fs: fs, mounts: make(map[string]*dfs.Client)}
 	err := fs.WithTx(func(tx *vfs.Tx) error {
-		for _, d := range []string{Dir, Dir + "/vfs", Dir + "/watch", DriverDir, Dir + "/dfs", AppsDir} {
+		for _, d := range []string{Dir, Dir + "/vfs", Dir + "/watch", DriverDir, Dir + "/dfs", AppsDir, Dir + "/events"} {
 			if err := tx.MkdirAll(d, 0o555, 0, 0); err != nil {
 				return err
 			}
@@ -74,6 +80,9 @@ func Install(fs *vfs.FS) (*Tree, error) {
 			Dir + "/dfs/rpc":         t.renderDFSRPC,
 			Dir + "/dfs/queue":       t.renderDFSQueue,
 			Dir + "/dfs/reconnects":  t.renderDFSReconnects,
+			Dir + "/events/stats":    t.renderEventStats,
+			Dir + "/events/batch":    t.renderEventBatch,
+			Dir + "/events/apps":     t.renderEventApps,
 		}
 		for path, read := range files {
 			read := read
@@ -110,6 +119,72 @@ func (t *Tree) UnbindDFSClient(name string) {
 	t.mu.Lock()
 	delete(t.mounts, name)
 	t.mu.Unlock()
+}
+
+// BindEvents registers the controller file system whose packet-in
+// delivery counters .proc/events reports on.
+func (t *Tree) BindEvents(y *yancfs.FS) {
+	t.mu.Lock()
+	t.events = y
+	t.mu.Unlock()
+}
+
+func (t *Tree) eventsFS() *yancfs.FS {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+func (t *Tree) renderEventStats() ([]byte, error) {
+	y := t.eventsFS()
+	if y == nil {
+		return []byte("unbound\n"), nil
+	}
+	s := y.EventStats()
+	var b strings.Builder
+	for _, row := range []struct {
+		name string
+		n    int64
+	}{
+		{"messages", int64(s.Messages)}, {"deliveries", int64(s.Deliveries)},
+		{"batches", int64(s.Batches)}, {"drops", int64(s.Drops)},
+		{"copied_bytes", int64(s.CopiedBytes)}, {"linked_bytes", int64(s.LinkedBytes)},
+		{"blocks_live", s.BlocksLive}, {"bytes_live", s.BytesLive},
+		{"cache_rebuilds", int64(s.CacheRebuilds)},
+	} {
+		fmt.Fprintf(&b, "%-14s %d\n", row.name, row.n)
+	}
+	return []byte(b.String()), nil
+}
+
+func (t *Tree) renderEventBatch() ([]byte, error) {
+	y := t.eventsFS()
+	if y == nil {
+		return []byte("unbound\n"), nil
+	}
+	s := y.EventStats()
+	var b strings.Builder
+	for i, n := range s.BatchSizes {
+		label := fmt.Sprintf("<=%d", 1<<i)
+		if i == len(s.BatchSizes)-1 {
+			label = fmt.Sprintf(">%d", 1<<(i-1))
+		}
+		fmt.Fprintf(&b, "%-8s %d\n", label, n)
+	}
+	return []byte(b.String()), nil
+}
+
+func (t *Tree) renderEventApps() ([]byte, error) {
+	y := t.eventsFS()
+	if y == nil {
+		return []byte("unbound\n"), nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %10s %8s %6s\n", "buffer", "delivered", "drops", "depth")
+	for _, a := range y.EventApps() {
+		fmt.Fprintf(&b, "%-40s %10d %8d %6d\n", a.Path, a.Delivered, a.Drops, a.Depth)
+	}
+	return []byte(b.String()), nil
 }
 
 func (t *Tree) renderOps() ([]byte, error) {

@@ -117,7 +117,7 @@ func (p *Proc) openFast(path string, flags int) (*File, []Event, error) {
 	// The handle records the real root-absolute path, not the caller's
 	// (possibly chroot-relative) spelling: events carry this path, and
 	// watchers outside the namespace must see the true location.
-	f := &File{proc: p, node: node, path: Join(pathOf(parent), name), flags: flags}
+	f := &File{proc: p, node: node, path: pathTo(parent, name), flags: flags}
 	var events []Event
 	if node.synth != nil {
 		f.synthMode = true
@@ -154,7 +154,7 @@ func (p *Proc) openSlow(path string, flags int, mode FileMode) (*File, []Event, 
 			parent.touchM(fs.clock())
 			created = true
 			fs.stats.creates.Add(1)
-			tx.queue(Event{Op: OpCreate, Path: Join(pathOf(parent), name)})
+			tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name)})
 		} else {
 			// Lost the create race: apply the existing-file rules.
 			if flags&O_CREATE != 0 && flags&O_EXCL != 0 {
@@ -172,7 +172,7 @@ func (p *Proc) openSlow(path string, flags int, mode FileMode) (*File, []Event, 
 		if wantsRead && !created && !allows(node, p.cred, wantRead) {
 			return nil, pathErr("open", path, ErrAccess)
 		}
-		f := &File{proc: p, node: node, path: Join(pathOf(parent), name), flags: flags}
+		f := &File{proc: p, node: node, path: pathTo(parent, name), flags: flags}
 		if node.synth != nil {
 			f.synthMode = true
 			f.needSynthRead = wantsRead && node.synth.Read != nil

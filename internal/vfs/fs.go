@@ -18,6 +18,7 @@ package vfs
 
 import (
 	"errors"
+	"maps"
 	"sort"
 	"strings"
 	"sync"
@@ -236,8 +237,9 @@ func (fs *FS) Now() time.Time {
 // Stats returns a snapshot of the operation counters.
 func (fs *FS) Stats() OpStats { return fs.stats.snapshot() }
 
-func (fs *FS) newInode(kind NodeKind, mode FileMode, uid, gid int) *inode {
-	now := fs.clock()
+// bareInode creates an inode without a children map, for batch callers
+// that supply their own (pre-sized or bulk-cloned) map and timestamp.
+func (fs *FS) bareInode(kind NodeKind, mode FileMode, uid, gid int, now time.Time) *inode {
 	n := &inode{
 		ino:   fs.nextIno.Add(1),
 		kind:  kind,
@@ -246,11 +248,18 @@ func (fs *FS) newInode(kind NodeKind, mode FileMode, uid, gid int) *inode {
 		mtime: now,
 		ctime: now,
 	}
+	if kind == KindDir {
+		n.nlink = 2
+	}
 	n.storeMode(mode)
 	n.storeOwner(uid, gid)
+	return n
+}
+
+func (fs *FS) newInode(kind NodeKind, mode FileMode, uid, gid int) *inode {
+	n := fs.bareInode(kind, mode, uid, gid, fs.clock())
 	if kind == KindDir {
 		n.children = make(map[string]*inode)
-		n.nlink = 2
 	}
 	return n
 }
@@ -269,9 +278,49 @@ func splitPath(path string) []string {
 	return out
 }
 
+// isClean reports whether path is already in Clean's canonical form: it
+// begins with "/", ends with a non-slash (except the root itself), and has
+// no empty, "." or ".." components. Paths built by the fs itself (event
+// paths, resolved names) are always canonical, so the common case of
+// re-cleaning them can return the input without allocating.
+func isClean(path string) bool {
+	if len(path) == 0 || path[0] != '/' {
+		return false
+	}
+	if path == "/" {
+		return true
+	}
+	start := 1
+	for i := 1; i <= len(path); i++ {
+		if i < len(path) && path[i] != '/' {
+			continue
+		}
+		n := i - start
+		if n == 0 {
+			return false // "//" or trailing "/"
+		}
+		if path[start] == '.' && (n == 1 || (n == 2 && path[start+1] == '.')) {
+			return false
+		}
+		start = i + 1
+	}
+	return true
+}
+
+// isCleanName reports whether name is a single canonical path component.
+func isCleanName(name string) bool {
+	if name == "" || name == "." || name == ".." {
+		return false
+	}
+	return !strings.ContainsRune(name, '/')
+}
+
 // Clean normalizes a path to an absolute, "/"-rooted form without "." or
 // ".." components (".." above the root clamps to the root).
 func Clean(path string) string {
+	if isClean(path) {
+		return path
+	}
 	var stack []string
 	for _, p := range splitPath(path) {
 		if p == ".." {
@@ -287,6 +336,12 @@ func Clean(path string) string {
 
 // Base returns the last element of path.
 func Base(path string) string {
+	if isClean(path) {
+		if path == "/" {
+			return "/"
+		}
+		return path[strings.LastIndexByte(path, '/')+1:]
+	}
 	parts := splitPath(path)
 	if len(parts) == 0 {
 		return "/"
@@ -296,6 +351,13 @@ func Base(path string) string {
 
 // Dir returns all but the last element of path.
 func Dir(path string) string {
+	if isClean(path) {
+		i := strings.LastIndexByte(path, '/')
+		if i <= 0 {
+			return "/"
+		}
+		return path[:i]
+	}
 	parts := splitPath(path)
 	if len(parts) <= 1 {
 		return "/"
@@ -303,8 +365,16 @@ func Dir(path string) string {
 	return "/" + strings.Join(parts[:len(parts)-1], "/")
 }
 
-// Join joins path elements with slashes and cleans the result.
+// Join joins path elements with slashes and cleans the result. The
+// dominant caller shape — an already-clean directory plus one component —
+// is a single concatenation.
 func Join(elem ...string) string {
+	if len(elem) == 2 && isClean(elem[0]) && isCleanName(elem[1]) {
+		if elem[0] == "/" {
+			return "/" + elem[1]
+		}
+		return elem[0] + "/" + elem[1]
+	}
 	return Clean(strings.Join(elem, "/"))
 }
 
@@ -322,6 +392,28 @@ func pathOf(n *inode) string {
 		parts[i], parts[j] = parts[j], parts[i]
 	}
 	return "/" + strings.Join(parts, "/")
+}
+
+// pathTo returns Join(pathOf(dir), name) in one allocation: the write path
+// builds an event path per mutation, so this is hot. Must be called with
+// the tree lock held in either mode.
+func pathTo(dir *inode, name string) string {
+	var anc [16]*inode
+	stack := anc[:0]
+	size := 1 + len(name)
+	for cur := dir; cur.parent != nil; cur = cur.parent {
+		size += len(cur.name) + 1
+		stack = append(stack, cur)
+	}
+	var b strings.Builder
+	b.Grow(size)
+	for i := len(stack) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(stack[i].name)
+	}
+	b.WriteByte('/')
+	b.WriteString(name)
+	return b.String()
 }
 
 // resolveOpts controls path resolution.
@@ -342,74 +434,100 @@ func (fs *FS) resolve(cred Cred, path string, opt resolveOpts) (parent *inode, n
 		root = fs.root
 	}
 	hops := 0
-	var walk func(dir *inode, parts []string) (*inode, string, *inode, error)
-	walk = func(dir *inode, parts []string) (*inode, string, *inode, error) {
-		cur := dir
-		for i := 0; i < len(parts); i++ {
-			p := parts[i]
-			if !cur.isDir() {
-				return nil, "", nil, ErrNotDir
-			}
-			if !allows(cur, cred, wantExec) {
-				return nil, "", nil, ErrAccess
-			}
-			if p == ".." {
-				if cur != root && cur.parent != nil {
-					cur = cur.parent
-				}
-				continue
-			}
-			fs.stats.lookups.Add(1)
-			child, ok := cur.children[p]
-			last := i == len(parts)-1
-			if !ok {
-				if last {
-					return cur, p, nil, nil
-				}
-				return nil, "", nil, ErrNotExist
-			}
-			if child.kind == KindSymlink && (!last || opt.followLast) {
-				hops++
-				if hops > maxSymlinkHops {
-					return nil, "", nil, ErrTooManyLinks
-				}
-				tparts := splitPath(child.target)
-				start := cur
-				if strings.HasPrefix(child.target, "/") {
-					start = root
-				}
-				par, nm, nd, werr := walk(start, tparts)
-				if werr != nil {
-					return nil, "", nil, werr
-				}
-				if nd == nil {
-					if last {
-						// Dangling symlink as final component: report the
-						// link's own parent/name so create-through-symlink
-						// lands at the target location.
-						return par, nm, nil, nil
-					}
-					return nil, "", nil, ErrNotExist
-				}
-				if last {
-					return par, nm, nd, nil
-				}
-				cur = nd
-				continue
-			}
-			if last {
-				return cur, p, child, nil
-			}
-			cur = child
+	return fs.walkFrom(root, path, cred, opt, root, &hops)
+}
+
+// nextComp scans path from offset i for the next component, skipping
+// slashes and "." entries. It returns the component as a substring (no
+// allocation), the offset to resume from, and whether one was found.
+func nextComp(path string, i int) (string, int, bool) {
+	n := len(path)
+	for i < n {
+		for i < n && path[i] == '/' {
+			i++
 		}
+		j := i
+		for j < n && path[j] != '/' {
+			j++
+		}
+		if j > i && path[i:j] != "." {
+			return path[i:j], j, true
+		}
+		i = j
+	}
+	return "", n, false
+}
+
+// walkFrom is resolve's iterative walker: it scans path components in
+// place (no split allocation) and recurses only to follow symlink targets.
+func (fs *FS) walkFrom(cur *inode, path string, cred Cred, opt resolveOpts, root *inode, hops *int) (*inode, string, *inode, error) {
+	p, off, ok := nextComp(path, 0)
+	if !ok {
 		// Empty path: the node is the starting directory itself.
 		return cur.parent, cur.name, cur, nil
 	}
-	parts := splitPath(path)
-	if len(parts) == 0 {
-		return root.parent, root.name, root, nil
+	for {
+		if !cur.isDir() {
+			return nil, "", nil, ErrNotDir
+		}
+		if !allows(cur, cred, wantExec) {
+			return nil, "", nil, ErrAccess
+		}
+		np, noff, more := nextComp(path, off)
+		last := !more
+		if p == ".." {
+			if cur != root && cur.parent != nil {
+				cur = cur.parent
+			}
+			if last {
+				return cur.parent, cur.name, cur, nil
+			}
+			p, off = np, noff
+			continue
+		}
+		fs.stats.lookups.Add(1)
+		child, okc := cur.children[p]
+		if !okc {
+			if last {
+				return cur, p, nil, nil
+			}
+			return nil, "", nil, ErrNotExist
+		}
+		if child.kind == KindSymlink && (!last || opt.followLast) {
+			*hops++
+			if *hops > maxSymlinkHops {
+				return nil, "", nil, ErrTooManyLinks
+			}
+			start := cur
+			if strings.HasPrefix(child.target, "/") {
+				start = root
+			}
+			par, nm, nd, werr := fs.walkFrom(start, child.target, cred, opt, root, hops)
+			if werr != nil {
+				return nil, "", nil, werr
+			}
+			if nd == nil {
+				if last {
+					// Dangling symlink as final component: report the
+					// link's own parent/name so create-through-symlink
+					// lands at the target location.
+					return par, nm, nil, nil
+				}
+				return nil, "", nil, ErrNotExist
+			}
+			if last {
+				return par, nm, nd, nil
+			}
+			cur = nd
+			p, off = np, noff
+			continue
+		}
+		if last {
+			return cur, p, child, nil
+		}
+		cur = child
+		p, off = np, noff
 	}
-	return walk(root, parts)
 }
 
 // Tx is a transactional view of the tree handed to semantic hooks and to
@@ -442,7 +560,7 @@ func (tx *Tx) Creator() Cred {
 // syscall-shaped entry points are the scalable path.
 func (fs *FS) WithTx(fn func(tx *Tx) error) error {
 	fs.lockTree()
-	tx := &Tx{fs: fs}
+	tx := &Tx{fs: fs, events: fs.watches.getBuf()}
 	err := fn(tx)
 	events := tx.events
 	fs.unlockTree()
@@ -461,6 +579,18 @@ func (fs *FS) ReadTx(fn func(tx *Tx) error) error {
 }
 
 func (tx *Tx) queue(ev Event) { tx.events = append(tx.events, ev) }
+
+// ReserveEvents pre-sizes the transaction's event queue. Batch writers
+// that know roughly how many events they will generate (the packet-in
+// fan-out queues ~20 per message) call this once to avoid repeated
+// slice growth inside the tree-lock critical section.
+func (tx *Tx) ReserveEvents(n int) {
+	if n > cap(tx.events)-len(tx.events) {
+		grown := make([]Event, len(tx.events), len(tx.events)+n)
+		copy(grown, tx.events)
+		tx.events = grown
+	}
+}
 
 // node resolves path (following symlinks) with root credentials.
 func (tx *Tx) node(path string) (*inode, error) {
@@ -502,7 +632,7 @@ func (tx *Tx) Mkdir(path string, mode FileMode, uid, gid int) error {
 	parent.children[name] = d
 	parent.nlink++
 	parent.touchM(tx.fs.clock())
-	tx.queue(Event{Op: OpCreate, Path: Join(pathOf(parent), name), IsDir: true})
+	tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name), IsDir: true})
 	return nil
 }
 
@@ -534,7 +664,7 @@ func (tx *Tx) WriteFile(path string, data []byte, mode FileMode, uid, gid int) e
 		f.data = append([]byte(nil), data...)
 		parent.children[name] = f
 		parent.touchM(now)
-		full := Join(pathOf(parent), name)
+		full := pathTo(parent, name)
 		tx.queue(Event{Op: OpCreate, Path: full})
 		tx.queue(Event{Op: OpWrite, Path: full})
 		return nil
@@ -544,7 +674,7 @@ func (tx *Tx) WriteFile(path string, data []byte, mode FileMode, uid, gid int) e
 	}
 	node.data = append(node.data[:0], data...)
 	node.touchM(now)
-	tx.queue(Event{Op: OpWrite, Path: Join(pathOf(parent), name)})
+	tx.queue(Event{Op: OpWrite, Path: pathTo(parent, name)})
 	return nil
 }
 
@@ -582,7 +712,305 @@ func (tx *Tx) Symlink(target, linkPath string, uid, gid int) error {
 	l.target = target
 	parent.children[name] = l
 	parent.touchM(tx.fs.clock())
-	tx.queue(Event{Op: OpCreate, Path: Join(pathOf(parent), name)})
+	tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name)})
+	return nil
+}
+
+// Link creates newPath as an additional name (hard link) for the regular
+// file at oldPath, following symlinks on the source. The two names share
+// one inode: the data exists once no matter how many directories link it,
+// and Stat.Nlink counts the names. Directories cannot be hard-linked
+// (ErrPerm, as in link(2)). This is the zero-copy primitive the event
+// fan-out builds on: a payload block is written once and linked into
+// each subscriber buffer.
+func (tx *Tx) Link(oldPath, newPath string) error {
+	_, _, src, err := tx.fs.resolve(Root, oldPath, resolveOpts{followLast: true})
+	if err != nil {
+		return &LinkError{Op: "link", Old: oldPath, New: newPath, Err: err}
+	}
+	if src == nil {
+		return &LinkError{Op: "link", Old: oldPath, New: newPath, Err: ErrNotExist}
+	}
+	if src.isDir() {
+		return &LinkError{Op: "link", Old: oldPath, New: newPath, Err: ErrPerm}
+	}
+	parent, name, node, err := tx.fs.resolve(Root, newPath, resolveOpts{})
+	if err != nil {
+		return &LinkError{Op: "link", Old: oldPath, New: newPath, Err: err}
+	}
+	if node != nil {
+		return &LinkError{Op: "link", Old: oldPath, New: newPath, Err: ErrExist}
+	}
+	now := tx.fs.clock()
+	parent.children[name] = src
+	src.nlink++
+	src.touchC(now)
+	parent.touchM(now)
+	tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name)})
+	return nil
+}
+
+// LinkDir creates dstDir as a new directory and hard-links every
+// regular-file child of srcDir into it, resolving both paths once. It is
+// the batched form of Link for fanning a staged message directory out to
+// N subscribers: one directory inode and N map inserts per subscriber,
+// zero payload copies. Symlink and directory children are skipped. A
+// single Create event is queued for dstDir — watchers of its parent see
+// the message appear atomically; the linked children share inodes with
+// srcDir's files and announce nothing of their own.
+func (tx *Tx) LinkDir(srcDir, dstDir string, mode FileMode, uid, gid int) error {
+	_, _, src, err := tx.fs.resolve(Root, srcDir, resolveOpts{followLast: true})
+	if err != nil {
+		return &LinkError{Op: "linkdir", Old: srcDir, New: dstDir, Err: err}
+	}
+	if src == nil {
+		return &LinkError{Op: "linkdir", Old: srcDir, New: dstDir, Err: ErrNotExist}
+	}
+	if !src.isDir() {
+		return &LinkError{Op: "linkdir", Old: srcDir, New: dstDir, Err: ErrNotDir}
+	}
+	parent, name, node, err := tx.fs.resolve(Root, dstDir, resolveOpts{})
+	if err != nil {
+		return &LinkError{Op: "linkdir", Old: srcDir, New: dstDir, Err: err}
+	}
+	if node != nil {
+		return &LinkError{Op: "linkdir", Old: srcDir, New: dstDir, Err: ErrExist}
+	}
+	d := tx.fs.newInode(KindDir, mode, uid, gid)
+	d.parent = parent
+	d.name = name
+	d.children = make(map[string]*inode, len(src.children))
+	now := tx.fs.clock()
+	for cname, c := range src.children {
+		if c.kind != KindFile {
+			continue
+		}
+		d.children[cname] = c
+		c.nlink++
+		c.touchC(now)
+	}
+	parent.children[name] = d
+	parent.nlink++
+	parent.touchM(now)
+	tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name), IsDir: true})
+	return nil
+}
+
+// LinkDirFanout is LinkDir amortized over many destinations: srcDir is
+// resolved once, its linkable children are collected once, and every
+// destination directory receives a bulk-cloned child map instead of
+// per-entry inserts. linked(i) is called (under the tree lock — it must
+// not call back into the fs) for each dsts[i] that was created; a
+// destination whose parent is gone or whose name is taken is skipped, so
+// one stale subscriber buffer cannot abort delivery to the rest. Child
+// nlink/ctime updates are batched: one increment pass no matter how many
+// destinations were linked.
+func (tx *Tx) LinkDirFanout(srcDir string, dsts []string, mode FileMode, uid, gid int, linked func(i int)) error {
+	tmpl, shared, err := tx.fanoutSrc(srcDir)
+	if err != nil {
+		return err
+	}
+	now := tx.fs.clock()
+	links := 0
+	root := tx.fs.root
+	for i, dst := range dsts {
+		hops := 0
+		parent, name, node, err := tx.fs.walkFrom(root, dst, Root, resolveOpts{}, root, &hops)
+		if err != nil || node != nil {
+			continue
+		}
+		d := tx.fs.bareInode(KindDir, mode, uid, gid, now)
+		d.parent = parent
+		d.name = name
+		if shared {
+			d.children = tmpl
+		} else {
+			d.children = maps.Clone(tmpl)
+		}
+		parent.children[name] = d
+		parent.nlink++
+		parent.touchM(now)
+		// Event paths must be real paths: reuse the caller's dst string
+		// only when resolution crossed no symlink and dst is canonical.
+		evPath := dst
+		if hops != 0 || !isClean(dst) {
+			evPath = pathTo(parent, name)
+		}
+		tx.queue(Event{Op: OpCreate, Path: evPath, IsDir: true})
+		links++
+		if linked != nil {
+			linked(i)
+		}
+	}
+	if links > 0 {
+		for _, c := range tmpl {
+			c.nlink += links
+			c.touchC(now)
+		}
+	}
+	return nil
+}
+
+// fanoutSrc resolves a fan-out source directory and prepares the child
+// template every destination will receive. When every child is a regular
+// file — always true for packet-in spool entries — all destinations alias
+// the source's children map instead of each cloning it (shared=true). This
+// is safe because subtree teardown iterates a dying dir's map without
+// mutating it (detach=false) and message dirs are immutable by convention;
+// the one observable quirk (a file explicitly created in or unlinked from
+// one linked dir appears or vanishes in all of them) is exactly hard-link
+// sharing semantics.
+func (tx *Tx) fanoutSrc(srcDir string) (map[string]*inode, bool, error) {
+	_, _, src, err := tx.fs.resolve(Root, srcDir, resolveOpts{followLast: true})
+	if err != nil {
+		return nil, false, &LinkError{Op: "linkdir", Old: srcDir, New: "", Err: err}
+	}
+	if src == nil {
+		return nil, false, &LinkError{Op: "linkdir", Old: srcDir, New: "", Err: ErrNotExist}
+	}
+	if !src.isDir() {
+		return nil, false, &LinkError{Op: "linkdir", Old: srcDir, New: "", Err: ErrNotDir}
+	}
+	for _, c := range src.children {
+		if c.kind != KindFile {
+			tmpl := make(map[string]*inode, len(src.children))
+			for cname, cc := range src.children {
+				if cc.kind == KindFile {
+					tmpl[cname] = cc
+				}
+			}
+			return tmpl, false, nil
+		}
+	}
+	return src.children, true, nil
+}
+
+// DirRef is an opaque handle to a resolved directory, letting hot paths
+// that repeatedly target the same directories (packet-in fan-out into
+// cached subscriber buffers) skip per-message path resolution. A ref pins
+// nothing: every use re-validates under the calling transaction's lock,
+// and a ref whose directory has since been removed simply stops matching.
+type DirRef struct{ ino *inode }
+
+// Valid reports whether the referenced directory was still attached to the
+// tree when the ref was last used. Zero refs are invalid.
+func (r DirRef) Valid() bool { return r.ino != nil }
+
+// DirRef resolves path to a directory handle for later fan-out use.
+func (p *Proc) DirRef(path string) (DirRef, error) {
+	p.fs.rlockTree()
+	defer p.fs.runlockTree()
+	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(true))
+	if err != nil {
+		return DirRef{}, pathErr("dirref", path, err)
+	}
+	if n == nil {
+		return DirRef{}, pathErr("dirref", path, ErrNotExist)
+	}
+	if !n.isDir() {
+		return DirRef{}, pathErr("dirref", path, ErrNotDir)
+	}
+	return DirRef{ino: n}, nil
+}
+
+// LinkDirFanoutRefs is LinkDirFanout over pre-resolved destinations: each
+// parents[i] receives a child directory named name linking the source's
+// files. A ref whose directory has been detached (subscriber unsubscribed
+// since the caller's cache was built) or already holds name is skipped.
+// Every node of a removed subtree has its parent pointer cleared, so
+// detachment is one pointer test instead of a path walk.
+func (tx *Tx) LinkDirFanoutRefs(srcDir string, parents []DirRef, name string, mode FileMode, uid, gid int, linked func(i int)) error {
+	tmpl, shared, err := tx.fanoutSrc(srcDir)
+	if err != nil {
+		return err
+	}
+	if !isCleanName(name) {
+		return pathErr("linkdir", name, ErrInvalid)
+	}
+	now := tx.fs.clock()
+	links := 0
+	for i, r := range parents {
+		parent := r.ino
+		if parent == nil || !parent.isDir() ||
+			(parent.parent == nil && parent != tx.fs.root) {
+			continue
+		}
+		if parent.children == nil {
+			parent.children = make(map[string]*inode)
+		} else if _, exists := parent.children[name]; exists {
+			continue
+		}
+		d := tx.fs.bareInode(KindDir, mode, uid, gid, now)
+		d.parent = parent
+		d.name = name
+		if shared {
+			d.children = tmpl
+		} else {
+			d.children = maps.Clone(tmpl)
+		}
+		parent.children[name] = d
+		parent.nlink++
+		parent.touchM(now)
+		tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name), IsDir: true})
+		links++
+		if linked != nil {
+			linked(i)
+		}
+	}
+	if links > 0 {
+		for _, c := range tmpl {
+			c.nlink += links
+			c.touchC(now)
+		}
+	}
+	return nil
+}
+
+// FileData names one regular file's content for WriteTree.
+type FileData struct {
+	Name string
+	Data []byte
+}
+
+// WriteTree creates dir as a new directory populated with the given
+// regular files, in one pass: one path resolution and one inode-map fill
+// for the whole set. Per-file Create/Write events are queued only when
+// some watch could actually observe them — the packet-in spool stages
+// messages in a dot-directory nobody watches, and per-file resolution
+// plus event-path construction would otherwise dominate staging cost.
+func (tx *Tx) WriteTree(dir string, files []FileData, dirMode, fileMode FileMode, uid, gid int) error {
+	parent, name, node, err := tx.fs.resolve(Root, dir, resolveOpts{})
+	if err != nil {
+		return pathErr("writetree", dir, err)
+	}
+	if node != nil {
+		return pathErr("writetree", dir, ErrExist)
+	}
+	now := tx.fs.clock()
+	d := tx.fs.bareInode(KindDir, dirMode, uid, gid, now)
+	d.parent = parent
+	d.name = name
+	d.children = make(map[string]*inode, len(files))
+	for _, f := range files {
+		if !isCleanName(f.Name) {
+			return pathErr("writetree", Join(dir, f.Name), ErrInvalid)
+		}
+		fi := tx.fs.bareInode(KindFile, fileMode, uid, gid, now)
+		fi.data = append([]byte(nil), f.Data...)
+		d.children[f.Name] = fi
+	}
+	parent.children[name] = d
+	parent.nlink++
+	parent.touchM(now)
+	full := pathTo(parent, name)
+	tx.queue(Event{Op: OpCreate, Path: full, IsDir: true})
+	if tx.fs.watches.interestedInChildren(full) {
+		for _, f := range files {
+			p := full + "/" + f.Name
+			tx.queue(Event{Op: OpCreate, Path: p})
+			tx.queue(Event{Op: OpWrite, Path: p})
+		}
+	}
 	return nil
 }
 
@@ -597,6 +1025,63 @@ func (tx *Tx) Remove(path string) error {
 	}
 	tx.fs.unlinkLocked(parent, name, node, tx)
 	return nil
+}
+
+// RemoveChildren removes the named children of dir, resolving dir once —
+// the batched form of Remove for evicting many entries from one
+// directory (the event buffers' drop-oldest path). Missing names are
+// skipped; the number actually removed is returned.
+func (tx *Tx) RemoveChildren(dir string, names []string) (int, error) {
+	_, _, d, err := tx.fs.resolve(Root, dir, resolveOpts{followLast: true})
+	if err != nil {
+		return 0, pathErr("remove", dir, err)
+	}
+	if d == nil {
+		return 0, pathErr("remove", dir, ErrNotExist)
+	}
+	if !d.isDir() {
+		return 0, pathErr("remove", dir, ErrNotDir)
+	}
+	now := tx.fs.clock()
+	// One watch-list scan decides descendant-event interest for the whole
+	// batch: every removed child shares this parent, so if no watch can see
+	// inside any child, none of the subtree removals need per-entry events.
+	// Watch paths are real paths, so compare against the resolved dir, not
+	// the possibly symlinked argument.
+	interest := interestUnknown
+	if !tx.fs.watches.interestedInGrandchildren(pathOf(d)) {
+		interest = interestNone
+	}
+	removed := 0
+	for _, name := range names {
+		c, ok := d.children[name]
+		if !ok {
+			continue
+		}
+		tx.fs.removeNode(d, name, c, tx, now, true, true, interest)
+		removed++
+	}
+	return removed, nil
+}
+
+// DirNames appends dir's child names to buf in unspecified order: ReadDir
+// without the sort and entry materialization, for callers that only need
+// membership.
+func (tx *Tx) DirNames(path string, buf []string) ([]string, error) {
+	_, _, n, err := tx.fs.resolve(Root, path, resolveOpts{followLast: true})
+	if err != nil {
+		return buf, pathErr("readdir", path, err)
+	}
+	if n == nil {
+		return buf, pathErr("readdir", path, ErrNotExist)
+	}
+	if !n.isDir() {
+		return buf, pathErr("readdir", path, ErrNotDir)
+	}
+	for name := range n.children {
+		buf = append(buf, name)
+	}
+	return buf, nil
 }
 
 // SetSemantics attaches (or clears) directory semantics.
@@ -623,7 +1108,7 @@ func (tx *Tx) SetSynthetic(path string, synth *Synthetic, mode FileMode, uid, gi
 		f.synth = synth
 		parent.children[name] = f
 		parent.touchM(tx.fs.clock())
-		tx.queue(Event{Op: OpCreate, Path: Join(pathOf(parent), name)})
+		tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name)})
 		return nil
 	}
 	if node.isDir() {
@@ -750,20 +1235,65 @@ func statOf(n *inode, name string) Stat {
 // unlinkLocked removes node (recursively for directories) from parent and
 // queues Remove events. The tree write lock must be held.
 func (fs *FS) unlinkLocked(parent *inode, name string, node *inode, tx *Tx) {
-	full := Join(pathOf(parent), name)
+	fs.removeNode(parent, name, node, tx, fs.clock(), true, true, interestUnknown)
+}
+
+// removeNode implements unlinkLocked. queueEvents gates watch-event
+// queueing: when a directory is torn down and no watch is rooted inside
+// it (nor recursively covers it), events for its descendants can match
+// nothing, so queueing — and the path construction it requires — is
+// skipped for the whole subtree. The top-level removal always announces
+// itself; semantic OnRemove hooks always fire regardless (they are tree
+// bookkeeping, not watch delivery). detach is false for the children of a
+// directory that is itself being destroyed: unhooking them from its dying
+// map (and touching its mtime) would be wasted work.
+// Descendant-event interest hints for removeNode. interestUnknown makes
+// removeNode consult the watch set itself; interestNone asserts the caller
+// already proved no watch can observe events inside this node.
+const (
+	interestUnknown int8 = iota
+	interestNone
+)
+
+func (fs *FS) removeNode(parent *inode, name string, node *inode, tx *Tx, now time.Time, queueEvents, detach bool, interest int8) {
+	var full string
+	if queueEvents {
+		full = pathTo(parent, name)
+	}
 	if node.isDir() {
+		childEvents := queueEvents
+		if childEvents && len(node.children) > 0 {
+			if interest == interestNone {
+				childEvents = false
+			} else {
+				childEvents = fs.watches.interestedInChildren(full)
+			}
+		}
 		for cname, c := range node.children {
-			fs.unlinkLocked(node, cname, c, tx)
+			fs.removeNode(node, cname, c, tx, now, childEvents, false, interestUnknown)
 		}
 		parent.nlink--
 	}
-	delete(parent.children, name)
+	if detach {
+		delete(parent.children, name)
+		parent.touchM(now)
+	}
 	node.nlink--
 	node.parent = nil
-	parent.touchM(fs.clock())
-	tx.queue(Event{Op: OpRemove, Path: full, IsDir: node.isDir()})
+	if queueEvents {
+		tx.queue(Event{Op: OpRemove, Path: full, IsDir: node.isDir()})
+	}
 	if parent.sem != nil && parent.sem.OnRemove != nil {
-		parent.sem.OnRemove(tx, pathOf(parent), name, node.kind)
+		dirPath := ""
+		if full != "" {
+			dirPath = full[:len(full)-len(name)-1]
+			if dirPath == "" {
+				dirPath = "/"
+			}
+		} else {
+			dirPath = pathOf(parent)
+		}
+		parent.sem.OnRemove(tx, dirPath, name, node.kind)
 	}
 }
 

@@ -1,0 +1,162 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestTxLinkSharesInode checks the hard-link contract: both names resolve
+// to one inode, nlink counts the names, and removing one name leaves the
+// data reachable through the other.
+func TestTxLinkSharesInode(t *testing.T) {
+	fs := New()
+	err := fs.WithTx(func(tx *Tx) error {
+		if err := tx.MkdirAll("/a/b", 0o755, 0, 0); err != nil {
+			return err
+		}
+		if err := tx.WriteFile("/a/f", []byte("payload"), 0o444, 0, 0); err != nil {
+			return err
+		}
+		return tx.Link("/a/f", "/a/b/g")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fs.RootProc()
+	st1, err := p.Stat("/a/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := p.Stat("/a/b/g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Ino != st2.Ino {
+		t.Fatalf("link created a new inode: %d vs %d", st1.Ino, st2.Ino)
+	}
+	if st1.Nlink != 2 || st2.Nlink != 2 {
+		t.Fatalf("nlink = %d/%d, want 2/2", st1.Nlink, st2.Nlink)
+	}
+	if err := p.Remove("/a/f"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.ReadFile("/a/b/g")
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("surviving link unreadable: %q, %v", data, err)
+	}
+	st2, err = p.Stat("/a/b/g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Nlink != 1 {
+		t.Fatalf("nlink after unlink = %d, want 1", st2.Nlink)
+	}
+}
+
+// TestTxLinkErrors checks link(2)-style failure modes.
+func TestTxLinkErrors(t *testing.T) {
+	fs := New()
+	err := fs.WithTx(func(tx *Tx) error {
+		if err := tx.Mkdir("/d", 0o755, 0, 0); err != nil {
+			return err
+		}
+		if err := tx.WriteFile("/f", []byte("x"), 0o644, 0, 0); err != nil {
+			return err
+		}
+		if err := tx.Link("/d", "/d2"); !errors.Is(err, ErrPerm) {
+			t.Errorf("linking a directory: got %v, want ErrPerm", err)
+		}
+		if err := tx.Link("/missing", "/g"); !errors.Is(err, ErrNotExist) {
+			t.Errorf("linking a missing source: got %v, want ErrNotExist", err)
+		}
+		if err := tx.Link("/f", "/d"); !errors.Is(err, ErrExist) {
+			t.Errorf("linking onto an existing name: got %v, want ErrExist", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTxLinkDirFanOut checks the batched fan-out primitive: every regular
+// file of the source directory is shared by inode into the new directory,
+// and tearing down one copy decrements nlink without touching the others.
+func TestTxLinkDirFanOut(t *testing.T) {
+	fs := New()
+	err := fs.WithTx(func(tx *Tx) error {
+		if err := tx.MkdirAll("/spool/m", 0o755, 0, 0); err != nil {
+			return err
+		}
+		for _, f := range []string{"data", "switch", "in_port"} {
+			if err := tx.WriteFile("/spool/m/"+f, []byte(f), 0o444, 0, 0); err != nil {
+				return err
+			}
+		}
+		// A sub-directory and a symlink must not be linked.
+		if err := tx.Mkdir("/spool/m/sub", 0o755, 0, 0); err != nil {
+			return err
+		}
+		if err := tx.Symlink("data", "/spool/m/alias", 0, 0); err != nil {
+			return err
+		}
+		for _, dst := range []string{"/buf1/m", "/buf2/m"} {
+			if err := tx.Mkdir(Dir(dst), 0o755, 0, 0); err != nil {
+				return err
+			}
+			if err := tx.LinkDir("/spool/m", dst, 0o755, 0, 0); err != nil {
+				return err
+			}
+		}
+		// Dropping the spool entry keeps the linked copies alive.
+		return tx.Remove("/spool/m")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fs.RootProc()
+	st1, err := p.Stat("/buf1/m/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := p.Stat("/buf2/m/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Ino != st2.Ino {
+		t.Fatalf("fan-out copied instead of linked: ino %d vs %d", st1.Ino, st2.Ino)
+	}
+	if st1.Nlink != 2 {
+		t.Fatalf("nlink = %d, want 2 (spool name removed)", st1.Nlink)
+	}
+	for _, skipped := range []string{"/buf1/m/sub", "/buf1/m/alias"} {
+		if p.Exists(skipped) {
+			t.Errorf("%s: non-regular child was linked", skipped)
+		}
+	}
+	if err := p.RemoveAll("/buf1/m"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.ReadFile("/buf2/m/data")
+	if err != nil || string(data) != "data" {
+		t.Fatalf("surviving copy unreadable: %q, %v", data, err)
+	}
+	st2, err = p.Stat("/buf2/m/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Nlink != 1 {
+		t.Fatalf("nlink after buf1 teardown = %d, want 1", st2.Nlink)
+	}
+	if err := fs.WithTx(func(tx *Tx) error {
+		if err := tx.LinkDir("/buf2/m", "/buf2/m", 0o755, 0, 0); !errors.Is(err, ErrExist) {
+			t.Errorf("LinkDir onto existing path: got %v, want ErrExist", err)
+		}
+		if err := tx.LinkDir("/buf2/m/data", "/x", 0o755, 0, 0); !errors.Is(err, ErrNotDir) {
+			t.Errorf("LinkDir from a file: got %v, want ErrNotDir", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

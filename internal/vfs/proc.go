@@ -76,7 +76,7 @@ func realPath(parent *inode, name string) string {
 	if parent == nil {
 		return "/"
 	}
-	return Join(pathOf(parent), name)
+	return pathTo(parent, name)
 }
 
 func (p *Proc) charge(op string, n int) error {
@@ -130,7 +130,7 @@ func (p *Proc) mkdirLocked(tx *Tx, path string, mode FileMode) error {
 	parent.children[name] = d
 	parent.nlink++
 	parent.touchM(p.fs.clock())
-	tx.queue(Event{Op: OpCreate, Path: Join(pathOf(parent), name), IsDir: true})
+	tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name), IsDir: true})
 	if parent.sem != nil && parent.sem.OnMkdir != nil {
 		tx.creator = p.cred
 		tx.hasCred = true
@@ -190,7 +190,7 @@ func (p *Proc) Symlink(target, linkPath string) error {
 		l.target = target
 		parent.children[name] = l
 		parent.touchM(fs.clock())
-		tx.queue(Event{Op: OpCreate, Path: Join(pathOf(parent), name)})
+		tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name)})
 		return nil
 	}()
 	events := tx.events
@@ -251,7 +251,7 @@ func (p *Proc) Link(oldPath, newPath string) error {
 		src.nlink++
 		src.touchC(fs.clock())
 		parent.touchM(fs.clock())
-		tx.queue(Event{Op: OpCreate, Path: Join(pathOf(parent), name)})
+		tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name)})
 		return nil
 	}()
 	events := tx.events
@@ -397,7 +397,7 @@ func (p *Proc) Rename(oldPath, newPath string) error {
 				}
 			}
 		}
-		oldFull := Join(pathOf(oldParent), oldName)
+		oldFull := pathTo(oldParent, oldName)
 		if target != nil {
 			fs.unlinkLocked(newParent, newName, target, tx)
 		}
@@ -413,7 +413,7 @@ func (p *Proc) Rename(oldPath, newPath string) error {
 		oldParent.touchM(now)
 		newParent.touchM(now)
 		node.touchC(now)
-		newFull := Join(pathOf(newParent), newName)
+		newFull := pathTo(newParent, newName)
 		tx.queue(Event{Op: OpRename, Path: oldFull, NewPath: newFull, IsDir: node.isDir()})
 		tx.queue(Event{Op: OpCreate, Path: newFull, IsDir: node.isDir()})
 		return nil

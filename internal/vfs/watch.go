@@ -103,16 +103,45 @@ type watchSet struct {
 	mu      sync.RWMutex
 	nextID  uint64
 	watches map[uint64]*Watch
+	// snap is an immutable snapshot of the watch list, rebuilt under mu
+	// whenever a watch is added or removed, so fanout grabs a slice header
+	// instead of copying the map on every batch.
+	snap []*Watch
 
 	// Async dispatch queue. Writers enqueue under qmu and return; a single
 	// lazily-started worker goroutine drains the queue in FIFO order and
 	// exits when it is empty. drained signals queue-empty to SyncWatches.
+	// The queue holds whole per-transaction batches: dispatch takes
+	// ownership of the caller's slice, so enqueueing never copies events.
 	qmu     sync.Mutex
-	queue   []Event
+	queue   [][]Event
 	running bool
 	drained *sync.Cond
 	batches atomic.Uint64 // worker drain batches, for .proc
 	queued  atomic.Uint64 // events ever enqueued, for .proc
+
+	// bufPool recycles transaction event buffers: WithTx borrows a slice,
+	// dispatch takes ownership, and the drain worker returns it after
+	// fanout. The write path then allocates no event storage at steady
+	// state.
+	bufPool sync.Pool
+}
+
+// getBuf returns a recycled event buffer (or nil, letting append size it).
+func (s *watchSet) getBuf() []Event {
+	if v := s.bufPool.Get(); v != nil {
+		return v.([]Event)[:0]
+	}
+	return nil
+}
+
+// putBuf returns an event buffer to the pool. Oversized buffers are
+// dropped so one huge transaction doesn't pin memory forever.
+func (s *watchSet) putBuf(b []Event) {
+	if cap(b) == 0 || cap(b) > 8192 {
+		return
+	}
+	s.bufPool.Put(b[:0]) //nolint:staticcheck // slice header boxing is fine here
 }
 
 // AddWatch subscribes to events under path. The path need not exist yet —
@@ -146,14 +175,26 @@ func (p *Proc) AddWatch(path string, mask EventOp, opts ...WatchOption) (*Watch,
 	set.nextID++
 	w.id = set.nextID
 	set.watches[w.id] = w
+	set.rebuildSnapLocked()
 	set.mu.Unlock()
 	return w, nil
+}
+
+// rebuildSnapLocked refreshes the immutable watch snapshot. mu must be
+// held for writing.
+func (s *watchSet) rebuildSnapLocked() {
+	snap := make([]*Watch, 0, len(s.watches))
+	for _, w := range s.watches {
+		snap = append(snap, w)
+	}
+	s.snap = snap
 }
 
 func (s *watchSet) remove(w *Watch) {
 	s.mu.Lock()
 	_, present := s.watches[w.id]
 	delete(s.watches, w.id)
+	s.rebuildSnapLocked()
 	s.mu.Unlock()
 	if present {
 		w.mu.Lock()
@@ -170,11 +211,14 @@ func (s *watchSet) remove(w *Watch) {
 // watch on a dir reports its children and the dir itself), or anywhere
 // beneath it when recursive.
 func (w *Watch) matches(path string) bool {
-	if path == w.path {
-		return true
-	}
-	dir := Dir(path)
-	if dir == w.path {
+	return w.matchesDir(path, Dir(path))
+}
+
+// matchesDir is matches with the event path's parent precomputed: fanout
+// checks one event against every watch, so Dir is hoisted out of the
+// per-watch loop.
+func (w *Watch) matchesDir(path, dir string) bool {
+	if path == w.path || dir == w.path {
 		return true
 	}
 	if w.recursive {
@@ -183,6 +227,44 @@ func (w *Watch) matches(path string) bool {
 			prefix += "/"
 		}
 		return strings.HasPrefix(path, prefix)
+	}
+	return false
+}
+
+// interestedInChildren reports whether any live watch could observe an
+// event strictly inside dir: a recursive watch whose subtree intersects
+// dir, or any watch rooted at or below dir. Subtree teardown uses this to
+// skip queueing per-descendant events nobody can receive.
+func (s *watchSet) interestedInChildren(dir string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, w := range s.watches {
+		if w.path == dir || strings.HasPrefix(w.path, dir+"/") {
+			return true
+		}
+		if w.recursive && (w.path == "/" || strings.HasPrefix(dir, w.path+"/")) {
+			return true
+		}
+	}
+	return false
+}
+
+// interestedInGrandchildren reports whether any watch could observe an
+// event strictly inside *some child* of dir — a conservative superset of
+// interestedInChildren(child) over all children. Batch removal (drop-oldest
+// evicting many message dirs from one buffer) computes this once per batch
+// instead of scanning the watch list once per evicted directory.
+func (s *watchSet) interestedInGrandchildren(dir string) bool {
+	prefix := dir + "/"
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, w := range s.watches {
+		if strings.HasPrefix(w.path, prefix) {
+			return true
+		}
+		if w.recursive && (w.path == "/" || w.path == dir || strings.HasPrefix(dir, w.path+"/")) {
+			return true
+		}
 	}
 	return false
 }
@@ -200,8 +282,10 @@ func (s *watchSet) condLocked() *sync.Cond {
 // immediately: the write path never pays matching or delivery cost, and a
 // watch-heavy workload can never stall writers. Called without the tree
 // lock. Ordering is preserved — a single worker drains the queue FIFO.
+// dispatch takes ownership of events; the caller must not reuse the slice.
 func (s *watchSet) dispatch(events []Event) {
 	if len(events) == 0 {
+		s.putBuf(events)
 		return
 	}
 	s.mu.RLock()
@@ -211,10 +295,11 @@ func (s *watchSet) dispatch(events []Event) {
 		// No subscribers: drop without queueing. A watch added after this
 		// point could not have seen these events under the synchronous
 		// scheme either.
+		s.putBuf(events)
 		return
 	}
 	s.qmu.Lock()
-	s.queue = append(s.queue, events...)
+	s.queue = append(s.queue, events)
 	s.queued.Add(uint64(len(events)))
 	if !s.running {
 		s.running = true
@@ -236,32 +321,37 @@ func (s *watchSet) drain() {
 			s.qmu.Unlock()
 			return
 		}
-		batch := s.queue
+		batches := s.queue
 		s.queue = nil
 		s.batches.Add(1)
 		s.qmu.Unlock()
-		s.fanout(batch)
+		for _, batch := range batches {
+			s.fanout(batch)
+			s.putBuf(batch)
+		}
 	}
 }
 
 // fanout synchronously delivers a batch to all matching watches.
 func (s *watchSet) fanout(events []Event) {
 	s.mu.RLock()
-	if len(s.watches) == 0 {
-		s.mu.RUnlock()
+	watches := s.snap
+	s.mu.RUnlock()
+	if len(watches) == 0 {
 		return
 	}
-	watches := make([]*Watch, 0, len(s.watches))
-	for _, w := range s.watches {
-		watches = append(watches, w)
-	}
-	s.mu.RUnlock()
 	for _, ev := range events {
+		dir := Dir(ev.Path)
+		newDir := ""
+		if ev.Op == OpRename {
+			newDir = Dir(ev.NewPath)
+		}
 		for _, w := range watches {
 			if ev.Op&w.mask == 0 {
 				continue
 			}
-			if !w.matches(ev.Path) && !(ev.Op == OpRename && w.matches(ev.NewPath)) {
+			if !w.matchesDir(ev.Path, dir) &&
+				!(ev.Op == OpRename && w.matchesDir(ev.NewPath, newDir)) {
 				continue
 			}
 			w.deliver(ev)
@@ -294,7 +384,9 @@ func (fs *FS) SyncWatches() {
 func (fs *FS) DispatchStats() (queued, batches uint64, backlog int) {
 	s := &fs.watches
 	s.qmu.Lock()
-	backlog = len(s.queue)
+	for _, b := range s.queue {
+		backlog += len(b)
+	}
 	s.qmu.Unlock()
 	return s.queued.Load(), s.batches.Load(), backlog
 }

@@ -101,14 +101,81 @@ func CommitFlow(p *vfs.Proc, flowPath string) (uint64, error) {
 	return v, nil
 }
 
+// flowReader abstracts where flow files are read from: a Proc (one lock
+// acquisition per call) or a read transaction (one lock for a whole
+// multi-flow snapshot).
+type flowReader interface {
+	ReadDir(path string) ([]vfs.DirEntry, error)
+	ReadString(path string) (string, error)
+}
+
+// txReader adapts a read transaction to flowReader.
+type txReader struct{ tx *vfs.Tx }
+
+func (r txReader) ReadDir(path string) ([]vfs.DirEntry, error) { return r.tx.ReadDir(path) }
+
+func (r txReader) ReadString(path string) (string, error) {
+	b, err := r.tx.ReadFile(path)
+	return string(b), err
+}
+
 // FlowVersion reads a flow's committed version (0 = staged, never
 // committed).
 func FlowVersion(p *vfs.Proc, flowPath string) (uint64, error) {
-	s, err := p.ReadString(vfs.Join(flowPath, FileVersion))
+	return flowVersion(p, flowPath)
+}
+
+func flowVersion(r flowReader, flowPath string) (uint64, error) {
+	s, err := r.ReadString(vfs.Join(flowPath, FileVersion))
 	if err != nil {
 		return 0, err
 	}
 	return strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+}
+
+// FlowSnap is one committed flow as captured by SnapshotFlows.
+type FlowSnap struct {
+	Name    string
+	Version uint64
+	Spec    FlowSpec
+}
+
+// SnapshotFlows reads every committed flow under switchPath in a single
+// read transaction: one lock acquisition for the whole table, and a
+// mutually consistent view — no per-flow seqlock retries, because nothing
+// can commit mid-snapshot. This is what driver resync-on-reattach wants:
+// the hardware receives the flow table as it existed at one instant,
+// instead of a stitched-together sequence of per-file reads.
+func (y *FS) SnapshotFlows(switchPath string) ([]FlowSnap, error) {
+	dir := vfs.Join(switchPath, "flows")
+	var out []FlowSnap
+	err := y.vfs.ReadTx(func(tx *vfs.Tx) error {
+		entries, err := tx.ReadDir(dir)
+		if err != nil {
+			if errIsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		r := txReader{tx}
+		for _, e := range entries {
+			if !e.IsDir() || strings.HasPrefix(e.Name, ".") {
+				continue
+			}
+			fp := vfs.Join(dir, e.Name)
+			ver, err := flowVersion(r, fp)
+			if err != nil || ver == 0 {
+				continue // staged or mid-creation: the commit watch will sync it
+			}
+			spec, err := readFlowOnce(r, fp)
+			if err != nil {
+				continue // corrupt entry: skip, same policy as ReadFlow tolerance
+			}
+			out = append(out, FlowSnap{Name: e.Name, Version: ver, Spec: spec})
+		}
+		return nil
+	})
+	return out, err
 }
 
 // ReadFlow parses a flow directory back into a FlowSpec. Unknown files
@@ -141,7 +208,7 @@ func errIsNotExist(err error) bool {
 	return errors.Is(err, vfs.ErrNotExist) || errors.Is(err, vfs.ErrAccess)
 }
 
-func readFlowOnce(p *vfs.Proc, flowPath string) (FlowSpec, error) {
+func readFlowOnce(p flowReader, flowPath string) (FlowSpec, error) {
 	var spec FlowSpec
 	entries, err := p.ReadDir(flowPath)
 	if err != nil {
@@ -190,7 +257,7 @@ func readFlowOnce(p *vfs.Proc, flowPath string) (FlowSpec, error) {
 	return spec, nil
 }
 
-func readUint16(p *vfs.Proc, path string) uint16 {
+func readUint16(p flowReader, path string) uint16 {
 	s, err := p.ReadString(path)
 	if err != nil {
 		return 0

@@ -63,6 +63,10 @@ type FS struct {
 
 	mu       sync.RWMutex
 	counters map[string]CounterSource // switch path -> source
+
+	// ev holds the packet-in delivery state: cached subscriber lists,
+	// payload-block refcounts, and the /.proc/events counters (events.go).
+	ev eventState
 }
 
 // New builds an empty yanc file system with the full top-level hierarchy
@@ -128,7 +132,8 @@ func (y *FS) installRegion(tx *vfs.Tx, base string) error {
 	}
 	return tx.SetSemantics(vfs.Join(base, DirEvents), &vfs.DirSemantics{
 		RecursiveRmdir: true,
-		OnMkdir:        onEventBufferMkdir,
+		OnMkdir:        y.onEventBufferMkdir,
+		OnRemove:       y.onEventBufferRemove,
 	})
 }
 
@@ -240,12 +245,6 @@ func (y *FS) onPortMkdir(tx *vfs.Tx, dir, name string) error {
 // isPortPath reports whether p looks like .../ports/<n>.
 func isPortPath(p string) bool {
 	return vfs.Base(vfs.Dir(p)) == "ports"
-}
-
-// onEventBufferMkdir marks a new per-application event buffer; message
-// subdirectories inside it are plain objects the delivery code creates.
-func onEventBufferMkdir(tx *vfs.Tx, dir, name string) error {
-	return tx.SetSemantics(vfs.Join(dir, name), &vfs.DirSemantics{RecursiveRmdir: true})
 }
 
 // BindCounters attaches a live counter source to a switch path (e.g.

@@ -118,6 +118,15 @@ func WithEchoProbes(interval time.Duration, missThreshold int) Option {
 	}
 }
 
+// WithEventBufferDepth bounds the pending packet-in messages per
+// subscriber event buffer. When a delivery finds a buffer at the bound it
+// drops the buffer's oldest quarter and refreshes the buffer's overflow
+// marker, so one stuck application cannot wedge delivery to the rest.
+// n <= 0 restores the default (yancfs.DefaultEventBufferDepth).
+func WithEventBufferDepth(n int) Option {
+	return func(c *Controller) { c.y.SetEventBufferDepth(n) }
+}
+
 // NewController creates a controller with an empty /net hierarchy.
 func NewController(opts ...Option) (*Controller, error) {
 	y, err := yancfs.New()
@@ -130,6 +139,7 @@ func NewController(opts ...Option) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.proc.BindEvents(y)
 	c.d.ProcDir = procfs.DriverDir
 	for _, o := range opts {
 		o(c)
