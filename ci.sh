@@ -1,5 +1,6 @@
 #!/bin/sh
-# ci.sh - the repo's verification gate: formatting, static analysis, the
+# ci.sh - the repo's verification gate: formatting, static analysis
+# (go vet plus the yancvet lock/clock/error invariant suite), the
 # full test suite under the race detector, a doubled run of the
 # concurrency stress/chaos battery, a benchmark smoke pass (every
 # benchmark runs one iteration, so a broken rig fails CI even when no
@@ -11,7 +12,7 @@ set -eu
 cd "$(dirname "$0")"
 
 echo "==> gofmt"
-unformatted=$(gofmt -l .)
+unformatted=$(find . -name '*.go' -not -path './vendor/*' -print0 | xargs -0 gofmt -l)
 if [ -n "$unformatted" ]; then
     echo "FAIL: gofmt: the following files need 'gofmt -w':" >&2
     echo "$unformatted" | sed 's/^/    /' >&2
@@ -20,6 +21,9 @@ fi
 
 echo "==> go vet"
 go vet ./...
+
+echo "==> yancvet (lockorder/lockpair/clockban/atomicfield/errdrop)"
+go run ./cmd/yancvet ./...
 
 echo "==> go test -race"
 go test -race ./...

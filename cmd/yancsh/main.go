@@ -52,7 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("yancsh: %v", err)
 	}
-	defer client.Close()
+	defer client.Close() //yancvet:allow errdrop process is exiting
 
 	env := shell.NewEnv(client, os.Stdout)
 	if *command != "" {

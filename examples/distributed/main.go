@@ -63,7 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer worker.Close()
+	defer worker.Close() //yancvet:allow errdrop process is exiting
 
 	entries, err := worker.ReadDir("/switches")
 	if err != nil {

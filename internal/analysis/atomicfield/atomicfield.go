@@ -1,0 +1,178 @@
+// Package atomicfield enforces all-or-nothing atomicity for fields: a
+// struct field (or package var) that is ever accessed through
+// sync/atomic — either `atomic.AddUint64(&s.f, 1)`-style calls or a
+// typed atomic like atomic.Uint64 — must never also be touched with a
+// plain read or write. Mixed access is a data race that -race only
+// catches when the schedule cooperates; this analyzer catches it from
+// the source alone.
+//
+// Two rules:
+//
+//  1. any field passed by address to a sync/atomic function is "atomic";
+//     every other use of that field must also be an atomic call (taking
+//     its address is allowed, dereferencing it plainly is not);
+//  2. a field whose type is a sync/atomic typed value (atomic.Uint64,
+//     atomic.Bool, ...) may only be used as a method-call receiver or
+//     have its address taken — assigning or copying the whole value
+//     bypasses the atomicity (and copies the internal state).
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"yanc/internal/analysis/internal/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "flag plain reads/writes of fields that are elsewhere accessed via sync/atomic " +
+		"(mixed atomic and non-atomic access is a data race)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Phase 1: find every object whose address is passed to a sync/atomic
+	// function anywhere in the package, and remember the exact selector
+	// nodes used in those calls so phase 2 does not flag them.
+	atomicObjs := map[*types.Var]token.Pos{} // object -> first atomic use
+	sanctioned := map[ast.Expr]bool{}        // operand nodes inside atomic calls
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := referentVar(pass, un.X); obj != nil {
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = call.Pos()
+					}
+					sanctioned[un.X] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 2: every other use of those objects, and every whole-value use
+	// of a typed-atomic field, is a violation.
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			defer func() { stack = append(stack, n) }()
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			obj := referentVar(pass, expr)
+			if obj == nil {
+				return true
+			}
+			// Only the outermost reference expression counts: x in s.x.f
+			// resolves too, but the parent selector is the real use.
+			parent := parentOf(stack)
+			if p, ok := parent.(*ast.SelectorExpr); ok && p.X == expr {
+				if sel, isSel := pass.TypesInfo.Selections[p]; !isSel || sel.Kind() == types.FieldVal {
+					return true // inner part of a longer field path
+				}
+				// p is a method call base (typed atomic receiver): allowed.
+				return true
+			}
+			if isTypedAtomic(obj.Type()) {
+				if sanctionedNode(parent, expr) {
+					return true
+				}
+				report(pass, file, expr.Pos(), "whole-value use of atomic field %s: typed atomics must only be used via their methods (Load/Store/Add/...)", obj.Name())
+				return true
+			}
+			first, tracked := atomicObjs[obj]
+			if !tracked || sanctioned[expr] {
+				return true
+			}
+			if sanctionedNode(parent, expr) {
+				return true // address-taken: may feed another atomic call
+			}
+			report(pass, file, expr.Pos(),
+				"plain access to %s, which is accessed atomically at %s: use sync/atomic for every access",
+				obj.Name(), pass.Fset.Position(first))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// sanctionedNode reports whether expr appears in a context that keeps
+// the atomicity contract: having its address taken.
+func sanctionedNode(parent ast.Node, expr ast.Expr) bool {
+	if un, ok := parent.(*ast.UnaryExpr); ok && un.Op == token.AND && un.X == expr {
+		return true
+	}
+	return false
+}
+
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+func report(pass *analysis.Pass, file *ast.File, pos token.Pos, format string, args ...interface{}) {
+	if directive.Allows(pass, file, pos, "atomicfield") {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// isAtomicCall reports whether call invokes a function in sync/atomic.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := typeutil.StaticCallee(pass.TypesInfo, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// isTypedAtomic reports whether t is a named type from sync/atomic
+// (atomic.Uint64, atomic.Bool, atomic.Pointer[T], ...).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// referentVar resolves expr to the field or package-level variable it
+// denotes, or nil. Locals are excluded: a local is confined to one
+// goroutine unless captured, and tracking captures is out of scope.
+func referentVar(pass *analysis.Pass, expr ast.Expr) *types.Var {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			// Package-level vars only.
+			if v.Parent() == pass.Pkg.Scope() {
+				return v
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+// Package clockban bans bare time.Now() (and the sibling entropy/timer
+// escapes time.Since, time.After, time.Sleep, time.AfterFunc) in
+// packages that provide an injectable clock. Such packages promised
+// their tests deterministic time; a stray wall-clock read re-introduces
+// the flake the injection point was built to remove.
+//
+// A package is considered clock-disciplined when any of the following
+// holds:
+//
+//   - it declares a type or interface named Clock, or a SetClock func;
+//   - it declares a struct field or package var of type func() time.Time;
+//   - any file carries the package directive //yancvet:clocked.
+//
+// Legitimate wall-clock sites (latency histograms, log timestamps, rng
+// seeding) opt out per line:
+//
+//	t := time.Now() //yancvet:wallclock request latency histogram
+package clockban
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"yanc/internal/analysis/internal/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "clockban",
+	Doc: "ban bare time.Now/time.Since/time.After/time.Sleep in packages with an injectable Clock " +
+		"(use the injected clock; annotate true wall-clock sites with //yancvet:wallclock)",
+	Run: run,
+}
+
+// banned are the time package functions that read or wait on the real
+// clock. Conversions and constructors (time.Unix, time.Date) are fine.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"Sleep":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !clocked(pass) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue // tests drive the fake clock and may also use the real one
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !banned[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pkg.Imported().Path() != "time" {
+				return true
+			}
+			if directive.Allows(pass, file, call.Pos(), "clockban") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "bare time.%s in a clock-disciplined package: route through the injectable clock, or annotate with //yancvet:wallclock <reason>", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// clocked reports whether the package has an injectable-clock shape.
+func clocked(pass *analysis.Pass) bool {
+	if directive.HasPackageDirective(pass, "clocked") {
+		return true
+	}
+	scope := pass.Pkg.Scope()
+	if _, ok := scope.Lookup("Clock").(*types.TypeName); ok {
+		return true
+	}
+	if obj := scope.Lookup("SetClock"); obj != nil {
+		if _, ok := obj.(*types.Func); ok {
+			return true
+		}
+	}
+	// A struct field or package var of type func() time.Time is the
+	// lighter-weight injection idiom (vfs.FS.clock, middlebox.Engine.now).
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		switch o := obj.(type) {
+		case *types.Var:
+			if isClockFunc(o.Type()) {
+				return true
+			}
+		case *types.TypeName:
+			st, ok := o.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if isClockFunc(st.Field(i).Type()) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isClockFunc reports whether t is func() time.Time.
+func isClockFunc(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+func isTestFile(pass *analysis.Pass, file *ast.File) bool {
+	name := pass.Fset.Position(file.Package).Filename
+	return len(name) >= 8 && name[len(name)-8:] == "_test.go"
+}

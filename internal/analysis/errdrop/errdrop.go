@@ -1,0 +1,153 @@
+// Package errdrop forbids silently discarding errors on the paths where
+// an ignored error corrupts state rather than just losing a message:
+// VFS transactions (Tx methods mutate the tree under the big lock —
+// a dropped error means a half-applied transaction nobody notices),
+// watch delivery, and dfs RPCs (a dropped RPC error breaks the
+// replication contract).
+//
+// A call is on a guarded path when its static callee is a method on a
+// type named Tx, Watch or Watcher, or any function of a package named
+// dfs. Discarding means invoking such a call as a bare statement (also
+// via defer or go) or assigning its error result to the blank
+// identifier. Deliberate discards must say so:
+//
+//	_ = tx.Remove(path) //yancvet:allow errdrop best-effort cleanup
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"yanc/internal/analysis/internal/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "forbid discarded errors from Tx methods, watch delivery, and dfs RPCs " +
+		"(annotate deliberate discards with //yancvet:allow errdrop <reason>)",
+	Run: run,
+}
+
+// guardedReceivers are receiver type names whose methods' errors must
+// not be dropped.
+var guardedReceivers = map[string]bool{
+	"Tx":      true,
+	"Watch":   true,
+	"Watcher": true,
+}
+
+// guardedPackages are package names all of whose error returns are
+// load-bearing (RPC surfaces).
+var guardedPackages = map[string]bool{
+	"dfs": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		// Test cleanup (defer c.Close()) is idiomatic and harmless; the
+		// guarded paths matter in production code.
+		name := pass.Fset.Position(file.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(pass, file, call, -1)
+				}
+			case *ast.DeferStmt:
+				check(pass, file, n.Call, -1)
+			case *ast.GoStmt:
+				check(pass, file, n.Call, -1)
+			case *ast.AssignStmt:
+				// a, _ := f() or _ = f(): the error position must not be
+				// blank. Only the single-call tuple form and the 1:1 form
+				// are considered.
+				if len(n.Rhs) == 1 {
+					if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+						for i, lhs := range n.Lhs {
+							if isBlank(lhs) {
+								check(pass, file, call, i)
+							}
+						}
+						return true
+					}
+				}
+				for i, rhs := range n.Rhs {
+					if call, ok := rhs.(*ast.CallExpr); ok && i < len(n.Lhs) && isBlank(n.Lhs[i]) {
+						check(pass, file, call, 0)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// check reports call if it is guarded and its error result is dropped.
+// blankIdx < 0 means the whole result tuple is discarded; otherwise it
+// is the tuple index assigned to the blank identifier.
+func check(pass *analysis.Pass, file *ast.File, call *ast.CallExpr, blankIdx int) {
+	fn := typeutil.StaticCallee(pass.TypesInfo, call)
+	if fn == nil || !isGuarded(fn) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	errIdx := -1
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			errIdx = i
+		}
+	}
+	if errIdx < 0 {
+		return
+	}
+	if blankIdx >= 0 && blankIdx != errIdx {
+		return // some other result is blanked; the error is still bound
+	}
+	if directive.Allows(pass, file, call.Pos(), "errdrop") {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s discarded on a guarded path (Tx/watch/dfs): handle it or annotate //yancvet:allow errdrop <reason>", fn.FullName())
+}
+
+func isGuarded(fn *types.Func) bool {
+	if fn.Pkg() != nil && guardedPackages[fn.Pkg().Name()] {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return guardedReceivers[named.Obj().Name()]
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

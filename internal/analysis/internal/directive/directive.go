@@ -1,0 +1,105 @@
+// Package directive implements the yancvet comment directives that let a
+// specific line opt out of one analyzer. Two forms exist:
+//
+//	//yancvet:allow <analyzer> [reason...]
+//	//yancvet:wallclock [reason...]          (sugar for "allow clockban")
+//
+// A directive suppresses the named analyzer on its own line and on the
+// next source line — so both trailing and preceding annotations read
+// naturally:
+//
+//	t := time.Now() //yancvet:wallclock latency measurement
+//
+//	//yancvet:wallclock rng seed entropy, not a timestamp
+//	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+//
+// There is also one package-scope directive, "//yancvet:clocked", which
+// clockban uses to treat a package as clock-disciplined even when the
+// injectable-clock shape cannot be detected structurally.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const prefix = "//yancvet:"
+
+// Allows reports whether a yancvet directive in file suppresses the named
+// analyzer at pos. file must be the *ast.File containing pos.
+func Allows(pass *analysis.Pass, file *ast.File, pos token.Pos, name string) bool {
+	fset := pass.Fset
+	line := fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			dir, ok := parse(c.Text)
+			if !ok || !dir.allows(name) {
+				continue
+			}
+			cline := fset.Position(c.Pos()).Line
+			if cline == line || cline == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasPackageDirective reports whether any file of the pass carries the
+// package-scope directive //yancvet:<name>.
+func HasPackageDirective(pass *analysis.Pass, name string) bool {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if d, ok := parse(c.Text); ok && d.verb == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// FileFor returns the *ast.File of pass containing pos.
+func FileFor(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+type parsed struct {
+	verb string // "allow", "wallclock", "clocked", ...
+	arg  string // first word after the verb ("" if none)
+}
+
+func (d parsed) allows(analyzer string) bool {
+	switch d.verb {
+	case "allow":
+		return d.arg == analyzer
+	case "wallclock":
+		return analyzer == "clockban"
+	}
+	return false
+}
+
+func parse(text string) (parsed, bool) {
+	if !strings.HasPrefix(text, prefix) {
+		return parsed{}, false
+	}
+	rest := text[len(prefix):]
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return parsed{}, false
+	}
+	d := parsed{verb: fields[0]}
+	if len(fields) > 1 {
+		d.arg = fields[1]
+	}
+	return d, true
+}

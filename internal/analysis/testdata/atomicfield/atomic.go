@@ -1,0 +1,48 @@
+// Package atomicfield exercises the mixed-atomic-access analyzer.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64 // accessed via atomic.AddUint64: atomic everywhere
+	acq   atomic.Uint64
+	plain int // never atomic: free to use
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+	c.acq.Add(1)
+	c.plain++
+}
+
+func (c *counters) badRead() uint64 {
+	return c.hits // want "plain access to hits"
+}
+
+func (c *counters) badWrite() {
+	c.hits = 0 // want "plain access to hits"
+}
+
+func (c *counters) badCopy() uint64 {
+	a := c.acq // want "whole-value use of atomic field acq"
+	return a.Load()
+}
+
+func (c *counters) goodLoad() uint64 {
+	return atomic.LoadUint64(&c.hits) + c.acq.Load()
+}
+
+func (c *counters) goodAddr() *uint64 {
+	return &c.hits // address may feed another atomic call
+}
+
+func (c *counters) goodPlain() int {
+	return c.plain
+}
+
+// Suppressed: constructor-time access before the struct is shared.
+func newCounters() *counters {
+	c := &counters{}
+	c.hits = 0 //yancvet:allow atomicfield not yet shared
+	return c
+}

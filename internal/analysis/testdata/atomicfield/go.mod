@@ -1,0 +1,3 @@
+module atomicfieldfixture
+
+go 1.22

@@ -1,0 +1,47 @@
+// Package driver mimics internal/driver's clock discipline: it carries
+// an injectable Clock, so every bare wall-clock read is a bug unless it
+// says why it is not.
+package driver
+
+import "time"
+
+type Driver struct {
+	// Clock overrides the time source, like internal/driver.Driver.Clock.
+	Clock func() time.Time
+}
+
+func (d *Driver) now() time.Time {
+	if d.Clock != nil {
+		return d.Clock()
+	}
+	return time.Now() //yancvet:wallclock the injection point's own fallback
+}
+
+// A liveness stamp that forgot the injection point — the exact bug the
+// analyzer exists for.
+func (d *Driver) badTouch() int64 {
+	return time.Now().UnixNano() // want "bare time.Now"
+}
+
+func (d *Driver) badSleep() {
+	time.Sleep(time.Millisecond) // want "bare time.Sleep"
+}
+
+func (d *Driver) badTimeout() <-chan time.Time {
+	return time.After(time.Second) // want "bare time.After"
+}
+
+// Routed through the injection point: clean.
+func (d *Driver) goodTouch() int64 {
+	return d.now().UnixNano()
+}
+
+// Annotated wall-clock site: clean.
+func (d *Driver) goodAnnotated() time.Time {
+	return time.Now() //yancvet:wallclock log timestamp, not control-plane time
+}
+
+// Constructors that do not read the clock: clean.
+func (d *Driver) goodConstructors() time.Time {
+	return time.Unix(0, 0).Add(3 * time.Second)
+}

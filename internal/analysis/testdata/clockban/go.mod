@@ -1,0 +1,3 @@
+module clockbanfixture
+
+go 1.22

@@ -1,0 +1,3 @@
+module errdropfixture
+
+go 1.22

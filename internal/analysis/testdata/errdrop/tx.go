@@ -1,0 +1,57 @@
+// Package errdrop exercises the discarded-error analyzer on the guarded
+// receiver types (Tx, Watch) and the dfs package.
+package errdrop
+
+import "errdropfixture/dfs"
+
+type Tx struct{}
+
+func (tx *Tx) WriteFile(path string, data []byte) error { return nil }
+func (tx *Tx) Stat(path string) (int, error)            { return 0, nil }
+
+type Watch struct{}
+
+func (w *Watch) Deliver(ev string) error { return nil }
+
+type logger struct{}
+
+func (l *logger) Printf(format string, args ...interface{}) error { return nil }
+
+func badStatement(tx *Tx) {
+	tx.WriteFile("/a", nil) // want "discarded on a guarded path"
+}
+
+func badBlank(tx *Tx) {
+	_ = tx.WriteFile("/a", nil) // want "discarded on a guarded path"
+}
+
+func badTupleBlank(tx *Tx) {
+	n, _ := tx.Stat("/a") // want "discarded on a guarded path"
+	_ = n
+}
+
+func badDefer(w *Watch) {
+	defer w.Deliver("x") // want "discarded on a guarded path"
+}
+
+func badRPC(c *dfs.Client) {
+	c.Call("op") // want "discarded on a guarded path"
+}
+
+func goodHandled(tx *Tx) error {
+	if err := tx.WriteFile("/a", nil); err != nil {
+		return err
+	}
+	n, err := tx.Stat("/a")
+	_ = n
+	return err
+}
+
+func goodAllowed(tx *Tx) {
+	_ = tx.WriteFile("/a", nil) //yancvet:allow errdrop best-effort in the fixture
+}
+
+// Unguarded receivers are not errdrop's business.
+func goodUnguarded(l *logger) {
+	l.Printf("hello")
+}

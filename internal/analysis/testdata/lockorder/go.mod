@@ -1,0 +1,3 @@
+module lockorderfixture
+
+go 1.22

@@ -1,0 +1,44 @@
+package lockpkg
+
+// Reentry: the tree lock is not reentrant.
+func (fs *FS) badReentry() {
+	fs.lockTree()
+	fs.rlockTree() // want "already held"
+	fs.runlockTree()
+	fs.unlockTree()
+}
+
+// Rule 1: never take the tree lock while holding a stripe.
+func (fs *FS) badOrder(n *Inode) {
+	s := fs.lockNode(n)
+	fs.lockTree() // want "holding a stripe lock"
+	fs.unlockTree()
+	s.mu.Unlock()
+}
+
+// Rule 2: at most one stripe at a time.
+func (fs *FS) badTwoStripes(a, b *Inode) {
+	s1 := fs.lockNode(a)
+	s2 := fs.lockNode(b) // want "another stripe is held"
+	s2.mu.Unlock()
+	s1.mu.Unlock()
+}
+
+// Rule 4 regression: the PR 3 Tx.ReadFile deadlock — a Synthetic
+// provider invoked while the Tx holds the tree write lock.
+func (tx *Tx) BadReadFile(n *Inode) ([]byte, error) {
+	if n.Synth != nil && n.Synth.Read != nil {
+		return n.Synth.Read() // want "provider invoked under the tree lock"
+	}
+	return nil, nil
+}
+
+// Rule 3: a Tx method must not call a Proc-level entry point.
+func (tx *Tx) BadStat() int {
+	return tx.FS.Stat() // want "tree lock is already held"
+}
+
+// A suppressed violation: the directive must silence the report.
+func (tx *Tx) allowedStat() int {
+	return tx.FS.Stat() //yancvet:allow lockorder exercised by the harness
+}

@@ -1,0 +1,47 @@
+package lockpkg
+
+// The clean shapes the real tree uses: defer pairs, explicit unlocks on
+// branch paths, IIFEs under the lock, and providers invoked outside all
+// locks. None of these may be reported.
+
+func (fs *FS) goodDeferPair() int {
+	fs.rlockTree()
+	defer fs.runlockTree()
+	return 1
+}
+
+func (fs *FS) goodBranchUnlock(n *Inode, trunc bool) {
+	fs.rlockTree()
+	if trunc {
+		s := fs.lockNode(n)
+		s.mu.Unlock()
+	}
+	fs.runlockTree()
+}
+
+func (fs *FS) goodIIFE() int {
+	fs.lockTree()
+	v := func() int {
+		return 2
+	}()
+	fs.unlockTree()
+	return v
+}
+
+func (fs *FS) goodSequential(n *Inode) {
+	s := fs.lockNode(n)
+	s.mu.Unlock()
+	t := fs.lockNode(n)
+	t.mu.Unlock()
+}
+
+// goodProviderOutside mirrors OpenFile: the provider runs after every
+// lock has been released.
+func (fs *FS) goodProviderOutside(n *Inode) ([]byte, error) {
+	fs.rlockTree()
+	fs.runlockTree()
+	if n.Synth != nil && n.Synth.Read != nil {
+		return n.Synth.Read()
+	}
+	return nil, nil
+}

@@ -1,0 +1,59 @@
+// Package lockpkg is a miniature replica of internal/vfs's locking shape
+// used to exercise the lockorder analyzer: a tree RWMutex, striped node
+// locks, Synthetic providers, DirSemantics hooks, and a Tx whose methods
+// run under the tree lock.
+package lockpkg
+
+import "sync"
+
+type Inode struct {
+	Synth *Synthetic
+}
+
+// Synthetic mirrors vfs.Synthetic: provider callbacks that must run
+// outside all tree locks.
+type Synthetic struct {
+	Read  func() ([]byte, error)
+	Write func([]byte) error
+}
+
+// DirSemantics mirrors vfs.DirSemantics: hooks invoked under the tree
+// write lock.
+type DirSemantics struct {
+	OnMkdir  func(name string) error
+	OnRemove func(name string)
+}
+
+type shardLock struct{ mu sync.RWMutex }
+
+type FS struct {
+	tree   sync.RWMutex
+	shards [4]shardLock
+}
+
+func (fs *FS) lockTree()    { fs.tree.Lock() }
+func (fs *FS) unlockTree()  { fs.tree.Unlock() }
+func (fs *FS) rlockTree()   { fs.tree.RLock() }
+func (fs *FS) runlockTree() { fs.tree.RUnlock() }
+
+func (fs *FS) lockNode(n *Inode) *shardLock {
+	s := &fs.shards[0]
+	s.mu.Lock()
+	return s
+}
+
+type Tx struct{ FS *FS }
+
+// WithTx runs fn under the tree write lock, like vfs.FS.WithTx.
+func (fs *FS) WithTx(fn func(tx *Tx)) {
+	fs.lockTree()
+	fn(&Tx{FS: fs})
+	fs.unlockTree()
+}
+
+// Stat is a Proc-level entry point: it takes the tree lock itself.
+func (fs *FS) Stat() int {
+	fs.rlockTree()
+	defer fs.runlockTree()
+	return 1
+}

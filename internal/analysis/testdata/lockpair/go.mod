@@ -1,0 +1,3 @@
+module lockpairfixture
+
+go 1.22

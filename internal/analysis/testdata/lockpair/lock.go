@@ -1,0 +1,85 @@
+// Package lockpair exercises the lockpair analyzer: every acquisition
+// must be released on all paths out of the function.
+package lockpair
+
+import "sync"
+
+type Inode struct{}
+
+type shardLock struct{ mu sync.RWMutex }
+
+type FS struct {
+	tree   sync.RWMutex
+	shards [4]shardLock
+}
+
+func (fs *FS) lockTree()    { fs.tree.Lock() }
+func (fs *FS) unlockTree()  { fs.tree.Unlock() }
+func (fs *FS) rlockTree()   { fs.tree.RLock() }
+func (fs *FS) runlockTree() { fs.tree.RUnlock() }
+
+func (fs *FS) lockNode(n *Inode) *shardLock {
+	s := &fs.shards[0]
+	s.mu.Lock()
+	return s
+}
+
+// An early return that leaks the tree lock.
+func (fs *FS) badEarlyReturn(fail bool) error {
+	fs.lockTree() // want "not released on all paths"
+	if fail {
+		return errDummy
+	}
+	fs.unlockTree()
+	return nil
+}
+
+// A stripe leak: the error branch forgets to release.
+func (fs *FS) badStripeLeak(n *Inode, ok bool) int {
+	s := fs.lockNode(n) // want "not released on all paths"
+	if !ok {
+		return 0
+	}
+	s.mu.Unlock()
+	return 1
+}
+
+// Suppressed: a function that deliberately returns holding the lock.
+func (fs *FS) lockTreeAndReturn() {
+	fs.lockTree() //yancvet:allow lockpair returns holding the lock by contract
+}
+
+// The canonical correct pairings must stay silent.
+func (fs *FS) goodDefer() int {
+	fs.rlockTree()
+	defer fs.runlockTree()
+	return 1
+}
+
+func (fs *FS) goodBranches(fail bool) error {
+	fs.lockTree()
+	if fail {
+		fs.unlockTree()
+		return errDummy
+	}
+	fs.unlockTree()
+	return nil
+}
+
+func (fs *FS) goodStripeDefer(n *Inode) {
+	s := fs.lockNode(n)
+	defer s.mu.Unlock()
+}
+
+func (fs *FS) goodLoop(n *Inode) {
+	for i := 0; i < 3; i++ {
+		s := fs.lockNode(n)
+		s.mu.Unlock()
+	}
+}
+
+var errDummy = sentinel{}
+
+type sentinel struct{}
+
+func (sentinel) Error() string { return "dummy" }

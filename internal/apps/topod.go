@@ -109,14 +109,15 @@ func (t *Topod) drain() int {
 // switches, so a single drain immediately after Probe would race them.
 func (t *Topod) drainUntilQuiet() {
 	quiet := 0
+	//yancvet:wallclock probe settling races real goroutines, not simulated time
 	deadline := time.Now().Add(2 * time.Second)
-	for quiet < 3 && time.Now().Before(deadline) {
+	for quiet < 3 && time.Now().Before(deadline) { //yancvet:wallclock see deadline above
 		if t.drain() == 0 {
 			quiet++
 		} else {
 			quiet = 0
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond) //yancvet:wallclock polling pace for real goroutines
 	}
 }
 

@@ -6,6 +6,8 @@
 // delays the same way, cap at the same knob, and decorrelate themselves
 // with the same jitter so a mass disconnect does not become a
 // synchronized reconnect stampede.
+//
+//yancvet:clocked retry delays must be injectable for deterministic tests
 package backoff
 
 import (
@@ -13,6 +15,30 @@ import (
 	"sync"
 	"time"
 )
+
+// after is the timer the package's sleep paths (Retry) wait on. Tests
+// replace it via SetAfter to drive retry schedules deterministically
+// instead of sleeping through real backoff delays.
+var after = time.After
+
+var afterMu sync.Mutex
+
+// SetAfter replaces the timer used by Retry and returns the previous
+// one. Pass time.After to restore the real clock.
+func SetAfter(f func(time.Duration) <-chan time.Time) func(time.Duration) <-chan time.Time {
+	afterMu.Lock()
+	defer afterMu.Unlock()
+	prev := after
+	after = f
+	return prev
+}
+
+func wait(d time.Duration) <-chan time.Time {
+	afterMu.Lock()
+	f := after
+	afterMu.Unlock()
+	return f(d)
+}
 
 // Policy describes a backoff schedule. The zero value is usable and
 // means: start at 50ms, double each attempt, cap at 5s, with 50%
@@ -84,6 +110,7 @@ type Backoff struct {
 func New(pol Policy) *Backoff {
 	return &Backoff{
 		pol: pol.withDefaults(),
+		//yancvet:wallclock rng seed entropy, not a timestamp
 		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
@@ -132,7 +159,7 @@ func Retry(stop <-chan struct{}, pol Policy, fn func() error) error {
 		select {
 		case <-stop:
 			return err
-		case <-time.After(b.Next()):
+		case <-wait(b.Next()):
 		}
 	}
 }

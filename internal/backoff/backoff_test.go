@@ -76,3 +76,37 @@ func TestRetryStops(t *testing.T) {
 		t.Fatalf("stopped retry = %v", err)
 	}
 }
+
+// TestSetAfter drives Retry with an injected timer: no real sleeping,
+// and the delays handed to the timer follow the policy schedule.
+func TestSetAfter(t *testing.T) {
+	var delays []time.Duration
+	prev := SetAfter(func(d time.Duration) <-chan time.Time {
+		delays = append(delays, d)
+		ch := make(chan time.Time, 1)
+		ch <- time.Time{}
+		return ch
+	})
+	defer SetAfter(prev)
+
+	attempts := 0
+	err := Retry(nil, Policy{Min: time.Second, Max: 4 * time.Second, Jitter: -1}, func() error {
+		attempts++
+		if attempts < 4 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second}
+	if len(delays) != len(want) {
+		t.Fatalf("timer called %d times, want %d (%v)", len(delays), len(want), delays)
+	}
+	for i, d := range delays {
+		if d != want[i] {
+			t.Fatalf("delay[%d] = %v, want %v", i, d, want[i])
+		}
+	}
+}

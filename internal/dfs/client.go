@@ -179,7 +179,7 @@ func dialTimeout(opts Options) time.Duration {
 // return).
 func (c *Client) Close() error {
 	if c.state.Load() == stateUp {
-		_ = c.Flush()
+		_ = c.Flush() //yancvet:allow errdrop best-effort flush; Close must not be held hostage by a dead server
 	}
 	c.mu.Lock()
 	if c.state.Load() == stateClosed {
@@ -347,6 +347,7 @@ func (c *Client) remount(gen uint64) bool {
 	}
 	c.overrideMu.RUnlock()
 	for path, mode := range overrides {
+		//yancvet:allow errdrop best-effort reapply on reconnect; a failure falls back to server defaults
 		_ = c.SetXattr(path, ConsistencyXattr, []byte(mode.String()))
 	}
 
@@ -879,6 +880,7 @@ func (w *RemoteWatch) close() {
 func (w *RemoteWatch) Close() {
 	c := w.client
 	c.dropWatch(w.id)
+	//yancvet:allow errdrop best-effort unsubscribe; the server reaps watches of dead connections anyway
 	_, _ = c.call(request{Op: opUnwatch, Mask: uint32(w.id)})
 	w.close()
 }

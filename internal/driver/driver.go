@@ -346,7 +346,7 @@ func (sc *SwitchConn) touchLastSeen() {
 // which flips status to "disconnected" even though TCP never reported
 // an error — the hung-switch case a production controller must detect.
 func (sc *SwitchConn) echoLoop(interval time.Duration, misses int) {
-	t := time.NewTicker(interval)
+	t := time.NewTicker(interval) //yancvet:wallclock echo pacing is real I/O cadence; tests tune EchoInterval instead
 	defer t.Stop()
 	for {
 		select {
@@ -364,7 +364,7 @@ func (sc *SwitchConn) echoLoop(interval time.Duration, misses int) {
 			return
 		}
 		sc.echoSent.Add(1)
-		sc.echoSentAt.Store(time.Now().UnixNano())
+		sc.echoSentAt.Store(sc.driver.now().UnixNano())
 		_ = sc.write(&openflow.EchoRequest{})
 	}
 }
@@ -424,7 +424,7 @@ func (sc *SwitchConn) readLoop() {
 			sc.mu.Unlock()
 			sc.echoReplies.Add(1)
 			if at := sc.echoSentAt.Swap(0); at > 0 {
-				sc.rtt.Observe(time.Duration(time.Now().UnixNano() - at))
+				sc.rtt.Observe(time.Duration(sc.driver.now().UnixNano() - at))
 			}
 			sc.touchLastSeen()
 		case *openflow.StatsReply:
@@ -758,7 +758,7 @@ func (sc *SwitchConn) queryStats(req *openflow.StatsRequest) (*openflow.StatsRep
 	select {
 	case rep := <-ch:
 		return rep, true
-	case <-time.After(statsTimeout):
+	case <-time.After(statsTimeout): //yancvet:wallclock stats RPC timeout bounds real network I/O
 		sc.mu.Lock()
 		delete(sc.pending, xid)
 		sc.mu.Unlock()

@@ -47,11 +47,38 @@ type Config struct {
 // Injector owns a fault configuration and the set of live wrapped
 // connections. All methods are safe for concurrent use; fault changes
 // apply immediately to existing connections.
+// Clock abstracts the timers the injector uses to realize latency and
+// scheduled heals. Tests virtualize fault timing by injecting their own
+// (SetClock); the default reads the real clock.
+type Clock struct {
+	Sleep     func(time.Duration)
+	AfterFunc func(time.Duration, func()) *time.Timer
+}
+
+func realClock() Clock {
+	return Clock{Sleep: time.Sleep, AfterFunc: time.AfterFunc}
+}
+
+// SetClock replaces the injector's timers. Zero fields keep the real
+// clock for that timer.
+func (in *Injector) SetClock(c Clock) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	if c.AfterFunc == nil {
+		c.AfterFunc = time.AfterFunc
+	}
+	in.clock = c
+}
+
 type Injector struct {
 	mu            sync.Mutex
 	cond          *sync.Cond
 	cfg           Config
 	rng           *rand.Rand
+	clock         Clock
 	partitioned   bool
 	rejectAccepts bool
 	conns         map[*Conn]struct{}
@@ -62,6 +89,7 @@ type Injector struct {
 func New(seed int64) *Injector {
 	in := &Injector{
 		rng:   rand.New(rand.NewSource(seed)),
+		clock: realClock(),
 		conns: make(map[*Conn]struct{}),
 	}
 	in.cond = sync.NewCond(&in.mu)
@@ -94,7 +122,10 @@ func (in *Injector) Heal() {
 // PartitionFor schedules a partition lasting d, returning immediately.
 func (in *Injector) PartitionFor(d time.Duration) {
 	in.Partition()
-	time.AfterFunc(d, in.Heal)
+	in.mu.Lock()
+	afterFunc := in.clock.AfterFunc
+	in.mu.Unlock()
+	afterFunc(d, in.Heal)
 }
 
 // RejectAccepts toggles accept-time rejection: listeners accept and
@@ -177,6 +208,7 @@ func (in *Injector) waitHealthy(c *Conn) error {
 func (in *Injector) delay(n int) {
 	in.mu.Lock()
 	cfg := in.cfg
+	sleep := in.clock.Sleep
 	var jitter time.Duration
 	if cfg.Jitter > 0 {
 		jitter = time.Duration(in.rng.Int63n(int64(cfg.Jitter)))
@@ -187,7 +219,7 @@ func (in *Injector) delay(n int) {
 		d += time.Duration(float64(n) / float64(cfg.ByteRate) * float64(time.Second))
 	}
 	if d > 0 {
-		time.Sleep(d)
+		sleep(d)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"sync"
 	"testing"
 	"time"
 )
@@ -227,5 +228,67 @@ func TestRejectAccepts(t *testing.T) {
 	}
 	if in.Conns() != 1 {
 		t.Errorf("accepted conns = %d", in.Conns())
+	}
+}
+
+// TestSetClock virtualizes fault timing: injected latency is realized
+// through the injected sleeper and PartitionFor's heal timer fires via
+// the injected AfterFunc instead of the real clock.
+func TestSetClock(t *testing.T) {
+	inj := New(1)
+	var mu sync.Mutex
+	var slept []time.Duration
+	heals := make(chan func(), 1)
+	inj.SetClock(Clock{
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+		},
+		AfterFunc: func(d time.Duration, f func()) *time.Timer {
+			heals <- f
+			return nil
+		},
+	})
+
+	inj.SetConfig(Config{Latency: 50 * time.Millisecond})
+	server, client := pair(t, inj)
+	defer server.Close()
+	defer client.Close()
+	if _, err := server.Write([]byte("ping")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(client, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("read = %q, %v", buf, err)
+	}
+	mu.Lock()
+	nslept := len(slept)
+	var total time.Duration
+	for _, d := range slept {
+		total += d
+	}
+	mu.Unlock()
+	if nslept == 0 {
+		t.Fatal("injected sleeper never invoked for latency")
+	}
+	if total < 50*time.Millisecond {
+		t.Fatalf("injected sleeps total %v, want >= configured 50ms", total)
+	}
+
+	// The heal for a scheduled partition fires through the injected
+	// timer: grab it and run it by hand instead of waiting an hour.
+	inj.SetConfig(Config{})
+	inj.PartitionFor(time.Hour)
+	if _, err := server.Write([]byte("gone")); err != nil {
+		t.Fatalf("partitioned write should swallow silently, got %v", err)
+	}
+	heal := <-heals
+	heal()
+	if _, err := server.Write([]byte("back")); err != nil {
+		t.Fatalf("post-heal write: %v", err)
+	}
+	if _, err := io.ReadFull(client, buf); err != nil || string(buf) != "back" {
+		t.Fatalf("post-heal read = %q, %v", buf, err)
 	}
 }

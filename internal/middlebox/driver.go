@@ -254,12 +254,13 @@ func (d *Driver) importConn(path string) {
 			d.Engine.InsertConn(c)
 			return
 		}
-		time.Sleep(2 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond) //yancvet:wallclock watch/mirror settle retry paces real goroutines
 	}
 }
 
 func (d *Driver) readConn(path string, key ConnKey) (Conn, error) {
-	c := Conn{Key: key, Created: time.Now(), LastSeen: time.Now()}
+	now := d.Engine.Now()
+	c := Conn{Key: key, Created: now, LastSeen: now}
 	state, err := d.p.ReadString(vfs.Join(path, "state"))
 	if err != nil {
 		return c, err

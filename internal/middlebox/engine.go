@@ -158,6 +158,13 @@ func (e *Engine) SetClock(clock func() time.Time) {
 	e.now = clock
 }
 
+// Now reads the engine's time source, honoring SetClock overrides.
+func (e *Engine) Now() time.Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now()
+}
+
 // SetPolicy replaces the policy.
 func (e *Engine) SetPolicy(p Policy) {
 	e.mu.Lock()

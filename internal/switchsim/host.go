@@ -93,7 +93,7 @@ func (h *Host) ClearReceived() {
 // simulator is synchronous on the sending goroutine, so this exists for
 // tests that send from other goroutines.
 func (h *Host) WaitFor(pred func(frames [][]byte) bool, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //yancvet:wallclock WaitFor bounds real goroutine delivery, not simulated time
 	for {
 		h.mu.Lock()
 		snapshot := make([][]byte, len(h.rxLog))
@@ -106,13 +106,13 @@ func (h *Host) WaitFor(pred func(frames [][]byte) bool, timeout time.Duration) b
 		if pred(snapshot) {
 			return true
 		}
-		remain := time.Until(deadline)
+		remain := time.Until(deadline) //yancvet:wallclock see deadline above
 		if remain <= 0 {
 			return false
 		}
 		select {
 		case <-w:
-		case <-time.After(remain):
+		case <-time.After(remain): //yancvet:wallclock see deadline above
 			return false
 		}
 	}

@@ -168,7 +168,7 @@ func (sw *Switch) DialRetry(addr string, pol backoff.Policy, stop <-chan struct{
 		select {
 		case <-stop:
 			return
-		case <-time.After(bo.Next()):
+		case <-time.After(bo.Next()): //yancvet:wallclock reconnect backoff paces a real TCP listener
 		}
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"io"
 	"sync"
-	"time"
 )
 
 // Open flags, matching the os package values where the paper's examples
@@ -60,7 +59,7 @@ func (p *Proc) OpenFile(path string, flags int, mode FileMode) (*File, error) {
 		return nil, err
 	}
 	p.fs.stats.opens.Add(1)
-	defer p.fs.observe(LatOpen, time.Now())
+	defer p.fs.observe(LatOpen, latStart())
 
 	f, events, err := p.openFast(path, flags)
 	if errors.Is(err, errNeedCreate) {
@@ -209,7 +208,7 @@ func (f *File) Read(b []byte) (int, error) {
 		return 0, pathErr("read", f.path, ErrBadHandle)
 	}
 	f.proc.fs.stats.reads.Add(1)
-	defer f.proc.fs.observe(LatRead, time.Now())
+	defer f.proc.fs.observe(LatRead, latStart())
 	if err := f.proc.charge("read", len(b)); err != nil {
 		return 0, err
 	}
@@ -248,7 +247,7 @@ func (f *File) Write(b []byte) (int, error) {
 		return 0, pathErr("write", f.path, ErrBadHandle)
 	}
 	f.proc.fs.stats.writes.Add(1)
-	defer f.proc.fs.observe(LatWrite, time.Now())
+	defer f.proc.fs.observe(LatWrite, latStart())
 	if err := f.proc.charge("write", len(b)); err != nil {
 		return 0, err
 	}

@@ -176,12 +176,18 @@ type latencySet struct {
 	hist [NumLatencyOps]Histogram
 }
 
-// observe records the latency of op measured from start. It is called via
-// defer from the op entry points, so it uses wall time (time.Since reads
-// the monotonic clock), never the fake clock tests install with SetClock:
-// latency is a measurement, not file-system time.
+// latStart begins a latency measurement at an op entry point. Latency is
+// a measurement of real elapsed time — it deliberately bypasses the fake
+// clock tests install with SetClock, which is why every entry point says
+// `defer fs.observe(op, latStart())` instead of reading fs.clock.
+func latStart() time.Time {
+	return time.Now() //yancvet:wallclock latency measures real elapsed time
+}
+
+// observe records the latency of op measured from start (obtained from
+// latStart). time.Since reads the monotonic clock.
 func (fs *FS) observe(op LatencyOp, start time.Time) {
-	fs.lat.hist[op].Observe(time.Since(start))
+	fs.lat.hist[op].Observe(time.Since(start)) //yancvet:wallclock monotonic elapsed since latStart
 }
 
 // LatencySnapshot is a point-in-time copy of every op histogram.

@@ -3,7 +3,6 @@ package vfs
 import (
 	"sort"
 	"strings"
-	"time"
 )
 
 // Limiter is charged for every operation a Proc performs. The namespace
@@ -102,7 +101,7 @@ func (p *Proc) Mkdir(path string, mode FileMode) error {
 		return err
 	}
 	p.fs.stats.creates.Add(1)
-	defer p.fs.observe(LatMkdir, time.Now())
+	defer p.fs.observe(LatMkdir, latStart())
 	fs := p.fs
 	fs.lockTree()
 	tx := &Tx{fs: fs}
@@ -268,7 +267,7 @@ func (p *Proc) Remove(path string) error {
 		return err
 	}
 	p.fs.stats.removes.Add(1)
-	defer p.fs.observe(LatRemove, time.Now())
+	defer p.fs.observe(LatRemove, latStart())
 	fs := p.fs
 	fs.lockTree()
 	tx := &Tx{fs: fs}
@@ -311,7 +310,7 @@ func (p *Proc) RemoveAll(path string) error {
 		return err
 	}
 	p.fs.stats.removes.Add(1)
-	defer p.fs.observe(LatRemove, time.Now())
+	defer p.fs.observe(LatRemove, latStart())
 	fs := p.fs
 	fs.lockTree()
 	tx := &Tx{fs: fs}
@@ -346,7 +345,7 @@ func (p *Proc) Rename(oldPath, newPath string) error {
 		return err
 	}
 	p.fs.stats.renames.Add(1)
-	defer p.fs.observe(LatRename, time.Now())
+	defer p.fs.observe(LatRename, latStart())
 	fs := p.fs
 	fs.lockTree()
 	tx := &Tx{fs: fs}
@@ -430,7 +429,7 @@ func (p *Proc) Stat(path string) (Stat, error) {
 		return Stat{}, err
 	}
 	p.fs.stats.stats.Add(1)
-	defer p.fs.observe(LatStat, time.Now())
+	defer p.fs.observe(LatStat, latStart())
 	p.fs.rlockTree()
 	defer p.fs.runlockTree()
 	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(true))
@@ -451,7 +450,7 @@ func (p *Proc) Lstat(path string) (Stat, error) {
 		return Stat{}, err
 	}
 	p.fs.stats.stats.Add(1)
-	defer p.fs.observe(LatStat, time.Now())
+	defer p.fs.observe(LatStat, latStart())
 	p.fs.rlockTree()
 	defer p.fs.runlockTree()
 	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(false))
@@ -484,7 +483,7 @@ func (p *Proc) ReadDir(path string) ([]DirEntry, error) {
 		return nil, err
 	}
 	p.fs.stats.readdirs.Add(1)
-	defer p.fs.observe(LatReadDir, time.Now())
+	defer p.fs.observe(LatReadDir, latStart())
 	p.fs.rlockTree()
 	defer p.fs.runlockTree()
 	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(true))

@@ -265,6 +265,7 @@ func (y *FS) counterSource(switchPath string) CounterSource {
 func (y *FS) bindSwitchCounters(tx *vfs.Tx, switchPath string) {
 	for _, name := range []string{"rx_packets", "tx_packets", "rx_bytes", "tx_bytes"} {
 		file := name
+		//yancvet:allow errdrop counters dir was created earlier in this same Tx, so the bind cannot miss
 		_ = tx.SetSynthetic(vfs.Join(switchPath, "counters", file), &vfs.Synthetic{
 			Read: func() ([]byte, error) {
 				src := y.counterSource(switchPath)
@@ -298,6 +299,7 @@ func (y *FS) bindSwitchCounters(tx *vfs.Tx, switchPath string) {
 func (y *FS) bindFlowCounters(tx *vfs.Tx, switchPath, flowPath, flowName string) {
 	for _, name := range []string{"packets", "bytes"} {
 		file := name
+		//yancvet:allow errdrop counters dir was created earlier in this same Tx, so the bind cannot miss
 		_ = tx.SetSynthetic(vfs.Join(flowPath, "counters", file), &vfs.Synthetic{
 			Read: func() ([]byte, error) {
 				src := y.counterSource(switchPath)
@@ -326,6 +328,7 @@ func (y *FS) bindPortCounters(tx *vfs.Tx, switchPath, portPath, portName string)
 	no := uint32(no64)
 	for _, name := range []string{"rx_packets", "tx_packets", "rx_bytes", "tx_bytes", "rx_dropped", "tx_dropped"} {
 		file := name
+		//yancvet:allow errdrop counters dir was created earlier in this same Tx, so the bind cannot miss
 		_ = tx.SetSynthetic(vfs.Join(portPath, "counters", file), &vfs.Synthetic{
 			Read: func() ([]byte, error) {
 				src := y.counterSource(switchPath)
