@@ -5,9 +5,12 @@
 # concurrency stress/chaos battery, a benchmark smoke pass (every
 # benchmark runs one iteration, so a broken rig fails CI even when no
 # one is measuring), the E14 multicore scaling gate (fails the build
-# if 4 workers are slower than 1 on a 4+-core machine), and the E15
+# if 4 workers are slower than 1 on a 4+-core machine), the E15
 # zero-copy fan-out gate (fails if delivering to 8 subscribers costs
-# more than 2x delivering to 1). Run before every push.
+# more than 2x delivering to 1), and the E16 replication gate (fails
+# if a partitioned or killed leader loses or duplicates an
+# acknowledged write, or if failover convergence exceeds its budget).
+# Run before every push.
 set -eu
 cd "$(dirname "$0")"
 
@@ -39,5 +42,8 @@ go run ./cmd/yancbench -run E14 -quick -gate
 
 echo "==> E15 smoke (zero-copy fan-out gate: 8 subscribers <= 2x 1)"
 go run ./cmd/yancbench -run E15 -quick -gate
+
+echo "==> E16 smoke (replication gate: failover loses nothing, applies once)"
+go run ./cmd/yancbench -run E16 -quick -gate
 
 echo "==> ok"

@@ -8,6 +8,12 @@
 //
 //	yancd [-listen :6633] [-dfs :7070] [-interval 2s] [-verbose]
 //	      [-echo-interval 5s] [-echo-misses 3]
+//	      [-dfs-replicas host1:7070,host2:7070,host3:7070 -dfs-id 0]
+//
+// With -dfs-replicas, the daemon serves its file system as one member
+// of a replicated dfs group: the members elect a lease-bounded leader,
+// strict writes commit on a majority, and clients mounted with
+// yanc.MountDFSReplicas fail over between members.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -26,6 +33,8 @@ import (
 func main() {
 	listen := flag.String("listen", ":6633", "OpenFlow listen address")
 	dfsAddr := flag.String("dfs", "", "export the file system over TCP at this address (empty = off)")
+	dfsID := flag.Int("dfs-id", 0, "this member's index into -dfs-replicas")
+	dfsReplicas := flag.String("dfs-replicas", "", "comma-separated member addresses of a replicated dfs group (empty = standalone -dfs export)")
 	interval := flag.Duration("interval", 2*time.Second, "topology discovery interval")
 	verbose := flag.Bool("verbose", false, "log driver activity")
 	echoInterval := flag.Duration("echo-interval", 5*time.Second, "switch liveness probe interval (0 disables)")
@@ -52,7 +61,19 @@ func main() {
 		}
 	}()
 
-	if *dfsAddr != "" {
+	switch {
+	case *dfsReplicas != "":
+		addrs := strings.Split(*dfsReplicas, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		bound, rep, err := ctrl.ExportDFSReplica(yanc.ReplicaOptions{ID: *dfsID, Addrs: addrs})
+		if err != nil {
+			log.Fatalf("yancd: dfs replica: %v", err)
+		}
+		defer rep.Close()
+		log.Printf("yancd: distributed fs replica %d/%d on %s", *dfsID, len(addrs), bound)
+	case *dfsAddr != "":
 		bound, srv, err := ctrl.ExportDFS(*dfsAddr)
 		if err != nil {
 			log.Fatalf("yancd: dfs export: %v", err)

@@ -1,0 +1,10 @@
+package dfs
+
+// Replica stands in for the replicated control plane: propose, append,
+// and replay errors decide whether an acknowledged write really
+// committed, so dropping them silently loses flows.
+type Replica struct{}
+
+func (r *Replica) Propose(op string) error      { return nil }
+func (r *Replica) AppendEntries(term int) error { return nil }
+func (r *Replica) ReplayWrite(seq uint64) error { return nil }

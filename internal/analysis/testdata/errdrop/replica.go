@@ -1,0 +1,35 @@
+// Replica-shaped errdrop cases: the failover client replays buffered
+// writes against a new leader, and every dropped error is a flow that
+// the caller believes committed. These mirror the propose/replay paths
+// in the real replication layer.
+package errdrop
+
+import "errdropfixture/dfs"
+
+func badProposeDrop(r *dfs.Replica) {
+	r.Propose("append /flows/log") // want "discarded on a guarded path"
+}
+
+func badReplayLoop(r *dfs.Replica, seqs []uint64) {
+	// Replaying after failover and ignoring per-write outcomes: a
+	// rejected duplicate and a lost write look identical to the caller.
+	for _, seq := range seqs {
+		_ = r.ReplayWrite(seq) // want "discarded on a guarded path"
+	}
+}
+
+func badHeartbeatDefer(r *dfs.Replica) {
+	defer r.AppendEntries(7) // want "discarded on a guarded path"
+}
+
+func goodProposeHandled(r *dfs.Replica) error {
+	if err := r.Propose("append /flows/log"); err != nil {
+		return err
+	}
+	return r.AppendEntries(7)
+}
+
+func goodReplayAllowed(r *dfs.Replica) {
+	// A deliberately best-effort catch-up probe, annotated.
+	_ = r.ReplayWrite(0) //yancvet:allow errdrop probe only, outcome read from stats
+}

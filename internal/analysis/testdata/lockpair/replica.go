@@ -1,0 +1,70 @@
+// Replica-shaped code: a lease-holding replication layer sitting on top
+// of the lock package. The apply and campaign paths follow the shapes
+// in internal/dfs/replica.go — acquire, mutate log/lease state, release
+// — and the deliberate bugs are the classic replication mistakes: an
+// early return when the lease is lost, or when a stale term arrives,
+// that leaks the lock it took.
+package lockpair
+
+type Replica struct {
+	fs      *FS
+	term    int
+	applied int
+	leader  bool
+}
+
+// A stale-term AppendEntries rejection that forgets to release: the
+// next heartbeat then deadlocks on the tree lock.
+func (r *Replica) badStaleTermLeak(reqTerm int) bool {
+	r.fs.lockTree() // want "not released on all paths"
+	if reqTerm < r.term {
+		return false
+	}
+	r.applied++
+	r.fs.unlockTree()
+	return true
+}
+
+// A lease-expiry step-down that leaks the stripe lock on the
+// follower branch.
+func (r *Replica) badLeaseStripeLeak(n *Inode, leaseOK bool) int {
+	s := r.fs.lockNode(n) // want "not released on all paths"
+	if !leaseOK {
+		r.leader = false
+		return r.term
+	}
+	r.applied++
+	s.mu.Unlock()
+	return r.term
+}
+
+// The canonical correct shapes from the real replica must stay silent:
+// defers discharge on every exit, including the rejection branches.
+func (r *Replica) goodAppend(reqTerm int) bool {
+	r.fs.lockTree()
+	defer r.fs.unlockTree()
+	if reqTerm < r.term {
+		return false
+	}
+	r.term = reqTerm
+	r.applied++
+	return true
+}
+
+func (r *Replica) goodCampaign(votes, members int) {
+	r.fs.lockTree()
+	if votes*2 <= members {
+		r.fs.unlockTree()
+		return
+	}
+	r.leader = true
+	r.fs.unlockTree()
+}
+
+func (r *Replica) goodApplyLoop(n *Inode, upto int) {
+	for r.applied < upto {
+		s := r.fs.lockNode(n)
+		r.applied++
+		s.mu.Unlock()
+	}
+}

@@ -11,10 +11,17 @@
 package backoff
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 )
+
+// ErrMaxElapsed reports a retry schedule that exhausted its
+// Policy.MaxElapsed budget without the attempt succeeding.
+var ErrMaxElapsed = errors.New("backoff: retry budget exhausted")
 
 // after is the timer the package's sleep paths (Retry) wait on. Tests
 // replace it via SetAfter to drive retry schedules deterministically
@@ -40,6 +47,11 @@ func wait(d time.Duration) <-chan time.Time {
 	return f(d)
 }
 
+// Wait returns a channel that fires after d on the package's injectable
+// timer. Retry loops outside this package select on it (instead of bare
+// time.After) so tests that inject SetAfter control their schedules too.
+func Wait(d time.Duration) <-chan time.Time { return wait(d) }
+
 // Policy describes a backoff schedule. The zero value is usable and
 // means: start at 50ms, double each attempt, cap at 5s, with 50%
 // jitter.
@@ -48,6 +60,16 @@ type Policy struct {
 	Max    time.Duration // delay cap (default 5s)
 	Factor float64       // growth factor per attempt (default 2)
 	Jitter float64       // randomized fraction of each delay, 0..1 (default 0.5; negative disables)
+
+	// MaxElapsed caps the cumulative jittered delay a schedule hands
+	// out: once the sum of returned delays reaches it, NextOK reports
+	// exhaustion and Retry/RetryContext give up with ErrMaxElapsed. The
+	// final delay is clamped so the total never overshoots the budget.
+	// Accounting is over the delays themselves — deterministic, no wall
+	// clock — so injected-timer tests observe exactly the same schedule.
+	// 0 means no cap. Next ignores the cap (but still accrues), for
+	// loops bounded some other way.
+	MaxElapsed time.Duration
 }
 
 // Defaults for zero-valued Policy fields.
@@ -103,6 +125,7 @@ type Backoff struct {
 	mu      sync.Mutex
 	pol     Policy
 	attempt int
+	elapsed time.Duration // cumulative delay handed out since the last Reset
 	rng     *rand.Rand
 }
 
@@ -117,24 +140,49 @@ func New(pol Policy) *Backoff {
 
 // Next returns the delay to sleep before the next attempt and advances
 // the schedule. With Jitter j, the returned delay is uniform in
-// [base*(1-j), base] so delays never exceed the cap.
+// [base*(1-j), base] so delays never exceed the cap. Next ignores
+// Policy.MaxElapsed; use NextOK in loops bounded by the budget.
 func (b *Backoff) Next() time.Duration {
+	d, _ := b.next(false)
+	return d
+}
+
+// NextOK is Next honoring Policy.MaxElapsed: it returns false once the
+// cumulative handed-out delay has consumed the budget, and clamps the
+// final delay so the total lands exactly on it.
+func (b *Backoff) NextOK() (time.Duration, bool) {
+	return b.next(true)
+}
+
+func (b *Backoff) next(honorCap bool) (time.Duration, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	base := b.pol.delay(b.attempt)
-	b.attempt++
-	if b.pol.Jitter == 0 {
-		return base
+	d := base
+	if b.pol.Jitter != 0 {
+		spread := float64(base) * b.pol.Jitter
+		d = base - time.Duration(b.rng.Float64()*spread)
 	}
-	spread := float64(base) * b.pol.Jitter
-	return base - time.Duration(b.rng.Float64()*spread)
+	if honorCap && b.pol.MaxElapsed > 0 {
+		if b.elapsed >= b.pol.MaxElapsed {
+			return 0, false
+		}
+		if remaining := b.pol.MaxElapsed - b.elapsed; d > remaining {
+			d = remaining
+		}
+	}
+	b.attempt++
+	b.elapsed += d
+	return d, true
 }
 
-// Reset rewinds the schedule to the first delay; call it after a
-// successful attempt (e.g. a completed handshake).
+// Reset rewinds the schedule to the first delay and refunds the elapsed
+// budget; call it after a successful attempt (e.g. a completed
+// handshake).
 func (b *Backoff) Reset() {
 	b.mu.Lock()
 	b.attempt = 0
+	b.elapsed = 0
 	b.mu.Unlock()
 }
 
@@ -148,7 +196,9 @@ func (b *Backoff) Attempts() int {
 
 // Retry runs fn until it returns nil, sleeping per pol between
 // failures. It stops early — returning the last error — when stop is
-// closed. A nil stop channel means retry forever.
+// closed, or with ErrMaxElapsed (wrapping the last error) when the
+// policy's MaxElapsed budget runs out. A nil stop channel with no
+// budget means retry forever.
 func Retry(stop <-chan struct{}, pol Policy, fn func() error) error {
 	b := New(pol)
 	for {
@@ -156,10 +206,36 @@ func Retry(stop <-chan struct{}, pol Policy, fn func() error) error {
 		if err == nil {
 			return nil
 		}
+		d, ok := b.NextOK()
+		if !ok {
+			return fmt.Errorf("%w: %v", ErrMaxElapsed, err)
+		}
 		select {
 		case <-stop:
 			return err
-		case <-wait(b.Next()):
+		case <-wait(d):
+		}
+	}
+}
+
+// RetryContext is Retry bound to a context: cancellation stops the loop
+// between attempts, returning the context's error joined with fn's last
+// error (fn itself is responsible for honoring ctx mid-attempt).
+func RetryContext(ctx context.Context, pol Policy, fn func() error) error {
+	b := New(pol)
+	for {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		d, ok := b.NextOK()
+		if !ok {
+			return fmt.Errorf("%w: %v", ErrMaxElapsed, err)
+		}
+		select {
+		case <-ctx.Done():
+			return errors.Join(ctx.Err(), err)
+		case <-wait(d):
 		}
 	}
 }

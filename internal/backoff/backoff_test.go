@@ -1,6 +1,7 @@
 package backoff
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -108,5 +109,102 @@ func TestSetAfter(t *testing.T) {
 		if d != want[i] {
 			t.Fatalf("delay[%d] = %v, want %v", i, d, want[i])
 		}
+	}
+}
+
+// TestMaxElapsedSchedule checks the budget accounting: delays sum to
+// exactly MaxElapsed (the final one clamped), then the schedule reports
+// exhaustion.
+func TestMaxElapsedSchedule(t *testing.T) {
+	b := New(Policy{Min: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: -1, MaxElapsed: 350 * time.Millisecond})
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 50 * time.Millisecond}
+	var total time.Duration
+	for i, w := range want {
+		d, ok := b.NextOK()
+		if !ok {
+			t.Fatalf("NextOK exhausted at attempt %d", i)
+		}
+		if d != w {
+			t.Fatalf("delay[%d] = %v, want %v", i, d, w)
+		}
+		total += d
+	}
+	if total != 350*time.Millisecond {
+		t.Fatalf("total = %v, want the exact budget", total)
+	}
+	if _, ok := b.NextOK(); ok {
+		t.Fatal("schedule not exhausted after consuming the budget")
+	}
+	// Reset refunds the budget.
+	b.Reset()
+	if d, ok := b.NextOK(); !ok || d != 100*time.Millisecond {
+		t.Fatalf("after reset NextOK = %v, %v", d, ok)
+	}
+}
+
+// TestRetryMaxElapsed: Retry gives up with ErrMaxElapsed (wrapping the
+// last attempt error) once the budget is gone, without real sleeping.
+func TestRetryMaxElapsed(t *testing.T) {
+	prev := SetAfter(func(d time.Duration) <-chan time.Time {
+		ch := make(chan time.Time, 1)
+		ch <- time.Time{}
+		return ch
+	})
+	defer SetAfter(prev)
+
+	sentinel := errors.New("still down")
+	attempts := 0
+	err := Retry(nil, Policy{Min: time.Second, Max: time.Second, Jitter: -1, MaxElapsed: 3 * time.Second}, func() error {
+		attempts++
+		return sentinel
+	})
+	if !errors.Is(err, ErrMaxElapsed) {
+		t.Fatalf("err = %v, want ErrMaxElapsed", err)
+	}
+	if attempts != 4 { // three 1s delays consume the budget, then the fourth failure gives up
+		t.Fatalf("attempts = %d, want 4", attempts)
+	}
+}
+
+// TestRetryContextCancellation: a canceled context stops the loop
+// between attempts and the error reports both the cancellation and the
+// last attempt failure.
+func TestRetryContextCancellation(t *testing.T) {
+	prev := SetAfter(func(d time.Duration) <-chan time.Time {
+		return make(chan time.Time) // never fires; cancellation must win
+	})
+	defer SetAfter(prev)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sentinel := errors.New("unreachable peer")
+	errs := make(chan error, 1)
+	go func() {
+		errs <- RetryContext(ctx, Policy{Min: time.Second, Jitter: -1}, func() error { return sentinel })
+	}()
+	cancel()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, context.Canceled) || !errors.Is(err, sentinel) {
+			t.Fatalf("err = %v, want both context.Canceled and the attempt error", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RetryContext ignored cancellation")
+	}
+}
+
+// TestWaitUsesInjectedTimer: the exported Wait goes through SetAfter,
+// so retry loops outside the package stay deterministic under test.
+func TestWaitUsesInjectedTimer(t *testing.T) {
+	var got time.Duration
+	prev := SetAfter(func(d time.Duration) <-chan time.Time {
+		got = d
+		ch := make(chan time.Time, 1)
+		ch <- time.Time{}
+		return ch
+	})
+	defer SetAfter(prev)
+	<-Wait(42 * time.Millisecond)
+	if got != 42*time.Millisecond {
+		t.Fatalf("Wait handed %v to the injected timer", got)
 	}
 }

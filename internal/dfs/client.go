@@ -1,6 +1,8 @@
 package dfs
 
 import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -32,12 +34,19 @@ var ErrTimeout = errors.New("dfs: call timed out")
 // is at capacity (typically during a long disconnection).
 var ErrQueueFull = errors.New("dfs: eventual write queue full")
 
+// ErrNotLeader reports a mutating op sent to a replica that is not the
+// current leader. A failover mount (MountReplicas) absorbs it by
+// re-homing to the leader and replaying; it surfaces to callers only
+// when no leader could be reached within the failover budget.
+var ErrNotLeader = errors.New("dfs: not the leader")
+
 // Resilience defaults (overridable per mount through Options).
 const (
-	DefaultCallTimeout = 10 * time.Second
-	DefaultMaxQueue    = 4096
-	DefaultRetryMin    = 50 * time.Millisecond
-	DefaultRetryMax    = 5 * time.Second
+	DefaultCallTimeout        = 10 * time.Second
+	DefaultMaxQueue           = 4096
+	DefaultRetryMin           = 50 * time.Millisecond
+	DefaultRetryMax           = 5 * time.Second
+	DefaultFailoverMaxElapsed = 30 * time.Second
 )
 
 // Options tunes a mount's failure behaviour.
@@ -58,6 +67,11 @@ type Options struct {
 	// MaxQueue bounds the eventual-consistency write queue; writes beyond
 	// it fail with ErrQueueFull. 0 means DefaultMaxQueue.
 	MaxQueue int
+	// FailoverMaxElapsed caps the total jittered time a failover mount
+	// (MountReplicas) spends retrying one strict operation across leader
+	// redirects and remounts before surfacing the error. 0 means
+	// DefaultFailoverMaxElapsed; negative disables the cap.
+	FailoverMaxElapsed time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -73,11 +87,23 @@ func (o Options) withDefaults() Options {
 	if o.MaxQueue <= 0 {
 		o.MaxQueue = DefaultMaxQueue
 	}
+	if o.FailoverMaxElapsed == 0 {
+		o.FailoverMaxElapsed = DefaultFailoverMaxElapsed
+	}
 	return o
 }
 
 func (o Options) retryPolicy() backoff.Policy {
 	return backoff.Policy{Min: o.RetryMin, Max: o.RetryMax}
+}
+
+// failoverPolicy is retryPolicy bounded by the failover budget.
+func (o Options) failoverPolicy() backoff.Policy {
+	p := o.retryPolicy()
+	if o.FailoverMaxElapsed > 0 {
+		p.MaxElapsed = o.FailoverMaxElapsed
+	}
+	return p
 }
 
 // Connection lifecycle states.
@@ -92,10 +118,19 @@ const (
 // against the mount — the property §6 relies on to distribute yanc
 // applications across machines.
 type Client struct {
-	addr        string
+	addr        string   // current address (under mu once mounted)
+	addrs       []string // every known replica address; len 1 for plain mounts
+	addrIdx     int      // index of addr in addrs (under mu)
+	preferred   string   // leader redirect hint for the next remount (under mu)
+	failover    bool     // MountReplicas: re-home and replay on ErrNotLeader
 	cred        vfs.Cred
 	consistency Consistency
 	opts        Options
+
+	// Exactly-once identity: every mutating request is stamped with
+	// (clientID, next seq) so a replica group can deduplicate replays.
+	clientID uint64
+	seq      atomic.Uint64
 
 	// state is read lock-free on hot paths; transitions happen under mu.
 	state atomic.Int32
@@ -138,16 +173,53 @@ func Mount(addr string, cred vfs.Cred, consistency Consistency) (*Client, error)
 
 // MountOptions is Mount with explicit resilience options.
 func MountOptions(addr string, cred vfs.Cred, consistency Consistency, opts Options) (*Client, error) {
+	return mountAddrs([]string{addr}, cred, consistency, opts, false)
+}
+
+// MountReplicas mounts a replicated export given every replica's
+// address. The mount homes on whichever replica answers first and
+// follows the leader from there: a write rejected with ErrNotLeader (or
+// lost to a dead leader) tears the connection down, the remount
+// machinery redials — preferring the rejecting replica's leader hint —
+// and the session (hello, consistency overrides, watches, queued
+// writes) replays on the new home. In-flight mutations are replayed
+// under their original (ClientID, Seq) identity, which every replica's
+// apply path deduplicates: a mid-failover flow push lands exactly once.
+// Reconnect is implied.
+func MountReplicas(addrs []string, cred vfs.Cred, consistency Consistency, opts Options) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("dfs: MountReplicas: no addresses")
+	}
+	opts.Reconnect = true
+	return mountAddrs(append([]string(nil), addrs...), cred, consistency, opts, true)
+}
+
+func mountAddrs(addrs []string, cred vfs.Cred, consistency Consistency, opts Options, failover bool) (*Client, error) {
 	opts = opts.withDefaults()
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout(opts))
-	if err != nil {
-		return nil, fmt.Errorf("dfs: mount %s: %w", addr, err)
+	var (
+		conn net.Conn
+		addr string
+		idx  int
+		err  error
+	)
+	for i, a := range addrs {
+		if conn, err = net.DialTimeout("tcp", a, dialTimeout(opts)); err == nil {
+			addr, idx = a, i
+			break
+		}
+	}
+	if conn == nil {
+		return nil, fmt.Errorf("dfs: mount %s: %w", strings.Join(addrs, ","), err)
 	}
 	c := &Client{
 		addr:        addr,
+		addrs:       addrs,
+		addrIdx:     idx,
+		failover:    failover,
 		cred:        cred,
 		consistency: consistency,
 		opts:        opts,
+		clientID:    newClientID(),
 		conn:        conn,
 		enc:         gob.NewEncoder(conn),
 		pending:     make(map[uint64]chan *response),
@@ -164,6 +236,17 @@ func MountOptions(addr string, cred vfs.Cred, consistency Consistency, opts Opti
 	go c.readLoop(0, conn)
 	go c.flushLoop()
 	return c, nil
+}
+
+// newClientID draws a mount's exactly-once identity. A collision would
+// merge two clients' dedup windows on the replicas, so this is 64 bits
+// from the OS entropy pool rather than a process-local counter.
+func newClientID() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		panic("dfs: no entropy for client ID: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(b[:])
 }
 
 func dialTimeout(opts Options) time.Duration {
@@ -279,14 +362,15 @@ func (c *Client) connLost(gen uint64, err error) {
 }
 
 // reconnectLoop redials with capped exponential backoff until the mount
-// is re-established or closed.
+// is re-established or closed. Each attempt may land on a different
+// replica (see nextAddr), which is the whole failover mechanism.
 func (c *Client) reconnectLoop(gen uint64) {
 	bo := backoff.New(c.opts.retryPolicy())
 	for {
 		select {
 		case <-c.stopFlush:
 			return
-		case <-time.After(bo.Next()):
+		case <-backoff.Wait(bo.Next()):
 		}
 		if c.state.Load() == stateClosed {
 			return
@@ -297,17 +381,56 @@ func (c *Client) reconnectLoop(gen uint64) {
 	}
 }
 
+// nextAddr picks the address for the next reconnect attempt: a pending
+// leader redirect hint wins, else round-robin over the replica set (a
+// single-address mount just keeps redialing its server).
+func (c *Client) nextAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.preferred != "" {
+		a := c.preferred
+		c.preferred = ""
+		for i, known := range c.addrs {
+			if known == a {
+				c.addrIdx = i
+			}
+		}
+		return a
+	}
+	c.addrIdx = (c.addrIdx + 1) % len(c.addrs)
+	return c.addrs[c.addrIdx]
+}
+
+// redirect re-homes a failover mount after a leader rejection: remember
+// the hint (when the rejecting replica knew the leader) and tear the
+// connection down, so the same remount path a crash takes replays the
+// session — overrides, watches, queued writes — on the leader.
+func (c *Client) redirect(hint string) {
+	if !c.failover {
+		return
+	}
+	c.mu.Lock()
+	if hint != "" {
+		c.preferred = hint
+	}
+	gen := c.gen
+	c.mu.Unlock()
+	c.connLost(gen, ErrNotLeader)
+}
+
 // remount performs one reconnect attempt: dial, replay the hello, swap
 // the connection in under a new generation, then restore session state —
 // consistency overrides and watches — and wake the flusher so writes
 // queued during the outage drain. It reports whether the loop is done
 // (success, or the mount closed underneath it).
 func (c *Client) remount(gen uint64) bool {
-	conn, err := net.DialTimeout("tcp", c.addr, dialTimeout(c.opts))
+	addr := c.nextAddr()
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout(c.opts))
 	if err != nil {
 		return false
 	}
 	enc := gob.NewEncoder(conn)
+	//yancvet:wallclock transport write deadline must be real time
 	conn.SetWriteDeadline(time.Now().Add(dialTimeout(c.opts)))
 	err = c.withSend(func() error {
 		return enc.Encode(hello{UID: c.cred.UID, GID: c.cred.GID, Groups: c.cred.Groups, Consistency: c.consistency})
@@ -324,6 +447,10 @@ func (c *Client) remount(gen uint64) bool {
 		conn.Close()
 		return true
 	}
+	if addr != c.addr {
+		c.counters.failovers.Add(1)
+	}
+	c.addr = addr
 	c.conn, c.enc = conn, enc
 	c.gen++
 	newGen := c.gen
@@ -422,6 +549,7 @@ func (c *Client) send(conn net.Conn, enc *gob.Encoder, req *request) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	if t := c.opts.CallTimeout; t > 0 {
+		//yancvet:wallclock transport write deadline must be real time
 		conn.SetWriteDeadline(time.Now().Add(t))
 		defer conn.SetWriteDeadline(time.Time{})
 	}
@@ -434,6 +562,7 @@ func (c *Client) send(conn net.Conn, enc *gob.Encoder, req *request) error {
 func (c *Client) await(id uint64, ch chan *response, gen uint64) (*response, error) {
 	var timeout <-chan time.Time
 	if c.opts.CallTimeout > 0 {
+		//yancvet:wallclock RPC deadline is a real-time promise to the caller
 		timer := time.NewTimer(c.opts.CallTimeout)
 		defer timer.Stop()
 		timeout = timer.C
@@ -483,6 +612,75 @@ func isConnError(err error) bool {
 	return errors.Is(err, ErrDisconnected) || errors.Is(err, ErrTimeout)
 }
 
+// stamp assigns a mutating request its exactly-once (ClientID, Seq)
+// identity. Idempotent: a replay keeps its original stamp.
+func (c *Client) stamp(req *request) {
+	if req.Seq == 0 && mutating(req.Op) {
+		req.ClientID = c.clientID
+		req.Seq = c.seq.Add(1)
+	}
+}
+
+// mcall performs one strict mutating RPC. On a failover mount the
+// request is stamped and retried across leader redirects and remounts:
+// at-least-once delivery, which the replicas' dedup windows turn into
+// exactly-once apply.
+func (c *Client) mcall(req request) (*response, error) {
+	if !c.failover {
+		return c.call(req)
+	}
+	c.stamp(&req)
+	return c.retry(req, true)
+}
+
+// rcall performs one read RPC, retried across failover without a
+// sequence stamp (reads are idempotent by nature).
+func (c *Client) rcall(req request) (*response, error) {
+	if !c.failover {
+		return c.call(req)
+	}
+	return c.retry(req, false)
+}
+
+// retry drives one RPC to completion across leader changes. The loop
+// runs until the call succeeds, fails with a genuine server-side error,
+// or exhausts the failover budget (Options.FailoverMaxElapsed).
+func (c *Client) retry(req request, isWrite bool) (*response, error) {
+	bo := backoff.New(c.opts.failoverPolicy())
+	for {
+		rsp, err := c.call(req)
+		if err == nil {
+			return rsp, nil
+		}
+		switch {
+		case errors.Is(err, ErrClosed):
+			return rsp, err
+		case errors.Is(err, ErrNotLeader):
+			var hint string
+			if rsp != nil {
+				hint = rsp.Leader
+			}
+			c.redirect(hint)
+		case isConnError(err):
+			// The remount machinery is already re-homing; wait it out.
+		default:
+			return rsp, err // the server refused the op; retrying cannot help
+		}
+		d, ok := bo.NextOK()
+		if !ok {
+			return rsp, err
+		}
+		if isWrite {
+			c.counters.replayedWrites.Add(1)
+		}
+		select {
+		case <-c.stopFlush:
+			return rsp, err
+		case <-backoff.Wait(d):
+		}
+	}
+}
+
 // SetConsistency records a subtree override and persists it as the
 // subtree's xattr so other mounts can observe the requirement.
 func (c *Client) SetConsistency(path string, mode Consistency) error {
@@ -523,12 +721,15 @@ func (c *Client) modeFor(path string) Consistency {
 // Reconnect) they wait there for the remount instead of failing.
 func (c *Client) write(path string, req request) error {
 	if c.modeFor(path) == Strict {
-		_, err := c.call(req)
+		_, err := c.mcall(req)
 		return err
 	}
 	if c.state.Load() == stateClosed {
 		return ErrClosed
 	}
+	// Stamp at queue time: if a flush batch is cut off mid-failover and
+	// replayed on the new leader, the replicas dedup each sub-write.
+	c.stamp(&req)
 	c.queueMu.Lock()
 	if len(c.queue) >= c.opts.MaxQueue {
 		c.queueMu.Unlock()
@@ -565,9 +766,18 @@ func (c *Client) flushLoop() {
 		c.flushing = true
 		c.queueMu.Unlock()
 
-		_, err := c.call(request{Op: opBatch, Sub: batch})
+		rsp, err := c.call(request{Op: opBatch, Sub: batch})
 
-		if err != nil && isConnError(err) && c.opts.Reconnect && c.state.Load() != stateClosed {
+		retryable := isConnError(err) || errors.Is(err, ErrNotLeader)
+		if err != nil && retryable && c.opts.Reconnect && c.state.Load() != stateClosed {
+			if errors.Is(err, ErrNotLeader) {
+				var hint string
+				if rsp != nil {
+					hint = rsp.Leader
+				}
+				c.redirect(hint)
+				c.counters.replayedWrites.Add(uint64(len(batch)))
+			}
 			c.queueMu.Lock()
 			c.queue = append(batch, c.queue...)
 			c.flushing = false
@@ -575,7 +785,7 @@ func (c *Client) flushLoop() {
 			select {
 			case <-c.stopFlush:
 				return
-			case <-time.After(bo.Next()):
+			case <-backoff.Wait(bo.Next()):
 			}
 			continue
 		}
@@ -649,7 +859,7 @@ func (c *Client) AppendFile(path string, data []byte, mode vfs.FileMode) error {
 
 // ReadFile reads a whole file.
 func (c *Client) ReadFile(path string) ([]byte, error) {
-	rsp, err := c.call(request{Op: opReadFile, Path: path})
+	rsp, err := c.rcall(request{Op: opReadFile, Path: path})
 	if err != nil {
 		return nil, err
 	}
@@ -687,7 +897,7 @@ func (c *Client) Symlink(target, linkPath string) error {
 
 // Readlink reads a symlink target.
 func (c *Client) Readlink(path string) (string, error) {
-	rsp, err := c.call(request{Op: opReadlink, Path: path})
+	rsp, err := c.rcall(request{Op: opReadlink, Path: path})
 	if err != nil {
 		return "", err
 	}
@@ -701,7 +911,7 @@ func (c *Client) Link(oldPath, newPath string) error {
 
 // ReadDir lists a directory.
 func (c *Client) ReadDir(path string) ([]vfs.DirEntry, error) {
-	rsp, err := c.call(request{Op: opReadDir, Path: path})
+	rsp, err := c.rcall(request{Op: opReadDir, Path: path})
 	if err != nil {
 		return nil, err
 	}
@@ -710,7 +920,7 @@ func (c *Client) ReadDir(path string) ([]vfs.DirEntry, error) {
 
 // Stat stats a path, following symlinks.
 func (c *Client) Stat(path string) (vfs.Stat, error) {
-	rsp, err := c.call(request{Op: opStat, Path: path})
+	rsp, err := c.rcall(request{Op: opStat, Path: path})
 	if err != nil {
 		return vfs.Stat{}, err
 	}
@@ -719,7 +929,7 @@ func (c *Client) Stat(path string) (vfs.Stat, error) {
 
 // Lstat stats a path without following a final symlink.
 func (c *Client) Lstat(path string) (vfs.Stat, error) {
-	rsp, err := c.call(request{Op: opLstat, Path: path})
+	rsp, err := c.rcall(request{Op: opLstat, Path: path})
 	if err != nil {
 		return vfs.Stat{}, err
 	}
@@ -751,13 +961,13 @@ func (c *Client) Chown(path string, uid, gid int) error {
 // SetXattr sets an extended attribute (always strict: metadata like
 // consistency requirements must not lag).
 func (c *Client) SetXattr(path, attr string, value []byte) error {
-	_, err := c.call(request{Op: opSetXattr, Path: path, Path2: attr, Data: value})
+	_, err := c.mcall(request{Op: opSetXattr, Path: path, Path2: attr, Data: value})
 	return err
 }
 
 // GetXattr reads an extended attribute.
 func (c *Client) GetXattr(path, attr string) ([]byte, error) {
-	rsp, err := c.call(request{Op: opGetXattr, Path: path, Path2: attr})
+	rsp, err := c.rcall(request{Op: opGetXattr, Path: path, Path2: attr})
 	if err != nil {
 		return nil, err
 	}
@@ -766,7 +976,7 @@ func (c *Client) GetXattr(path, attr string) ([]byte, error) {
 
 // ListXattr lists attribute names.
 func (c *Client) ListXattr(path string) ([]string, error) {
-	rsp, err := c.call(request{Op: opListXattr, Path: path})
+	rsp, err := c.rcall(request{Op: opListXattr, Path: path})
 	if err != nil {
 		return nil, err
 	}
@@ -775,13 +985,13 @@ func (c *Client) ListXattr(path string) ([]string, error) {
 
 // RemoveXattr removes an attribute.
 func (c *Client) RemoveXattr(path, attr string) error {
-	_, err := c.call(request{Op: opRemoveXattr, Path: path, Path2: attr})
+	_, err := c.mcall(request{Op: opRemoveXattr, Path: path, Path2: attr})
 	return err
 }
 
 // Glob matches a wildcard pattern server-side.
 func (c *Client) Glob(pattern string) ([]string, error) {
-	rsp, err := c.call(request{Op: opGlob, Path: pattern})
+	rsp, err := c.rcall(request{Op: opGlob, Path: pattern})
 	if err != nil {
 		return nil, err
 	}

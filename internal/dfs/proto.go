@@ -80,7 +80,23 @@ const (
 	opUnwatch
 	opGlob
 	opBatch
+	// Replication ops, exchanged only between replicas (sessions whose
+	// hello carried Peer=true).
+	opAppendEntries // leader -> follower: log entries + commit index (doubles as the lease heartbeat)
+	opRequestVote   // candidate -> peer: election for a new term
+	opNoop          // log-only: appended by a fresh leader to commit earlier-term entries
 )
+
+// mutating reports whether op changes file-system state and therefore
+// must flow through the replication log on a replicated export.
+func mutating(op int) bool {
+	switch op {
+	case opMkdir, opMkdirAll, opWriteFile, opAppendFile, opRemove, opRemoveAll,
+		opRename, opSymlink, opLink, opChmod, opChown, opSetXattr, opRemoveXattr, opBatch:
+		return true
+	}
+	return false
+}
 
 // request is one wire request. Batch requests carry sub-requests.
 type request struct {
@@ -95,6 +111,23 @@ type request struct {
 	Mask      uint32 // watch mask
 	Recursive bool
 	Sub       []request // opBatch
+
+	// Exactly-once identity of a mutating op. A client that fails over
+	// between replicas replays in-flight writes with the same (ClientID,
+	// Seq); the apply path deduplicates them, so a mid-failover flow push
+	// lands exactly once. Seq 0 means "no dedup" (legacy clients).
+	ClientID uint64
+	Seq      uint64
+
+	// Replication fields (opAppendEntries / opRequestVote).
+	Term      uint64     // sender's term
+	From      int        // sender's replica ID
+	PrevIndex uint64     // log index preceding Entries
+	PrevTerm  uint64     // term of the entry at PrevIndex
+	Commit    uint64     // leader's commit index
+	Entries   []LogEntry // entries to append (empty = pure heartbeat)
+	LastIndex uint64     // candidate's last log index (opRequestVote)
+	LastTerm  uint64     // candidate's last log term (opRequestVote)
 }
 
 // response answers a request; watch events reuse the watch's request ID
@@ -108,6 +141,24 @@ type response struct {
 	Stat    vfs.Stat
 	Names   []string
 	Event   *vfs.Event
+
+	// Replication fields.
+	Term       uint64 // responder's term (lets a stale leader/candidate step down)
+	Ok         bool   // append accepted / vote granted
+	MatchIndex uint64 // highest log index known replicated on the responder
+	Leader     string // redirect hint: the address of the current leader, if known
+}
+
+// LogEntry is one mutating operation in the replication log. Index is
+// 1-based; Term is the leader term that appended it. ClientID/Seq mirror
+// the originating request so every replica's apply path can deduplicate
+// client replays identically.
+type LogEntry struct {
+	Index    uint64
+	Term     uint64
+	ClientID uint64
+	Seq      uint64
+	Req      request
 }
 
 // Error kinds for faithful errors.Is behaviour across the wire.
@@ -127,20 +178,24 @@ const (
 	// errConn is fabricated client-side for requests orphaned by a lost
 	// connection; it never crosses the wire.
 	errConn
+	// errNotLeader reports a mutating op sent to a replica that is not
+	// the leader; the response's Leader field carries a redirect hint.
+	errNotLeader
 )
 
 var kindToErr = map[int]error{
-	errNotExist: vfs.ErrNotExist,
-	errExist:    vfs.ErrExist,
-	errNotDir:   vfs.ErrNotDir,
-	errIsDir:    vfs.ErrIsDir,
-	errNotEmpty: vfs.ErrNotEmpty,
-	errPerm:     vfs.ErrPerm,
-	errAccess:   vfs.ErrAccess,
-	errInvalid:  vfs.ErrInvalid,
-	errNoAttr:   vfs.ErrNoAttr,
-	errQuota:    vfs.ErrQuota,
-	errConn:     ErrDisconnected,
+	errNotExist:  vfs.ErrNotExist,
+	errExist:     vfs.ErrExist,
+	errNotDir:    vfs.ErrNotDir,
+	errIsDir:     vfs.ErrIsDir,
+	errNotEmpty:  vfs.ErrNotEmpty,
+	errPerm:      vfs.ErrPerm,
+	errAccess:    vfs.ErrAccess,
+	errInvalid:   vfs.ErrInvalid,
+	errNoAttr:    vfs.ErrNoAttr,
+	errQuota:     vfs.ErrQuota,
+	errConn:      ErrDisconnected,
+	errNotLeader: ErrNotLeader,
 }
 
 func errKind(err error) int {
@@ -184,12 +239,16 @@ func wireError(rsp *response) error {
 }
 
 // hello is the first message a client sends: its credential (AUTH_SYS
-// style, as NFS does) and requested default consistency.
+// style, as NFS does) and requested default consistency. Replicas
+// introduce themselves with Peer set; peer sessions carry only
+// replication ops and are never granted file I/O.
 type hello struct {
 	UID         int
 	GID         int
 	Groups      []int
 	Consistency Consistency
+	Peer        bool
+	From        int // peer's replica ID
 }
 
 func init() {

@@ -1,0 +1,975 @@
+// Replicated control plane (§6): N dfs replicas, one holding a leader
+// lease, turn the single exported file system into a fault-tolerant
+// cluster. The leader appends every mutating op to a replication log
+// and streams it to followers over the same gob proto the clients
+// speak; followers apply committed entries to their own vfs tree, serve
+// reads (and watches) at their applied index, and bounce writes back
+// with a leader redirect hint.
+//
+// The protocol is a lease-bounded subset of Raft:
+//
+//   - Terms are monotone; every message carries the sender's term and a
+//     higher term always wins.
+//   - A follower that hears nothing for its (randomized) election
+//     timeout becomes a candidate, increments the term, and asks every
+//     peer for a vote. A vote is granted once per term and only to a
+//     candidate whose log is at least as complete — so an elected
+//     leader always holds every majority-acknowledged write.
+//   - The leader's lease is its right to keep serving: it must hear
+//     append acknowledgments from a majority within LeaseTimeout or it
+//     steps down. A leader that can send heartbeats but not receive
+//     acks (the asymmetric partition faultnet can inject) therefore
+//     vacates in bounded time, letting the majority side elect.
+//   - Consistency is per-path (WheelFS-style, via the same
+//     user.yanc.consistency xattr clients use): a strict write is acked
+//     only after a majority holds its log entry; an eventual write is
+//     acked after the leader's local apply and streamed lazily.
+//   - Every mutating request carries a (ClientID, Seq) identity; the
+//     apply path on every replica deduplicates, so a client replaying a
+//     mid-failover write onto the new leader lands it exactly once —
+//     even on the deposed leader when it later rejoins and receives the
+//     same op again through the new leader's log.
+//
+// The log lives in memory and is never compacted; replicas joining
+// fresh replay it from index 1. That bounds this design to control-
+// plane state (flow tables, topology, host records), which is exactly
+// the workload §6 distributes.
+package dfs
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"net"
+	"path"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"yanc/internal/backoff"
+	"yanc/internal/vfs"
+)
+
+// Clock abstracts the timers the replication layer runs on: lease
+// expiry, election timeouts, and heartbeat pacing. Tests inject a
+// virtual clock for determinism; the default reads the real one.
+type Clock struct {
+	Now   func() time.Time
+	After func(time.Duration) <-chan time.Time
+}
+
+func (c Clock) withDefaults() Clock {
+	if c.Now == nil {
+		//yancvet:wallclock default clock is the real clock by definition
+		c.Now = time.Now
+	}
+	if c.After == nil {
+		//yancvet:wallclock default clock is the real clock by definition
+		c.After = time.After
+	}
+	return c
+}
+
+// Role is a replica's position in the current term.
+type Role int32
+
+// Replica roles.
+const (
+	RoleFollower Role = iota
+	RoleCandidate
+	RoleLeader
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleLeader:
+		return "leader"
+	case RoleCandidate:
+		return "candidate"
+	default:
+		return "follower"
+	}
+}
+
+// Replication timing defaults (overridable per replica).
+const (
+	DefaultHeartbeat       = 25 * time.Millisecond
+	DefaultLeaseTimeout    = 250 * time.Millisecond
+	DefaultElectionTimeout = 300 * time.Millisecond
+	DefaultCommitTimeout   = 5 * time.Second
+)
+
+// ReplicaOptions configures one member of a replica group.
+type ReplicaOptions struct {
+	// ID indexes this replica in Addrs.
+	ID int
+	// Addrs lists every replica's advertised address, in ID order. All
+	// members must agree on it.
+	Addrs []string
+	// Heartbeat paces leader appends; an idle leader still appends this
+	// often so followers keep their election timers reset.
+	Heartbeat time.Duration
+	// LeaseTimeout bounds leadership without majority contact: a leader
+	// that collects no majority of append acks within it steps down, and
+	// peer round trips time out at this bound.
+	LeaseTimeout time.Duration
+	// ElectionTimeout is the base follower patience; each wait is
+	// randomized in [T, 2T) to decorrelate candidates.
+	ElectionTimeout time.Duration
+	// CommitTimeout bounds how long a strict write waits for majority
+	// acknowledgment before failing back to the client (who retries,
+	// deduplicated, after failover).
+	CommitTimeout time.Duration
+	// Dial opens a connection to a peer address. Fault harnesses
+	// interpose here; the default is plain TCP.
+	Dial func(addr string) (net.Conn, error)
+	// Clock supplies the timers; tests inject a virtual one.
+	Clock Clock
+	// Seed makes election-timeout randomization reproducible.
+	Seed int64
+}
+
+func (o ReplicaOptions) withDefaults() ReplicaOptions {
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = DefaultHeartbeat
+	}
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = DefaultLeaseTimeout
+	}
+	if o.ElectionTimeout <= 0 {
+		o.ElectionTimeout = DefaultElectionTimeout
+	}
+	if o.CommitTimeout <= 0 {
+		o.CommitTimeout = DefaultCommitTimeout
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, DefaultCallTimeout)
+		}
+	}
+	o.Clock = o.Clock.withDefaults()
+	return o
+}
+
+// dedupWindow bounds how many out-of-order sequence numbers per client
+// the apply path remembers; anything older than maxSeq-window is
+// treated as an ancient duplicate.
+const dedupWindow = 4096
+
+// dedupResult is one remembered apply outcome.
+type dedupResult struct {
+	rsp   response
+	index uint64 // log index the op was applied at
+}
+
+// clientWindow is the per-client dedup state, replicated implicitly:
+// it is rebuilt identically on every replica by applying the same log.
+type clientWindow struct {
+	maxSeq uint64
+	seen   map[uint64]dedupResult
+}
+
+// Replica is one member of a replicated dfs export. It embeds a Server
+// for the client-facing session handling; mutating client ops are
+// routed through the replication log instead of applied directly.
+type Replica struct {
+	srv  *Server
+	fs   *vfs.FS
+	proc *vfs.Proc
+	opts ReplicaOptions
+
+	n, majority int
+
+	mu       sync.Mutex
+	closed   bool
+	stop     chan struct{}
+	role     Role
+	term     uint64
+	votedFor int // candidate voted for in the current term; -1 none
+	leaderID int // last observed leader; -1 unknown
+	log      []LogEntry
+	commit   uint64
+	applied  uint64
+	dedup    map[uint64]*clientWindow
+
+	electionDeadline time.Time
+
+	votes    map[int]bool // candidate: grants received this term
+	voteSent []uint64     // per peer: term of the last vote request sent
+
+	nextIndex  []uint64    // leader: next log index to send each peer
+	matchIndex []uint64    // leader: highest index known replicated on each peer
+	ackTime    []time.Time // leader: last append ack per peer (lease evidence)
+	lastSend   []time.Time // leader: last append sent per peer (heartbeat pacing)
+
+	waiters map[uint64][]chan error // strict acks parked on a log index
+
+	rng *rand.Rand
+	wg  sync.WaitGroup
+
+	counters replicaCounters
+}
+
+// NewReplica creates replica opts.ID of a group exporting fs. Call
+// ListenOn/Listen to accept clients and peers, then Start to join the
+// replication protocol.
+func NewReplica(fs *vfs.FS, opts ReplicaOptions) (*Replica, error) {
+	opts = opts.withDefaults()
+	if opts.ID < 0 || opts.ID >= len(opts.Addrs) {
+		return nil, fmt.Errorf("dfs: replica ID %d outside Addrs (%d members)", opts.ID, len(opts.Addrs))
+	}
+	n := len(opts.Addrs)
+	r := &Replica{
+		srv:        NewServer(fs),
+		fs:         fs,
+		proc:       fs.Proc(vfs.Root),
+		opts:       opts,
+		n:          n,
+		majority:   n/2 + 1,
+		stop:       make(chan struct{}),
+		role:       RoleFollower,
+		votedFor:   -1,
+		leaderID:   -1,
+		dedup:      make(map[uint64]*clientWindow),
+		voteSent:   make([]uint64, n),
+		nextIndex:  make([]uint64, n),
+		matchIndex: make([]uint64, n),
+		ackTime:    make([]time.Time, n),
+		lastSend:   make([]time.Time, n),
+		waiters:    make(map[uint64][]chan error),
+		rng:        rand.New(rand.NewSource(opts.Seed + int64(opts.ID)*7919)),
+	}
+	r.srv.replica = r
+	return r, nil
+}
+
+// Server returns the embedded client-facing server (for stats binding).
+func (r *Replica) Server() *Server { return r.srv }
+
+// ID returns this replica's index in the group.
+func (r *Replica) ID() int { return r.opts.ID }
+
+// Addr returns this replica's advertised address.
+func (r *Replica) Addr() string { return r.opts.Addrs[r.opts.ID] }
+
+// Listen starts accepting clients and peers on addr.
+func (r *Replica) Listen(addr string) (string, error) { return r.srv.Listen(addr) }
+
+// ListenOn starts accepting on an existing listener (the faultnet hook).
+func (r *Replica) ListenOn(l net.Listener) (string, error) { return r.srv.ListenOn(l) }
+
+// Start joins the replication protocol: the tick loop watches the
+// lease/election timers and one loop per peer streams appends and vote
+// requests.
+func (r *Replica) Start() {
+	r.mu.Lock()
+	now := r.opts.Clock.Now()
+	r.electionDeadline = now.Add(r.randElectionTimeout())
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go r.tickLoop()
+	for j := 0; j < r.n; j++ {
+		if j == r.opts.ID {
+			continue
+		}
+		r.wg.Add(1)
+		go r.peerLoop(j)
+	}
+}
+
+// Close stops the replica: the server drops its sessions and the
+// protocol loops drain.
+func (r *Replica) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.failWaitersLocked(fmt.Errorf("%w: replica closed", ErrNotLeader))
+	r.mu.Unlock()
+	close(r.stop)
+	r.srv.Close()
+	r.wg.Wait()
+}
+
+// randElectionTimeout returns a fresh randomized follower patience in
+// [ElectionTimeout, 2*ElectionTimeout). Callers hold mu (rng is not
+// concurrency-safe).
+func (r *Replica) randElectionTimeout() time.Duration {
+	t := r.opts.ElectionTimeout
+	return t + time.Duration(r.rng.Int63n(int64(t)))
+}
+
+// tickLoop drives the time-based transitions: lease expiry on the
+// leader, election timeout on followers and candidates.
+func (r *Replica) tickLoop() {
+	defer r.wg.Done()
+	tick := r.opts.Heartbeat / 2
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.opts.Clock.After(tick):
+		}
+		r.mu.Lock()
+		now := r.opts.Clock.Now()
+		switch r.role {
+		case RoleLeader:
+			live := 1 // self
+			for j := 0; j < r.n; j++ {
+				if j != r.opts.ID && now.Sub(r.ackTime[j]) <= r.opts.LeaseTimeout {
+					live++
+				}
+			}
+			if live < r.majority {
+				r.stepDownLocked(r.term, now)
+			}
+		case RoleFollower, RoleCandidate:
+			if now.After(r.electionDeadline) {
+				r.startElectionLocked(now)
+			}
+		}
+		r.mu.Unlock()
+	}
+}
+
+// startElectionLocked opens a new term with this replica as candidate.
+func (r *Replica) startElectionLocked(now time.Time) {
+	r.term++
+	r.role = RoleCandidate
+	r.votedFor = r.opts.ID
+	r.leaderID = -1
+	r.votes = make(map[int]bool)
+	r.electionDeadline = now.Add(r.randElectionTimeout())
+	r.counters.elections.Add(1)
+	if r.majority == 1 { // single-member group: win immediately
+		r.becomeLeaderLocked(now)
+	}
+}
+
+// becomeLeaderLocked installs this replica as leader for the current
+// term. A no-op entry is appended immediately: committing it commits
+// every earlier-term entry the log carries (the Raft commit rule only
+// counts current-term entries), so strict writes acked by a dead leader
+// become visible on the new one without waiting for fresh client load.
+func (r *Replica) becomeLeaderLocked(now time.Time) {
+	r.role = RoleLeader
+	r.leaderID = r.opts.ID
+	for j := 0; j < r.n; j++ {
+		r.nextIndex[j] = uint64(len(r.log)) + 1
+		r.matchIndex[j] = 0
+		r.ackTime[j] = now
+		r.lastSend[j] = time.Time{} // force an immediate heartbeat
+	}
+	r.appendLocked(LogEntry{Req: request{Op: opNoop}})
+	r.applyToLocked(uint64(len(r.log)))
+	if r.n == 1 {
+		r.commit = uint64(len(r.log))
+	}
+}
+
+// stepDownLocked demotes to follower (adopting term if newer) and fails
+// every parked strict ack so clients re-route to the next leader.
+func (r *Replica) stepDownLocked(term uint64, now time.Time) {
+	if term > r.term {
+		r.term = term
+		r.votedFor = -1
+	}
+	if r.role == RoleLeader {
+		r.counters.stepDowns.Add(1)
+	}
+	r.role = RoleFollower
+	r.leaderID = -1
+	r.electionDeadline = now.Add(r.randElectionTimeout())
+	r.failWaitersLocked(fmt.Errorf("%w: leadership lost", ErrNotLeader))
+}
+
+func (r *Replica) failWaitersLocked(err error) {
+	for idx, chs := range r.waiters {
+		for _, ch := range chs {
+			ch <- err
+		}
+		delete(r.waiters, idx)
+	}
+}
+
+// appendLocked stamps index/term on e and appends it.
+func (r *Replica) appendLocked(e LogEntry) *LogEntry {
+	e.Index = uint64(len(r.log)) + 1
+	e.Term = r.term
+	r.log = append(r.log, e)
+	return &r.log[len(r.log)-1]
+}
+
+// lastLocked returns the log's last (index, term).
+func (r *Replica) lastLocked() (uint64, uint64) {
+	if len(r.log) == 0 {
+		return 0, 0
+	}
+	e := r.log[len(r.log)-1]
+	return e.Index, e.Term
+}
+
+// leaderHintLocked returns the last observed leader's address, if any.
+func (r *Replica) leaderHintLocked() string {
+	if r.leaderID >= 0 && r.leaderID < len(r.opts.Addrs) {
+		return r.opts.Addrs[r.leaderID]
+	}
+	return ""
+}
+
+// ---- peer transport ------------------------------------------------
+
+// peerConn is one synchronous request/response connection to a peer.
+type peerConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func (r *Replica) dialPeer(j int) (*peerConn, error) {
+	conn, err := r.opts.Dial(r.opts.Addrs[j])
+	if err != nil {
+		return nil, err
+	}
+	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	//yancvet:wallclock transport write deadline must be real time
+	conn.SetWriteDeadline(time.Now().Add(r.opts.LeaseTimeout))
+	err = pc.enc.Encode(hello{Peer: true, From: r.opts.ID})
+	conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return pc, nil
+}
+
+// roundTrip performs one peer RPC bounded by the lease timeout: a peer
+// that cannot answer within the lease is indistinguishable from a
+// partitioned one, and the lease logic must see that as silence.
+func (pc *peerConn) roundTrip(req *request, timeout time.Duration) (*response, error) {
+	//yancvet:wallclock transport deadlines must be real time
+	pc.conn.SetDeadline(time.Now().Add(timeout))
+	defer pc.conn.SetDeadline(time.Time{})
+	if err := pc.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var rsp response
+	if err := pc.dec.Decode(&rsp); err != nil {
+		return nil, err
+	}
+	return &rsp, nil
+}
+
+func (pc *peerConn) close() { pc.conn.Close() }
+
+// peerLoop owns all traffic to one peer: append streams and heartbeats
+// while leading, vote requests while campaigning. One loop per peer
+// keeps the RPCs strictly ordered per destination.
+func (r *Replica) peerLoop(j int) {
+	defer r.wg.Done()
+	var pc *peerConn
+	defer func() {
+		if pc != nil {
+			pc.close()
+		}
+	}()
+	bo := backoff.New(backoff.Policy{Min: r.opts.Heartbeat / 2, Max: r.opts.LeaseTimeout})
+	idle := r.opts.Heartbeat / 4
+	if idle <= 0 {
+		idle = time.Millisecond
+	}
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		req := r.nextPeerWork(j)
+		if req == nil {
+			select {
+			case <-r.stop:
+				return
+			case <-r.opts.Clock.After(idle):
+			}
+			continue
+		}
+		if pc == nil {
+			var err error
+			if pc, err = r.dialPeer(j); err != nil {
+				select {
+				case <-r.stop:
+					return
+				case <-backoff.Wait(bo.Next()):
+				}
+				continue
+			}
+			bo.Reset()
+		}
+		rsp, err := pc.roundTrip(req, r.opts.LeaseTimeout)
+		if err != nil {
+			pc.close()
+			pc = nil
+			continue
+		}
+		r.handlePeerResponse(j, req, rsp)
+	}
+}
+
+// nextPeerWork decides what (if anything) to send peer j right now.
+func (r *Replica) nextPeerWork(j int) *request {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.opts.Clock.Now()
+	switch r.role {
+	case RoleLeader:
+		backlog := uint64(len(r.log)) >= r.nextIndex[j]
+		if !backlog && now.Sub(r.lastSend[j]) < r.opts.Heartbeat {
+			return nil
+		}
+		r.lastSend[j] = now
+		prev := r.nextIndex[j] - 1
+		var prevTerm uint64
+		if prev > 0 && prev <= uint64(len(r.log)) {
+			prevTerm = r.log[prev-1].Term
+		}
+		entries := r.log[prev:]
+		if len(entries) > 256 {
+			entries = entries[:256]
+		}
+		return &request{
+			Op: opAppendEntries, Term: r.term, From: r.opts.ID,
+			PrevIndex: prev, PrevTerm: prevTerm,
+			Entries: append([]LogEntry(nil), entries...),
+			Commit:  r.commit,
+		}
+	case RoleCandidate:
+		if r.voteSent[j] == r.term {
+			return nil
+		}
+		r.voteSent[j] = r.term
+		lastIdx, lastTerm := r.lastLocked()
+		return &request{
+			Op: opRequestVote, Term: r.term, From: r.opts.ID,
+			LastIndex: lastIdx, LastTerm: lastTerm,
+		}
+	}
+	return nil
+}
+
+// handlePeerResponse folds one peer RPC result back into the protocol
+// state.
+func (r *Replica) handlePeerResponse(j int, req *request, rsp *response) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.opts.Clock.Now()
+	if rsp.Term > r.term {
+		r.stepDownLocked(rsp.Term, now)
+		return
+	}
+	if req.Term != r.term {
+		return // stale round trip from a previous term
+	}
+	switch req.Op {
+	case opAppendEntries:
+		if r.role != RoleLeader {
+			return
+		}
+		r.ackTime[j] = now
+		if rsp.Ok {
+			m := req.PrevIndex + uint64(len(req.Entries))
+			if m > r.matchIndex[j] {
+				r.matchIndex[j] = m
+			}
+			r.nextIndex[j] = r.matchIndex[j] + 1
+			r.advanceCommitLocked()
+		} else {
+			// Log mismatch: back nextIndex off to the peer's tail and retry.
+			next := rsp.MatchIndex + 1
+			if next < 1 {
+				next = 1
+			}
+			if next < r.nextIndex[j] {
+				r.nextIndex[j] = next
+			} else if r.nextIndex[j] > 1 {
+				r.nextIndex[j]--
+			}
+		}
+	case opRequestVote:
+		if r.role != RoleCandidate || !rsp.Ok {
+			return
+		}
+		r.votes[j] = true
+		if len(r.votes)+1 >= r.majority {
+			r.becomeLeaderLocked(now)
+		}
+	}
+}
+
+// advanceCommitLocked moves the commit index to the highest log index a
+// majority holds, releases the strict acks parked below it, and (on the
+// leader) has already applied everything — followers learn the new
+// commit on the next append.
+func (r *Replica) advanceCommitLocked() {
+	for idx := uint64(len(r.log)); idx > r.commit; idx-- {
+		if r.log[idx-1].Term != r.term {
+			break // only current-term entries commit by counting (Raft §5.4.2)
+		}
+		count := 1 // self
+		for j := 0; j < r.n; j++ {
+			if j != r.opts.ID && r.matchIndex[j] >= idx {
+				count++
+			}
+		}
+		if count >= r.majority {
+			r.commit = idx
+			break
+		}
+	}
+	for idx, chs := range r.waiters {
+		if idx <= r.commit {
+			for _, ch := range chs {
+				ch <- nil
+			}
+			delete(r.waiters, idx)
+		}
+	}
+}
+
+// ---- inbound RPCs (called from peer sessions) ----------------------
+
+// handleAppend is the follower half of replication: adopt the leader,
+// reconcile the log, apply up to the leader's commit index.
+func (r *Replica) handleAppend(req *request) *response {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.opts.Clock.Now()
+	rsp := &response{ID: req.ID, Term: r.term}
+	if req.Term < r.term {
+		return rsp
+	}
+	if req.Term > r.term {
+		r.term = req.Term
+		r.votedFor = -1
+	}
+	if r.role != RoleFollower {
+		if r.role == RoleLeader {
+			r.counters.stepDowns.Add(1)
+		}
+		r.role = RoleFollower
+		r.failWaitersLocked(fmt.Errorf("%w: new leader", ErrNotLeader))
+	}
+	r.leaderID = req.From
+	r.electionDeadline = now.Add(r.randElectionTimeout())
+	rsp.Term = r.term
+	rsp.Leader = r.leaderHintLocked()
+	if req.PrevIndex > uint64(len(r.log)) {
+		rsp.MatchIndex = uint64(len(r.log))
+		return rsp // gap: leader must back off
+	}
+	if req.PrevIndex > 0 && r.log[req.PrevIndex-1].Term != req.PrevTerm {
+		// Conflicting suffix: drop it. Applied effects of dropped entries
+		// stay in the tree; the dedup table absorbs their re-arrival under
+		// the new leader's numbering, and anything else is eventual-mode
+		// divergence repaired by later writes.
+		r.truncateLocked(req.PrevIndex - 1)
+		rsp.MatchIndex = uint64(len(r.log))
+		return rsp
+	}
+	for i := range req.Entries {
+		idx := req.PrevIndex + uint64(i) + 1
+		if idx <= uint64(len(r.log)) {
+			if r.log[idx-1].Term == req.Entries[i].Term {
+				continue
+			}
+			r.truncateLocked(idx - 1)
+		}
+		r.log = append(r.log, req.Entries[i])
+	}
+	if c := req.Commit; c > r.commit {
+		if max := uint64(len(r.log)); c > max {
+			c = max
+		}
+		r.commit = c
+		r.applyToLocked(c)
+	}
+	rsp.Ok = true
+	rsp.MatchIndex = req.PrevIndex + uint64(len(req.Entries))
+	return rsp
+}
+
+func (r *Replica) truncateLocked(to uint64) {
+	r.log = r.log[:to]
+	if r.applied > to {
+		r.applied = to
+	}
+}
+
+// handleVote grants at most one vote per term, and only to candidates
+// whose log is at least as complete as ours — the invariant that makes
+// an elected leader hold every majority-acked write.
+func (r *Replica) handleVote(req *request) *response {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.opts.Clock.Now()
+	rsp := &response{ID: req.ID, Term: r.term}
+	if req.Term < r.term {
+		return rsp
+	}
+	if req.Term > r.term {
+		if r.role == RoleLeader {
+			r.counters.stepDowns.Add(1)
+		}
+		r.term = req.Term
+		r.votedFor = -1
+		r.role = RoleFollower
+		r.leaderID = -1
+		r.failWaitersLocked(fmt.Errorf("%w: election in progress", ErrNotLeader))
+	}
+	rsp.Term = r.term
+	lastIdx, lastTerm := r.lastLocked()
+	upToDate := req.LastTerm > lastTerm || (req.LastTerm == lastTerm && req.LastIndex >= lastIdx)
+	if (r.votedFor == -1 || r.votedFor == req.From) && upToDate {
+		r.votedFor = req.From
+		r.electionDeadline = now.Add(r.randElectionTimeout())
+		rsp.Ok = true
+	}
+	return rsp
+}
+
+// ---- proposal & apply ----------------------------------------------
+
+// propose routes one mutating client op through the replication log.
+// Strict ops return only after a majority holds the entry; eventual
+// ops return after the leader's local apply.
+func (r *Replica) propose(def Consistency, req *request) *response {
+	strict := r.resolveMode(req, def) == Strict
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return &response{ID: req.ID, Err: "replica closed", ErrKind: errConn}
+	}
+	if r.role != RoleLeader {
+		rsp := &response{ID: req.ID, Err: "not the leader", ErrKind: errNotLeader, Leader: r.leaderHintLocked()}
+		r.mu.Unlock()
+		return rsp
+	}
+	// Replay fast path: the op already went through the log (a client
+	// retrying across a failover or a transient timeout).
+	var rsp *response
+	var index uint64
+	if req.Op != opBatch && req.Seq != 0 {
+		if res, ok := r.dedupGetLocked(req.ClientID, req.Seq); ok {
+			r.counters.dedupSkips.Add(1)
+			cached := res.rsp
+			cached.ID = req.ID
+			rsp, index = &cached, res.index
+		}
+	}
+	if rsp == nil {
+		e := r.appendLocked(LogEntry{ClientID: req.ClientID, Seq: req.Seq, Req: *req})
+		index = e.Index
+		rsp = r.applyEntryLocked(e)
+		if r.n == 1 {
+			r.commit = uint64(len(r.log))
+		}
+	}
+	if !strict || index <= r.commit {
+		r.mu.Unlock()
+		return rsp
+	}
+	ch := make(chan error, 1)
+	r.waiters[index] = append(r.waiters[index], ch)
+	r.mu.Unlock()
+	select {
+	case err := <-ch:
+		if err != nil {
+			return &response{ID: req.ID, Err: err.Error(), ErrKind: errKind(err), Leader: r.leaderHint()}
+		}
+		return rsp
+	case <-r.opts.Clock.After(r.opts.CommitTimeout):
+		return &response{ID: req.ID, Err: "replication stalled: no majority acknowledgment", ErrKind: errConn}
+	case <-r.stop:
+		return &response{ID: req.ID, Err: "replica closed", ErrKind: errConn}
+	}
+}
+
+func (r *Replica) leaderHint() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leaderHintLocked()
+}
+
+// applyToLocked applies log entries up to index upto, in order.
+func (r *Replica) applyToLocked(upto uint64) {
+	for r.applied < upto {
+		e := &r.log[r.applied]
+		r.applyEntryLocked(e)
+	}
+}
+
+// applyEntryLocked applies one log entry to the local tree, skipping
+// (ClientID, Seq) pairs the dedup window has already seen — the
+// exactly-once mechanism for client replays and for a deposed leader
+// receiving its own writes back under the new leader's numbering.
+func (r *Replica) applyEntryLocked(e *LogEntry) *response {
+	var rsp *response
+	switch {
+	case e.Req.Op == opNoop:
+		rsp = &response{ID: e.Req.ID}
+	case e.Req.Op == opBatch:
+		rsp = &response{ID: e.Req.ID}
+		for i := range e.Req.Sub {
+			sub := &e.Req.Sub[i]
+			if sub.Seq != 0 {
+				if _, ok := r.dedupGetLocked(sub.ClientID, sub.Seq); ok {
+					r.counters.dedupSkips.Add(1)
+					continue
+				}
+			}
+			srsp, err := applyOp(r.proc, sub, nil)
+			if sub.Seq != 0 {
+				r.dedupPutLocked(sub.ClientID, sub.Seq, srsp, e.Index)
+			}
+			if err != nil {
+				rsp.Err, rsp.ErrKind = srsp.Err, srsp.ErrKind
+				break
+			}
+		}
+	default:
+		if e.Seq != 0 {
+			if res, ok := r.dedupGetLocked(e.ClientID, e.Seq); ok {
+				r.counters.dedupSkips.Add(1)
+				cached := res.rsp
+				cached.ID = e.Req.ID
+				rsp = &cached
+			}
+		}
+		if rsp == nil {
+			rsp, _ = applyOp(r.proc, &e.Req, nil) //yancvet:allow errdrop op failure travels to the client in rsp.Err
+			if e.Seq != 0 {
+				r.dedupPutLocked(e.ClientID, e.Seq, rsp, e.Index)
+			}
+		}
+	}
+	if e.Index > r.applied {
+		r.applied = e.Index
+	}
+	return rsp
+}
+
+// dedupGetLocked reports whether (client, seq) was already applied.
+func (r *Replica) dedupGetLocked(client, seq uint64) (dedupResult, bool) {
+	w := r.dedup[client]
+	if w == nil {
+		return dedupResult{}, false
+	}
+	if res, ok := w.seen[seq]; ok {
+		return res, true
+	}
+	if seq+dedupWindow < w.maxSeq {
+		// Ancient replay, already pruned: report it as an applied success.
+		return dedupResult{rsp: response{}, index: r.applied}, true
+	}
+	return dedupResult{}, false
+}
+
+func (r *Replica) dedupPutLocked(client, seq uint64, rsp *response, index uint64) {
+	w := r.dedup[client]
+	if w == nil {
+		w = &clientWindow{seen: make(map[uint64]dedupResult)}
+		r.dedup[client] = w
+	}
+	stored := *rsp
+	stored.Event = nil
+	w.seen[seq] = dedupResult{rsp: stored, index: index}
+	if seq > w.maxSeq {
+		w.maxSeq = seq
+	}
+	if len(w.seen) > 2*dedupWindow {
+		for s := range w.seen {
+			if s+dedupWindow < w.maxSeq {
+				delete(w.seen, s)
+			}
+		}
+	}
+}
+
+// resolveMode resolves the consistency governing one request's path:
+// the deepest user.yanc.consistency xattr on the path or an ancestor
+// wins, else the session default. A batch is strict if any sub-op is.
+func (r *Replica) resolveMode(req *request, def Consistency) Consistency {
+	if req.Op == opBatch {
+		for i := range req.Sub {
+			if r.resolveMode(&req.Sub[i], def) == Strict {
+				return Strict
+			}
+		}
+		return def
+	}
+	p := vfs.Clean(req.Path)
+	for {
+		if v, err := r.proc.GetXattr(p, ConsistencyXattr); err == nil {
+			if m, perr := ParseConsistency(string(v)); perr == nil {
+				return m
+			}
+		}
+		if p == "/" || p == "." || p == "" {
+			break
+		}
+		p = path.Dir(p)
+	}
+	return def
+}
+
+// ---- stats ----------------------------------------------------------
+
+// ReplicaStats is a snapshot of one replica's protocol state, the
+// source for /.proc/dfs/replication.
+type ReplicaStats struct {
+	ID         int
+	Role       string
+	Term       uint64
+	LogLen     uint64
+	Commit     uint64
+	Applied    uint64
+	Lag        uint64 // log entries not yet applied locally
+	LeaderID   int    // -1 when unknown
+	Elections  uint64 // candidacies started
+	StepDowns  uint64 // leaderships vacated (lease expiry or higher term)
+	DedupSkips uint64 // replayed writes absorbed by the dedup window
+}
+
+type replicaCounters struct {
+	elections, stepDowns, dedupSkips atomic.Uint64
+}
+
+// Stats snapshots the replica.
+func (r *Replica) Stats() ReplicaStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReplicaStats{
+		ID:         r.opts.ID,
+		Role:       r.role.String(),
+		Term:       r.term,
+		LogLen:     uint64(len(r.log)),
+		Commit:     r.commit,
+		Applied:    r.applied,
+		Lag:        uint64(len(r.log)) - r.applied,
+		LeaderID:   r.leaderID,
+		Elections:  r.counters.elections.Load(),
+		StepDowns:  r.counters.stepDowns.Load(),
+		DedupSkips: r.counters.dedupSkips.Load(),
+	}
+}
+
+// IsLeader reports whether the replica currently believes it leads.
+func (r *Replica) IsLeader() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.role == RoleLeader
+}

@@ -15,6 +15,12 @@ import (
 type Server struct {
 	fs *vfs.FS
 
+	// replica, when set, turns this export into one member of a replica
+	// group: mutating client ops are routed through the replication log
+	// instead of applied directly. Assigned once at construction, before
+	// Listen — never mutated afterwards.
+	replica *Replica
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
@@ -82,13 +88,15 @@ func (s *Server) acceptLoop(l net.Listener) {
 
 // session is one client connection's state.
 type session struct {
-	server  *Server
-	conn    net.Conn
-	enc     *gob.Encoder
-	encMu   sync.Mutex
-	proc    *vfs.Proc
-	watchMu sync.Mutex
-	watches map[uint64]*vfs.Watch
+	server      *Server
+	conn        net.Conn
+	enc         *gob.Encoder
+	encMu       sync.Mutex
+	proc        *vfs.Proc
+	peer        bool        // replica-to-replica session (hello.Peer)
+	consistency Consistency // session default from the client hello
+	watchMu     sync.Mutex
+	watches     map[uint64]*vfs.Watch
 }
 
 func (s *Server) serve(c net.Conn) {
@@ -105,11 +113,13 @@ func (s *Server) serve(c net.Conn) {
 	}
 	s.counters.sessions.Add(1)
 	sess := &session{
-		server:  s,
-		conn:    c,
-		enc:     gob.NewEncoder(c),
-		proc:    s.fs.Proc(vfs.Cred{UID: h.UID, GID: h.GID, Groups: h.Groups}),
-		watches: make(map[uint64]*vfs.Watch),
+		server:      s,
+		conn:        c,
+		enc:         gob.NewEncoder(c),
+		proc:        s.fs.Proc(vfs.Cred{UID: h.UID, GID: h.GID, Groups: h.Groups}),
+		peer:        h.Peer,
+		consistency: h.Consistency,
+		watches:     make(map[uint64]*vfs.Watch),
 	}
 	defer sess.closeWatches()
 	for {
@@ -146,9 +156,107 @@ func (sess *session) closeWatches() {
 	}
 }
 
+// applyOp executes one non-watch request against p and translates the
+// outcome into a wire response. It is the pure apply path shared by
+// plain exports (session dispatch) and replicated ones (log apply on
+// every replica). count, when non-nil, records batch sub-requests in
+// the server's per-op counters; top-level ops are counted by callers.
+func applyOp(p *vfs.Proc, req *request, count func(op int, failed bool)) (*response, error) {
+	rsp := &response{ID: req.ID}
+	var err error
+	switch req.Op {
+	case opMkdir:
+		err = p.Mkdir(req.Path, vfs.FileMode(req.Mode))
+	case opMkdirAll:
+		err = p.MkdirAll(req.Path, vfs.FileMode(req.Mode))
+	case opWriteFile:
+		err = p.WriteFile(req.Path, req.Data, vfs.FileMode(req.Mode))
+	case opAppendFile:
+		err = p.AppendFile(req.Path, req.Data, vfs.FileMode(req.Mode))
+	case opReadFile:
+		rsp.Data, err = p.ReadFile(req.Path)
+	case opRemove:
+		err = p.Remove(req.Path)
+	case opRemoveAll:
+		err = p.RemoveAll(req.Path)
+	case opRename:
+		err = p.Rename(req.Path, req.Path2)
+	case opSymlink:
+		err = p.Symlink(req.Path2, req.Path)
+	case opReadlink:
+		var tgt string
+		tgt, err = p.Readlink(req.Path)
+		rsp.Data = []byte(tgt)
+	case opLink:
+		err = p.Link(req.Path, req.Path2)
+	case opReadDir:
+		rsp.Entries, err = p.ReadDir(req.Path)
+	case opStat:
+		rsp.Stat, err = p.Stat(req.Path)
+	case opLstat:
+		rsp.Stat, err = p.Lstat(req.Path)
+	case opChmod:
+		err = p.Chmod(req.Path, vfs.FileMode(req.Mode))
+	case opChown:
+		err = p.Chown(req.Path, req.UID, req.GID)
+	case opSetXattr:
+		err = p.SetXattr(req.Path, req.Path2, req.Data)
+	case opGetXattr:
+		rsp.Data, err = p.GetXattr(req.Path, req.Path2)
+	case opListXattr:
+		rsp.Names, err = p.ListXattr(req.Path)
+	case opRemoveXattr:
+		err = p.RemoveXattr(req.Path, req.Path2)
+	case opGlob:
+		rsp.Names, err = p.Glob(req.Path)
+	case opNoop:
+		// Log-only entry; nothing to apply.
+	case opBatch:
+		for i := range req.Sub {
+			sub, subErr := applyOp(p, &req.Sub[i], count)
+			if count != nil {
+				count(req.Sub[i].Op, subErr != nil)
+			}
+			if subErr != nil {
+				rsp.Err, rsp.ErrKind = sub.Err, sub.ErrKind
+				return rsp, subErr
+			}
+		}
+		return rsp, nil
+	default:
+		rsp.Err = "dfs: unknown op"
+		rsp.ErrKind = errInvalid
+		return rsp, vfs.ErrInvalid
+	}
+	if err != nil {
+		rsp.Err = err.Error()
+		rsp.ErrKind = errKind(err)
+	}
+	return rsp, err
+}
+
 // handle executes one request. It returns nil when the reply is produced
 // asynchronously.
 func (sess *session) handle(req *request) *response {
+	s := sess.server
+	if r := s.replica; r != nil {
+		switch req.Op {
+		case opAppendEntries:
+			s.countRequest(req.Op, false)
+			return r.handleAppend(req)
+		case opRequestVote:
+			s.countRequest(req.Op, false)
+			return r.handleVote(req)
+		}
+		// Client mutations go through the replication log; peers never
+		// send them (their sessions carry only the ops above). Reads fall
+		// through to the local tree at this replica's applied index.
+		if mutating(req.Op) && !sess.peer {
+			rsp := r.propose(sess.consistency, req)
+			s.countRequest(req.Op, rsp.Err != "")
+			return rsp
+		}
+	}
 	rsp := &response{ID: req.ID}
 	fail := func(err error) *response {
 		if err != nil {
@@ -160,74 +268,6 @@ func (sess *session) handle(req *request) *response {
 	}
 	p := sess.proc
 	switch req.Op {
-	case opMkdir:
-		return fail(p.Mkdir(req.Path, vfs.FileMode(req.Mode)))
-	case opMkdirAll:
-		return fail(p.MkdirAll(req.Path, vfs.FileMode(req.Mode)))
-	case opWriteFile:
-		return fail(p.WriteFile(req.Path, req.Data, vfs.FileMode(req.Mode)))
-	case opAppendFile:
-		return fail(p.AppendFile(req.Path, req.Data, vfs.FileMode(req.Mode)))
-	case opReadFile:
-		data, err := p.ReadFile(req.Path)
-		rsp.Data = data
-		return fail(err)
-	case opRemove:
-		return fail(p.Remove(req.Path))
-	case opRemoveAll:
-		return fail(p.RemoveAll(req.Path))
-	case opRename:
-		return fail(p.Rename(req.Path, req.Path2))
-	case opSymlink:
-		return fail(p.Symlink(req.Path2, req.Path))
-	case opReadlink:
-		tgt, err := p.Readlink(req.Path)
-		rsp.Data = []byte(tgt)
-		return fail(err)
-	case opLink:
-		return fail(p.Link(req.Path, req.Path2))
-	case opReadDir:
-		entries, err := p.ReadDir(req.Path)
-		rsp.Entries = entries
-		return fail(err)
-	case opStat:
-		st, err := p.Stat(req.Path)
-		rsp.Stat = st
-		return fail(err)
-	case opLstat:
-		st, err := p.Lstat(req.Path)
-		rsp.Stat = st
-		return fail(err)
-	case opChmod:
-		return fail(p.Chmod(req.Path, vfs.FileMode(req.Mode)))
-	case opChown:
-		return fail(p.Chown(req.Path, req.UID, req.GID))
-	case opSetXattr:
-		return fail(p.SetXattr(req.Path, req.Path2, req.Data))
-	case opGetXattr:
-		v, err := p.GetXattr(req.Path, req.Path2)
-		rsp.Data = v
-		return fail(err)
-	case opListXattr:
-		names, err := p.ListXattr(req.Path)
-		rsp.Names = names
-		return fail(err)
-	case opRemoveXattr:
-		return fail(p.RemoveXattr(req.Path, req.Path2))
-	case opGlob:
-		names, err := p.Glob(req.Path)
-		rsp.Names = names
-		return fail(err)
-	case opBatch:
-		for i := range req.Sub {
-			if sub := sess.handle(&req.Sub[i]); sub != nil && sub.Err != "" {
-				rsp.Err = sub.Err
-				rsp.ErrKind = sub.ErrKind
-				break
-			}
-		}
-		sess.server.countRequest(opBatch, rsp.Err != "")
-		return rsp
 	case opWatch:
 		opts := []vfs.WatchOption{vfs.BufferSize(4096)}
 		if req.Recursive {
@@ -267,10 +307,9 @@ func (sess *session) handle(req *request) *response {
 		sess.server.countRequest(opUnwatch, false)
 		return rsp
 	default:
-		rsp.Err = "dfs: unknown op"
-		rsp.ErrKind = errInvalid
-		sess.server.countRequest(req.Op, true)
-		return rsp
+		out, err := applyOp(p, req, sess.server.countRequest)
+		sess.server.countRequest(req.Op, err != nil)
+		return out
 	}
 }
 

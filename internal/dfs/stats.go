@@ -15,12 +15,16 @@ type ClientStats struct {
 	QueueDepth   int    // eventual writes waiting right now
 	QueueCap     int    // queue bound (Options.MaxQueue)
 	Connected    bool   // transport currently up
+
+	Failovers      uint64 // remounts that landed on a different replica address
+	ReplayedWrites uint64 // seq-stamped writes re-sent after a failover or redirect
 }
 
 // clientCounters is the live atomic form embedded in Client.
 type clientCounters struct {
 	calls, errors, timeouts, reconnects atomic.Uint64
 	queued, flushed, queueRejects       atomic.Uint64
+	failovers, replayedWrites           atomic.Uint64
 }
 
 // Stats snapshots the mount's counters and queue gauges.
@@ -35,6 +39,9 @@ func (c *Client) Stats() ClientStats {
 		QueueRejects: c.counters.queueRejects.Load(),
 		QueueCap:     c.opts.MaxQueue,
 		Connected:    c.state.Load() == stateUp,
+
+		Failovers:      c.counters.failovers.Load(),
+		ReplayedWrites: c.counters.replayedWrites.Load(),
 	}
 	c.queueMu.Lock()
 	s.QueueDepth = len(c.queue)
@@ -42,8 +49,13 @@ func (c *Client) Stats() ClientStats {
 	return s
 }
 
-// Addr returns the server address this mount points at.
-func (c *Client) Addr() string { return c.addr }
+// Addr returns the server address this mount currently points at; on a
+// failover mount it moves as the mount follows the leader.
+func (c *Client) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr
+}
 
 // ServerStats is a snapshot of an export's request handling, the source
 // for the .proc/dfs/rpc file on the serving controller.
@@ -58,35 +70,38 @@ type ServerStats struct {
 // serverCounters is the live atomic form embedded in Server.
 type serverCounters struct {
 	sessions, requests, errors, watches atomic.Uint64
-	perOp                               [opBatch + 1]atomic.Uint64
+	perOp                               [opNoop + 1]atomic.Uint64
 }
 
 // opNames maps wire opcodes to the names ServerStats.PerOp reports.
 var opNames = [...]string{
-	opMkdir:       "mkdir",
-	opMkdirAll:    "mkdirall",
-	opWriteFile:   "write",
-	opAppendFile:  "append",
-	opReadFile:    "read",
-	opRemove:      "remove",
-	opRemoveAll:   "removeall",
-	opRename:      "rename",
-	opSymlink:     "symlink",
-	opReadlink:    "readlink",
-	opLink:        "link",
-	opReadDir:     "readdir",
-	opStat:        "stat",
-	opLstat:       "lstat",
-	opChmod:       "chmod",
-	opChown:       "chown",
-	opSetXattr:    "setxattr",
-	opGetXattr:    "getxattr",
-	opListXattr:   "listxattr",
-	opRemoveXattr: "removexattr",
-	opWatch:       "watch",
-	opUnwatch:     "unwatch",
-	opGlob:        "glob",
-	opBatch:       "batch",
+	opMkdir:         "mkdir",
+	opMkdirAll:      "mkdirall",
+	opWriteFile:     "write",
+	opAppendFile:    "append",
+	opReadFile:      "read",
+	opRemove:        "remove",
+	opRemoveAll:     "removeall",
+	opRename:        "rename",
+	opSymlink:       "symlink",
+	opReadlink:      "readlink",
+	opLink:          "link",
+	opReadDir:       "readdir",
+	opStat:          "stat",
+	opLstat:         "lstat",
+	opChmod:         "chmod",
+	opChown:         "chown",
+	opSetXattr:      "setxattr",
+	opGetXattr:      "getxattr",
+	opListXattr:     "listxattr",
+	opRemoveXattr:   "removexattr",
+	opWatch:         "watch",
+	opUnwatch:       "unwatch",
+	opGlob:          "glob",
+	opBatch:         "batch",
+	opAppendEntries: "appendentries",
+	opRequestVote:   "requestvote",
+	opNoop:          "noop",
 }
 
 // Stats snapshots the server's counters.

@@ -21,6 +21,9 @@
 //   - partitions: writes are silently swallowed and incoming bytes are
 //     dropped, exactly like a switch that is up but unreachable — the
 //     failure TCP alone can never surface as an error;
+//   - asymmetric (one-way) partitions via PartitionDir: silence only
+//     the inbound or only the outbound half, modelling e.g. a leader
+//     that can still send heartbeats but hears no acknowledgments;
 //   - accept-time rejections, for servers that are up but refusing.
 package faultnet
 
@@ -73,13 +76,26 @@ func (in *Injector) SetClock(c Clock) {
 	in.clock = c
 }
 
+// Direction selects which half of the wrapped endpoints' traffic a
+// partition silences. Inbound silences what the wrapped side receives
+// (its reads stall and in-flight bytes are discarded); Outbound
+// silences what it sends (writes "succeed" and vanish).
+type Direction int
+
+// Partition directions.
+const (
+	Inbound Direction = 1 << iota
+	Outbound
+	Both = Inbound | Outbound
+)
+
 type Injector struct {
 	mu            sync.Mutex
 	cond          *sync.Cond
 	cfg           Config
 	rng           *rand.Rand
 	clock         Clock
-	partitioned   bool
+	partitioned   Direction // bitmask of silenced directions
 	rejectAccepts bool
 	conns         map[*Conn]struct{}
 }
@@ -105,23 +121,36 @@ func (in *Injector) SetConfig(cfg Config) {
 
 // Partition starts a blackhole: every wrapped connection's writes are
 // swallowed and reads stall, with no error surfaced to either side.
-func (in *Injector) Partition() {
+func (in *Injector) Partition() { in.PartitionDir(Both) }
+
+// PartitionDir starts an asymmetric partition silencing only the given
+// direction(s) of the wrapped endpoints — the classic use being a
+// leader whose outbound heartbeats still flow (Inbound partition: it
+// hears nothing back) so only a lease, not a missed heartbeat, can
+// dethrone it.
+func (in *Injector) PartitionDir(d Direction) {
 	in.mu.Lock()
-	in.partitioned = true
+	in.partitioned |= d
 	in.mu.Unlock()
+	in.cond.Broadcast() // a widened partition never unblocks, but a changed one may reorder waiters
 }
 
-// Heal ends a partition; stalled reads resume.
+// Heal ends the partition in every direction; stalled reads resume.
 func (in *Injector) Heal() {
 	in.mu.Lock()
-	in.partitioned = false
+	in.partitioned = 0
 	in.mu.Unlock()
 	in.cond.Broadcast()
 }
 
 // PartitionFor schedules a partition lasting d, returning immediately.
-func (in *Injector) PartitionFor(d time.Duration) {
-	in.Partition()
+func (in *Injector) PartitionFor(d time.Duration) { in.PartitionDirFor(Both, d) }
+
+// PartitionDirFor is PartitionDir with a heal scheduled after d on the
+// injector's clock, so tests can drive even one-way outages on a
+// virtual timeline.
+func (in *Injector) PartitionDirFor(dir Direction, d time.Duration) {
+	in.PartitionDir(dir)
 	in.mu.Lock()
 	afterFunc := in.clock.AfterFunc
 	in.mu.Unlock()
@@ -180,18 +209,19 @@ func (in *Injector) WrapListener(l net.Listener) net.Listener {
 	return &Listener{Listener: l, in: in}
 }
 
-func (in *Injector) isPartitioned() bool {
+func (in *Injector) isPartitioned(d Direction) bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return in.partitioned
+	return in.partitioned&d != 0
 }
 
-// waitHealthy blocks while the fabric is partitioned; it returns an
-// error only if the connection is closed while waiting.
+// waitHealthy blocks while the fabric's inbound direction is
+// partitioned; it returns an error only if the connection is closed
+// while waiting.
 func (in *Injector) waitHealthy(c *Conn) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	for in.partitioned {
+	for in.partitioned&Inbound != 0 {
 		if c.closed.Load() {
 			return net.ErrClosed
 		}
@@ -259,7 +289,7 @@ func (c *Conn) Read(b []byte) (int, error) {
 		}
 		// Bytes that were in flight when a partition hit are lost, not
 		// delivered late: discard and stall like a real blackhole.
-		if c.in.isPartitioned() {
+		if c.in.isPartitioned(Inbound) {
 			continue
 		}
 		c.in.delay(n)
@@ -278,7 +308,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 	if c.closed.Load() {
 		return 0, net.ErrClosed
 	}
-	if c.in.isPartitioned() {
+	if c.in.isPartitioned(Outbound) {
 		return len(b), nil
 	}
 	c.in.delay(len(b))

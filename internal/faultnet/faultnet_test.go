@@ -292,3 +292,91 @@ func TestSetClock(t *testing.T) {
 		t.Fatalf("post-heal read = %q, %v", buf, err)
 	}
 }
+
+// TestPartitionDirOutbound silences only what the wrapped side sends:
+// its writes vanish while traffic toward it still flows.
+func TestPartitionDirOutbound(t *testing.T) {
+	inj := New(7)
+	server, client := pair(t, inj)
+
+	inj.PartitionDir(Outbound)
+	if _, err := server.Write([]byte("lost")); err != nil {
+		t.Fatalf("outbound-partitioned write must swallow silently, got %v", err)
+	}
+	// Inbound is untouched: the client's bytes still reach the server.
+	if _, err := client.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(server, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("inbound read = %q, %v", buf, err)
+	}
+	// The swallowed bytes never arrive, even after traffic progressed.
+	client.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if n, err := client.Read(buf); err == nil {
+		t.Fatalf("client read %q during outbound partition", buf[:n])
+	}
+	client.SetReadDeadline(time.Time{})
+
+	inj.Heal()
+	if _, err := server.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(client, buf); err != nil || string(buf) != "back" {
+		t.Fatalf("post-heal read = %q, %v", buf, err)
+	}
+}
+
+// TestPartitionDirInboundDeterministicHeal drives a one-way inbound
+// outage entirely on the injected clock: the scheduled heal is captured
+// and fired by hand, and the stalled read completes the moment it runs —
+// no real time governs the outcome.
+func TestPartitionDirInboundDeterministicHeal(t *testing.T) {
+	inj := New(9)
+	heals := make(chan func(), 1)
+	inj.SetClock(Clock{
+		AfterFunc: func(d time.Duration, f func()) *time.Timer {
+			heals <- f
+			return nil
+		},
+	})
+	server, client := pair(t, inj)
+
+	inj.PartitionDirFor(Inbound, time.Hour)
+	// Outbound still flows: the wrapped side can send while deaf.
+	if _, err := server.Write([]byte("hb")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(client, buf); err != nil || string(buf) != "hb" {
+		t.Fatalf("outbound during inbound partition = %q, %v", buf, err)
+	}
+
+	// A read against the silenced direction parks until the heal.
+	if _, err := client.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan string, 1)
+	go func() {
+		b := make([]byte, 2)
+		if _, err := io.ReadFull(server, b); err == nil {
+			got <- string(b)
+		}
+	}()
+	select {
+	case s := <-got:
+		t.Fatalf("read %q delivered during inbound partition", s)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	heal := <-heals
+	heal()
+	select {
+	case s := <-got:
+		if s != "ok" {
+			t.Fatalf("post-heal read = %q", s)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read still stalled after injected heal fired")
+	}
+}

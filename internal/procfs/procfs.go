@@ -20,6 +20,8 @@
 //	/.proc/dfs/rpc        dfs server request counters
 //	/.proc/dfs/queue      per-mount eventual-write queue state
 //	/.proc/dfs/reconnects per-mount reconnect counts and connection state
+//	/.proc/dfs/replication  per-replica role/term/commit/applied/lag and
+//	                        per-mount failover + replayed-write counters
 //	/.proc/apps/<name>    per-application namespace/cgroup accounting
 //	/.proc/events/stats   packet-in delivery counters (linked vs copied
 //	                      bytes, live payload blocks, drops)
@@ -53,10 +55,11 @@ const AppsDir = Dir + "/apps"
 type Tree struct {
 	fs *vfs.FS
 
-	mu      sync.Mutex
-	servers []*dfs.Server
-	mounts  map[string]*dfs.Client
-	events  *yancfs.FS
+	mu       sync.Mutex
+	servers  []*dfs.Server
+	mounts   map[string]*dfs.Client
+	replicas []*dfs.Replica
+	events   *yancfs.FS
 }
 
 // Install creates the .proc hierarchy on fs and returns the Tree handle
@@ -80,6 +83,7 @@ func Install(fs *vfs.FS) (*Tree, error) {
 			Dir + "/dfs/rpc":         t.renderDFSRPC,
 			Dir + "/dfs/queue":       t.renderDFSQueue,
 			Dir + "/dfs/reconnects":  t.renderDFSReconnects,
+			Dir + "/dfs/replication": t.renderDFSReplication,
 			Dir + "/events/stats":    t.renderEventStats,
 			Dir + "/events/batch":    t.renderEventBatch,
 			Dir + "/events/apps":     t.renderEventApps,
@@ -118,6 +122,14 @@ func (t *Tree) BindDFSClient(name string, c *dfs.Client) {
 func (t *Tree) UnbindDFSClient(name string) {
 	t.mu.Lock()
 	delete(t.mounts, name)
+	t.mu.Unlock()
+}
+
+// BindReplica adds a dfs replica whose consensus state (role, term,
+// commit/applied indices, lag) .proc/dfs/replication reports.
+func (t *Tree) BindReplica(r *dfs.Replica) {
+	t.mu.Lock()
+	t.replicas = append(t.replicas, r)
 	t.mu.Unlock()
 }
 
@@ -336,6 +348,32 @@ func (t *Tree) renderDFSReconnects() ([]byte, error) {
 		}
 		fmt.Fprintf(&b, "%s: %s addr %s reconnects %d calls %d errors %d timeouts %d\n",
 			m.name, state, m.c.Addr(), st.Reconnects, st.Calls, st.Errors, st.Timeouts)
+	}
+	return []byte(b.String()), nil
+}
+
+func (t *Tree) renderDFSReplication() ([]byte, error) {
+	t.mu.Lock()
+	replicas := append([]*dfs.Replica(nil), t.replicas...)
+	t.mu.Unlock()
+	mounts := t.sortedMounts()
+	var b strings.Builder
+	if len(replicas) == 0 && len(mounts) == 0 {
+		b.WriteString("no replicas\n")
+	}
+	for _, r := range replicas {
+		st := r.Stats()
+		fmt.Fprintf(&b, "replica %d: role %s term %d log %d commit %d applied %d lag %d leader %d elections %d stepdowns %d dedup_skips %d\n",
+			st.ID, st.Role, st.Term, st.LogLen, st.Commit, st.Applied, st.Lag,
+			st.LeaderID, st.Elections, st.StepDowns, st.DedupSkips)
+	}
+	for _, m := range mounts {
+		st := m.c.Stats()
+		if st.Failovers == 0 && st.ReplayedWrites == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "mount %s: failovers %d replayed_writes %d\n",
+			m.name, st.Failovers, st.ReplayedWrites)
 	}
 	return []byte(b.String()), nil
 }

@@ -231,3 +231,58 @@ func TestInstallIsIdempotent(t *testing.T) {
 		t.Fatalf("ops unreadable after reinstall: %q, %v", s, err)
 	}
 }
+
+func TestReplicationFile(t *testing.T) {
+	fs := vfs.New()
+	tree, err := Install(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fs.RootProc()
+
+	s, err := p.ReadString(Dir + "/dfs/replication")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "no replicas") {
+		t.Fatalf("empty registry should render placeholder:\n%s", s)
+	}
+
+	// A single-member group elects itself leader immediately.
+	rfs := vfs.New()
+	rep, err := dfs.NewReplica(rfs, dfs.ReplicaOptions{ID: 0, Addrs: []string{"127.0.0.1:0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := rep.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Start()
+	defer rep.Close()
+	tree.BindReplica(rep)
+
+	c, err := dfs.MountReplicas([]string{addr}, vfs.Root, dfs.Strict, dfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tree.BindDFSClient("ha", c)
+	if err := c.WriteFile("/flows/f1", []byte("out=2"), 0o644); err == nil {
+		t.Fatal("write into missing dir should fail")
+	}
+	if err := c.MkdirAll("/flows", 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = p.ReadString(Dir + "/dfs/replication")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "replica 0: role leader term") {
+		t.Fatalf("replication file missing leader row:\n%s", s)
+	}
+	if !strings.Contains(s, "applied") || !strings.Contains(s, "lag 0") {
+		t.Fatalf("replication file missing apply state:\n%s", s)
+	}
+}

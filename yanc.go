@@ -223,6 +223,40 @@ func (c *Controller) ExportDFS(addr string) (string, *dfs.Server, error) {
 	return bound, s, nil
 }
 
+// ReplicaOptions configures one member of a replicated dfs control
+// plane: its index in the member list, the full address list, the
+// lease/election timing, and the transport hooks.
+type ReplicaOptions = dfs.ReplicaOptions
+
+// ExportDFSReplica serves the controller's file system as one member of
+// a replicated dfs group (§6): the replicas elect a lease-bounded
+// leader, strict writes commit on a majority, and clients mounted with
+// MountDFSReplicas fail over between members. The member listens on
+// opts.Addrs[opts.ID]; the bound address is returned. The replica's
+// consensus state appears in /.proc/dfs/replication.
+func (c *Controller) ExportDFSReplica(opts ReplicaOptions) (string, *dfs.Replica, error) {
+	r, err := dfs.NewReplica(c.y.VFS(), opts)
+	if err != nil {
+		return "", nil, err
+	}
+	bound, err := r.Listen(opts.Addrs[opts.ID])
+	if err != nil {
+		return "", nil, err
+	}
+	r.Start()
+	c.proc.BindDFSServer(r.Server())
+	c.proc.BindReplica(r)
+	return bound, r, nil
+}
+
+// MountDFSReplicas mounts a replicated export by its full member list:
+// the mount follows the leader across failovers, replays watches and
+// pending writes, and deduplicates replayed writes server-side so a
+// flow pushed mid-failover is applied exactly once.
+func MountDFSReplicas(addrs []string, cred Cred, consistency dfs.Consistency, opts DFSOptions) (*dfs.Client, error) {
+	return dfs.MountReplicas(addrs, cred, consistency, opts)
+}
+
 // BindMount registers a remote mount under name so its queue and
 // reconnect state appear in /.proc/dfs/{queue,reconnects}. Call
 // UnbindMount after closing the client.
