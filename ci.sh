@@ -25,7 +25,7 @@ fi
 echo "==> go vet"
 go vet ./...
 
-echo "==> yancvet (lockorder/lockpair/clockban/atomicfield/errdrop)"
+echo "==> yancvet (lockorder/lockpair/snapshotpub/clockban/atomicfield/errdrop)"
 go run ./cmd/yancvet ./...
 
 echo "==> go test -race"

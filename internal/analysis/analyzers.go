@@ -13,6 +13,7 @@ import (
 	"yanc/internal/analysis/errdrop"
 	"yanc/internal/analysis/lockorder"
 	"yanc/internal/analysis/lockpair"
+	"yanc/internal/analysis/snapshotpub"
 )
 
 // All returns the full yancvet suite in reporting order.
@@ -20,6 +21,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		lockorder.Analyzer,
 		lockpair.Analyzer,
+		snapshotpub.Analyzer,
 		clockban.Analyzer,
 		atomicfield.Analyzer,
 		errdrop.Analyzer,

@@ -1,0 +1,360 @@
+// Package snapshotpub enforces rule 5 of the VFS locking discipline
+// (internal/vfs/lock.go): directory children snapshots are immutable
+// after publish and may only be replaced — never edited — via an atomic
+// swap performed under the tree write lock.
+//
+// The snapshot vocabulary is detected by shape, like lockset does for
+// the lock primitives: the "snapshot type" is any named type declaring
+// both a `kids` and a `setKids` method, in a package that also defines
+// the lock vocabulary. Three rules follow:
+//
+//  1. The publishers (setKids and the copy-on-write helpers cowInsert /
+//     cowDelete) may only be called from a write-locked context: a Tx
+//     method, a function that takes the tree write lock itself, or a
+//     helper reachable only from such functions (computed over the
+//     in-package static call graph). A publisher reachable from an
+//     unlocked or read-locked entry point races every other writer's
+//     copy-on-write cycle.
+//  2. The `children` atomic pointer may only be Stored inside setKids
+//     (or setSnap, the low-level publisher in the overlay-bearing real
+//     package): a direct Store skips the generation bump that lock-free
+//     readers use to detect concurrent change, so a reader could
+//     validate a new snapshot against a stale generation and assemble a
+//     path that never existed.
+//  3. A map obtained from `kids()` (or by dereferencing a children
+//     Load) must never be written through — no index assignment, no
+//     delete. Published maps are read concurrently with no lock; Go
+//     maps fatally throw on concurrent read/write, and even a benign
+//     edit would change history under a reader mid-walk.
+//
+// The context check is an approximation in the safe direction: a
+// function "holds the write lock" if its body contains a lockTree call
+// anywhere (no release tracking — lockpair owns pairing), and a helper
+// is accepted when no unlocked entry point reaches it through the
+// in-package static call graph — recursion included, so a recursive
+// teardown called only from Tx methods is clean. Dynamic calls (hooks,
+// stored closures) have no callers in the static graph, count as entry
+// points, and are therefore reported unless suppressed with
+// `//yancvet:allow snapshotpub <reason>`.
+package snapshotpub
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"yanc/internal/analysis/internal/directive"
+	"yanc/internal/analysis/internal/lockset"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotpub",
+	Doc: "check that children-map snapshots are replaced only via atomic swap under the tree write lock " +
+		"and never mutated after publish",
+	Run: run,
+}
+
+// publisherNames are the methods on the snapshot type that publish a new
+// children snapshot. setSnap is the low-level publisher the others sit
+// on (present only in the overlay-bearing real package, optional in
+// fixtures). bumpGen is deliberately absent: a spurious generation bump
+// only costs lock-free readers a retry, it cannot corrupt a walk.
+var publisherNames = []string{"setKids", "setSnap", "cowInsert", "cowDelete"}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	info := lockset.Find(pass)
+	if info == nil {
+		return nil, nil // only the lock package carries snapshot obligations
+	}
+	v := findVocab(pass)
+	if v == nil {
+		return nil, nil
+	}
+	g := lockset.BuildGraph(pass)
+	c := &checker{
+		pass: pass, info: info, v: v, graph: g,
+		locked:  make(map[*types.Func]bool),
+		callers: make(map[*types.Func][]*types.Func),
+		bad:     make(map[*types.Func]bool),
+	}
+	for fn, node := range g.Decls {
+		if c.isTxMethod(fn) || v.publishers[fn] {
+			c.locked[fn] = true
+			continue
+		}
+		if body, ok := g.Bodies[node]; ok && c.takesWriteLock(body) {
+			c.locked[fn] = true
+		}
+	}
+	for fn, node := range g.Decls {
+		for _, callee := range g.Calls[node] {
+			c.callers[callee] = append(c.callers[callee], fn)
+		}
+	}
+	c.markBadContexts()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.checkPublishes(obj, fd.Body)
+			c.checkMutations(fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// vocab is the snapshot vocabulary detected in the package.
+type vocab struct {
+	snap       *types.Named         // the snapshot (inode) type
+	publishers map[*types.Func]bool // setKids / setSnap / cowInsert / cowDelete
+	kids       *types.Func          // the kids() accessor
+	setKids    *types.Func          // legal Store site (map-shaped packages)
+	setSnap    *types.Func          // legal Store site when the package has the low-level publisher
+	children   *types.Var           // the atomic snapshot field, if named "children"
+}
+
+func findVocab(pass *analysis.Pass) *vocab {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		kids := methodNamed(named, "kids")
+		set := methodNamed(named, "setKids")
+		if kids == nil || set == nil {
+			continue
+		}
+		v := &vocab{snap: named, publishers: map[*types.Func]bool{}, kids: kids, setKids: set,
+			setSnap: methodNamed(named, "setSnap")}
+		for _, pn := range publisherNames {
+			if m := methodNamed(named, pn); m != nil {
+				v.publishers[m] = true
+			}
+		}
+		if st, ok := named.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i).Name() == "children" {
+					v.children = st.Field(i)
+				}
+			}
+		}
+		return v
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	info    *lockset.Info
+	v       *vocab
+	graph   *lockset.Graph
+	locked  map[*types.Func]bool // functions that establish write-lock context
+	callers map[*types.Func][]*types.Func
+	bad     map[*types.Func]bool // reachable from an unlocked entry without crossing a locked context
+}
+
+func (c *checker) isTxMethod(fn *types.Func) bool {
+	if c.info.Tx == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return namedOf(sig.Recv().Type()) == c.info.Tx
+}
+
+// takesWriteLock reports whether body contains a lockTree call anywhere
+// (including nested literals — a closure run by its owner shares the
+// owner's lock context in every shape the VFS uses).
+func (c *checker) takesWriteLock(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if c.info.Classify(c.pass, call) == lockset.OpLockTree {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// markBadContexts computes the set of functions that an unlocked code
+// path can reach. Entry points are the non-locked functions with no
+// in-package callers (exported API surface, dynamic hooks); bad-ness
+// propagates forward along call edges but stops at locked functions,
+// which establish their own context. Forward reachability handles
+// recursion and mutual cycles by construction: a cycle is judged solely
+// by the entry points that can reach it, so a recursive helper called
+// only from locked contexts (removeNode's shape) is clean, while the
+// same cycle hanging off one unlocked caller is bad in every member.
+func (c *checker) markBadContexts() {
+	var queue []*types.Func
+	for fn := range c.graph.Decls {
+		if !c.locked[fn] && len(c.callers[fn]) == 0 {
+			c.bad[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range c.graph.Calls[c.graph.Decls[fn]] {
+			if !c.locked[callee] && !c.bad[callee] {
+				c.bad[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+}
+
+// okContext reports whether fn only runs with the tree write lock held:
+// no unlocked entry point reaches it. A function outside the call graph
+// entirely is not ok — it is a dynamic entry the graph cannot vouch for.
+func (c *checker) okContext(fn *types.Func) bool {
+	if c.locked[fn] {
+		return true
+	}
+	if _, known := c.graph.Decls[fn]; !known {
+		return false
+	}
+	return !c.bad[fn]
+}
+
+// checkPublishes walks one declared function's body (nested literals
+// included — they inherit the enclosing lock context) and reports
+// publisher calls and direct children Stores from unproven contexts.
+func (c *checker) checkPublishes(owner *types.Func, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := typeutil.StaticCallee(c.pass.TypesInfo, call); callee != nil {
+			if c.v.publishers[callee] && !c.okContext(owner) {
+				c.report(call.Pos(), "children snapshot published outside the tree write lock: %s may only be called from a Tx method, a lockTree holder, or their helpers", callee.Name())
+			}
+		}
+		legalStore := owner == c.v.setKids || (c.v.setSnap != nil && owner == c.v.setSnap)
+		if c.isChildrenStore(call) && !legalStore {
+			c.report(call.Pos(), "children snapshot replaced by a direct Store: use setKids so the generation is bumped before the swap")
+		}
+		return true
+	})
+}
+
+// isChildrenStore matches `<snap expr>.children.Store(...)`.
+func (c *checker) isChildrenStore(call *ast.CallExpr) bool {
+	if c.v.children == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Store" {
+		return false
+	}
+	field, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := c.pass.TypesInfo.Selections[field]
+	if !ok || selection.Kind() != types.FieldVal {
+		return false
+	}
+	return selection.Obj() == c.v.children
+}
+
+// checkMutations flags writes through a published snapshot: index
+// assignment to, or delete from, a map obtained via kids() (directly or
+// through local variables, with simple ident-to-ident propagation).
+func (c *checker) checkMutations(body ast.Node) {
+	tainted := make(map[types.Object]bool)
+	isTainted := func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Ident:
+			return tainted[c.pass.TypesInfo.ObjectOf(e)]
+		case *ast.CallExpr:
+			if callee := typeutil.StaticCallee(c.pass.TypesInfo, e); callee != nil {
+				return callee == c.v.kids
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Propagate taint through ident = ident/kids() assignments,
+			// then flag writes through tainted index expressions.
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				lhs, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isTainted(rhs) {
+					tainted[c.pass.TypesInfo.ObjectOf(lhs)] = true
+				}
+			}
+			for _, lhs := range n.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok && isTainted(ix.X) {
+					c.report(lhs.Pos(), "children snapshot mutated after publish: copy-on-write a new map and publish it with setKids")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 && isTainted(n.Args[0]) {
+				if _, isBuiltin := c.pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
+					c.report(n.Pos(), "children snapshot mutated after publish: copy-on-write a new map and publish it with setKids")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...interface{}) {
+	if f := directive.FileFor(c.pass, pos); f != nil && directive.Allows(c.pass, f, pos, "snapshotpub") {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+func methodNamed(n *types.Named, name string) *types.Func {
+	for i := 0; i < n.NumMethods(); i++ {
+		if m := n.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module snapshotpubfixture
+
+go 1.22

@@ -1,0 +1,67 @@
+package snappkg
+
+// Publishing with no lock anywhere in sight: the deliberate bug the
+// rule exists for. Another writer's copy-on-write cycle can interleave
+// and one of the two inserts is silently lost.
+func (fs *FS) CreateUnlocked(name string) {
+	fs.root.cowInsert(name, &inode{}) // want "published outside the tree write lock"
+}
+
+// The read lock is not enough: concurrent read-locked publishers race
+// each other exactly like unlocked ones.
+func (fs *FS) CreateUnderReadLock(name string) {
+	fs.rlockTree()
+	defer fs.runlockTree()
+	fs.root.setKids(map[string]*inode{name: {}}) // want "published outside the tree write lock"
+}
+
+// A helper is only as locked as its callers: reachable from an unlocked
+// entry point, the publish inside it is a bug at the publish site.
+func (fs *FS) insertViaHelper(name string) {
+	fs.root.cowInsert(name, &inode{}) // want "published outside the tree write lock"
+}
+
+func (fs *FS) CreateViaHelper(name string) {
+	fs.insertViaHelper(name)
+}
+
+// Recursion does not launder an unlocked entry point: the cycle is
+// reachable from RemoveUnlocked, so the publish inside it is a bug.
+func (fs *FS) removeRecUnlocked(n *inode, name string) {
+	for cname, c := range n.kids() {
+		fs.removeRecUnlocked(c, cname)
+	}
+	n.cowDelete(name) // want "published outside the tree write lock"
+}
+
+func (fs *FS) RemoveUnlocked(name string) {
+	fs.removeRecUnlocked(fs.root, name)
+}
+
+// Storing the pointer directly skips the generation bump, so a lock-free
+// reader can validate the new map against the old generation and see a
+// path that never existed.
+func (fs *FS) StoreWithoutGenBump(m map[string]*inode) {
+	fs.lockTree()
+	defer fs.unlockTree()
+	fs.root.children.Store(&m) // want "use setKids"
+}
+
+// Editing a loaded snapshot in place — even under the write lock — races
+// every lock-free reader currently ranging over it.
+func (tx *Tx) MutateLoaded(name string, c *inode) {
+	m := tx.fs.root.kids()
+	m[name] = c // want "mutated after publish"
+}
+
+// delete through an alias of the snapshot is the same bug.
+func (tx *Tx) DeleteLoaded(name string) {
+	m := tx.fs.root.kids()
+	alias := m
+	delete(alias, name) // want "mutated after publish"
+}
+
+// Writing through the accessor call directly, without even a variable.
+func (tx *Tx) MutateInline(name string, c *inode) {
+	tx.fs.root.kids()[name] = c // want "mutated after publish"
+}

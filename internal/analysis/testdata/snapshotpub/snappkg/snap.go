@@ -1,0 +1,66 @@
+// Package snappkg is a miniature replica of internal/vfs's snapshot
+// publication shape used to exercise the snapshotpub analyzer: a tree
+// RWMutex with the lockTree vocabulary, an inode whose children map is
+// an atomic snapshot with a generation counter, and the copy-on-write
+// publisher helpers.
+package snappkg
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type FS struct {
+	tree sync.RWMutex
+	root *inode
+}
+
+func (fs *FS) lockTree()    { fs.tree.Lock() }
+func (fs *FS) unlockTree()  { fs.tree.Unlock() }
+func (fs *FS) rlockTree()   { fs.tree.RLock() }
+func (fs *FS) runlockTree() { fs.tree.RUnlock() }
+
+// Tx methods run under the tree write lock by contract.
+type Tx struct{ fs *FS }
+
+type inode struct {
+	children atomic.Pointer[map[string]*inode]
+	gen      atomic.Uint64
+}
+
+// kids returns the published children snapshot; callers may only read.
+func (n *inode) kids() map[string]*inode {
+	if m := n.children.Load(); m != nil {
+		return *m
+	}
+	return nil
+}
+
+// setKids publishes m: generation bump, then swap. Tree write lock held.
+func (n *inode) setKids(m map[string]*inode) {
+	n.gen.Add(1)
+	n.children.Store(&m)
+}
+
+// cowInsert copy-on-writes name into n's children. Tree write lock held.
+func (n *inode) cowInsert(name string, c *inode) {
+	old := n.kids()
+	m := make(map[string]*inode, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[name] = c
+	n.setKids(m)
+}
+
+// cowDelete copy-on-writes name out of n's children. Tree write lock held.
+func (n *inode) cowDelete(name string) {
+	old := n.kids()
+	m := make(map[string]*inode, len(old))
+	for k, v := range old {
+		if k != name {
+			m[k] = v
+		}
+	}
+	n.setKids(m)
+}

@@ -15,6 +15,11 @@
 //	                        inode locks (vfs.LockStats.PerShard)
 //	/.proc/vfs/contention   tree/stripe lock acquisition + contention
 //	                        counters and watch-dispatcher gauges
+//	/.proc/vfs/resolve_lockfree  read-path resolutions served entirely by
+//	                             the lock-free snapshot walk
+//	/.proc/vfs/resolve_fallback  read-path resolutions that fell back to
+//	                             the read-locked walk (symlink, "..",
+//	                             chroot, or generation-conflict retries)
 //	/.proc/watch/queues   per-watch queue depth, capacity, drops, overflows
 //	/.proc/driver/<name>  per-switch rtt/echo/tx_rx (installed by the driver)
 //	/.proc/dfs/rpc        dfs server request counters
@@ -75,18 +80,20 @@ func Install(fs *vfs.FS) (*Tree, error) {
 			}
 		}
 		files := map[string]func() ([]byte, error){
-			Dir + "/vfs/ops":         t.renderOps,
-			Dir + "/vfs/latency":     t.renderLatency,
-			Dir + "/vfs/lock_shards": t.renderLockShards,
-			Dir + "/vfs/contention":  t.renderContention,
-			Dir + "/watch/queues":    t.renderWatchQueues,
-			Dir + "/dfs/rpc":         t.renderDFSRPC,
-			Dir + "/dfs/queue":       t.renderDFSQueue,
-			Dir + "/dfs/reconnects":  t.renderDFSReconnects,
-			Dir + "/dfs/replication": t.renderDFSReplication,
-			Dir + "/events/stats":    t.renderEventStats,
-			Dir + "/events/batch":    t.renderEventBatch,
-			Dir + "/events/apps":     t.renderEventApps,
+			Dir + "/vfs/ops":              t.renderOps,
+			Dir + "/vfs/latency":          t.renderLatency,
+			Dir + "/vfs/lock_shards":      t.renderLockShards,
+			Dir + "/vfs/contention":       t.renderContention,
+			Dir + "/vfs/resolve_lockfree": t.renderResolveLockfree,
+			Dir + "/vfs/resolve_fallback": t.renderResolveFallback,
+			Dir + "/watch/queues":         t.renderWatchQueues,
+			Dir + "/dfs/rpc":              t.renderDFSRPC,
+			Dir + "/dfs/queue":            t.renderDFSQueue,
+			Dir + "/dfs/reconnects":       t.renderDFSReconnects,
+			Dir + "/dfs/replication":      t.renderDFSReplication,
+			Dir + "/events/stats":         t.renderEventStats,
+			Dir + "/events/batch":         t.renderEventBatch,
+			Dir + "/events/apps":          t.renderEventApps,
 		}
 		for path, read := range files {
 			read := read
@@ -257,6 +264,16 @@ func (t *Tree) renderContention() ([]byte, error) {
 		fmt.Fprintf(&b, "%-22s %d\n", row.name, row.n)
 	}
 	return []byte(b.String()), nil
+}
+
+// The resolve_* files hold one bare counter each, so shell-side ratio
+// math stays a two-read one-liner (`$(<resolve_fallback)` over the sum).
+func (t *Tree) renderResolveLockfree() ([]byte, error) {
+	return []byte(fmt.Sprintf("%d\n", t.fs.LockStats().ResolveLockfree)), nil
+}
+
+func (t *Tree) renderResolveFallback() ([]byte, error) {
+	return []byte(fmt.Sprintf("%d\n", t.fs.LockStats().ResolveFallback)), nil
 }
 
 func (t *Tree) renderWatchQueues() ([]byte, error) {

@@ -23,6 +23,8 @@ func TestInstallCreatesReadOnlyTree(t *testing.T) {
 		Dir + "/vfs/latency",
 		Dir + "/vfs/lock_shards",
 		Dir + "/vfs/contention",
+		Dir + "/vfs/resolve_lockfree",
+		Dir + "/vfs/resolve_fallback",
 		Dir + "/watch/queues",
 		Dir + "/dfs/rpc",
 		Dir + "/dfs/queue",

@@ -31,7 +31,9 @@ type File struct {
 	closed bool
 	wrote  bool
 
-	// synthetic buffering
+	// synthetic buffering. synth is the provider captured at open time
+	// (the node's attachment may be swapped while the handle is open).
+	synth         *Synthetic
 	synthBuf      []byte
 	synthMode     bool
 	needSynthRead bool
@@ -73,7 +75,7 @@ func (p *Proc) OpenFile(path string, flags int, mode FileMode) (*File, error) {
 	// perform slow work (the OpenFlow driver queries the switch here) and
 	// must not stall unrelated file-system operations.
 	if f.needSynthRead {
-		data, rerr := f.node.synth.Read()
+		data, rerr := f.synth.Read()
 		if rerr != nil {
 			return nil, pathErr("open", path, rerr)
 		}
@@ -82,11 +84,20 @@ func (p *Proc) OpenFile(path string, flags int, mode FileMode) (*File, error) {
 	return f, nil
 }
 
-// openFast handles opens that do not create: it holds only the tree read
-// lock, so opens of distinct existing files proceed in parallel. Returns
-// errNeedCreate when the path does not exist and O_CREATE was given.
+// openFast handles opens that do not create. A clean path in the root
+// namespace goes through the lock-free resolver (openRCU); everything
+// else — chroots, uncleaned paths, symlinks, generation-conflict retries
+// — takes the tree read lock, so opens of distinct existing files still
+// proceed in parallel at worst. Returns errNeedCreate when the path does
+// not exist and O_CREATE was given.
 func (p *Proc) openFast(path string, flags int) (*File, []Event, error) {
 	fs := p.fs
+	if p.root == fs.root && isClean(path) {
+		if f, events, err, ok := p.openRCU(path, flags); ok {
+			return f, events, err
+		}
+	}
+	fs.lockCtr.resolveFallback.Add(1)
 	fs.rlockTree()
 	defer fs.runlockTree()
 	parent, name, node, err := fs.resolve(p.cred, path, p.opts(true))
@@ -99,32 +110,72 @@ func (p *Proc) openFast(path string, flags int) (*File, []Event, error) {
 		}
 		return nil, nil, errNeedCreate
 	}
-	if flags&O_CREATE != 0 && flags&O_EXCL != 0 {
-		return nil, nil, pathErr("open", path, ErrExist)
-	}
 	if node.isDir() {
+		// Checked before pathTo: the root has no parent entry to name.
 		return nil, nil, pathErr("open", path, ErrIsDir)
-	}
-	wantsWrite := flags&(O_WRONLY|O_RDWR) != 0
-	wantsRead := flags&O_WRONLY == 0
-	if wantsWrite && !allows(node, p.cred, wantWrite) {
-		return nil, nil, pathErr("open", path, ErrAccess)
-	}
-	if wantsRead && !allows(node, p.cred, wantRead) {
-		return nil, nil, pathErr("open", path, ErrAccess)
 	}
 	// The handle records the real root-absolute path, not the caller's
 	// (possibly chroot-relative) spelling: events carry this path, and
 	// watchers outside the namespace must see the true location.
-	f := &File{proc: p, node: node, path: pathTo(parent, name), flags: flags}
+	return p.openExisting(node, pathTo(parent, name), flags)
+}
+
+// openRCU is the lock-free open fast path: a canonical, non-chrooted
+// path that resolves without symlinks, "..", or a generation-conflict
+// retry opens with no tree lock at all. ok=false sends the caller to the
+// read-locked path (which handles all of the above). The caller's path
+// spelling doubles as the handle's real path: it is canonical, the Proc
+// is rooted at the fs root, and no symlink was crossed.
+func (p *Proc) openRCU(path string, flags int) (*File, []Event, error, bool) {
+	fs := p.fs
+	node, st, err := fs.walkRCU(p.cred, path, resolveOpts{followLast: true, root: fs.root})
+	if st == rcuRetry || st == rcuBail {
+		return nil, nil, nil, false
+	}
+	fs.lockCtr.resolveLockfree.Add(1)
+	if err != nil {
+		return nil, nil, pathErr("open", path, err), true
+	}
+	if node == nil {
+		if flags&O_CREATE == 0 {
+			return nil, nil, pathErr("open", path, ErrNotExist), true
+		}
+		return nil, nil, errNeedCreate, true
+	}
+	f, events, err := p.openExisting(node, path, flags)
+	return f, events, err, true
+}
+
+// openExisting applies the existing-file open rules (flag and permission
+// checks, synthetic capture, O_TRUNC) and builds the handle. It requires
+// no tree lock: permissions are atomics, the synthetic attachment is
+// atomic, and truncation takes the node's stripe.
+func (p *Proc) openExisting(node *inode, realPath string, flags int) (*File, []Event, error) {
+	fs := p.fs
+	if flags&O_CREATE != 0 && flags&O_EXCL != 0 {
+		return nil, nil, pathErr("open", realPath, ErrExist)
+	}
+	if node.isDir() {
+		return nil, nil, pathErr("open", realPath, ErrIsDir)
+	}
+	wantsWrite := flags&(O_WRONLY|O_RDWR) != 0
+	wantsRead := flags&O_WRONLY == 0
+	if wantsWrite && !allows(node, p.cred, wantWrite) {
+		return nil, nil, pathErr("open", realPath, ErrAccess)
+	}
+	if wantsRead && !allows(node, p.cred, wantRead) {
+		return nil, nil, pathErr("open", realPath, ErrAccess)
+	}
+	f := &File{proc: p, node: node, path: realPath, flags: flags}
 	var events []Event
-	if node.synth != nil {
+	if syn := node.loadSynth(); syn != nil {
+		f.synth = syn
 		f.synthMode = true
-		f.needSynthRead = wantsRead && node.synth.Read != nil
+		f.needSynthRead = wantsRead && syn.Read != nil
 	} else if flags&O_TRUNC != 0 {
 		s := fs.lockNode(node)
 		node.data = node.data[:0]
-		node.touchM(fs.clock())
+		node.touchM(fs.now())
 		s.mu.Unlock()
 		events = []Event{{Op: OpWrite, Path: f.path}}
 	}
@@ -149,8 +200,8 @@ func (p *Proc) openSlow(path string, flags int, mode FileMode) (*File, []Event, 
 				return nil, pathErr("open", path, ErrAccess)
 			}
 			node = fs.newInode(KindFile, mode.Perm(), p.cred.UID, p.cred.GID)
-			parent.children[name] = node
-			parent.touchM(fs.clock())
+			parent.cowInsert(name, node)
+			fs.touchMS(parent, fs.now())
 			created = true
 			fs.stats.creates.Add(1)
 			tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name)})
@@ -172,17 +223,20 @@ func (p *Proc) openSlow(path string, flags int, mode FileMode) (*File, []Event, 
 			return nil, pathErr("open", path, ErrAccess)
 		}
 		f := &File{proc: p, node: node, path: pathTo(parent, name), flags: flags}
-		if node.synth != nil {
+		if syn := node.loadSynth(); syn != nil {
+			f.synth = syn
 			f.synthMode = true
-			f.needSynthRead = wantsRead && node.synth.Read != nil
+			f.needSynthRead = wantsRead && syn.Read != nil
 		} else if flags&O_TRUNC != 0 && !created {
+			s := fs.lockNode(node)
 			node.data = node.data[:0]
-			node.touchM(fs.clock())
+			node.touchM(fs.now())
+			s.mu.Unlock()
 			tx.queue(Event{Op: OpWrite, Path: f.path})
 		}
 		if created && parent.sem != nil && parent.sem.OnCreate != nil {
 			if herr := parent.sem.OnCreate(tx, pathOf(parent), name); herr != nil {
-				delete(parent.children, name)
+				parent.cowDelete(name)
 				tx.events = tx.events[:0]
 				return nil, pathErr("open", path, herr)
 			}
@@ -220,19 +274,18 @@ func (f *File) Read(b []byte) (int, error) {
 		f.pos += int64(n)
 		return n, nil
 	}
+	// Stripe-only: content I/O on an open handle needs no tree lock at
+	// any level (the node was pinned at open time).
 	fs := f.proc.fs
-	fs.rlockTree()
 	s := fs.rlockNode(f.node)
 	src := f.node.data
 	if f.pos < int64(len(src)) {
 		n := copy(b, src[f.pos:])
 		f.pos += int64(n)
 		s.mu.RUnlock()
-		fs.runlockTree()
 		return n, nil
 	}
 	s.mu.RUnlock()
-	fs.runlockTree()
 	return 0, io.EOF
 }
 
@@ -261,16 +314,14 @@ func (f *File) Write(b []byte) (int, error) {
 		return len(b), nil
 	}
 	fs := f.proc.fs
-	fs.rlockTree()
 	s := fs.lockNode(f.node)
 	if f.flags&O_APPEND != 0 {
 		f.pos = int64(len(f.node.data))
 	}
 	f.node.data = writeAt(f.node.data, b, f.pos)
 	f.pos += int64(len(b))
-	f.node.touchM(fs.clock())
+	f.node.touchM(fs.now())
 	s.mu.Unlock()
-	fs.runlockTree()
 	fs.watches.dispatch([]Event{{Op: OpWrite, Path: f.path}})
 	return len(b), nil
 }
@@ -307,11 +358,9 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 			base = int64(len(f.synthBuf))
 		} else {
 			fs := f.proc.fs
-			fs.rlockTree()
 			s := fs.rlockNode(f.node)
 			base = int64(len(f.node.data))
 			s.mu.RUnlock()
-			fs.runlockTree()
 		}
 	default:
 		return 0, pathErr("seek", f.path, ErrInvalid)
@@ -344,16 +393,14 @@ func (f *File) Truncate(size int64) error {
 		return nil
 	}
 	fs := f.proc.fs
-	fs.rlockTree()
 	s := fs.lockNode(f.node)
 	if size <= int64(len(f.node.data)) {
 		f.node.data = f.node.data[:size]
 	} else {
 		f.node.data = append(f.node.data, make([]byte, size-int64(len(f.node.data)))...)
 	}
-	f.node.touchM(fs.clock())
+	f.node.touchM(fs.now())
 	s.mu.Unlock()
-	fs.runlockTree()
 	fs.watches.dispatch([]Event{{Op: OpWrite, Path: f.path}})
 	return nil
 }
@@ -366,8 +413,6 @@ func (f *File) Stat() (Stat, error) {
 		return Stat{}, pathErr("stat", f.path, ErrClosed)
 	}
 	fs := f.proc.fs
-	fs.rlockTree()
-	defer fs.runlockTree()
 	s := fs.rlockNode(f.node)
 	defer s.mu.RUnlock()
 	return statOf(f.node, Base(f.path)), nil
@@ -385,10 +430,10 @@ func (f *File) Close() error {
 	}
 	f.closed = true
 	if f.synthMode && f.wrote {
-		if f.node.synth.Write == nil {
+		if f.synth.Write == nil {
 			return pathErr("close", f.path, ErrPerm)
 		}
-		if err := f.node.synth.Write(f.synthBuf); err != nil {
+		if err := f.synth.Write(f.synthBuf); err != nil {
 			return pathErr("close", f.path, err)
 		}
 	}

@@ -10,15 +10,16 @@
 // Symlink, Stat, ...) and every call is counted, because the paper's §8.1
 // performance argument is about the number of such calls.
 //
-// Concurrency: the tree scales on multicore through two lock levels — a
-// structural tree lock plus ino-sharded inode-state stripes (see lock.go
-// and DESIGN.md §8). Non-structural operations on distinct inodes never
-// serialize on a global mutex.
+// Concurrency: the tree scales on multicore through three levels — lock-
+// free path resolution over immutable children-map snapshots (see
+// resolve_rcu.go), a structural tree lock for writers, and ino-sharded
+// inode-state stripes (see lock.go and DESIGN.md §8). The read-mostly
+// hot paths (stat, readdir, open-existing, xattr reads) take no tree
+// lock at all.
 package vfs
 
 import (
 	"errors"
-	"maps"
 	"sort"
 	"strings"
 	"sync"
@@ -66,19 +67,27 @@ type DirSemantics struct {
 // inode field locking:
 //
 //   - ino, kind, target: immutable after creation.
-//   - mode, uid, gid: atomics, read lock-free during path resolution.
-//   - children, parent, name, nlink, sem, synth: structural — mutated only
-//     under the tree write lock, readable under either tree mode.
-//   - data, atime, mtime, ctime, version, xattrs: inode-local — under the
-//     tree read lock they require the inode's shard stripe; under the
-//     tree write lock the stripe is optional (writers are excluded).
+//   - mode, uid, gid, nlink, synth: atomics, read lock-free (resolution
+//     and stat touch them with no locks held); stored under the tree
+//     write lock.
+//   - children, gen: the published children-map snapshot and its
+//     generation. Replaced (never mutated) via setKids under the tree
+//     write lock; read lock-free by the RCU walker (resolve_rcu.go).
+//   - parent, name, sem: structural — mutated only under the tree write
+//     lock, readable under either tree mode. The lock-free walker never
+//     touches them (it bails on "..").
+//   - data, atime, mtime, ctime, version, xattrs: inode-local — every
+//     access, read or write, requires the inode's shard stripe. The tree
+//     write lock is NOT enough on its own: lock-free resolution means
+//     stripe-only readers (File.Read/Write, lock-free Stat) can run
+//     concurrently with structural operations.
 type inode struct {
 	ino   uint64
 	kind  NodeKind
 	mode  atomic.Uint32 // FileMode bits
 	uid   atomic.Int32
 	gid   atomic.Int32
-	nlink int
+	nlink atomic.Int64
 
 	atime   time.Time
 	mtime   time.Time
@@ -87,15 +96,17 @@ type inode struct {
 	xattrs  map[string][]byte
 
 	// Directory state. parent/name give directories a unique path;
-	// regular files may have multiple names via hard links.
-	children map[string]*inode
+	// regular files may have multiple names via hard links. children is
+	// the immutable snapshot + generation pair — access via kids/setKids.
+	children atomic.Pointer[kidsSnap]
+	gen      atomic.Uint64
 	parent   *inode
 	name     string
 	sem      *DirSemantics
 
 	// File state.
 	data  []byte
-	synth *Synthetic
+	synth atomic.Pointer[Synthetic]
 
 	// Symlink state.
 	target string
@@ -112,8 +123,11 @@ func (n *inode) storeOwner(uid, gid int) {
 	n.gid.Store(int32(gid))
 }
 
-// touchC updates ctime and version (metadata change). Caller must hold the
-// inode's stripe in write mode, or the tree lock in write mode.
+// touchC updates ctime and version (metadata change). Caller must hold
+// the inode's stripe in write mode (the tree write lock alone is NOT
+// sufficient once the inode is published — see touchCS/touchMS). The
+// only exception is an inode not yet inserted into the tree, which no
+// other goroutine can reach.
 func (n *inode) touchC(now time.Time) {
 	n.ctime = now
 	n.version++
@@ -202,7 +216,7 @@ type FS struct {
 
 	root    *inode
 	nextIno atomic.Uint64
-	clock   func() time.Time
+	clock   atomic.Pointer[func() time.Time]
 	watches watchSet
 	stats   statCounters
 	lat     latencySet
@@ -211,28 +225,29 @@ type FS struct {
 // New creates an empty file system whose root is owned by root:root with
 // mode 0755.
 func New() *FS {
-	fs := &FS{clock: time.Now}
+	fs := &FS{}
+	clk := time.Now
+	fs.clock.Store(&clk)
 	fs.root = fs.newInode(KindDir, 0o755, 0, 0)
 	fs.root.name = "/"
 	return fs
 }
 
+// now returns the current time from the installed clock. The clock
+// pointer is atomic so stripe-only writers (File.Write) and lock-free
+// readers never need a tree lock to read time.
+func (fs *FS) now() time.Time { return (*fs.clock.Load())() }
+
 // SetClock replaces the time source (tests use a fake clock).
 func (fs *FS) SetClock(clock func() time.Time) {
-	fs.lockTree()
-	defer fs.unlockTree()
-	fs.clock = clock
+	fs.clock.Store(&clock)
 }
 
 // Now returns the file system's notion of the current time — the clock
 // installed via SetClock. Components that stamp times into files (e.g.
 // the driver's last_seen) must use this rather than time.Now so that
 // simulated time in tests stays consistent with inode timestamps.
-func (fs *FS) Now() time.Time {
-	fs.rlockTree()
-	defer fs.runlockTree()
-	return fs.clock()
-}
+func (fs *FS) Now() time.Time { return fs.now() }
 
 // Stats returns a snapshot of the operation counters.
 func (fs *FS) Stats() OpStats { return fs.stats.snapshot() }
@@ -243,25 +258,25 @@ func (fs *FS) bareInode(kind NodeKind, mode FileMode, uid, gid int, now time.Tim
 	n := &inode{
 		ino:   fs.nextIno.Add(1),
 		kind:  kind,
-		nlink: 1,
 		atime: now,
 		mtime: now,
 		ctime: now,
 	}
+	links := int64(1)
 	if kind == KindDir {
-		n.nlink = 2
+		links = 2
 	}
+	n.nlink.Store(links)
 	n.storeMode(mode)
 	n.storeOwner(uid, gid)
 	return n
 }
 
+// newInode creates an unpublished inode. Directories start with no
+// children snapshot (kids is nil-safe); the first cowInsert publishes
+// one.
 func (fs *FS) newInode(kind NodeKind, mode FileMode, uid, gid int) *inode {
-	n := fs.bareInode(kind, mode, uid, gid, fs.clock())
-	if kind == KindDir {
-		n.children = make(map[string]*inode)
-	}
-	return n
+	return fs.bareInode(kind, mode, uid, gid, fs.now())
 }
 
 // splitPath cleans a slash-separated path into components, dropping empty
@@ -486,7 +501,7 @@ func (fs *FS) walkFrom(cur *inode, path string, cred Cred, opt resolveOpts, root
 			continue
 		}
 		fs.stats.lookups.Add(1)
-		child, okc := cur.children[p]
+		child, okc := cur.lookupChild(p)
 		if !okc {
 			if last {
 				return cur, p, nil, nil
@@ -629,9 +644,9 @@ func (tx *Tx) Mkdir(path string, mode FileMode, uid, gid int) error {
 	d := tx.fs.newInode(KindDir, mode, uid, gid)
 	d.parent = parent
 	d.name = name
-	parent.children[name] = d
-	parent.nlink++
-	parent.touchM(tx.fs.clock())
+	parent.cowInsert(name, d)
+	parent.nlink.Add(1)
+	tx.fs.touchMS(parent, tx.fs.now())
 	tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name), IsDir: true})
 	return nil
 }
@@ -658,12 +673,12 @@ func (tx *Tx) WriteFile(path string, data []byte, mode FileMode, uid, gid int) e
 	if err != nil {
 		return pathErr("write", path, err)
 	}
-	now := tx.fs.clock()
+	now := tx.fs.now()
 	if node == nil {
 		f := tx.fs.newInode(KindFile, mode, uid, gid)
 		f.data = append([]byte(nil), data...)
-		parent.children[name] = f
-		parent.touchM(now)
+		parent.cowInsert(name, f)
+		tx.fs.touchMS(parent, now)
 		full := pathTo(parent, name)
 		tx.queue(Event{Op: OpCreate, Path: full})
 		tx.queue(Event{Op: OpWrite, Path: full})
@@ -672,8 +687,10 @@ func (tx *Tx) WriteFile(path string, data []byte, mode FileMode, uid, gid int) e
 	if node.isDir() {
 		return pathErr("write", path, ErrIsDir)
 	}
+	s := tx.fs.lockNode(node)
 	node.data = append(node.data[:0], data...)
 	node.touchM(now)
+	s.mu.Unlock()
 	tx.queue(Event{Op: OpWrite, Path: pathTo(parent, name)})
 	return nil
 }
@@ -692,10 +709,11 @@ func (tx *Tx) ReadFile(path string) ([]byte, error) {
 	if n.isDir() {
 		return nil, pathErr("read", path, ErrIsDir)
 	}
-	if tx.ro {
-		s := tx.fs.rlockNode(n)
-		defer s.mu.RUnlock()
-	}
+	// The stripe is required in BOTH transaction modes: File.Write runs
+	// stripe-only (no tree lock), so even the tree write lock does not
+	// exclude concurrent content writers.
+	s := tx.fs.rlockNode(n)
+	defer s.mu.RUnlock()
 	return append([]byte(nil), n.data...), nil
 }
 
@@ -710,8 +728,8 @@ func (tx *Tx) Symlink(target, linkPath string, uid, gid int) error {
 	}
 	l := tx.fs.newInode(KindSymlink, 0o777, uid, gid)
 	l.target = target
-	parent.children[name] = l
-	parent.touchM(tx.fs.clock())
+	parent.cowInsert(name, l)
+	tx.fs.touchMS(parent, tx.fs.now())
 	tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name)})
 	return nil
 }
@@ -741,11 +759,11 @@ func (tx *Tx) Link(oldPath, newPath string) error {
 	if node != nil {
 		return &LinkError{Op: "link", Old: oldPath, New: newPath, Err: ErrExist}
 	}
-	now := tx.fs.clock()
-	parent.children[name] = src
-	src.nlink++
-	src.touchC(now)
-	parent.touchM(now)
+	now := tx.fs.now()
+	parent.cowInsert(name, src)
+	src.nlink.Add(1)
+	tx.fs.touchCS(src, now)
+	tx.fs.touchMS(parent, now)
 	tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name)})
 	return nil
 }
@@ -779,19 +797,21 @@ func (tx *Tx) LinkDir(srcDir, dstDir string, mode FileMode, uid, gid int) error 
 	d := tx.fs.newInode(KindDir, mode, uid, gid)
 	d.parent = parent
 	d.name = name
-	d.children = make(map[string]*inode, len(src.children))
-	now := tx.fs.clock()
-	for cname, c := range src.children {
+	srcKids := src.kids()
+	m := make(map[string]*inode, len(srcKids))
+	now := tx.fs.now()
+	for cname, c := range srcKids {
 		if c.kind != KindFile {
 			continue
 		}
-		d.children[cname] = c
-		c.nlink++
-		c.touchC(now)
+		m[cname] = c
+		c.nlink.Add(1)
+		tx.fs.touchCS(c, now)
 	}
-	parent.children[name] = d
-	parent.nlink++
-	parent.touchM(now)
+	d.setKids(m)
+	parent.cowInsert(name, d)
+	parent.nlink.Add(1)
+	tx.fs.touchMS(parent, now)
 	tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name), IsDir: true})
 	return nil
 }
@@ -806,11 +826,11 @@ func (tx *Tx) LinkDir(srcDir, dstDir string, mode FileMode, uid, gid int) error 
 // nlink/ctime updates are batched: one increment pass no matter how many
 // destinations were linked.
 func (tx *Tx) LinkDirFanout(srcDir string, dsts []string, mode FileMode, uid, gid int, linked func(i int)) error {
-	tmpl, shared, err := tx.fanoutSrc(srcDir)
+	tmpl, err := tx.fanoutSrc(srcDir)
 	if err != nil {
 		return err
 	}
-	now := tx.fs.clock()
+	now := tx.fs.now()
 	links := 0
 	root := tx.fs.root
 	for i, dst := range dsts {
@@ -822,14 +842,10 @@ func (tx *Tx) LinkDirFanout(srcDir string, dsts []string, mode FileMode, uid, gi
 		d := tx.fs.bareInode(KindDir, mode, uid, gid, now)
 		d.parent = parent
 		d.name = name
-		if shared {
-			d.children = tmpl
-		} else {
-			d.children = maps.Clone(tmpl)
-		}
-		parent.children[name] = d
-		parent.nlink++
-		parent.touchM(now)
+		d.setKids(tmpl)
+		parent.cowInsert(name, d)
+		parent.nlink.Add(1)
+		tx.fs.touchMS(parent, now)
 		// Event paths must be real paths: reuse the caller's dst string
 		// only when resolution crossed no symlink and dst is canonical.
 		evPath := dst
@@ -844,8 +860,8 @@ func (tx *Tx) LinkDirFanout(srcDir string, dsts []string, mode FileMode, uid, gi
 	}
 	if links > 0 {
 		for _, c := range tmpl {
-			c.nlink += links
-			c.touchC(now)
+			c.nlink.Add(int64(links))
+			tx.fs.touchCS(c, now)
 		}
 	}
 	return nil
@@ -853,36 +869,36 @@ func (tx *Tx) LinkDirFanout(srcDir string, dsts []string, mode FileMode, uid, gi
 
 // fanoutSrc resolves a fan-out source directory and prepares the child
 // template every destination will receive. When every child is a regular
-// file — always true for packet-in spool entries — all destinations alias
-// the source's children map instead of each cloning it (shared=true). This
-// is safe because subtree teardown iterates a dying dir's map without
-// mutating it (detach=false) and message dirs are immutable by convention;
-// the one observable quirk (a file explicitly created in or unlinked from
-// one linked dir appears or vanishes in all of them) is exactly hard-link
-// sharing semantics.
-func (tx *Tx) fanoutSrc(srcDir string) (map[string]*inode, bool, error) {
+// file — always true for packet-in spool entries — all destinations share
+// the source's published snapshot instead of each cloning it. Snapshots
+// are immutable after publish (copy-on-write replaces them), so sharing
+// one map across N directories is always safe: a later insert into or
+// unlink from any one of them publishes a fresh map for that directory
+// alone, giving ordinary hard-link semantics with zero aliasing quirks.
+func (tx *Tx) fanoutSrc(srcDir string) (map[string]*inode, error) {
 	_, _, src, err := tx.fs.resolve(Root, srcDir, resolveOpts{followLast: true})
 	if err != nil {
-		return nil, false, &LinkError{Op: "linkdir", Old: srcDir, New: "", Err: err}
+		return nil, &LinkError{Op: "linkdir", Old: srcDir, New: "", Err: err}
 	}
 	if src == nil {
-		return nil, false, &LinkError{Op: "linkdir", Old: srcDir, New: "", Err: ErrNotExist}
+		return nil, &LinkError{Op: "linkdir", Old: srcDir, New: "", Err: ErrNotExist}
 	}
 	if !src.isDir() {
-		return nil, false, &LinkError{Op: "linkdir", Old: srcDir, New: "", Err: ErrNotDir}
+		return nil, &LinkError{Op: "linkdir", Old: srcDir, New: "", Err: ErrNotDir}
 	}
-	for _, c := range src.children {
+	srcKids := src.kids()
+	for _, c := range srcKids {
 		if c.kind != KindFile {
-			tmpl := make(map[string]*inode, len(src.children))
-			for cname, cc := range src.children {
+			tmpl := make(map[string]*inode, len(srcKids))
+			for cname, cc := range srcKids {
 				if cc.kind == KindFile {
 					tmpl[cname] = cc
 				}
 			}
-			return tmpl, false, nil
+			return tmpl, nil
 		}
 	}
-	return src.children, true, nil
+	return srcKids, nil
 }
 
 // DirRef is an opaque handle to a resolved directory, letting hot paths
@@ -898,9 +914,7 @@ func (r DirRef) Valid() bool { return r.ino != nil }
 
 // DirRef resolves path to a directory handle for later fan-out use.
 func (p *Proc) DirRef(path string) (DirRef, error) {
-	p.fs.rlockTree()
-	defer p.fs.runlockTree()
-	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(true))
+	n, err := p.fs.lookupRO(p.cred, path, p.opts(true))
 	if err != nil {
 		return DirRef{}, pathErr("dirref", path, err)
 	}
@@ -920,14 +934,14 @@ func (p *Proc) DirRef(path string) (DirRef, error) {
 // Every node of a removed subtree has its parent pointer cleared, so
 // detachment is one pointer test instead of a path walk.
 func (tx *Tx) LinkDirFanoutRefs(srcDir string, parents []DirRef, name string, mode FileMode, uid, gid int, linked func(i int)) error {
-	tmpl, shared, err := tx.fanoutSrc(srcDir)
+	tmpl, err := tx.fanoutSrc(srcDir)
 	if err != nil {
 		return err
 	}
 	if !isCleanName(name) {
 		return pathErr("linkdir", name, ErrInvalid)
 	}
-	now := tx.fs.clock()
+	now := tx.fs.now()
 	links := 0
 	for i, r := range parents {
 		parent := r.ino
@@ -935,22 +949,16 @@ func (tx *Tx) LinkDirFanoutRefs(srcDir string, parents []DirRef, name string, mo
 			(parent.parent == nil && parent != tx.fs.root) {
 			continue
 		}
-		if parent.children == nil {
-			parent.children = make(map[string]*inode)
-		} else if _, exists := parent.children[name]; exists {
+		if _, exists := parent.lookupChild(name); exists {
 			continue
 		}
 		d := tx.fs.bareInode(KindDir, mode, uid, gid, now)
 		d.parent = parent
 		d.name = name
-		if shared {
-			d.children = tmpl
-		} else {
-			d.children = maps.Clone(tmpl)
-		}
-		parent.children[name] = d
-		parent.nlink++
-		parent.touchM(now)
+		d.setKids(tmpl)
+		parent.cowInsert(name, d)
+		parent.nlink.Add(1)
+		tx.fs.touchMS(parent, now)
 		tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name), IsDir: true})
 		links++
 		if linked != nil {
@@ -959,8 +967,8 @@ func (tx *Tx) LinkDirFanoutRefs(srcDir string, parents []DirRef, name string, mo
 	}
 	if links > 0 {
 		for _, c := range tmpl {
-			c.nlink += links
-			c.touchC(now)
+			c.nlink.Add(int64(links))
+			tx.fs.touchCS(c, now)
 		}
 	}
 	return nil
@@ -986,22 +994,23 @@ func (tx *Tx) WriteTree(dir string, files []FileData, dirMode, fileMode FileMode
 	if node != nil {
 		return pathErr("writetree", dir, ErrExist)
 	}
-	now := tx.fs.clock()
+	now := tx.fs.now()
 	d := tx.fs.bareInode(KindDir, dirMode, uid, gid, now)
 	d.parent = parent
 	d.name = name
-	d.children = make(map[string]*inode, len(files))
+	m := make(map[string]*inode, len(files))
 	for _, f := range files {
 		if !isCleanName(f.Name) {
 			return pathErr("writetree", Join(dir, f.Name), ErrInvalid)
 		}
 		fi := tx.fs.bareInode(KindFile, fileMode, uid, gid, now)
 		fi.data = append([]byte(nil), f.Data...)
-		d.children[f.Name] = fi
+		m[f.Name] = fi
 	}
-	parent.children[name] = d
-	parent.nlink++
-	parent.touchM(now)
+	d.setKids(m)
+	parent.cowInsert(name, d)
+	parent.nlink.Add(1)
+	tx.fs.touchMS(parent, now)
 	full := pathTo(parent, name)
 	tx.queue(Event{Op: OpCreate, Path: full, IsDir: true})
 	if tx.fs.watches.interestedInChildren(full) {
@@ -1027,6 +1036,92 @@ func (tx *Tx) Remove(path string) error {
 	return nil
 }
 
+// renameLocked is the shared rename core behind Proc.Rename and
+// Tx.Rename: it moves node from (oldParent, oldName) onto (newParent,
+// newName), replacing target if present. The tree write lock must be
+// held; the caller has already done permission and protection checks.
+// It performs the structural compatibility checks (replace rules, cycle
+// check) because those depend only on tree shape, not credentials.
+func (fs *FS) renameLocked(tx *Tx, oldParent *inode, oldName string, node *inode, newParent *inode, newName string, target *inode) error {
+	if target != nil {
+		if target.isDir() {
+			if !node.isDir() {
+				return ErrIsDir
+			}
+			if target.childCount() > 0 {
+				return ErrNotEmpty
+			}
+		} else if node.isDir() {
+			return ErrNotDir
+		}
+	}
+	// A directory may not be moved into its own subtree.
+	if node.isDir() {
+		for d := newParent; d != nil; d = d.parent {
+			if d == node {
+				return ErrInvalid
+			}
+		}
+	}
+	oldFull := pathTo(oldParent, oldName)
+	if target != nil {
+		fs.unlinkLocked(newParent, newName, target, tx)
+	}
+	oldParent.cowDelete(oldName)
+	newParent.cowInsert(newName, node)
+	if node.isDir() {
+		oldParent.nlink.Add(-1)
+		newParent.nlink.Add(1)
+		node.parent = newParent
+		node.name = newName
+	}
+	// Invalidate in-flight lock-free walkers that resolved node through
+	// the old parent's snapshot: their next validated hop below it must
+	// retry and re-observe the new location. This is what makes a
+	// lock-free walk unable to combine a stale parent entry with state
+	// the moved directory only reached after the move.
+	node.bumpGen()
+	now := fs.now()
+	fs.touchMS(oldParent, now)
+	fs.touchMS(newParent, now)
+	fs.touchCS(node, now)
+	newFull := pathTo(newParent, newName)
+	tx.queue(Event{Op: OpRename, Path: oldFull, NewPath: newFull, IsDir: node.isDir()})
+	tx.queue(Event{Op: OpCreate, Path: newFull, IsDir: node.isDir()})
+	return nil
+}
+
+// Rename moves oldPath to newPath with root credentials, atomically with
+// the rest of the transaction — the primitive that lets a hook or batch
+// caller restructure the tree and adjust its contents in one critical
+// section. Replace rules match rename(2) (and Proc.Rename).
+func (tx *Tx) Rename(oldPath, newPath string) error {
+	lerr := func(err error) error {
+		return &LinkError{Op: "rename", Old: oldPath, New: newPath, Err: err}
+	}
+	oldParent, oldName, node, err := tx.fs.resolve(Root, oldPath, resolveOpts{})
+	if err != nil {
+		return lerr(err)
+	}
+	if node == nil {
+		return lerr(ErrNotExist)
+	}
+	if oldParent == nil {
+		return lerr(ErrBusy)
+	}
+	newParent, newName, target, err := tx.fs.resolve(Root, newPath, resolveOpts{})
+	if err != nil {
+		return lerr(err)
+	}
+	if target == node {
+		return nil
+	}
+	if err := tx.fs.renameLocked(tx, oldParent, oldName, node, newParent, newName, target); err != nil {
+		return lerr(err)
+	}
+	return nil
+}
+
 // RemoveChildren removes the named children of dir, resolving dir once —
 // the batched form of Remove for evicting many entries from one
 // directory (the event buffers' drop-oldest path). Missing names are
@@ -1042,7 +1137,7 @@ func (tx *Tx) RemoveChildren(dir string, names []string) (int, error) {
 	if !d.isDir() {
 		return 0, pathErr("remove", dir, ErrNotDir)
 	}
-	now := tx.fs.clock()
+	now := tx.fs.now()
 	// One watch-list scan decides descendant-event interest for the whole
 	// batch: every removed child shares this parent, so if no watch can see
 	// inside any child, none of the subtree removals need per-entry events.
@@ -1054,7 +1149,7 @@ func (tx *Tx) RemoveChildren(dir string, names []string) (int, error) {
 	}
 	removed := 0
 	for _, name := range names {
-		c, ok := d.children[name]
+		c, ok := d.lookupChild(name)
 		if !ok {
 			continue
 		}
@@ -1078,7 +1173,7 @@ func (tx *Tx) DirNames(path string, buf []string) ([]string, error) {
 	if !n.isDir() {
 		return buf, pathErr("readdir", path, ErrNotDir)
 	}
-	for name := range n.children {
+	for name := range n.kids() {
 		buf = append(buf, name)
 	}
 	return buf, nil
@@ -1105,16 +1200,16 @@ func (tx *Tx) SetSynthetic(path string, synth *Synthetic, mode FileMode, uid, gi
 	}
 	if node == nil {
 		f := tx.fs.newInode(KindFile, mode, uid, gid)
-		f.synth = synth
-		parent.children[name] = f
-		parent.touchM(tx.fs.clock())
+		f.synth.Store(synth)
+		parent.cowInsert(name, f)
+		tx.fs.touchMS(parent, tx.fs.now())
 		tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name)})
 		return nil
 	}
 	if node.isDir() {
 		return pathErr("synthetic", path, ErrIsDir)
 	}
-	node.synth = synth
+	node.synth.Store(synth)
 	return nil
 }
 
@@ -1124,11 +1219,13 @@ func (tx *Tx) SetXattr(path, attr string, value []byte) error {
 	if err != nil {
 		return pathErr("setxattr", path, err)
 	}
+	s := tx.fs.lockNode(n)
+	defer s.mu.Unlock()
 	if n.xattrs == nil {
 		n.xattrs = make(map[string][]byte)
 	}
 	n.xattrs[attr] = append([]byte(nil), value...)
-	n.touchC(tx.fs.clock())
+	n.touchC(tx.fs.now())
 	return nil
 }
 
@@ -1138,10 +1235,8 @@ func (tx *Tx) GetXattr(path, attr string) ([]byte, error) {
 	if err != nil {
 		return nil, pathErr("getxattr", path, err)
 	}
-	if tx.ro {
-		s := tx.fs.rlockNode(n)
-		defer s.mu.RUnlock()
-	}
+	s := tx.fs.rlockNode(n)
+	defer s.mu.RUnlock()
 	v, ok := n.xattrs[attr]
 	if !ok {
 		return nil, pathErr("getxattr", path, ErrNoAttr)
@@ -1156,7 +1251,7 @@ func (tx *Tx) Chmod(path string, mode FileMode) error {
 		return pathErr("chmod", path, err)
 	}
 	n.storeMode(mode)
-	n.touchC(tx.fs.clock())
+	tx.fs.touchCS(n, tx.fs.now())
 	tx.queue(Event{Op: OpChmod, Path: Clean(path), IsDir: n.isDir()})
 	return nil
 }
@@ -1168,7 +1263,7 @@ func (tx *Tx) Chown(path string, uid, gid int) error {
 		return pathErr("chown", path, err)
 	}
 	n.storeOwner(uid, gid)
-	n.touchC(tx.fs.clock())
+	tx.fs.touchCS(n, tx.fs.now())
 	tx.queue(Event{Op: OpChmod, Path: Clean(path), IsDir: n.isDir()})
 	return nil
 }
@@ -1191,29 +1286,31 @@ func (tx *Tx) Stat(path string) (Stat, error) {
 	if err != nil {
 		return Stat{}, pathErr("stat", path, err)
 	}
-	if tx.ro {
-		s := tx.fs.rlockNode(n)
-		defer s.mu.RUnlock()
-	}
+	s := tx.fs.rlockNode(n)
+	defer s.mu.RUnlock()
 	return statOf(n, Base(path)), nil
 }
 
+// listDir materializes a directory listing from the published children
+// snapshot. Lock-free: the snapshot is immutable.
 func listDir(n *inode) []DirEntry {
-	out := make([]DirEntry, 0, len(n.children))
-	for name, c := range n.children {
+	kids := n.kids()
+	out := make([]DirEntry, 0, len(kids))
+	for name, c := range kids {
 		out = append(out, DirEntry{Name: name, Kind: c.kind, Ino: c.ino})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-// statOf snapshots an inode. The caller must hold either the tree write
-// lock, or the tree read lock plus the inode's stripe (read mode is
-// enough) — inode-local times/version/data are read here.
+// statOf snapshots an inode. The caller must hold the inode's stripe
+// (read mode is enough) — inode-local times/version/data are read here.
+// Everything else it touches is atomic, immutable, or a published
+// snapshot, so no tree lock is needed in any mode.
 func statOf(n *inode, name string) Stat {
 	size := int64(len(n.data))
 	if n.isDir() {
-		size = int64(len(n.children))
+		size = int64(n.childCount())
 	}
 	return Stat{
 		Ino:     n.ino,
@@ -1221,7 +1318,7 @@ func statOf(n *inode, name string) Stat {
 		Mode:    n.loadMode(),
 		UID:     n.loadUID(),
 		GID:     n.loadGID(),
-		Nlink:   n.nlink,
+		Nlink:   int(n.nlink.Load()),
 		Size:    size,
 		Atime:   n.atime,
 		Mtime:   n.mtime,
@@ -1235,7 +1332,7 @@ func statOf(n *inode, name string) Stat {
 // unlinkLocked removes node (recursively for directories) from parent and
 // queues Remove events. The tree write lock must be held.
 func (fs *FS) unlinkLocked(parent *inode, name string, node *inode, tx *Tx) {
-	fs.removeNode(parent, name, node, tx, fs.clock(), true, true, interestUnknown)
+	fs.removeNode(parent, name, node, tx, fs.now(), true, true, interestUnknown)
 }
 
 // removeNode implements unlinkLocked. queueEvents gates watch-event
@@ -1261,24 +1358,31 @@ func (fs *FS) removeNode(parent *inode, name string, node *inode, tx *Tx, now ti
 		full = pathTo(parent, name)
 	}
 	if node.isDir() {
+		kids := node.kids()
 		childEvents := queueEvents
-		if childEvents && len(node.children) > 0 {
+		if childEvents && len(kids) > 0 {
 			if interest == interestNone {
 				childEvents = false
 			} else {
 				childEvents = fs.watches.interestedInChildren(full)
 			}
 		}
-		for cname, c := range node.children {
+		// Dying subtrees keep their published snapshots: an in-flight
+		// lock-free walker below this node still resolves the (stale but
+		// once-valid) structure instead of fabricating ENOENTs.
+		for cname, c := range kids {
 			fs.removeNode(node, cname, c, tx, now, childEvents, false, interestUnknown)
 		}
-		parent.nlink--
+		parent.nlink.Add(-1)
 	}
 	if detach {
-		delete(parent.children, name)
-		parent.touchM(now)
+		parent.cowDelete(name)
+		fs.touchMS(parent, now)
+		// Invalidate walkers that already resolved node through the old
+		// parent snapshot but have not validated the hop yet.
+		node.bumpGen()
 	}
-	node.nlink--
+	node.nlink.Add(-1)
 	node.parent = nil
 	if queueEvents {
 		tx.queue(Event{Op: OpRemove, Path: full, IsDir: node.isDir()})

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // fuzzFS builds the resolution fixture: a few nested directories, a
@@ -95,11 +97,21 @@ func FuzzPathResolve(f *testing.F) {
 		if _, err := p.Stat(path); !resolveErrOK(err) {
 			t.Fatalf("Stat(%q): unexpected error class %v", path, err)
 		}
+		// Structural mutation between resolver calls: moving /a/b away and
+		// back publishes fresh snapshots and bumps generations mid-corpus,
+		// so replays exercise the resolver against a tree whose COW maps
+		// just changed — errors must stay in the closed set either way.
+		if err := p.Rename("/a/b", "/a/bmv"); err != nil {
+			t.Fatalf("churn rename: %v", err)
+		}
 		if _, err := p.Lstat(path); !resolveErrOK(err) {
 			t.Fatalf("Lstat(%q): unexpected error class %v", path, err)
 		}
 		if _, err := p.ReadDir(path); !resolveErrOK(err) {
 			t.Fatalf("ReadDir(%q): unexpected error class %v", path, err)
+		}
+		if err := p.Rename("/a/bmv", "/a/b"); err != nil {
+			t.Fatalf("churn rename back: %v", err)
 		}
 		if _, err := p.ReadFile(path); !resolveErrOK(err) {
 			t.Fatalf("ReadFile(%q): unexpected error class %v", path, err)
@@ -117,7 +129,11 @@ func FuzzPathResolve(f *testing.F) {
 
 // TestResolveLoopHitsELOOPBound pins the exact bound: a chain of
 // maxSymlinkHops-1 links resolves, the true loops fail with
-// ErrTooManyLinks, and neither hangs.
+// ErrTooManyLinks, and neither hangs. The retry subtest pins the
+// generation-conflict accounting: every lock-free retry charges one hop
+// against the same budget (lookupRO), so a resolution that sits exactly
+// at the bound is pushed over it by a concurrent-rename storm — the
+// livelock surfaces as ELOOP instead of spinning.
 func TestResolveLoopHitsELOOPBound(t *testing.T) {
 	fs := fuzzFS(t)
 	p := fs.RootProc()
@@ -129,6 +145,38 @@ func TestResolveLoopHitsELOOPBound(t *testing.T) {
 		if !errors.Is(err, ErrTooManyLinks) {
 			t.Fatalf("Stat(%q) = %v, want ErrTooManyLinks", path, err)
 		}
+	}
+
+	// /r/link resolves through the full chain: 1 + (maxSymlinkHops-1)
+	// hops — exactly at the bound, legal when uncontended.
+	if err := p.Mkdir("/r", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Symlink("/chain"+itoa(maxSymlinkHops-2), "/r/link"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Stat("/r/link"); err != nil {
+		t.Fatalf("legal %d-hop chain via /r/link rejected: %v", maxSymlinkHops, err)
+	}
+
+	// Simulate a rename storm on /r: the hook bumps /r's generation on
+	// every lock-free lookup of "link", so each walkRCU attempt ends in
+	// rcuRetry. lookupRO charges maxRCURetries+1 retry hops before falling
+	// back, and the fallback walk inherits them: at-the-bound + retries
+	// must yield ErrTooManyLinks, not success and not a spin.
+	conflicts := 0
+	rcuLookupHook = func(dir *inode, name string) {
+		if name == "link" {
+			conflicts++
+			dir.gen.Add(1) // what a concurrent rename of /r/link's home does
+		}
+	}
+	defer func() { rcuLookupHook = nil }()
+	if _, err := p.Stat("/r/link"); !errors.Is(err, ErrTooManyLinks) {
+		t.Fatalf("Stat(/r/link) under retry storm = %v, want ErrTooManyLinks", err)
+	}
+	if conflicts != maxRCURetries+1 {
+		t.Fatalf("hook fired %d times, want %d (maxRCURetries+1)", conflicts, maxRCURetries+1)
 	}
 }
 
@@ -154,5 +202,81 @@ func TestFuzzPathResolveRandom(t *testing.T) {
 		if _, err := p.Stat(path); !resolveErrOK(err) {
 			t.Fatalf("Stat(%q): unexpected error class %v", path, err)
 		}
+	}
+}
+
+// TestStressResolveChurnRandomPaths is the concurrent sibling of
+// TestFuzzPathResolveRandom, named TestStress so the ci.sh -race leg
+// picks it up: a mutator churns the fixture's structure (rename, create,
+// remove) through the locked write paths while readers resolve random
+// token paths lock-free. Invariants: no race, no panic, no hang, and
+// every resolver error stays in the closed set. ErrBusy joins the set
+// here only because a Stat can land on a directory mid-removal.
+func TestStressResolveChurnRandomPaths(t *testing.T) {
+	fs := fuzzFS(t)
+	p := fs.RootProc()
+	tokens := []string{"a", "b", "c", "file", "..", ".", "abs", "rel",
+		"dangling", "self", "loop1", "loop2", "up", "chain0", "bmv", "d", ""}
+	deadline := 60 * time.Second
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		stop := make(chan struct{})
+		var moverWG sync.WaitGroup
+		moverWG.Add(1)
+		go func() { // mutator: structural churn via locked entry points
+			defer moverWG.Done()
+			r := rand.New(rand.NewSource(7))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch r.Intn(4) {
+				case 0:
+					_ = p.Rename("/a/b", "/a/bmv")
+				case 1:
+					_ = p.Rename("/a/bmv", "/a/b")
+				case 2:
+					_ = p.Mkdir("/a/d", 0o755)
+				case 3:
+					_ = p.RemoveAll("/a/d")
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(seed))
+				for i := 0; i < 5000; i++ {
+					var sb strings.Builder
+					sb.WriteByte('/')
+					for j := r.Intn(6); j >= 0; j-- {
+						sb.WriteString(tokens[r.Intn(len(tokens))])
+						sb.WriteByte('/')
+					}
+					path := sb.String()
+					_, err := p.Stat(path)
+					if !resolveErrOK(err) && !errors.Is(err, ErrBusy) {
+						t.Errorf("Stat(%q): unexpected error class %v", path, err)
+						return
+					}
+				}
+			}(int64(g) + 11)
+		}
+		wg.Wait()
+		close(stop)
+		moverWG.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(deadline):
+		t.Fatal("resolve churn stress hung (possible lock-free retry livelock)")
+	}
+	if fs.LockStats().ResolveLockfree == 0 {
+		t.Error("no lock-free resolutions recorded under churn")
 	}
 }

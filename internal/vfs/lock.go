@@ -5,24 +5,52 @@ import (
 	"sync/atomic"
 )
 
-// The VFS locking model (DESIGN.md §8) has two levels:
+// The VFS concurrency model (DESIGN.md §8) has three levels:
 //
-//   - The tree lock (FS.tree) protects the *structure* of the tree: the
-//     children maps, parent/name back-links, nlink, and the sem/synth
-//     attachment points. Structural operations (mkdir, create, remove,
-//     rename, link, symlink, WithTx and every DirSemantics hook) hold it
-//     in write mode; every other operation holds it in read mode, so any
-//     number of non-structural operations run concurrently.
+//   - Atomic snapshots (no lock at all): each directory inode publishes
+//     its children map as an immutable snapshot behind an atomic pointer,
+//     paired with a generation counter (resolve_rcu.go). Read-only path
+//     resolution walks these snapshots lock-free, validating each hop
+//     against the generation counter and retrying (then falling back to
+//     the read-locked slow path) on concurrent structural change.
+//     Permission state (mode, uid, gid), nlink, and the synth attachment
+//     are likewise atomic, so the per-component permission check and the
+//     open fast path touch no lock.
+//
+//   - The tree lock (FS.tree) serializes *structural mutation*: the
+//     copy-on-write replacement of children snapshots, parent/name
+//     back-links, and DirSemantics hooks. Structural operations (mkdir,
+//     create, remove, rename, link, symlink, WithTx) hold it in write
+//     mode; locked readers (ReadTx, the resolve fallback path, watch-path
+//     reconstruction) hold it in read mode. Snapshots are replaced only
+//     via setKids/cowInsert/cowDelete under the write lock — never
+//     mutated in place after publish (the snapshotpub vet rule enforces
+//     this).
 //
 //   - Inode-state locks, sharded by inode number over LockShards stripes
 //     (FS.shards), protect the *content* of one inode: data, mtime/ctime/
-//     atime, version, and xattrs. They are taken under the tree lock
-//     (either mode), so two writers to different files — or a writer and
-//     a reader of unrelated files — never serialize on a global mutex.
+//     atime, version, and xattrs. Because lock-free readers reach inodes
+//     without touching the tree lock, the tree lock — even in write mode —
+//     no longer excludes readers of inode-local state: every access to a
+//     published inode's content fields must take its stripe. Only inodes
+//     not yet published (no snapshot anywhere references them) may be
+//     initialized stripe-free; the atomic snapshot swap that publishes
+//     them provides the happens-before edge.
 //
-// Permission state (mode, uid, gid) is atomic and read lock-free during
-// path resolution, which keeps the per-component permission check off
-// every lock.
+// The lock-free resolve protocol (resolve_rcu.go): writers bump the
+// directory generation before swapping in the new snapshot, so a reader
+// that loads a new map is guaranteed to see a new generation and retry
+// its hop; a reader that validated the old generation used a consistent
+// pre-change snapshot. The walker retries a hop at most maxRCURetries
+// times, charging each retry one symlink hop (so rename storms surface as
+// ErrTooManyLinks), and bails to the read-locked walkFrom path on ".."
+// and on symlinks it would have to follow.
+//
+// Telemetry: resolveLockfree/resolveFallback count read-path resolutions
+// (Stat, ReadDir, xattrs, Readlink, the open fast path) that completed
+// lock-free vs. took the locked fallback. Intentionally-locked resolves
+// on write paths are not counted — the ratio measures how often the
+// lock-free walk succeeds, not how often the tree lock is taken.
 //
 // Lock-ordering discipline (violations deadlock; the stress battery's
 // canary tests enforce it):
@@ -37,6 +65,8 @@ import (
 //     self-deadlocks (sync.RWMutex is not reentrant).
 //  4. Synthetic.Read/Write providers run *outside* all tree locks (from
 //     the open/close path) and may perform arbitrary Proc I/O.
+//  5. children snapshots are immutable after publish; replace them only
+//     via setKids (or the cow helpers) under the tree write lock.
 
 // LockShards is the number of inode-state lock stripes. A power of two so
 // the shard index is a mask of the inode number.
@@ -61,6 +91,8 @@ type lockCounters struct {
 	shardRead          atomic.Uint64
 	shardWrite         atomic.Uint64
 	shardContended     atomic.Uint64
+	resolveLockfree    atomic.Uint64 // read-path resolutions served lock-free
+	resolveFallback    atomic.Uint64 // read-path resolutions that took the locked slow path
 }
 
 // lockTree acquires the tree lock in write mode (structural operations).
@@ -89,8 +121,9 @@ func (fs *FS) runlockTree() { fs.tree.RUnlock() }
 // shardOf returns the inode-state stripe for n.
 func (fs *FS) shardOf(n *inode) *shardLock { return &fs.shards[n.ino&(LockShards-1)] }
 
-// lockNode write-locks n's inode-state stripe. Caller must hold the tree
-// lock in some mode and must not already hold any stripe.
+// lockNode write-locks n's inode-state stripe. The caller must not
+// already hold any stripe; the tree lock is not a prerequisite (open file
+// handles and lock-free lookups reach stripes with no tree lock held).
 func (fs *FS) lockNode(n *inode) *shardLock {
 	s := fs.shardOf(n)
 	if !s.mu.TryLock() {
@@ -125,6 +158,8 @@ type LockStats struct {
 	ShardRead          uint64 // stripe read-mode acquisitions
 	ShardWrite         uint64 // stripe write-mode acquisitions
 	ShardContended     uint64
+	ResolveLockfree    uint64             // read-path resolutions served entirely lock-free
+	ResolveFallback    uint64             // read-path resolutions that fell back to the locked walk
 	PerShard           [LockShards]uint64 // total acquisitions per stripe
 }
 
@@ -144,6 +179,8 @@ func (fs *FS) LockStats() LockStats {
 		ShardRead:          fs.lockCtr.shardRead.Load(),
 		ShardWrite:         fs.lockCtr.shardWrite.Load(),
 		ShardContended:     fs.lockCtr.shardContended.Load(),
+		ResolveLockfree:    fs.lockCtr.resolveLockfree.Load(),
+		ResolveFallback:    fs.lockCtr.resolveFallback.Load(),
 	}
 	for i := range fs.shards {
 		s.PerShard[i] = fs.shards[i].acq.Load()

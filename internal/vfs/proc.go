@@ -53,9 +53,7 @@ func (p *Proc) WithLimiter(l Limiter) *Proc {
 // resolution (including absolute symlink targets and "..") cannot escape
 // it — the isolation primitive views and slices rely on.
 func (p *Proc) Chroot(path string) (*Proc, error) {
-	p.fs.rlockTree()
-	defer p.fs.runlockTree()
-	_, _, n, err := p.fs.resolve(p.cred, path, resolveOpts{followLast: true, root: p.root})
+	n, err := p.fs.lookupRO(p.cred, path, resolveOpts{followLast: true, root: p.root})
 	if err != nil {
 		return nil, pathErr("chroot", path, err)
 	}
@@ -126,17 +124,17 @@ func (p *Proc) mkdirLocked(tx *Tx, path string, mode FileMode) error {
 	d := p.fs.newInode(KindDir, mode.Perm(), p.cred.UID, p.cred.GID)
 	d.parent = parent
 	d.name = name
-	parent.children[name] = d
-	parent.nlink++
-	parent.touchM(p.fs.clock())
+	parent.cowInsert(name, d)
+	parent.nlink.Add(1)
+	p.fs.touchMS(parent, p.fs.now())
 	tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name), IsDir: true})
 	if parent.sem != nil && parent.sem.OnMkdir != nil {
 		tx.creator = p.cred
 		tx.hasCred = true
 		if err := parent.sem.OnMkdir(tx, pathOf(parent), name); err != nil {
 			// Semantic veto: roll the directory back out.
-			delete(parent.children, name)
-			parent.nlink--
+			parent.cowDelete(name)
+			parent.nlink.Add(-1)
 			tx.events = tx.events[:0]
 			return pathErr("mkdir", path, err)
 		}
@@ -187,8 +185,8 @@ func (p *Proc) Symlink(target, linkPath string) error {
 		}
 		l := fs.newInode(KindSymlink, 0o777, p.cred.UID, p.cred.GID)
 		l.target = target
-		parent.children[name] = l
-		parent.touchM(fs.clock())
+		parent.cowInsert(name, l)
+		fs.touchMS(parent, fs.now())
 		tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name)})
 		return nil
 	}()
@@ -198,12 +196,11 @@ func (p *Proc) Symlink(target, linkPath string) error {
 	return err
 }
 
-// Readlink returns the target of a symbolic link.
+// Readlink returns the target of a symbolic link. Lock-free: the target
+// is immutable and resolution walks snapshots.
 func (p *Proc) Readlink(path string) (string, error) {
 	p.fs.stats.stats.Add(1)
-	p.fs.rlockTree()
-	defer p.fs.runlockTree()
-	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(false))
+	n, err := p.fs.lookupRO(p.cred, path, p.opts(false))
 	if err != nil {
 		return "", pathErr("readlink", path, err)
 	}
@@ -246,10 +243,11 @@ func (p *Proc) Link(oldPath, newPath string) error {
 		if !allows(parent, p.cred, wantWrite) {
 			return &LinkError{Op: "link", Old: oldPath, New: newPath, Err: ErrAccess}
 		}
-		parent.children[name] = src
-		src.nlink++
-		src.touchC(fs.clock())
-		parent.touchM(fs.clock())
+		parent.cowInsert(name, src)
+		src.nlink.Add(1)
+		now := fs.now()
+		fs.touchCS(src, now)
+		fs.touchMS(parent, now)
 		tx.queue(Event{Op: OpCreate, Path: pathTo(parent, name)})
 		return nil
 	}()
@@ -288,7 +286,7 @@ func (p *Proc) Remove(path string) error {
 		if parent.sem != nil && parent.sem.Protected[name] && p.cred.UID != 0 {
 			return pathErr("remove", path, ErrPerm)
 		}
-		if node.isDir() && len(node.children) > 0 {
+		if node.isDir() && node.childCount() > 0 {
 			recursive := parent.sem != nil && parent.sem.RecursiveRmdir
 			if !recursive {
 				return pathErr("remove", path, ErrNotEmpty)
@@ -376,45 +374,9 @@ func (p *Proc) Rename(oldPath, newPath string) error {
 		if target == node {
 			return nil
 		}
-		if target != nil {
-			if target.isDir() {
-				if !node.isDir() {
-					return lerr(ErrIsDir)
-				}
-				if len(target.children) > 0 {
-					return lerr(ErrNotEmpty)
-				}
-			} else if node.isDir() {
-				return lerr(ErrNotDir)
-			}
+		if err := fs.renameLocked(tx, oldParent, oldName, node, newParent, newName, target); err != nil {
+			return lerr(err)
 		}
-		// A directory may not be moved into its own subtree.
-		if node.isDir() {
-			for d := newParent; d != nil; d = d.parent {
-				if d == node {
-					return lerr(ErrInvalid)
-				}
-			}
-		}
-		oldFull := pathTo(oldParent, oldName)
-		if target != nil {
-			fs.unlinkLocked(newParent, newName, target, tx)
-		}
-		delete(oldParent.children, oldName)
-		newParent.children[newName] = node
-		if node.isDir() {
-			oldParent.nlink--
-			newParent.nlink++
-			node.parent = newParent
-			node.name = newName
-		}
-		now := fs.clock()
-		oldParent.touchM(now)
-		newParent.touchM(now)
-		node.touchC(now)
-		newFull := pathTo(newParent, newName)
-		tx.queue(Event{Op: OpRename, Path: oldFull, NewPath: newFull, IsDir: node.isDir()})
-		tx.queue(Event{Op: OpCreate, Path: newFull, IsDir: node.isDir()})
 		return nil
 	}()
 	events := tx.events
@@ -423,16 +385,16 @@ func (p *Proc) Rename(oldPath, newPath string) error {
 	return err
 }
 
-// Stat describes the node at path, following symlinks.
+// Stat describes the node at path, following symlinks. Lock-free on the
+// common path: resolution walks published snapshots and only the node's
+// own stripe is taken to read its times/size.
 func (p *Proc) Stat(path string) (Stat, error) {
 	if err := p.charge("stat", 0); err != nil {
 		return Stat{}, err
 	}
 	p.fs.stats.stats.Add(1)
 	defer p.fs.observe(LatStat, latStart())
-	p.fs.rlockTree()
-	defer p.fs.runlockTree()
-	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(true))
+	n, err := p.fs.lookupRO(p.cred, path, p.opts(true))
 	if err != nil {
 		return Stat{}, pathErr("stat", path, err)
 	}
@@ -451,9 +413,7 @@ func (p *Proc) Lstat(path string) (Stat, error) {
 	}
 	p.fs.stats.stats.Add(1)
 	defer p.fs.observe(LatStat, latStart())
-	p.fs.rlockTree()
-	defer p.fs.runlockTree()
-	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(false))
+	n, err := p.fs.lookupRO(p.cred, path, p.opts(false))
 	if err != nil {
 		return Stat{}, pathErr("lstat", path, err)
 	}
@@ -478,15 +438,15 @@ func (p *Proc) IsDir(path string) bool {
 }
 
 // ReadDir lists a directory in name order. Requires read permission.
+// Fully lock-free: the listing materializes from the directory's
+// immutable published snapshot.
 func (p *Proc) ReadDir(path string) ([]DirEntry, error) {
 	if err := p.charge("readdir", 0); err != nil {
 		return nil, err
 	}
 	p.fs.stats.readdirs.Add(1)
 	defer p.fs.observe(LatReadDir, latStart())
-	p.fs.rlockTree()
-	defer p.fs.runlockTree()
-	_, _, n, err := p.fs.resolve(p.cred, path, p.opts(true))
+	n, err := p.fs.lookupRO(p.cred, path, p.opts(true))
 	if err != nil {
 		return nil, pathErr("readdir", path, err)
 	}
@@ -527,7 +487,7 @@ func (p *Proc) Chmod(path string, mode FileMode) error {
 		}
 		n.storeMode(mode)
 		s := fs.lockNode(n)
-		n.touchC(fs.clock())
+		n.touchC(fs.now())
 		s.mu.Unlock()
 		events = append(events, Event{Op: OpChmod, Path: realPath(parent, name), IsDir: n.isDir()})
 		return nil
@@ -559,7 +519,7 @@ func (p *Proc) Chown(path string, uid, gid int) error {
 		}
 		n.storeOwner(uid, gid)
 		s := fs.lockNode(n)
-		n.touchC(fs.clock())
+		n.touchC(fs.now())
 		s.mu.Unlock()
 		events = append(events, Event{Op: OpChmod, Path: realPath(parent, name), IsDir: n.isDir()})
 		return nil

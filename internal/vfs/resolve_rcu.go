@@ -1,0 +1,356 @@
+package vfs
+
+import "time"
+
+// Lock-free (RCU-style) path resolution.
+//
+// Every directory inode publishes its children as an immutable snapshot
+// (a folded map plus a bounded insert overlay — see kidsSnap) behind an
+// atomic pointer (inode.children) paired with a generation counter
+// (inode.gen). Writers never mutate a published snapshot: they build a
+// replacement, bump the generation, and atomically swap it in — all
+// under the tree write lock, which serializes writers against each
+// other (see setSnap). Readers walk
+// snapshots with no locks at all, validating each hop against the
+// generation counter the way Linux's rcu-walk validates dentry seqcounts:
+// if a directory's generation moved between loading its snapshot and
+// using the result, the hop is retried. After a bounded number of retries
+// — or on any construct the lock-free walker does not handle (symlinks,
+// "..") — resolution falls back to the read-locked walkFrom slow path.
+//
+// What a successful lock-free walk guarantees: for every hop, the parent
+// directory contained the child at some instant during the walk, and
+// adjacent hops overlapped in time (the child's generation is captured
+// before the parent's is revalidated). It does NOT serialize against
+// WithTx transactions the way locked readers do: a lock-free walk can
+// observe the individual structural mutations of an in-flight transaction
+// in order, exactly as Linux rcu-walk observes individual rename/unlink
+// steps. What it can never observe is a "frankenstein" path mixing a
+// stale parent snapshot with a child state the tree only reached after
+// the parent entry was gone — the generation protocol rejects those.
+
+// maxRCURetries bounds lock-free retry attempts before a resolution gives
+// up and takes the locked slow path. Each retry also charges one hop
+// against maxSymlinkHops, so a sustained rename storm surfaces as
+// ErrTooManyLinks instead of an unbounded retry loop (see lookupRO).
+const maxRCURetries = 4
+
+// rcuLookupHook, when non-nil, runs between a lock-free walker loading a
+// directory snapshot and validating the directory's generation. Tests
+// install it to force generation conflicts deterministically; it must be
+// set before any concurrent fs use and may mutate the tree through the
+// normal locked entry points.
+var rcuLookupHook func(dir *inode, name string)
+
+// maxKidOverlay bounds the insert overlay chain on one snapshot. Larger
+// means cheaper inserts (the O(len) map fold amortizes over more of
+// them) but longer lock-free lookup scans. 64 keeps the E15 fan-out
+// gate comfortably flat — the fold is the dominant marginal cost of a
+// link into a near-full buffer — while an overlay scan stays a few
+// hundred nanoseconds of pointer chasing, and only insert-hot
+// directories ever carry a deep overlay.
+const maxKidOverlay = 64
+
+// kidsSnap is one published children snapshot: a folded immutable map
+// plus a bounded persistent overlay of entries inserted since the last
+// fold. Folding every map copy-on-write made hot-path inserts O(dir
+// size) — fan-out delivery into a near-full event buffer paid the whole
+// buffer per message — so inserts instead cons an overlay cell (O(1))
+// and the map is re-folded only every maxKidOverlay inserts, amortizing
+// to O(size/maxKidOverlay) per insert. Both the map and every overlay
+// cell are immutable after publish.
+//
+// Invariant: overlay names are distinct from each other and from m —
+// cowInsert folds when the name already exists — so lookups may take
+// any match and folds may merge in any order.
+type kidsSnap struct {
+	m    map[string]*inode // folded entries; immutable after publish
+	over *kidOver          // inserts since the last fold, newest first
+	n    int               // entry count of the merged view
+}
+
+// kidOver is one immutable overlay cell (a persistent cons list).
+type kidOver struct {
+	name  string
+	c     *inode
+	prev  *kidOver
+	depth int // chain length up to and including this cell
+}
+
+// snap returns the directory's current published snapshot (nil when the
+// directory never had a child).
+func (n *inode) snap() *kidsSnap { return n.children.Load() }
+
+// lookup finds one name in the snapshot: overlay first, then the folded
+// map. Nil-safe — a nil snapshot has no entries.
+func (s *kidsSnap) lookup(name string) (*inode, bool) {
+	if s == nil {
+		return nil, false
+	}
+	for o := s.over; o != nil; o = o.prev {
+		if o.name == name {
+			return o.c, true
+		}
+	}
+	c, ok := s.m[name]
+	return c, ok
+}
+
+// fold materializes the merged view as a map. When the overlay is empty
+// the folded map itself is returned — zero-copy, and callers rely on
+// that for fan-out aliasing — so the result is immutable either way:
+// callers may read and range, never mutate.
+func (s *kidsSnap) fold() map[string]*inode {
+	if s == nil {
+		return nil
+	}
+	if s.over == nil {
+		return s.m
+	}
+	m := make(map[string]*inode, s.n)
+	for k, v := range s.m {
+		m[k] = v
+	}
+	for o := s.over; o != nil; o = o.prev {
+		m[o.name] = o.c
+	}
+	return m
+}
+
+// kids returns the directory's current children as an immutable map
+// (nil-safe: a directory that never had a child has no snapshot).
+// Callers may read and range, never mutate. Single-name probes should
+// prefer lookupChild, which never pays a fold.
+func (n *inode) kids() map[string]*inode { return n.snap().fold() }
+
+// lookupChild finds one name in n's children without folding.
+func (n *inode) lookupChild(name string) (*inode, bool) {
+	return n.snap().lookup(name)
+}
+
+// childCount returns the number of children without folding.
+func (n *inode) childCount() int {
+	if s := n.snap(); s != nil {
+		return s.n
+	}
+	return 0
+}
+
+// setSnap publishes s as n's children snapshot. The caller must hold the
+// tree write lock and must never mutate s (or anything it references)
+// afterwards. The generation is bumped BEFORE the snapshot is swapped: a
+// lock-free reader that observes the new snapshot is then guaranteed to
+// observe the new generation too and retry its hop, while a reader that
+// captured the old generation and still loads the old snapshot sees a
+// valid pre-change state. (The opposite order would let a reader
+// validate new contents against the stale generation and assemble a
+// path that never existed.)
+func (n *inode) setSnap(s *kidsSnap) {
+	n.gen.Add(1)
+	n.children.Store(s)
+}
+
+// setKids publishes m as n's new (fully folded) children snapshot. Tree
+// write lock required; m must never be mutated afterwards.
+func (n *inode) setKids(m map[string]*inode) {
+	n.setSnap(&kidsSnap{m: m, n: len(m)})
+}
+
+// bumpGen invalidates in-flight lock-free walkers holding n without
+// changing its snapshot: rename and detach use it so a walker that
+// resolved n through a now-stale parent entry retries instead of
+// continuing below a moved/removed directory. Tree write lock required.
+func (n *inode) bumpGen() { n.gen.Add(1) }
+
+// cowInsert adds name→c to n's children. Tree write lock required. The
+// fast path conses one overlay cell onto the current snapshot; the map
+// is re-folded only when the overlay is full or the name already exists
+// (so the overlay never shadows — see the kidsSnap invariant).
+func (n *inode) cowInsert(name string, c *inode) {
+	old := n.snap()
+	if old == nil {
+		n.setSnap(&kidsSnap{m: map[string]*inode{name: c}, n: 1})
+		return
+	}
+	_, existed := old.lookup(name)
+	depth := 1
+	if old.over != nil {
+		depth = old.over.depth + 1
+	}
+	if existed || depth > maxKidOverlay {
+		m := old.fold()
+		cp := make(map[string]*inode, len(m)+1)
+		for k, v := range m {
+			cp[k] = v
+		}
+		cp[name] = c
+		n.setSnap(&kidsSnap{m: cp, n: len(cp)})
+		return
+	}
+	n.setSnap(&kidsSnap{
+		m:    old.m,
+		over: &kidOver{name: name, c: c, prev: old.over, depth: depth},
+		n:    old.n + 1,
+	})
+}
+
+// cowDelete removes name from n's children. Tree write lock required.
+// Deletion always folds: the overlay encodes only inserts (no
+// tombstones), and removals are off the fan-out hot path.
+func (n *inode) cowDelete(name string) {
+	old := n.snap()
+	if _, ok := old.lookup(name); !ok {
+		return
+	}
+	m := old.fold()
+	cp := make(map[string]*inode, len(m)-1)
+	for k, v := range m {
+		if k != name {
+			cp[k] = v
+		}
+	}
+	n.setSnap(&kidsSnap{m: cp, n: len(cp)})
+}
+
+// loadSynth returns the node's synthetic provider, lock-free.
+func (n *inode) loadSynth() *Synthetic { return n.synth.Load() }
+
+// touchMS stamps a content change on a published inode under its stripe.
+// With lock-free readers in play, the tree write lock alone no longer
+// excludes readers of inode-local state, so every mutation of a published
+// inode's times/version must take the stripe — even from under the tree
+// write lock. Acquire-and-release keeps the one-stripe-at-a-time rule.
+func (fs *FS) touchMS(n *inode, now time.Time) {
+	s := fs.lockNode(n)
+	n.touchM(now)
+	s.mu.Unlock()
+}
+
+// touchCS is touchMS for metadata-only changes (ctime+version).
+func (fs *FS) touchCS(n *inode, now time.Time) {
+	s := fs.lockNode(n)
+	n.touchC(now)
+	s.mu.Unlock()
+}
+
+// rcuStatus classifies the outcome of one lock-free walk attempt.
+type rcuStatus uint8
+
+const (
+	rcuOK    rcuStatus = iota // walk completed; node may be nil (final component absent)
+	rcuFail                   // walk completed with a definitive error
+	rcuRetry                  // a generation conflict invalidated a hop
+	rcuBail                   // construct the lock-free walker does not handle
+)
+
+// walkRCU is the lock-free walker: it resolves path from opt.root (or the
+// fs root) touching only immutable snapshots, generation counters, and
+// permission atomics. On rcuOK it returns the resolved node, or nil if
+// the final component does not exist in its (validated) parent. It bails
+// to the locked path on ".." (needs parent back-links) and on any symlink
+// it would have to follow (hop accounting and dangling-link create
+// semantics live in walkFrom).
+func (fs *FS) walkRCU(cred Cred, path string, opt resolveOpts) (*inode, rcuStatus, error) {
+	root := opt.root
+	if root == nil {
+		root = fs.root
+	}
+	cur := root
+	curGen := cur.gen.Load()
+	p, off, ok := nextComp(path, 0)
+	if !ok {
+		return cur, rcuOK, nil
+	}
+	for {
+		if !cur.isDir() {
+			return nil, rcuFail, ErrNotDir
+		}
+		if !allows(cur, cred, wantExec) {
+			return nil, rcuFail, ErrAccess
+		}
+		np, noff, more := nextComp(path, off)
+		last := !more
+		if p == ".." {
+			return nil, rcuBail, nil
+		}
+		fs.stats.lookups.Add(1)
+		s := cur.snap()
+		if h := rcuLookupHook; h != nil {
+			h(cur, p)
+		}
+		child, okc := s.lookup(p)
+		if !okc {
+			// A miss is only believable if cur's snapshot is still current:
+			// the entry may live in a newer snapshot.
+			if cur.gen.Load() != curGen {
+				return nil, rcuRetry, nil
+			}
+			if last {
+				return nil, rcuOK, nil
+			}
+			return nil, rcuFail, ErrNotExist
+		}
+		// Capture the child's generation before revalidating cur: this
+		// hand-over-hand order proves the parent entry and the child state
+		// we proceed with coexisted.
+		childGen := child.gen.Load()
+		if cur.gen.Load() != curGen {
+			return nil, rcuRetry, nil
+		}
+		if child.kind == KindSymlink && (!last || opt.followLast) {
+			return nil, rcuBail, nil
+		}
+		if last {
+			return child, rcuOK, nil
+		}
+		cur, curGen = child, childGen
+		p, off = np, noff
+	}
+}
+
+// lookupRO resolves path for read-only entry points (Stat, ReadDir,
+// xattrs, the open fast path): lock-free first, with a bounded retry
+// budget, then the read-locked walkFrom. It returns the resolved node —
+// nil with a nil error means the final component does not exist but its
+// parent path does. Symlink-hop accounting spans both phases: every
+// lock-free retry charges one hop, and the accumulated count carries into
+// the fallback walk, so a concurrent-rename storm that keeps invalidating
+// hops surfaces as ErrTooManyLinks exactly like a symlink loop would.
+func (fs *FS) lookupRO(cred Cred, path string, opt resolveOpts) (*inode, error) {
+	hops := 0
+	attempt := 0
+walk:
+	for {
+		n, st, err := fs.walkRCU(cred, path, opt)
+		switch st {
+		case rcuOK:
+			fs.lockCtr.resolveLockfree.Add(1)
+			return n, nil
+		case rcuFail:
+			fs.lockCtr.resolveLockfree.Add(1)
+			return nil, err
+		case rcuRetry:
+			hops++
+			if hops > maxSymlinkHops {
+				fs.lockCtr.resolveFallback.Add(1)
+				return nil, ErrTooManyLinks
+			}
+			if attempt < maxRCURetries {
+				attempt++
+				continue walk
+			}
+			break walk
+		default: // rcuBail
+			break walk
+		}
+	}
+	fs.lockCtr.resolveFallback.Add(1)
+	root := opt.root
+	if root == nil {
+		root = fs.root
+	}
+	fs.rlockTree()
+	_, _, n, err := fs.walkFrom(root, path, cred, opt, root, &hops)
+	fs.runlockTree()
+	return n, err
+}

@@ -363,6 +363,235 @@ func TestStressOpenCreateRace(t *testing.T) {
 	})
 }
 
+// TestStressRenameVsLockfreeLookup is the rename-vs-RCU torture: a mover
+// shuttles directory x between /a and /b through a /t staging area,
+// swapping x's marker file only while x is detached from both homes. The
+// true states a lock-free walker may observe are therefore exactly
+// {/a/x/in_a, /t/x/*, /b/x/in_b}; observing /a/x/in_b or /b/x/in_a would
+// be a "frankenstein" path — a stale parent snapshot combined with child
+// state the tree only reached after the parent entry was gone — which the
+// generation-validation protocol (resolve_rcu.go) exists to forbid.
+// Lock-free readers MAY see true mid-transaction states, so the
+// assertions use only the wrong-parent combinations, which appear in no
+// published state at all.
+func TestStressRenameVsLockfreeLookup(t *testing.T) {
+	fs := New()
+	p := fs.RootProc()
+	for _, d := range []string{"/a", "/b", "/t"} {
+		if err := p.Mkdir(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Mkdir("/a/x", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteString("/a/x/in_a", "marker"); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.LockStats()
+
+	runWithDeadline(t, stressDeadline, func() {
+		stop := make(chan struct{})
+		moverDone := make(chan struct{})
+		go func() { // mover: a->b then b->a, markers swapped while detached
+			defer close(moverDone)
+			move := func(from, to, oldMarker, newMarker string) error {
+				return fs.WithTx(func(tx *Tx) error {
+					if err := tx.Rename(from+"/x", "/t/x"); err != nil {
+						return err
+					}
+					if err := tx.Remove("/t/x/" + oldMarker); err != nil {
+						return err
+					}
+					if err := tx.WriteFile("/t/x/"+newMarker, []byte("marker"), 0o644, 0, 0); err != nil {
+						return err
+					}
+					return tx.Rename("/t/x", to+"/x")
+				})
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := move("/a", "/b", "in_a", "in_b"); err != nil {
+					t.Errorf("move a->b: %v", err)
+					return
+				}
+				if err := move("/b", "/a", "in_b", "in_a"); err != nil {
+					t.Errorf("move b->a: %v", err)
+					return
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		var hits atomic.Uint64
+		for r := 0; r < 8; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 4000; i++ {
+					// Frankenstein paths: must fail, always, with ENOENT.
+					for _, ghost := range []string{"/a/x/in_b", "/b/x/in_a"} {
+						if _, err := p.Stat(ghost); err == nil {
+							t.Errorf("observed %s: path existed in no linearization", ghost)
+							return
+						} else if !errors.Is(err, ErrNotExist) {
+							t.Errorf("Stat(%s): %v, want ErrNotExist", ghost, err)
+							return
+						}
+					}
+					// True states: succeed or miss benignly, never corrupt.
+					for _, real := range []string{"/a/x/in_a", "/b/x/in_b"} {
+						b, err := p.ReadFile(real)
+						switch {
+						case err == nil:
+							if string(b) != "marker" {
+								t.Errorf("ReadFile(%s) = %q, want %q", real, b, "marker")
+								return
+							}
+							hits.Add(1)
+						case errors.Is(err, ErrNotExist):
+						default:
+							t.Errorf("ReadFile(%s): %v", real, err)
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(stop)
+		<-moverDone
+		if hits.Load() == 0 {
+			t.Error("readers never caught x at rest; torture did not overlap")
+		}
+	})
+
+	after := fs.LockStats()
+	if after.ResolveLockfree == before.ResolveLockfree {
+		t.Error("no lock-free resolutions recorded; torture exercised only the fallback path")
+	}
+}
+
+// TestStressOpenCreateConvergence pins the OpenFile rlock-lookup ->
+// wlock-create TOCTOU window (wider now that the lookup is lock-free):
+// racing creators of one path must converge on a single inode with
+// exactly one create watch event, and content written through any
+// winning handle must be visible through the others' inode.
+func TestStressOpenCreateConvergence(t *testing.T) {
+	fs := New()
+	p := fs.RootProc()
+	w, err := p.AddWatch("/", OpCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	runWithDeadline(t, stressDeadline, func() {
+		for round := 0; round < 50; round++ {
+			path := fmt.Sprintf("/conv%d", round)
+			const racers = 8
+			var wg sync.WaitGroup
+			files := make([]*File, racers)
+			for g := 0; g < racers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					f, err := p.OpenFile(path, O_RDWR|O_CREATE, 0o644)
+					if err != nil {
+						t.Errorf("open %s: %v", path, err)
+						return
+					}
+					files[g] = f
+				}(g)
+			}
+			wg.Wait()
+			inos := make(map[uint64]bool)
+			for _, f := range files {
+				if f == nil {
+					t.Fatalf("racer for %s got no handle", path)
+				}
+				st, err := f.Stat()
+				if err != nil {
+					t.Fatal(err)
+				}
+				inos[st.Ino] = true
+			}
+			if len(inos) != 1 {
+				t.Fatalf("%s: racers diverged onto %d inodes, want 1", path, len(inos))
+			}
+			if _, err := files[0].Write([]byte("winner")); err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range files {
+				f.Close()
+			}
+			// Cross-handle visibility: everyone converged on the inode that
+			// holds the write.
+			if s, err := p.ReadString(path); err != nil || s != "winner" {
+				t.Fatalf("ReadString(%s) = %q, %v; want %q", path, s, err, "winner")
+			}
+			fs.SyncWatches()
+			creates := 0
+			for len(w.C) > 0 {
+				ev := <-w.C
+				if ev.Op == OpCreate && ev.Path == path {
+					creates++
+				}
+			}
+			if creates != 1 {
+				t.Fatalf("%s: %d create events, want exactly 1", path, creates)
+			}
+		}
+	})
+}
+
+// TestStressWatchPostSwapVisibility checks the watch/RCU ordering
+// contract: dispatch runs after the structural swap is published, so by
+// the time an event is delivered, a lock-free lookup of the event path
+// must already succeed. A violation (event before snapshot publish) would
+// make watchers chase paths that do not resolve yet.
+func TestStressWatchPostSwapVisibility(t *testing.T) {
+	fs := New()
+	p := fs.RootProc()
+	if err := p.Mkdir("/w", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	w, err := p.AddWatch("/w", OpCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	runWithDeadline(t, stressDeadline, func() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { // unrelated churn keeps snapshots swapping
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				_ = p.Mkdir(fmt.Sprintf("/noise%d", i), 0o755)
+				_ = p.Remove(fmt.Sprintf("/noise%d", i))
+			}
+		}()
+		for i := 0; i < 400; i++ {
+			path := fmt.Sprintf("/w/f%d", i)
+			if err := p.WriteString(path, "x"); err != nil {
+				t.Fatal(err)
+			}
+			ev := <-w.C
+			if ev.Op != OpCreate {
+				continue
+			}
+			// The event is the happens-after edge: the lock-free walk must
+			// observe the post-swap snapshot immediately, no retry excuse.
+			if _, err := p.Stat(ev.Path); err != nil {
+				t.Fatalf("Stat(%s) after its create event: %v", ev.Path, err)
+			}
+		}
+		wg.Wait()
+	})
+}
+
 // TestStressChaosAttrsAndXattrs mixes metadata paths that now run under
 // the tree read lock (chmod/chown/xattr) with structural churn on the
 // same nodes. Named Chaos so the CI -run 'Stress|Chaos' leg picks it up

@@ -281,7 +281,11 @@ func (s *watchSet) condLocked() *sync.Cond {
 // dispatch hands events to the asynchronous dispatcher and returns
 // immediately: the write path never pays matching or delivery cost, and a
 // watch-heavy workload can never stall writers. Called without the tree
-// lock. Ordering is preserved — a single worker drains the queue FIFO.
+// lock — and, critically, only after the transaction's children-snapshot
+// swaps have been published, so a subscriber that reacts to an event by
+// resolving the event's path (lock-free or not) always observes the
+// post-swap tree (pinned by TestStressWatchPostSwapVisibility).
+// Ordering is preserved — a single worker drains the queue FIFO.
 // dispatch takes ownership of events; the caller must not reuse the slice.
 func (s *watchSet) dispatch(events []Event) {
 	if len(events) == 0 {

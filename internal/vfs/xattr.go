@@ -14,9 +14,8 @@ func (p *Proc) SetXattr(path, attr string, value []byte) error {
 	}
 	p.fs.stats.attrs.Add(1)
 	fs := p.fs
-	fs.rlockTree()
-	defer fs.runlockTree()
-	_, _, n, err := fs.resolve(p.cred, path, p.opts(true))
+	// Lock-free resolve: xattr state itself is stripe-protected.
+	n, err := fs.lookupRO(p.cred, path, p.opts(true))
 	if err != nil {
 		return pathErr("setxattr", path, err)
 	}
@@ -32,7 +31,7 @@ func (p *Proc) SetXattr(path, attr string, value []byte) error {
 		n.xattrs = make(map[string][]byte)
 	}
 	n.xattrs[attr] = append([]byte(nil), value...)
-	n.touchC(fs.clock())
+	n.touchC(fs.now())
 	return nil
 }
 
@@ -43,9 +42,7 @@ func (p *Proc) GetXattr(path, attr string) ([]byte, error) {
 	}
 	p.fs.stats.attrs.Add(1)
 	fs := p.fs
-	fs.rlockTree()
-	defer fs.runlockTree()
-	_, _, n, err := fs.resolve(p.cred, path, p.opts(true))
+	n, err := fs.lookupRO(p.cred, path, p.opts(true))
 	if err != nil {
 		return nil, pathErr("getxattr", path, err)
 	}
@@ -71,9 +68,7 @@ func (p *Proc) ListXattr(path string) ([]string, error) {
 	}
 	p.fs.stats.attrs.Add(1)
 	fs := p.fs
-	fs.rlockTree()
-	defer fs.runlockTree()
-	_, _, n, err := fs.resolve(p.cred, path, p.opts(true))
+	n, err := fs.lookupRO(p.cred, path, p.opts(true))
 	if err != nil {
 		return nil, pathErr("listxattr", path, err)
 	}
@@ -97,9 +92,7 @@ func (p *Proc) RemoveXattr(path, attr string) error {
 	}
 	p.fs.stats.attrs.Add(1)
 	fs := p.fs
-	fs.rlockTree()
-	defer fs.runlockTree()
-	_, _, n, err := fs.resolve(p.cred, path, p.opts(true))
+	n, err := fs.lookupRO(p.cred, path, p.opts(true))
 	if err != nil {
 		return pathErr("removexattr", path, err)
 	}
@@ -115,7 +108,7 @@ func (p *Proc) RemoveXattr(path, attr string) error {
 		return pathErr("removexattr", path, ErrNoAttr)
 	}
 	delete(n.xattrs, attr)
-	n.touchC(fs.clock())
+	n.touchC(fs.now())
 	return nil
 }
 

@@ -38,6 +38,18 @@ func startNetwork(t *testing.T, ctrl *Controller, k int) (*switchsim.Network, []
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+	// Driver telemetry registers after the switch subtree appears; tests
+	// that list /.proc/driver right away must not race that last step.
+	for {
+		entries, _ := p.ReadDir("/.proc/driver")
+		if len(entries) >= k {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d driver telemetry dirs registered", len(entries), k)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 	for _, h := range hosts {
 		dpid, port := h.Attachment()
 		sh := ctrl.Shell(nil)
