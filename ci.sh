@@ -9,7 +9,11 @@
 # zero-copy fan-out gate (fails if delivering to 8 subscribers costs
 # more than 2x delivering to 1), and the E16 replication gate (fails
 # if a partitioned or killed leader loses or duplicates an
-# acknowledged write, or if failover convergence exceeds its budget).
+# acknowledged write, or if failover convergence exceeds its budget),
+# and the E17 churn gate (64 TCP switches under flow-dir churn: fails
+# if any tracked create/modify never reaches its switch or the
+# create→installed p99 collapses; skipped below 4 cores, where the
+# unthrottled burst is all scheduler queueing).
 # Run before every push.
 set -eu
 cd "$(dirname "$0")"
@@ -45,5 +49,12 @@ go run ./cmd/yancbench -run E15 -quick -gate
 
 echo "==> E16 smoke (replication gate: failover loses nothing, applies once)"
 go run ./cmd/yancbench -run E16 -quick -gate
+
+if [ "$(nproc 2>/dev/null || echo 1)" -ge 4 ]; then
+    echo "==> E17 smoke (churn gate: zero lost installs, p99 within budget)"
+    go run ./cmd/yancbench -run E17 -quick -gate
+else
+    echo "==> E17 smoke: skipped (<4 cores)"
+fi
 
 echo "==> ok"

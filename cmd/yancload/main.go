@@ -1,0 +1,222 @@
+// Command yancload is the city-scale churn harness: it spins up
+// thousands of simulated switches against an in-process controller over
+// real TCP, churns flow directories (create / modify / delete, with a
+// configurable mix and rate), and tracks every create→installed latency
+// — from the WriteFlow call to the moment the switch applies the
+// FlowAdd — in a log-scale tracking histogram.
+//
+// The op stream is a single seeded RNG, so a run is reproducible op for
+// op; -det additionally injects a counting clock so the whole engine
+// runs without reading the wall clock (the yancload_test.go regression
+// pins exact op counts and zero lost installs in this mode).
+//
+// The live progress line is deliberately dogfood: the engine publishes
+// its counters at /.proc/load/progress inside the controller file
+// system, and yancload reads them back through file I/O like any shell
+// or remote mount would.
+//
+// Usage:
+//
+//	yancload -switches 1024 -flows 102400 -churn 51200
+//	yancload -switches 64 -flows 10000 -ratio 2:1:1 -rate 5000 -json out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"yanc/internal/benchutil"
+	"yanc/internal/openflow"
+	"yanc/internal/procfs"
+	"yanc/internal/yancfs"
+)
+
+// report is the final JSON document: the engine's accounting plus the
+// run parameters and derived rates.
+type report struct {
+	benchutil.ChurnResult
+	Seed          int64                `json:"seed"`
+	Ratio         string               `json:"ratio"`
+	Deterministic bool                 `json:"deterministic"`
+	FlowsPerSec   float64              `json:"create_phase_flows_per_sec,omitempty"`
+	ChurnPerSec   float64              `json:"churn_ops_per_sec,omitempty"`
+	Latency       benchutil.HistReport `json:"latency"`
+}
+
+func main() {
+	switches := flag.Int("switches", 64, "simulated switches")
+	flows := flag.Int("flows", 10000, "flow dirs created before churning")
+	churn := flag.Int("churn", -1, "churn ops (default: flows/2)")
+	ratio := flag.String("ratio", "2:1:1", "churn mix create:modify:delete")
+	rate := flag.Int("rate", 0, "approximate churn ops/sec cap (0 = unthrottled)")
+	seed := flag.Int64("seed", 1, "op-stream RNG seed")
+	ofv := flag.String("of", "1.3", "OpenFlow version (1.0 or 1.3)")
+	jsonOut := flag.String("json", "", "also write the JSON report to this file")
+	det := flag.Bool("det", false, "deterministic mode: injected counting clock, no live progress")
+	quiet := flag.Bool("quiet", false, "suppress the live progress line")
+	flag.Parse()
+
+	r, err := parseRatio(*ratio)
+	if err != nil {
+		log.Fatal(err)
+	}
+	version := openflow.Version13
+	switch *ofv {
+	case "1.0":
+		version = openflow.Version10
+	case "1.3":
+	default:
+		log.Fatalf("yancload: unknown OpenFlow version %q", *ofv)
+	}
+	if *churn < 0 {
+		*churn = *flows / 2
+	}
+	cfg := benchutil.ChurnConfig{
+		Switches: *switches, Flows: *flows, ChurnOps: *churn,
+		Ratio: r, Seed: *seed, Version: version, Rate: *rate,
+	}
+	rep, err := runLoad(cfg, *det, !*det && !*quiet, os.Stdout)
+	if err != nil {
+		log.Fatalf("yancload: %v", err)
+	}
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if rep.Lost > 0 {
+		log.Fatalf("yancload: %d installs lost", rep.Lost)
+	}
+}
+
+// runLoad drives one churn run and writes the JSON report to out.
+// det injects the counting clock; live draws the progress line on
+// stderr from /.proc/load/progress.
+func runLoad(cfg benchutil.ChurnConfig, det, live bool, out io.Writer) (*report, error) {
+	if det {
+		cfg.Clock = countingClock()
+	}
+	var lfs atomic.Pointer[yancfs.FS]
+	prevExpose := cfg.Expose
+	cfg.Expose = func(y *yancfs.FS) {
+		lfs.Store(y)
+		if prevExpose != nil {
+			prevExpose(y)
+		}
+	}
+	stopUI := make(chan struct{})
+	uiDone := make(chan struct{})
+	if live {
+		go func() {
+			defer close(uiDone)
+			t := time.NewTicker(500 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopUI:
+					return
+				case <-t.C:
+					y := lfs.Load()
+					if y == nil {
+						continue
+					}
+					s, err := y.Root().ReadString(procfs.LoadDir + "/progress")
+					if err != nil {
+						continue
+					}
+					fmt.Fprintf(os.Stderr, "\r%-110s", compact(s))
+				}
+			}
+		}()
+	} else {
+		close(uiDone)
+	}
+	res, err := benchutil.RunChurn(cfg)
+	close(stopUI)
+	<-uiDone
+	if live {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep := &report{
+		ChurnResult: *res, Seed: cfg.Seed,
+		Ratio:         fmt.Sprintf("%d:%d:%d", cfg.Ratio[0], cfg.Ratio[1], cfg.Ratio[2]),
+		Deterministic: det,
+		Latency:       res.Hist.Report(),
+	}
+	if !det {
+		if s := res.CreatePhase.Seconds(); s > 0 {
+			rep.FlowsPerSec = float64(res.Flows) / s
+		}
+		if s := res.ChurnPhase.Seconds(); s > 0 && res.ChurnOps > 0 {
+			rep.ChurnPerSec = float64(res.ChurnOps) / s
+		}
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := out.Write(append(b, '\n')); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// countingClock is the deterministic clock for -det runs: every reading
+// is one nanosecond after the previous one, so the engine never touches
+// the wall clock and latency samples stay strictly positive.
+func countingClock() func() time.Time {
+	var n atomic.Int64
+	return func() time.Time { return time.Unix(0, n.Add(1)) }
+}
+
+// parseRatio parses "c:m:d" into churn-mix weights.
+func parseRatio(s string) ([3]int, error) {
+	parts := strings.Split(s, ":")
+	var r [3]int
+	if len(parts) != 3 {
+		return r, fmt.Errorf("yancload: ratio must be create:modify:delete, got %q", s)
+	}
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return r, fmt.Errorf("yancload: bad ratio component %q", p)
+		}
+		r[i] = n
+	}
+	if r[0] <= 0 {
+		return r, fmt.Errorf("yancload: create weight must be positive in %q", s)
+	}
+	return r, nil
+}
+
+// compact flattens the multi-line /.proc/load/progress content into the
+// one-line live display.
+func compact(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", f[0], f[1])
+	}
+	return b.String()
+}

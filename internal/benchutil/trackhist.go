@@ -1,0 +1,132 @@
+package benchutil
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"yanc/internal/vfs"
+)
+
+// TrackingHistogram is a log-scale latency tracking histogram: the
+// lock-free vfs.Histogram (40 power-of-two buckets, count/sum/max)
+// extended with min tracking, snapshot merging, and a JSON report form.
+// yancload records every create→installed latency through one of these
+// per worker and merges them into the final report; the merge identity
+// (merge of two histograms == histogram of the union of their samples)
+// is pinned by the property tests in trackhist_test.go.
+type TrackingHistogram struct {
+	h   vfs.Histogram
+	min atomic.Uint64 // nanoseconds; MaxUint64 until the first sample
+}
+
+// NewTrackingHistogram returns an empty histogram.
+func NewTrackingHistogram() *TrackingHistogram {
+	t := &TrackingHistogram{}
+	t.min.Store(math.MaxUint64)
+	return t
+}
+
+// Observe records one duration. Lock-free; safe from any goroutine.
+func (t *TrackingHistogram) Observe(d time.Duration) {
+	t.h.Observe(d)
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	for {
+		old := t.min.Load()
+		if ns >= old || t.min.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy.
+func (t *TrackingHistogram) Snapshot() TrackSnapshot {
+	s := TrackSnapshot{HistSnapshot: t.h.Snapshot()}
+	if min := t.min.Load(); min != math.MaxUint64 {
+		s.Min = time.Duration(min)
+	}
+	return s
+}
+
+// TrackSnapshot is a TrackingHistogram snapshot: a vfs.HistSnapshot
+// (count, sum, max, buckets — and its Avg/Quantile estimators) plus the
+// minimum observed sample.
+type TrackSnapshot struct {
+	vfs.HistSnapshot
+	Min time.Duration
+}
+
+// Merge returns the snapshot representing the union of both sample
+// sets: counts, sums, and buckets add; min and max take the extremes.
+// An empty snapshot is the identity.
+func (s TrackSnapshot) Merge(o TrackSnapshot) TrackSnapshot {
+	out := s
+	out.Count += o.Count
+	out.Sum += o.Sum
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] += o.Buckets[i]
+	}
+	switch {
+	case s.Count == 0:
+		out.Min = o.Min
+	case o.Count == 0:
+		out.Min = s.Min
+	case o.Min < s.Min:
+		out.Min = o.Min
+	}
+	return out
+}
+
+// HistReport is the JSON form of a snapshot: headline statistics in
+// nanoseconds plus the non-empty buckets with their bounds, so a report
+// stays compact no matter how wide the histogram's range is.
+type HistReport struct {
+	Count uint64 `json:"count"`
+	MinNS int64  `json:"min_ns"`
+	AvgNS int64  `json:"avg_ns"`
+	P50NS int64  `json:"p50_ns"`
+	P90NS int64  `json:"p90_ns"`
+	P99NS int64  `json:"p99_ns"`
+	MaxNS int64  `json:"max_ns"`
+	// Buckets lists only non-empty buckets: [lo_ns, hi_ns) and count.
+	Buckets []HistReportBucket `json:"buckets,omitempty"`
+}
+
+// HistReportBucket is one non-empty bucket of a HistReport.
+type HistReportBucket struct {
+	LoNS  int64  `json:"lo_ns"`
+	HiNS  int64  `json:"hi_ns"`
+	Count uint64 `json:"count"`
+}
+
+// Report converts the snapshot to its JSON form.
+func (s TrackSnapshot) Report() HistReport {
+	r := HistReport{
+		Count: s.Count,
+		MinNS: int64(s.Min),
+		AvgNS: int64(s.Avg()),
+		P50NS: int64(s.Quantile(0.50)),
+		P90NS: int64(s.Quantile(0.90)),
+		P99NS: int64(s.Quantile(0.99)),
+		MaxNS: int64(s.Max),
+	}
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = int64(vfs.HistBucketBound(i - 1))
+		}
+		r.Buckets = append(r.Buckets, HistReportBucket{
+			LoNS: lo, HiNS: int64(vfs.HistBucketBound(i)), Count: c,
+		})
+	}
+	return r
+}

@@ -19,6 +19,7 @@
 package driver
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -28,6 +29,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"yanc/internal/openflow"
@@ -79,6 +81,7 @@ type Driver struct {
 
 	mu    sync.Mutex
 	conns map[string]*SwitchConn
+	mux   *mux // lazily created on first Attach, stopped by Close
 }
 
 // New creates a driver for the master region offering up to OF 1.3.
@@ -115,7 +118,7 @@ type SwitchConn struct {
 	driver *Driver
 	conn   *openflow.Conn
 	proc   *vfs.Proc
-	watch  *vfs.Watch
+	mux    *mux
 
 	mu         sync.Mutex
 	flows      map[string]flowState // flow dir name -> pushed state
@@ -124,11 +127,27 @@ type SwitchConn struct {
 	echoMiss   int // consecutive unanswered liveness probes
 	closed     bool
 	done       chan struct{}
+	discOnce   sync.Once // onDisconnect runs exactly once
 
-	// Packet-in coalescing: readLoop enqueues, deliverLoop drains bursts
-	// into DeliverPacketInBatch so a flood of packet-ins costs one file
-	// system transaction per batch instead of one per message.
-	pktin chan *openflow.PacketIn
+	// Mailbox (mux.go): the connection's serialized task queue.
+	boxMu     sync.Mutex
+	box       []func()
+	boxActive bool
+
+	// Multiplexed read path (poll_linux.go). rawConn is non-nil only for
+	// OS-socket transports; readBuf/scratch are touched solely by the
+	// mailbox-serialized pollRead.
+	rawConn syscall.RawConn
+	pollFd  int32
+	readBuf []byte
+	scratch []byte
+
+	// Packet-in coalescing: the read path enqueues and schedules a drain
+	// task that batches into DeliverPacketInBatch, so a flood of
+	// packet-ins costs one file system transaction per batch instead of
+	// one per message.
+	pktin          chan *openflow.PacketIn
+	pktinScheduled atomic.Bool
 
 	// Control-channel telemetry, published as <ProcDir>/<name> files.
 	txMsgs       atomic.Uint64
@@ -165,8 +184,17 @@ func (sc *SwitchConn) write(msg openflow.Message) error {
 	return sc.conn.Write(msg)
 }
 
+// handshakeBacklog bounds concurrent handshakes. A mass reconnect (a
+// city's worth of switches redialing after a controller restart) must
+// not fan a thousand simultaneous handshakes out across the scheduler:
+// connections are accepted immediately — so the kernel accept queue
+// never overflows and dialers never see spurious timeouts — and then
+// handshake in bounded batches.
+const handshakeBacklog = 64
+
 // Serve accepts switch connections until the listener closes.
 func (d *Driver) Serve(l net.Listener) error {
+	sem := make(chan struct{}, handshakeBacklog)
 	for {
 		c, err := l.Accept()
 		if err != nil {
@@ -176,14 +204,41 @@ func (d *Driver) Serve(l net.Listener) error {
 			return err
 		}
 		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
 			if _, err := d.Attach(c); err != nil {
 				d.Logf("driver: attach: %v", err)
-				if cl, ok := any(c).(io.Closer); ok {
-					cl.Close()
-				}
+				c.Close()
 			}
 		}()
 	}
+}
+
+// ensureMux returns the driver's mux, creating it on first use (the
+// switches directory must exist, so callers run it after populate).
+func (d *Driver) ensureMux() (*mux, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.mux != nil {
+		return d.mux, nil
+	}
+	m, err := newMux(d)
+	if err != nil {
+		return nil, err
+	}
+	d.mux = m
+	return m, nil
+}
+
+// snapshotConns returns the live connections.
+func (d *Driver) snapshotConns() []*SwitchConn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*SwitchConn, 0, len(d.conns))
+	for _, sc := range d.conns {
+		out = append(out, sc)
+	}
+	return out
 }
 
 // Attach handshakes a switch control channel and wires it into the file
@@ -216,40 +271,58 @@ func (d *Driver) Attach(rw io.ReadWriter) (*SwitchConn, error) {
 	if err := sc.populate(); err != nil {
 		return nil, err
 	}
-	// Register the watch before Attach returns so no commit between
-	// attach and loop startup can be missed.
-	w, err := sc.proc.AddWatch(sc.Path, vfs.OpWrite|vfs.OpRemove|vfs.OpRename, vfs.Recursive(), vfs.BufferSize(4096))
+	// The shared switches/ watch (created with the mux) is registered
+	// before the connection is, so no commit after this point can be
+	// missed: events raced against registration are covered by the
+	// syncAllFlows below, everything later reaches the mailbox.
+	m, err := d.ensureMux()
 	if err != nil {
 		return nil, err
 	}
-	sc.watch = w
+	sc.mux = m
 	d.mu.Lock()
 	if d.conns == nil {
 		d.conns = make(map[string]*SwitchConn)
 	}
-	if old := d.conns[name]; old != nil {
-		old.stop()
-	}
+	old := d.conns[name]
 	d.conns[name] = sc
 	d.mu.Unlock()
+	if old != nil {
+		old.stop()
+	}
 	if d.ProcDir != "" {
 		d.installProcFiles(name)
 	}
+	// The file system stays truthful about liveness from the moment
+	// Attach returns.
+	_ = sc.proc.WriteString(vfs.Join(sc.Path, "status"), "connected\n")
+	sc.touchLastSeen()
 
 	// Push any flows already committed in the file system (controller
 	// restart / live protocol upgrade: the network state outlives the
 	// connection).
 	sc.syncAllFlows()
 
-	go sc.readLoop()
-	go sc.deliverLoop()
-	go sc.watchLoop()
-	if d.EchoInterval > 0 {
-		misses := d.EchoMisses
-		if misses <= 0 {
-			misses = DefaultEchoMisses
+	// Read path: OS-socket transports are multiplexed over the shared
+	// poller; anything else (net.Pipe rigs, fault-injection wrappers that
+	// hide the fd) keeps a dedicated reader goroutine.
+	started := false
+	if m.poller != nil {
+		if scc, ok := rw.(syscall.Conn); ok {
+			if raw, rerr := scc.SyscallConn(); rerr == nil {
+				sc.rawConn = raw
+				sc.readBuf = conn.TakeBuffered()
+				if m.poller.add(sc) {
+					// Decode handshake leftovers (and arm the first drain)
+					// through the mailbox, serialized with poller wakeups.
+					sc.enqueue(sc.pollRead)
+					started = true
+				}
+			}
 		}
-		go sc.echoLoop(d.EchoInterval, misses)
+	}
+	if !started {
+		go sc.readLoop()
 	}
 	d.Logf("driver: %s attached (dpid %016x, %s, %d ports)",
 		name, features.DatapathID, sc.Protocol, len(features.Ports))
@@ -263,7 +336,8 @@ func (d *Driver) Lookup(name string) *SwitchConn {
 	return d.conns[name]
 }
 
-// Close stops all switch connections.
+// Close stops all switch connections and the mux behind them. The
+// driver is reusable: a later Attach lazily builds a fresh mux.
 func (d *Driver) Close() {
 	d.mu.Lock()
 	conns := make([]*SwitchConn, 0, len(d.conns))
@@ -271,9 +345,14 @@ func (d *Driver) Close() {
 		conns = append(conns, sc)
 	}
 	d.conns = nil
+	m := d.mux
+	d.mux = nil
 	d.mu.Unlock()
 	for _, sc := range conns {
 		sc.stop()
+	}
+	if m != nil {
+		m.stop()
 	}
 }
 
@@ -314,7 +393,9 @@ func (sc *SwitchConn) populate() error {
 	return nil
 }
 
-// stop tears down the connection's goroutines.
+// stop tears the connection down: deregister from the poller, close the
+// transport (which ends a fallback reader goroutine), and run the
+// disconnect bookkeeping exactly once.
 func (sc *SwitchConn) stop() {
 	sc.mu.Lock()
 	if sc.closed {
@@ -324,10 +405,30 @@ func (sc *SwitchConn) stop() {
 	sc.closed = true
 	close(sc.done)
 	sc.mu.Unlock()
-	if sc.watch != nil {
-		sc.watch.Close()
+	if sc.rawConn != nil && sc.mux != nil && sc.mux.poller != nil {
+		sc.mux.poller.del(sc)
 	}
 	sc.conn.Close()
+	sc.discOnce.Do(sc.onDisconnect)
+}
+
+// onDisconnect is the disconnect bookkeeping shared by every teardown
+// path. The switch directory (and its committed flows) persists across
+// disconnects so a reconnecting or upgraded switch is resynced from it,
+// but its status file says the control channel is down. If another
+// connection has already replaced this one (fast reconnect), the
+// replacement owns the status file and the write is skipped.
+func (sc *SwitchConn) onDisconnect() {
+	d := sc.driver
+	d.mu.Lock()
+	current := d.conns == nil || d.conns[sc.Name] == sc
+	if d.conns != nil && d.conns[sc.Name] == sc {
+		delete(d.conns, sc.Name)
+	}
+	d.mu.Unlock()
+	if current {
+		_ = sc.proc.WriteString(vfs.Join(sc.Path, "status"), "disconnected\n")
+	}
 }
 
 // Done is closed when the connection has shut down.
@@ -341,132 +442,158 @@ func (sc *SwitchConn) touchLastSeen() {
 		strconv.FormatInt(sc.driver.now().Unix(), 10)+"\n")
 }
 
-// echoLoop probes the switch with echo requests every interval. When
-// `misses` consecutive probes go unanswered the connection is torn down,
-// which flips status to "disconnected" even though TCP never reported
-// an error — the hung-switch case a production controller must detect.
-func (sc *SwitchConn) echoLoop(interval time.Duration, misses int) {
-	t := time.NewTicker(interval) //yancvet:wallclock echo pacing is real I/O cadence; tests tune EchoInterval instead
-	defer t.Stop()
-	for {
-		select {
-		case <-sc.done:
-			return
-		case <-t.C:
-		}
-		sc.mu.Lock()
-		missed := sc.echoMiss
-		sc.echoMiss++
+// echoProbe is one liveness tick for this connection, scheduled by the
+// mux's echo loop through the mailbox. When `misses` consecutive probes
+// go unanswered the connection is torn down, which flips status to
+// "disconnected" even though TCP never reported an error — the
+// hung-switch case a production controller must detect.
+func (sc *SwitchConn) echoProbe(misses int) {
+	sc.mu.Lock()
+	if sc.closed {
 		sc.mu.Unlock()
-		if missed >= misses {
-			sc.driver.Logf("driver: %s: %d echo probes unanswered, tearing down", sc.Name, missed)
-			sc.stop()
-			return
-		}
-		sc.echoSent.Add(1)
-		sc.echoSentAt.Store(sc.driver.now().UnixNano())
-		_ = sc.write(&openflow.EchoRequest{})
+		return
 	}
+	missed := sc.echoMiss
+	sc.echoMiss++
+	sc.mu.Unlock()
+	if missed >= misses {
+		sc.driver.Logf("driver: %s: %d echo probes unanswered, tearing down", sc.Name, missed)
+		sc.stop()
+		return
+	}
+	sc.echoSent.Add(1)
+	sc.echoSentAt.Store(sc.driver.now().UnixNano())
+	_ = sc.write(&openflow.EchoRequest{})
 }
 
-// readLoop dispatches messages arriving from the switch.
+// readLoop is the fallback read path for transports without an OS file
+// descriptor: a dedicated goroutine blocked in Conn.Read. TCP-backed
+// connections use the shared poller instead (poll_linux.go).
 func (sc *SwitchConn) readLoop() {
-	defer func() {
-		sc.stop()
-		// The file system stays truthful about liveness: the switch
-		// directory (and its committed flows) persists across disconnects
-		// so a reconnecting or upgraded switch is resynced from it, but
-		// its status file says the control channel is down. If another
-		// connection has already replaced this one (fast reconnect), the
-		// replacement owns the status file and this write is skipped.
-		d := sc.driver
-		d.mu.Lock()
-		current := d.conns == nil || d.conns[sc.Name] == sc
-		if d.conns != nil && d.conns[sc.Name] == sc {
-			delete(d.conns, sc.Name)
-		}
-		d.mu.Unlock()
-		if current {
-			_ = sc.proc.WriteString(vfs.Join(sc.Path, "status"), "disconnected\n")
-		}
-	}()
-	_ = sc.proc.WriteString(vfs.Join(sc.Path, "status"), "connected\n")
-	sc.touchLastSeen()
+	defer sc.stop()
 	for {
 		msg, err := sc.conn.Read()
 		if err != nil {
 			return
 		}
-		sc.rxMsgs.Add(1)
-		switch m := msg.(type) {
-		case *openflow.PacketIn:
-			sc.pktinSeen.Add(1)
-			if hook := sc.driver.PacketInHook; hook != nil && hook(sc.Name, m) {
-				continue
-			}
-			// Hand off to the coalescing deliverer; shedding here (full
-			// queue = the file system cannot keep up) keeps the control
-			// channel reader responsive to echoes and barriers.
-			select {
-			case sc.pktin <- m:
-			default:
-				sc.pktinDropped.Add(1)
-			}
-		case *openflow.PortStatus:
-			sc.handlePortStatus(m)
-		case *openflow.FlowRemoved:
-			sc.handleFlowRemoved(m)
-		case *openflow.EchoRequest:
-			_ = sc.write(&openflow.EchoReply{Header: openflow.Header{Xid: m.Xid}, Data: m.Data})
-		case *openflow.EchoReply:
-			sc.mu.Lock()
-			sc.echoMiss = 0
-			sc.mu.Unlock()
-			sc.echoReplies.Add(1)
-			if at := sc.echoSentAt.Swap(0); at > 0 {
-				sc.rtt.Observe(time.Duration(sc.driver.now().UnixNano() - at))
-			}
-			sc.touchLastSeen()
-		case *openflow.StatsReply:
-			sc.mu.Lock()
-			ch := sc.pending[m.Xid]
-			delete(sc.pending, m.Xid)
-			sc.mu.Unlock()
-			if ch != nil {
-				ch <- m
-			}
-		case *openflow.Error:
-			sc.driver.Logf("driver: %s: switch error 0x%08x", sc.Name, m.Code)
-		}
+		sc.handleMessage(msg)
 	}
 }
 
-// deliverLoop coalesces queued packet-ins into batched file-system
-// deliveries: it blocks for the first message, then drains whatever burst
-// has accumulated (up to maxPktInBatch) so a packet-in flood costs one
-// transaction and one watch-dispatch drain per batch.
-func (sc *SwitchConn) deliverLoop() {
-	batch := make([]*openflow.PacketIn, 0, maxPktInBatch)
-	region := sc.driver.Region
+// decodeFrames extracts every complete frame from readBuf, dispatching
+// each through handleMessage. Returns false after tearing the connection
+// down on a malformed frame. Only the mailbox-serialized read task calls
+// this.
+func (sc *SwitchConn) decodeFrames() bool {
+	buf := sc.readBuf
+	off := 0
 	for {
-		select {
-		case <-sc.done:
+		if len(buf)-off < 8 {
+			break
+		}
+		length := int(binary.BigEndian.Uint16(buf[off+2 : off+4]))
+		if length < 8 {
+			sc.stop()
+			return false
+		}
+		if len(buf)-off < length {
+			break
+		}
+		raw := make([]byte, length)
+		copy(raw, buf[off:off+length])
+		off += length
+		msg, err := sc.conn.Decode(raw)
+		if err != nil {
+			sc.stop()
+			return false
+		}
+		sc.handleMessage(msg)
+	}
+	if off > 0 {
+		sc.readBuf = append(sc.readBuf[:0], buf[off:]...)
+	}
+	return true
+}
+
+// handleMessage dispatches one message arriving from the switch. It is
+// called by exactly one reader at a time per connection (the fallback
+// goroutine or the mailbox-serialized poller task).
+func (sc *SwitchConn) handleMessage(msg openflow.Message) {
+	sc.rxMsgs.Add(1)
+	switch m := msg.(type) {
+	case *openflow.PacketIn:
+		sc.pktinSeen.Add(1)
+		if hook := sc.driver.PacketInHook; hook != nil && hook(sc.Name, m) {
 			return
-		case pi := <-sc.pktin:
-			batch = append(batch[:0], pi)
-		drain:
-			for len(batch) < maxPktInBatch {
-				select {
-				case pi := <-sc.pktin:
-					batch = append(batch, pi)
-				default:
-					break drain
-				}
+		}
+		// Hand off to the coalescing drain task; shedding here (full
+		// queue = the file system cannot keep up) keeps the control
+		// channel reader responsive to echoes and barriers.
+		select {
+		case sc.pktin <- m:
+		default:
+			sc.pktinDropped.Add(1)
+			return
+		}
+		if sc.pktinScheduled.CompareAndSwap(false, true) {
+			sc.enqueue(sc.drainPktin)
+		}
+	case *openflow.PortStatus:
+		sc.handlePortStatus(m)
+	case *openflow.FlowRemoved:
+		sc.handleFlowRemoved(m)
+	case *openflow.EchoRequest:
+		_ = sc.write(&openflow.EchoReply{Header: openflow.Header{Xid: m.Xid}, Data: m.Data})
+	case *openflow.EchoReply:
+		sc.mu.Lock()
+		sc.echoMiss = 0
+		sc.mu.Unlock()
+		sc.echoReplies.Add(1)
+		if at := sc.echoSentAt.Swap(0); at > 0 {
+			sc.rtt.Observe(time.Duration(sc.driver.now().UnixNano() - at))
+		}
+		sc.touchLastSeen()
+	case *openflow.StatsReply:
+		sc.mu.Lock()
+		ch := sc.pending[m.Xid]
+		delete(sc.pending, m.Xid)
+		sc.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+	case *openflow.Error:
+		sc.driver.Logf("driver: %s: switch error 0x%08x", sc.Name, m.Code)
+	}
+}
+
+// drainPktin coalesces queued packet-ins into batched file-system
+// deliveries (up to maxPktInBatch per transaction). It runs in the
+// mailbox; the scheduled flag guarantees at most one drain is queued,
+// and the re-check after clearing it closes the race against a producer
+// that enqueued while the flag was still set.
+func (sc *SwitchConn) drainPktin() {
+	batch := make([]*openflow.PacketIn, 0, maxPktInBatch)
+	for {
+		batch = batch[:0]
+	collect:
+		for len(batch) < maxPktInBatch {
+			select {
+			case pi := <-sc.pktin:
+				batch = append(batch, pi)
+			default:
+				break collect
 			}
+		}
+		if len(batch) > 0 {
 			sc.pktinBatches.Add(1)
-			if err := sc.driver.Y.DeliverPacketInBatch(region, sc.Name, batch); err != nil {
+			if err := sc.driver.Y.DeliverPacketInBatch(sc.driver.Region, sc.Name, batch); err != nil {
 				sc.driver.Logf("driver: %s: deliver packet-in batch (%d): %v", sc.Name, len(batch), err)
 			}
+			continue
+		}
+		sc.pktinScheduled.Store(false)
+		if len(sc.pktin) == 0 || !sc.pktinScheduled.CompareAndSwap(false, true) {
+			return
 		}
 	}
 }
@@ -507,24 +634,20 @@ func (sc *SwitchConn) handleFlowRemoved(fr *openflow.FlowRemoved) {
 	}
 }
 
-// watchLoop reacts to file-system changes under the switch directory.
-func (sc *SwitchConn) watchLoop() {
-	w := sc.watch
-	for ev := range w.C {
-		switch {
-		case ev.Op == vfs.OpOverflow:
-			// Lost events: resync everything.
-			sc.syncAllFlows()
-		case ev.Op == vfs.OpWrite && vfs.Base(ev.Path) == yancfs.FileVersion:
-			sc.syncFlow(flowNameFromPath(sc.Path, ev.Path))
-		case ev.Op == vfs.OpRemove && ev.IsDir && isFlowDir(sc.Path, ev.Path):
-			sc.removeFlow(vfs.Base(ev.Path))
-		case ev.Op == vfs.OpRename && isFlowDir(sc.Path, ev.Path):
-			// Renamed flows keep their hardware entry under the new name.
-			sc.renameFlow(vfs.Base(ev.Path), vfs.Base(ev.NewPath))
-		case ev.Op == vfs.OpWrite && vfs.Base(ev.Path) == "config.port_down" && isPortFile(sc.Path, ev.Path):
-			sc.syncPortConfig(ev.Path)
-		}
+// handleWatchEvent reacts to one file-system change under the switch
+// directory, demultiplexed from the driver's shared watch (mux.go) and
+// serialized through the mailbox.
+func (sc *SwitchConn) handleWatchEvent(ev vfs.Event) {
+	switch {
+	case ev.Op == vfs.OpWrite && vfs.Base(ev.Path) == yancfs.FileVersion:
+		sc.syncFlow(flowNameFromPath(sc.Path, ev.Path))
+	case ev.Op == vfs.OpRemove && ev.IsDir && isFlowDir(sc.Path, ev.Path):
+		sc.removeFlow(vfs.Base(ev.Path))
+	case ev.Op == vfs.OpRename && isFlowDir(sc.Path, ev.Path):
+		// Renamed flows keep their hardware entry under the new name.
+		sc.renameFlow(vfs.Base(ev.Path), vfs.Base(ev.NewPath))
+	case ev.Op == vfs.OpWrite && vfs.Base(ev.Path) == "config.port_down" && isPortFile(sc.Path, ev.Path):
+		sc.syncPortConfig(ev.Path)
 	}
 }
 

@@ -1,0 +1,166 @@
+//go:build linux
+
+package driver
+
+import (
+	"sync"
+	"syscall"
+)
+
+// poller is the shared epoll instance owning the read side of every
+// TCP-backed switch connection. Each fd is registered edge-less with
+// EPOLLONESHOT: readiness fires exactly one pollRead task through the
+// owning connection's mailbox, which drains the socket to EAGAIN and
+// re-arms. That gives one-reader-at-a-time semantics per connection with
+// no per-connection goroutine blocked in a read.
+type poller struct {
+	epfd int
+
+	mu   sync.Mutex
+	regs map[int32]*SwitchConn
+	quit bool
+}
+
+const pollEvents = uint32(syscall.EPOLLIN | syscall.EPOLLRDHUP | syscall.EPOLLONESHOT)
+
+// newPoller returns nil if epoll is unavailable; callers fall back to
+// per-connection reader goroutines.
+func newPoller() *poller {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil
+	}
+	return &poller{epfd: epfd, regs: make(map[int32]*SwitchConn)}
+}
+
+// add registers the connection's fd. The fd is captured under
+// RawConn.Control so it cannot be closed (or reused) mid-registration.
+func (p *poller) add(sc *SwitchConn) bool {
+	var ok bool
+	cerr := sc.rawConn.Control(func(fd uintptr) {
+		ev := syscall.EpollEvent{Events: pollEvents, Fd: int32(fd)}
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.quit {
+			return
+		}
+		if syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, int(fd), &ev) == nil {
+			p.regs[int32(fd)] = sc
+			sc.pollFd = int32(fd)
+			ok = true
+		}
+	})
+	return cerr == nil && ok
+}
+
+// rearm re-enables one-shot readiness after a drain.
+func (p *poller) rearm(sc *SwitchConn) bool {
+	var ok bool
+	cerr := sc.rawConn.Control(func(fd uintptr) {
+		ev := syscall.EpollEvent{Events: pollEvents, Fd: int32(fd)}
+		ok = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_MOD, int(fd), &ev) == nil
+	})
+	return cerr == nil && ok
+}
+
+// del deregisters the fd. Must run before the connection is closed so a
+// reused fd number can never alias a stale registration; Control fails
+// harmlessly if the fd is already gone (the kernel then dropped the
+// epoll entry itself).
+func (p *poller) del(sc *SwitchConn) {
+	_ = sc.rawConn.Control(func(fd uintptr) {
+		_ = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, int(fd), nil)
+	})
+	p.mu.Lock()
+	if p.regs[sc.pollFd] == sc {
+		delete(p.regs, sc.pollFd)
+	}
+	p.mu.Unlock()
+}
+
+// loop waits for readiness and fans read tasks out to connection
+// mailboxes. The 50ms wait tick bounds shutdown latency.
+func (p *poller) loop(m *mux) {
+	defer m.wg.Done()
+	events := make([]syscall.EpollEvent, 128)
+	for {
+		n, err := syscall.EpollWait(p.epfd, events, 50)
+		p.mu.Lock()
+		quit := p.quit
+		p.mu.Unlock()
+		if quit {
+			syscall.Close(p.epfd)
+			return
+		}
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			syscall.Close(p.epfd)
+			return
+		}
+		for i := 0; i < n; i++ {
+			p.mu.Lock()
+			sc := p.regs[events[i].Fd]
+			p.mu.Unlock()
+			if sc == nil {
+				continue
+			}
+			sc.enqueue(sc.pollRead)
+		}
+	}
+}
+
+func (p *poller) close() {
+	p.mu.Lock()
+	p.quit = true
+	p.mu.Unlock()
+}
+
+// pollRead drains the socket to EAGAIN, decoding and dispatching every
+// complete frame, then re-arms the one-shot registration. Runs in the
+// connection's mailbox, so it is the only reader of readBuf. Reads go
+// through RawConn.Read's callback (returning true, so it never blocks)
+// to hold the fd alive against a concurrent Close.
+func (sc *SwitchConn) pollRead() {
+	sc.mu.Lock()
+	closed := sc.closed
+	sc.mu.Unlock()
+	if closed {
+		return
+	}
+	scratch := sc.scratch
+	if scratch == nil {
+		scratch = make([]byte, 1<<15)
+		sc.scratch = scratch
+	}
+	for {
+		var n int
+		var rerr error
+		cerr := sc.rawConn.Read(func(fd uintptr) bool {
+			n, rerr = syscall.Read(int(fd), scratch)
+			return true
+		})
+		if cerr != nil {
+			sc.stop()
+			return
+		}
+		if rerr == syscall.EAGAIN || rerr == syscall.EWOULDBLOCK {
+			break
+		}
+		if rerr == syscall.EINTR {
+			continue
+		}
+		if rerr != nil || n == 0 {
+			sc.stop()
+			return
+		}
+		sc.readBuf = append(sc.readBuf, scratch[:n]...)
+		if !sc.decodeFrames() {
+			return
+		}
+	}
+	if !sc.mux.poller.rearm(sc) {
+		sc.stop()
+	}
+}

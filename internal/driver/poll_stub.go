@@ -1,0 +1,16 @@
+//go:build !linux
+
+package driver
+
+// Stub poller for platforms without epoll: newPoller returns nil and
+// every connection falls back to a dedicated reader goroutine.
+type poller struct{}
+
+func newPoller() *poller                 { return nil }
+func (p *poller) add(*SwitchConn) bool   { return false }
+func (p *poller) rearm(*SwitchConn) bool { return false }
+func (p *poller) del(*SwitchConn)        {}
+func (p *poller) loop(m *mux)            { m.wg.Done() }
+func (p *poller) close()                 {}
+
+func (sc *SwitchConn) pollRead() {}

@@ -55,6 +55,10 @@ const DriverDir = Dir + "/driver"
 // AppsDir is where namespace launches publish per-application accounting.
 const AppsDir = Dir + "/apps"
 
+// LoadDir is where load harnesses (cmd/yancload via benchutil.RunChurn)
+// publish their live progress counters.
+const LoadDir = Dir + "/load"
+
 // Tree is the installed metrics subtree plus the registries of dynamic
 // sources (dfs servers and mounts) it reports on.
 type Tree struct {
@@ -107,6 +111,24 @@ func Install(fs *vfs.FS) (*Tree, error) {
 		return nil, fmt.Errorf("procfs: install: %w", err)
 	}
 	return t, nil
+}
+
+// InstallLoad mounts a single read-only synthetic at /.proc/load/progress
+// whose content comes from read. Load harnesses call it so their live
+// state is observable through the same file I/O as every other metric —
+// a yancsh one-liner or a dfs remote mount can watch a churn run go by.
+// It is independent of Install: a load rig does not need the full tree.
+func InstallLoad(fs *vfs.FS, read func() ([]byte, error)) error {
+	err := fs.WithTx(func(tx *vfs.Tx) error {
+		if err := tx.MkdirAll(LoadDir, 0o555, 0, 0); err != nil {
+			return err
+		}
+		return tx.SetSynthetic(LoadDir+"/progress", &vfs.Synthetic{Read: read}, 0o444, 0, 0)
+	})
+	if err != nil {
+		return fmt.Errorf("procfs: install load: %w", err)
+	}
+	return nil
 }
 
 // BindDFSServer adds a dfs export whose request counters .proc/dfs/rpc

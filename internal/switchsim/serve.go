@@ -154,6 +154,27 @@ func (sw *Switch) Dial(addr string) error {
 // controller goes away. A completed handshake resets the schedule, so a
 // controller that flaps after a long outage is re-approached quickly.
 // Failures are reported through logf (which may be nil).
+// DialRetryStaggered is DialRetry with a deterministic initial delay
+// derived from the DPID, spread uniformly over [0, maxStagger). A mass
+// (re)connect of thousands of switches — a city block losing power and
+// coming back — must not land on the controller as one thundering herd:
+// the stagger spreads the dials so the listener's accept queue and the
+// driver's handshake backlog absorb them without spurious timeouts.
+// The delay is a pure function of the DPID, so reconnect schedules stay
+// reproducible run to run.
+func (sw *Switch) DialRetryStaggered(addr string, pol backoff.Policy, maxStagger time.Duration, stop <-chan struct{}, logf func(format string, args ...any)) {
+	if maxStagger > 0 {
+		// Knuth multiplicative hash decorrelates consecutive DPIDs.
+		delay := time.Duration((sw.DPID * 2654435761) % uint64(maxStagger))
+		select {
+		case <-stop:
+			return
+		case <-time.After(delay): //yancvet:wallclock connect stagger paces a real TCP listener
+		}
+	}
+	sw.DialRetry(addr, pol, stop, logf)
+}
+
 func (sw *Switch) DialRetry(addr string, pol backoff.Policy, stop <-chan struct{}, logf func(format string, args ...any)) {
 	bo := backoff.New(pol)
 	for {

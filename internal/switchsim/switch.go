@@ -68,6 +68,7 @@ type Switch struct {
 	onPacketIn    PacketInFn
 	onFlowRemoved FlowRemovedFn
 	onPortStatus  PortStatusFn
+	onFlowMod     func(fm *openflow.FlowMod)
 	output        OutputFn
 
 	flowModCount atomic.Uint64
@@ -104,6 +105,16 @@ func (sw *Switch) SetHandlers(pi PacketInFn, fr FlowRemovedFn, ps PortStatusFn) 
 	sw.onPacketIn = pi
 	sw.onFlowRemoved = fr
 	sw.onPortStatus = ps
+}
+
+// SetFlowModHook installs a callback invoked after every successfully
+// applied flow-mod, with the message that was applied. Load harnesses
+// use this as the "installed" timestamp for create→installed latency;
+// it fires on the control-channel goroutine, so keep it cheap.
+func (sw *Switch) SetFlowModHook(fn func(fm *openflow.FlowMod)) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.onFlowMod = fn
 }
 
 // SetOutput installs the dataplane egress hook.
@@ -226,9 +237,13 @@ func (sw *Switch) FlowMod(fm *openflow.FlowMod) error {
 		return fmt.Errorf("switchsim: flow-mod command %d", fm.Command)
 	}
 	frCB := sw.onFlowRemoved
+	fmCB := sw.onFlowMod
 	now := sw.now()
 	sw.mu.Unlock()
 
+	if fmCB != nil {
+		fmCB(fm)
+	}
 	// Buffered packet attached to a flow add: release it through the new
 	// tables.
 	if fm.Command == openflow.FlowAdd && fm.BufferID != openflow.NoBuffer {

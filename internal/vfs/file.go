@@ -200,6 +200,7 @@ func (p *Proc) openSlow(path string, flags int, mode FileMode) (*File, []Event, 
 				return nil, pathErr("open", path, ErrAccess)
 			}
 			node = fs.newInode(KindFile, mode.Perm(), p.cred.UID, p.cred.GID)
+			name = internName(name)
 			parent.cowInsert(name, node)
 			fs.touchMS(parent, fs.now())
 			created = true
@@ -315,12 +316,32 @@ func (f *File) Write(b []byte) (int, error) {
 	}
 	fs := f.proc.fs
 	s := fs.lockNode(f.node)
+	n := f.node
 	if f.flags&O_APPEND != 0 {
-		f.pos = int64(len(f.node.data))
+		f.pos = int64(len(n.data))
 	}
-	f.node.data = writeAt(f.node.data, b, f.pos)
+	if f.pos == 0 && int64(len(b)) >= int64(len(n.data)) {
+		// Whole-content replace — the dominant shape for single-value
+		// attribute files. Small repeated payloads are interned and
+		// shared copy-on-write across inodes.
+		if d, ok := internBytes(b); ok {
+			n.data, n.dataShared = d, true
+		} else {
+			if n.dataShared {
+				n.data, n.dataShared = nil, false
+			}
+			n.data = writeAt(n.data, b, 0)
+		}
+	} else {
+		if n.dataShared {
+			// Copy-on-write: never scribble on a shared interned slice.
+			n.data = append([]byte(nil), n.data...)
+			n.dataShared = false
+		}
+		n.data = writeAt(n.data, b, f.pos)
+	}
 	f.pos += int64(len(b))
-	f.node.touchM(fs.now())
+	n.touchM(fs.now())
 	s.mu.Unlock()
 	fs.watches.dispatch([]Event{{Op: OpWrite, Path: f.path}})
 	return len(b), nil
@@ -395,8 +416,13 @@ func (f *File) Truncate(size int64) error {
 	fs := f.proc.fs
 	s := fs.lockNode(f.node)
 	if size <= int64(len(f.node.data)) {
+		// A reslice never writes, so a shared slice may stay shared.
 		f.node.data = f.node.data[:size]
 	} else {
+		if f.node.dataShared {
+			f.node.data = append([]byte(nil), f.node.data...)
+			f.node.dataShared = false
+		}
 		f.node.data = append(f.node.data, make([]byte, size-int64(len(f.node.data)))...)
 	}
 	f.node.touchM(fs.now())

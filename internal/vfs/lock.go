@@ -66,7 +66,13 @@ import (
 //  4. Synthetic.Read/Write providers run *outside* all tree locks (from
 //     the open/close path) and may perform arbitrary Proc I/O.
 //  5. children snapshots are immutable after publish; replace them only
-//     via setKids (or the cow helpers) under the tree write lock.
+//     via setKids (or the cow helpers) under the tree write lock. The
+//     single exception is a snapshot's memoization fields (folded,
+//     listing): atomic pointers caching derived views that are pure
+//     functions of the immutable state, fillable by any reader.
+//  6. interned payload slices (intern.go) are shared across inodes and
+//     immutable: a writer that finds dataShared set must replace the
+//     slice (copy-on-write under the stripe), never write into it.
 
 // LockShards is the number of inode-state lock stripes. A power of two so
 // the shard index is a mask of the inode number.

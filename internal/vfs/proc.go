@@ -121,6 +121,7 @@ func (p *Proc) mkdirLocked(tx *Tx, path string, mode FileMode) error {
 	if !allows(parent, p.cred, wantWrite) {
 		return pathErr("mkdir", path, ErrAccess)
 	}
+	name = internName(name)
 	d := p.fs.newInode(KindDir, mode.Perm(), p.cred.UID, p.cred.GID)
 	d.parent = parent
 	d.name = name

@@ -1,6 +1,9 @@
 package vfs
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Lock-free (RCU-style) path resolution.
 //
@@ -52,27 +55,41 @@ var rcuLookupHook func(dir *inode, name string)
 const maxKidOverlay = 64
 
 // kidsSnap is one published children snapshot: a folded immutable map
-// plus a bounded persistent overlay of entries inserted since the last
-// fold. Folding every map copy-on-write made hot-path inserts O(dir
-// size) — fan-out delivery into a near-full event buffer paid the whole
-// buffer per message — so inserts instead cons an overlay cell (O(1))
-// and the map is re-folded only every maxKidOverlay inserts, amortizing
-// to O(size/maxKidOverlay) per insert. Both the map and every overlay
+// plus a bounded persistent overlay of mutations since the last fold.
+// Folding every map copy-on-write made hot-path mutations O(dir size) —
+// fan-out delivery into a near-full event buffer paid the whole buffer
+// per message, and churn deleting from a 10⁵-entry flow directory paid
+// the whole directory per unlink — so inserts AND deletes instead cons
+// an overlay cell (O(1), a delete is a tombstone cell with c == nil)
+// and the map is re-folded only every maxKidOverlay mutations,
+// amortizing to O(size/maxKidOverlay) per op. The map and every overlay
 // cell are immutable after publish.
 //
-// Invariant: overlay names are distinct from each other and from m —
-// cowInsert folds when the name already exists — so lookups may take
-// any match and folds may merge in any order.
+// Invariant: the overlay may carry multiple cells for one name and
+// names that shadow m; the NEWEST cell (nearest the chain head) is
+// authoritative. Lookups therefore take the first match scanning from
+// the head, and folds must apply cells oldest-first.
+//
+// folded and listing are per-snapshot memoizations, the only mutable
+// words in a published snapshot: they cache derived views (the merged
+// map; the sorted listing) that are pure functions of the immutable
+// state, so racing fillers compute identical values and a torn
+// publish is impossible (atomic pointer). They make repeated
+// readdir/DirNames on an unchanged giant directory O(1).
 type kidsSnap struct {
 	m    map[string]*inode // folded entries; immutable after publish
-	over *kidOver          // inserts since the last fold, newest first
+	over *kidOver          // mutations since the last fold, newest first
 	n    int               // entry count of the merged view
+
+	folded  atomic.Pointer[map[string]*inode] // memoized fold() result
+	listing atomic.Pointer[[]DirEntry]        // memoized sorted listing
 }
 
-// kidOver is one immutable overlay cell (a persistent cons list).
+// kidOver is one immutable overlay cell (a persistent cons list). A nil
+// c is a tombstone: the name was deleted after the last fold.
 type kidOver struct {
 	name  string
-	c     *inode
+	c     *inode // nil = tombstone
 	prev  *kidOver
 	depth int // chain length up to and including this cell
 }
@@ -81,14 +98,18 @@ type kidOver struct {
 // directory never had a child).
 func (n *inode) snap() *kidsSnap { return n.children.Load() }
 
-// lookup finds one name in the snapshot: overlay first, then the folded
-// map. Nil-safe — a nil snapshot has no entries.
+// lookup finds one name in the snapshot: overlay first (newest cell
+// wins), then the folded map. A tombstone cell is an authoritative
+// miss. Nil-safe — a nil snapshot has no entries.
 func (s *kidsSnap) lookup(name string) (*inode, bool) {
 	if s == nil {
 		return nil, false
 	}
 	for o := s.over; o != nil; o = o.prev {
 		if o.name == name {
+			if o.c == nil {
+				return nil, false
+			}
 			return o.c, true
 		}
 	}
@@ -96,10 +117,12 @@ func (s *kidsSnap) lookup(name string) (*inode, bool) {
 	return c, ok
 }
 
-// fold materializes the merged view as a map. When the overlay is empty
-// the folded map itself is returned — zero-copy, and callers rely on
-// that for fan-out aliasing — so the result is immutable either way:
-// callers may read and range, never mutate.
+// fold materializes the merged view as a map, memoized per snapshot.
+// When the overlay is empty the folded map itself is returned —
+// zero-copy, and callers rely on that for fan-out aliasing — so the
+// result is immutable either way: callers may read and range, never
+// mutate. Overlay cells apply oldest-first so that a newer cell
+// (re-insert or tombstone) overrides an older one for the same name.
 func (s *kidsSnap) fold() map[string]*inode {
 	if s == nil {
 		return nil
@@ -107,13 +130,26 @@ func (s *kidsSnap) fold() map[string]*inode {
 	if s.over == nil {
 		return s.m
 	}
+	if p := s.folded.Load(); p != nil {
+		return *p
+	}
 	m := make(map[string]*inode, s.n)
 	for k, v := range s.m {
 		m[k] = v
 	}
+	cells := make([]*kidOver, 0, s.over.depth)
 	for o := s.over; o != nil; o = o.prev {
-		m[o.name] = o.c
+		cells = append(cells, o)
 	}
+	for i := len(cells) - 1; i >= 0; i-- {
+		o := cells[i]
+		if o.c == nil {
+			delete(m, o.name)
+		} else {
+			m[o.name] = o.c
+		}
+	}
+	s.folded.Store(&m)
 	return m
 }
 
@@ -163,9 +199,9 @@ func (n *inode) setKids(m map[string]*inode) {
 func (n *inode) bumpGen() { n.gen.Add(1) }
 
 // cowInsert adds name→c to n's children. Tree write lock required. The
-// fast path conses one overlay cell onto the current snapshot; the map
-// is re-folded only when the overlay is full or the name already exists
-// (so the overlay never shadows — see the kidsSnap invariant).
+// fast path conses one overlay cell onto the current snapshot (newest
+// wins, so an insert over an existing or tombstoned name needs no
+// fold); the map is re-folded only when the overlay is full.
 func (n *inode) cowInsert(name string, c *inode) {
 	old := n.snap()
 	if old == nil {
@@ -173,11 +209,15 @@ func (n *inode) cowInsert(name string, c *inode) {
 		return
 	}
 	_, existed := old.lookup(name)
+	nn := old.n
+	if !existed {
+		nn++
+	}
 	depth := 1
 	if old.over != nil {
 		depth = old.over.depth + 1
 	}
-	if existed || depth > maxKidOverlay {
+	if depth > maxKidOverlay {
 		m := old.fold()
 		cp := make(map[string]*inode, len(m)+1)
 		for k, v := range m {
@@ -190,26 +230,40 @@ func (n *inode) cowInsert(name string, c *inode) {
 	n.setSnap(&kidsSnap{
 		m:    old.m,
 		over: &kidOver{name: name, c: c, prev: old.over, depth: depth},
-		n:    old.n + 1,
+		n:    nn,
 	})
 }
 
 // cowDelete removes name from n's children. Tree write lock required.
-// Deletion always folds: the overlay encodes only inserts (no
-// tombstones), and removals are off the fan-out hot path.
+// The fast path conses a tombstone cell (O(1)) — churn deleting from a
+// 10⁵-entry flow directory must not pay the whole directory per unlink
+// — and the map is re-folded only when the overlay is full, exactly
+// like cowInsert.
 func (n *inode) cowDelete(name string) {
 	old := n.snap()
 	if _, ok := old.lookup(name); !ok {
 		return
 	}
-	m := old.fold()
-	cp := make(map[string]*inode, len(m)-1)
-	for k, v := range m {
-		if k != name {
-			cp[k] = v
-		}
+	depth := 1
+	if old.over != nil {
+		depth = old.over.depth + 1
 	}
-	n.setSnap(&kidsSnap{m: cp, n: len(cp)})
+	if depth > maxKidOverlay {
+		m := old.fold()
+		cp := make(map[string]*inode, len(m)-1)
+		for k, v := range m {
+			if k != name {
+				cp[k] = v
+			}
+		}
+		n.setSnap(&kidsSnap{m: cp, n: len(cp)})
+		return
+	}
+	n.setSnap(&kidsSnap{
+		m:    old.m,
+		over: &kidOver{name: name, prev: old.over, depth: depth},
+		n:    old.n - 1,
+	})
 }
 
 // loadSynth returns the node's synthetic provider, lock-free.
