@@ -13,7 +13,11 @@
 # and the E17 churn gate (64 TCP switches under flow-dir churn: fails
 # if any tracked create/modify never reaches its switch or the
 # create→installed p99 collapses; skipped below 4 cores, where the
-# unthrottled burst is all scheduler queueing).
+# unthrottled burst is all scheduler queueing), and the E18 ring gate
+# (fails if the libyanc submission ring's bulk flow push drops below
+# 5x the file-I/O path at the quick sizes, or if a fanned-out
+# packet-out stages more than one copy of the frame; skipped below 4
+# cores, where wall-clock ratios are hypervisor-steal noise).
 # Run before every push.
 set -eu
 cd "$(dirname "$0")"
@@ -53,8 +57,11 @@ go run ./cmd/yancbench -run E16 -quick -gate
 if [ "$(nproc 2>/dev/null || echo 1)" -ge 4 ]; then
     echo "==> E17 smoke (churn gate: zero lost installs, p99 within budget)"
     go run ./cmd/yancbench -run E17 -quick -gate
+    echo "==> E18 smoke (ring gate: bulk push >= 5x file I/O, one staged packet-out copy)"
+    go run ./cmd/yancbench -run E18 -quick -gate
 else
     echo "==> E17 smoke: skipped (<4 cores)"
+    echo "==> E18 smoke: skipped (<4 cores)"
 fi
 
 echo "==> ok"

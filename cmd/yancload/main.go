@@ -19,6 +19,7 @@
 //
 //	yancload -switches 1024 -flows 102400 -churn 51200
 //	yancload -switches 64 -flows 10000 -ratio 2:1:1 -rate 5000 -json out.json
+//	yancload -switches 64 -flows 10000 -fastpath   # libyanc ring write path
 package main
 
 import (
@@ -46,6 +47,7 @@ type report struct {
 	Seed          int64                `json:"seed"`
 	Ratio         string               `json:"ratio"`
 	Deterministic bool                 `json:"deterministic"`
+	Fastpath      bool                 `json:"fastpath"`
 	FlowsPerSec   float64              `json:"create_phase_flows_per_sec,omitempty"`
 	ChurnPerSec   float64              `json:"churn_ops_per_sec,omitempty"`
 	Latency       benchutil.HistReport `json:"latency"`
@@ -62,6 +64,7 @@ func main() {
 	jsonOut := flag.String("json", "", "also write the JSON report to this file")
 	det := flag.Bool("det", false, "deterministic mode: injected counting clock, no live progress")
 	quiet := flag.Bool("quiet", false, "suppress the live progress line")
+	fastpath := flag.Bool("fastpath", false, "drive the op stream through the libyanc flow ring instead of per-field file I/O")
 	flag.Parse()
 
 	r, err := parseRatio(*ratio)
@@ -82,6 +85,7 @@ func main() {
 	cfg := benchutil.ChurnConfig{
 		Switches: *switches, Flows: *flows, ChurnOps: *churn,
 		Ratio: r, Seed: *seed, Version: version, Rate: *rate,
+		Fastpath: *fastpath,
 	}
 	rep, err := runLoad(cfg, *det, !*det && !*quiet, os.Stdout)
 	if err != nil {
@@ -156,6 +160,7 @@ func runLoad(cfg benchutil.ChurnConfig, det, live bool, out io.Writer) (*report,
 		ChurnResult: *res, Seed: cfg.Seed,
 		Ratio:         fmt.Sprintf("%d:%d:%d", cfg.Ratio[0], cfg.Ratio[1], cfg.Ratio[2]),
 		Deterministic: det,
+		Fastpath:      cfg.Fastpath,
 		Latency:       res.Hist.Report(),
 	}
 	if !det {

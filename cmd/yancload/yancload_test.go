@@ -115,6 +115,62 @@ func TestDeterministicChurn(t *testing.T) {
 	}
 }
 
+// TestDeterministicChurnFastpath runs the same seeded op stream through
+// the libyanc flow ring (-fastpath): op counts still match the oracle,
+// the conservation accounting still balances, nothing is lost, and the
+// ring's telemetry files are live in the controller's /.proc.
+func TestDeterministicChurnFastpath(t *testing.T) {
+	const (
+		switches = 16
+		flows    = 1000
+		churnOps = 1000
+		seed     = 42
+	)
+	ratio := [3]int{2, 1, 1}
+	var fs atomic.Pointer[yancfs.FS]
+	cfg := benchutil.ChurnConfig{
+		Switches: switches, Flows: flows, ChurnOps: churnOps,
+		Ratio: ratio, Seed: seed, Fastpath: true,
+		Expose: func(y *yancfs.FS) { fs.Store(y) },
+	}
+	rep, err := runLoad(cfg, true, false, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, wm, wd := replayOps(flows, churnOps, ratio, seed)
+	if rep.Creates != wc || rep.Modifies != wm || rep.Deletes != wd {
+		t.Fatalf("fastpath op counts diverge from the seeded oracle: got %d/%d/%d, want %d/%d/%d",
+			rep.Creates, rep.Modifies, rep.Deletes, wc, wm, wd)
+	}
+	if rep.Lost != 0 {
+		t.Fatalf("%d installs lost (resolved %d, aborted %d of %d writes)",
+			rep.Lost, rep.Resolved, rep.Aborted, rep.Creates+rep.Modifies)
+	}
+	if rep.Resolved+rep.Aborted != uint64(rep.Creates+rep.Modifies) {
+		t.Fatalf("accounting leak: resolved %d + aborted %d != creates %d + modifies %d",
+			rep.Resolved, rep.Aborted, rep.Creates, rep.Modifies)
+	}
+	if !rep.Fastpath {
+		t.Fatal("report does not record fastpath mode")
+	}
+	y := fs.Load()
+	if y == nil {
+		t.Fatal("Expose hook never ran")
+	}
+	s, err := y.Root().ReadString(procfs.LibyancDir + "/ring")
+	if err != nil {
+		t.Fatalf("read %s/ring: %v", procfs.LibyancDir, err)
+	}
+	for _, want := range []string{"submitted", "completed", "installed"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("ring telemetry missing %q:\n%s", want, s)
+		}
+	}
+	if b, err := y.Root().ReadString(procfs.LibyancDir + "/batch"); err != nil || !strings.Contains(b, "drains") {
+		t.Fatalf("batch telemetry: %q, %v", b, err)
+	}
+}
+
 func TestParseRatio(t *testing.T) {
 	if r, err := parseRatio("2:1:1"); err != nil || r != [3]int{2, 1, 1} {
 		t.Fatalf("parseRatio(2:1:1) = %v, %v", r, err)

@@ -33,11 +33,16 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // guardedReceivers are receiver type names whose methods' errors must
-// not be dropped.
+// not be dropped. FlowRing is guarded because its submission errors are
+// the ONLY synchronous signal the ring gives: a dropped Submit error
+// (ring closed, queue full) means the caller believes a flow-mod is in
+// flight that was never enqueued, and a dropped Flush error hides every
+// per-entry commit failure of the batch.
 var guardedReceivers = map[string]bool{
-	"Tx":      true,
-	"Watch":   true,
-	"Watcher": true,
+	"Tx":       true,
+	"Watch":    true,
+	"Watcher":  true,
+	"FlowRing": true,
 }
 
 // guardedPackages are package names all of whose error returns are

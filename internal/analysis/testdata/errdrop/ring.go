@@ -1,0 +1,51 @@
+// FlowRing-shaped errdrop cases: the submission ring is asynchronous,
+// so the error returned by Submit/Flush/Close is the only synchronous
+// signal a caller gets. Dropping it means believing a flow-mod is in
+// flight that was never enqueued, or missing every per-entry failure a
+// Flush would have surfaced.
+package errdrop
+
+type FlowRing struct{}
+
+type ringSQE struct {
+	Path string
+}
+
+func (r *FlowRing) Submit(e ringSQE) error    { return nil }
+func (r *FlowRing) TrySubmit(e ringSQE) error { return nil }
+func (r *FlowRing) Flush() error              { return nil }
+func (r *FlowRing) Close() error              { return nil }
+
+func badSubmitDrop(r *FlowRing) {
+	r.Submit(ringSQE{Path: "/switches/sw1/flows/f1"}) // want "discarded on a guarded path"
+}
+
+func badSubmitBlank(r *FlowRing, entries []ringSQE) {
+	// A bulk push that blanks each submit outcome: a full ring silently
+	// sheds the tail of the batch.
+	for _, e := range entries {
+		_ = r.TrySubmit(e) // want "discarded on a guarded path"
+	}
+}
+
+func badFlushDrop(r *FlowRing) {
+	r.Flush() // want "discarded on a guarded path"
+}
+
+func badCloseDefer(r *FlowRing) {
+	defer r.Close() // want "discarded on a guarded path"
+}
+
+func goodSubmitHandled(r *FlowRing, entries []ringSQE) error {
+	for _, e := range entries {
+		if err := r.Submit(e); err != nil {
+			return err
+		}
+	}
+	return r.Flush()
+}
+
+func goodCloseAllowed(r *FlowRing) {
+	// Teardown on an already-drained ring, annotated as deliberate.
+	_ = r.Close() //yancvet:allow errdrop ring drained, close cannot fail meaningfully
+}

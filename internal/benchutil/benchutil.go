@@ -66,6 +66,16 @@ func NewFSOnlyRig(k int) (*yancfs.FS, error) {
 			return nil, err
 		}
 	}
+	// Sanity-check the build with one listing. This also folds the
+	// /switches directory snapshot, so the measured workload starts
+	// from a settled tree instead of paying the construction overlay.
+	ents, err := p.ReadDir("/switches")
+	if err != nil {
+		return nil, err
+	}
+	if len(ents) != k {
+		return nil, fmt.Errorf("benchutil: rig has %d switches, want %d", len(ents), k)
+	}
 	return y, nil
 }
 

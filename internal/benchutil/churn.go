@@ -10,6 +10,7 @@ import (
 
 	"yanc/internal/backoff"
 	"yanc/internal/driver"
+	"yanc/internal/libyanc"
 	"yanc/internal/openflow"
 	"yanc/internal/procfs"
 	"yanc/internal/switchsim"
@@ -37,6 +38,13 @@ type ChurnConfig struct {
 	// yancload tests inject a counting clock here; production runs leave
 	// it nil and measure real time.
 	Clock func() time.Time
+
+	// Fastpath routes the op stream through a libyanc flow ring —
+	// batched transactional commits plus installed completions — instead
+	// of per-field file I/O. The op stream, conservation accounting, and
+	// result shape are identical; only the write path changes, which is
+	// exactly what the E17 file-I/O vs libyanc comparison measures.
+	Fastpath bool
 
 	// Progress, when set, is called from the op goroutine every
 	// ProgressEvery ops and at phase transitions. Keep it cheap.
@@ -223,8 +231,52 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 	if cfg.Expose != nil {
 		cfg.Expose(y)
 	}
+	p := y.Root()
 	d := driver.New(y)
 	d.EchoInterval = cfg.EchoInterval
+
+	// Fastpath: all flow writes go through one ring; a reaper discards
+	// completions (the tracker already accounts installs via the switch
+	// hook) but keeps the first per-entry error for the final verdict.
+	var ring *libyanc.FlowRing
+	var reapDone chan error
+	writeFlow := func(path string, spec yancfs.FlowSpec) error {
+		_, werr := yancfs.WriteFlow(p, path, spec)
+		return werr
+	}
+	deleteFlow := func(path string) error { return yancfs.DeleteFlow(p, path) }
+	if cfg.Fastpath {
+		ring = libyanc.New(y).NewFlowRing(libyanc.RingConfig{SQDepth: 1024, Clock: now})
+		defer func() {
+			//yancvet:allow errdrop error-path teardown; the success path closed the ring and checked the error already
+			_ = ring.Close()
+		}()
+		if err := procfs.InstallLibyanc(y.VFS(), ring); err != nil {
+			return nil, err
+		}
+		d.FlowInstalledHook = ring.InstallHook()
+		reapDone = make(chan error, 1)
+		go func() {
+			var first error
+			for {
+				e, ok := ring.Reap(true)
+				if !ok {
+					reapDone <- first
+					return
+				}
+				if e.Err != nil && first == nil {
+					first = e.Err
+				}
+			}
+		}()
+		writeFlow = func(path string, spec yancfs.FlowSpec) error {
+			return ring.Submit(libyanc.SQE{Op: libyanc.OpPut, Path: path, Spec: spec})
+		}
+		deleteFlow = func(path string) error {
+			return ring.Submit(libyanc.SQE{Op: libyanc.OpDelete, Path: path})
+		}
+	}
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -262,7 +314,6 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 		wg.Wait()
 	}()
 
-	p := y.Root()
 	report := func(ph string, done, total int) {
 		if cfg.Progress == nil {
 			return
@@ -308,7 +359,7 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 	for i := 0; i < cfg.Flows; i++ {
 		spec := SampleFlowSpec(i)
 		tr.add(spec.Match.Key(), now().UnixNano())
-		if _, err := yancfs.WriteFlow(p, flowPath(i), spec); err != nil {
+		if err := writeFlow(flowPath(i), spec); err != nil {
 			return nil, fmt.Errorf("churn: create f%07d: %w", i, err)
 		}
 		creates.Add(1)
@@ -333,7 +384,7 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 			next++
 			spec := SampleFlowSpec(idx)
 			tr.add(spec.Match.Key(), now().UnixNano())
-			if _, err := yancfs.WriteFlow(p, flowPath(idx), spec); err != nil {
+			if err := writeFlow(flowPath(idx), spec); err != nil {
 				return nil, fmt.Errorf("churn: create f%07d: %w", idx, err)
 			}
 			creates.Add(1)
@@ -345,7 +396,7 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 			// the same entry in place — and rewrites the action list.
 			spec.Actions[0].TOS = uint8(4 * (1 + op%32))
 			tr.add(spec.Match.Key(), now().UnixNano())
-			if _, err := yancfs.WriteFlow(p, flowPath(idx), spec); err != nil {
+			if err := writeFlow(flowPath(idx), spec); err != nil {
 				return nil, fmt.Errorf("churn: modify f%07d: %w", idx, err)
 			}
 			modifies.Add(1)
@@ -355,7 +406,7 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 			live[j] = live[len(live)-1]
 			live = live[:len(live)-1]
 			tr.abort(SampleFlowSpec(idx).Match.Key())
-			if err := yancfs.DeleteFlow(p, flowPath(idx)); err != nil {
+			if err := deleteFlow(flowPath(idx)); err != nil {
 				return nil, fmt.Errorf("churn: delete f%07d: %w", idx, err)
 			}
 			deletes.Add(1)
@@ -368,6 +419,14 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 		}
 	}
 	res.ChurnPhase = now().Sub(churnStart)
+
+	// Fastpath: the op stream is only submitted at this point; wait for
+	// every entry's commit completion before draining the install side.
+	if ring != nil {
+		if err := ring.Flush(); err != nil {
+			return nil, fmt.Errorf("churn: ring flush: %w", err)
+		}
+	}
 
 	// Drain phase: the op stream has stopped; wait for the driver to
 	// work through its backlog until every outstanding start has been
@@ -385,6 +444,15 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 	}
 	res.Drain = now().Sub(drainStart)
 	phase.Store("done")
+
+	if ring != nil {
+		if err := ring.Close(); err != nil {
+			return nil, fmt.Errorf("churn: ring: %w", err)
+		}
+		if err := <-reapDone; err != nil {
+			return nil, fmt.Errorf("churn: ring completion: %w", err)
+		}
+	}
 
 	res.Creates = int(creates.Load())
 	res.Modifies = int(modifies.Load())

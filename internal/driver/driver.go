@@ -59,6 +59,13 @@ type Driver struct {
 	// true consumes the message and skips the event-directory copies.
 	PacketInHook func(switchName string, pi *openflow.PacketIn) bool
 
+	// FlowInstalledHook, when set, is called after a flow-mod has been
+	// written to a switch's control channel: the libyanc completion ring
+	// plugs in here (FlowRing.InstallHook) to report end-to-end
+	// installed completions. It runs on driver mux workers — keep it
+	// cheap and never call back into the file system.
+	FlowInstalledHook func(flowPath string, version uint64)
+
 	// EchoInterval is how often the driver probes each switch with an
 	// OpenFlow echo request; EchoMisses is how many consecutive unanswered
 	// probes tear the connection down. A hung switch — one whose TCP
@@ -300,8 +307,9 @@ func (d *Driver) Attach(rw io.ReadWriter) (*SwitchConn, error) {
 
 	// Push any flows already committed in the file system (controller
 	// restart / live protocol upgrade: the network state outlives the
-	// connection).
+	// connection), and any packet-outs staged while disconnected.
 	sc.syncAllFlows()
+	sc.drainPacketOut()
 
 	// Read path: OS-socket transports are multiplexed over the shared
 	// poller; anything else (net.Pipe rigs, fault-injection wrappers that
@@ -380,8 +388,16 @@ func (sc *SwitchConn) populate() error {
 		return err
 	}
 	// packet_out control file: writing an action spec plus payload sends
-	// a packet-out to the switch.
+	// a packet-out to the switch. The pout/ directory next to it is the
+	// zero-copy alternative: libyanc hard-links staged frames in and
+	// rings the doorbell; the driver consumes them by reference.
 	err := sc.driver.Y.VFS().WithTx(func(tx *vfs.Tx) error {
+		pout := vfs.Join(sc.Path, yancfs.DirPacketOut)
+		if !tx.Exists(pout) {
+			if err := tx.Mkdir(pout, 0o755, 0, 0); err != nil {
+				return err
+			}
+		}
 		return tx.SetSynthetic(vfs.Join(sc.Path, "packet_out"), &vfs.Synthetic{
 			Write: sc.handlePacketOutWrite,
 		}, 0o644, 0, 0)
@@ -646,6 +662,8 @@ func (sc *SwitchConn) handleWatchEvent(ev vfs.Event) {
 	case ev.Op == vfs.OpRename && isFlowDir(sc.Path, ev.Path):
 		// Renamed flows keep their hardware entry under the new name.
 		sc.renameFlow(vfs.Base(ev.Path), vfs.Base(ev.NewPath))
+	case ev.Op == vfs.OpWrite && vfs.Base(ev.Path) == yancfs.FileDoorbell && isPoutFile(sc.Path, ev.Path):
+		sc.drainPacketOut()
 	case ev.Op == vfs.OpWrite && vfs.Base(ev.Path) == "config.port_down" && isPortFile(sc.Path, ev.Path):
 		sc.syncPortConfig(ev.Path)
 	}
@@ -673,6 +691,49 @@ func isPortFile(switchPath, p string) bool {
 	rel := strings.TrimPrefix(p, switchPath+"/")
 	parts := strings.Split(rel, "/")
 	return len(parts) == 3 && parts[0] == "ports"
+}
+
+// isPoutFile reports whether p is <switch>/pout/<file>.
+func isPoutFile(switchPath, p string) bool {
+	rel := strings.TrimPrefix(p, switchPath+"/")
+	parts := strings.Split(rel, "/")
+	return len(parts) == 2 && parts[0] == yancfs.DirPacketOut
+}
+
+// drainPacketOut consumes the switch's pout/ queue: each staged message
+// is read by reference — the head line is a few bytes, the frame aliases
+// the spooled payload block (vfs.ReadFileShared, no copy) — written to
+// the control channel, and removed. Removal drops this switch's link on
+// the block; the last switch to send reclaims it. Runs in the mailbox,
+// keyed by the doorbell write event, so drains never race each other.
+func (sc *SwitchConn) drainPacketOut() {
+	p := sc.proc
+	pout := vfs.Join(sc.Path, yancfs.DirPacketOut)
+	entries, err := p.ReadDir(pout)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !yancfs.IsPacketOutName(e.Name) {
+			continue
+		}
+		msg := vfs.Join(pout, e.Name)
+		head, herr := p.ReadString(vfs.Join(msg, yancfs.PacketOutHead))
+		frame, ferr := p.ReadFileShared(vfs.Join(msg, yancfs.PacketOutFrame))
+		if herr == nil && ferr == nil {
+			po, perr := openflow.ParsePacketOutSpec(head)
+			if perr != nil {
+				sc.driver.Logf("driver: %s: pout %s: %v", sc.Name, e.Name, perr)
+			} else {
+				po.Data = frame
+				if werr := sc.write(po); werr != nil {
+					sc.driver.Logf("driver: %s: pout %s: %v", sc.Name, e.Name, werr)
+				}
+			}
+		}
+		//yancvet:allow errdrop consumed message; a failed unlink is retried on the next doorbell
+		_ = p.RemoveAll(msg)
+	}
 }
 
 // syncAllFlows pushes every committed flow directory to hardware. The
@@ -747,6 +808,10 @@ func (sc *SwitchConn) pushFlow(name string, version uint64, spec yancfs.FlowSpec
 	}
 	if err := sc.write(fm); err != nil {
 		sc.driver.Logf("driver: %s: flow-mod: %v", sc.Name, err)
+		return
+	}
+	if hook := sc.driver.FlowInstalledHook; hook != nil {
+		hook(vfs.Join(sc.Path, "flows", name), version)
 	}
 }
 
@@ -823,40 +888,11 @@ func (sc *SwitchConn) syncPortConfig(path string) {
 // remaining bytes are the raw frame.
 func (sc *SwitchConn) handlePacketOutWrite(data []byte) error {
 	head, payload, _ := strings.Cut(string(data), "\n")
-	po := &openflow.PacketOut{
-		BufferID: openflow.NoBuffer,
-		InPort:   openflow.PortController,
-		Data:     []byte(payload),
+	po, err := openflow.ParsePacketOutSpec(head)
+	if err != nil {
+		return fmt.Errorf("driver: %v: %w", err, vfs.ErrInvalid)
 	}
-	for _, tok := range strings.Fields(head) {
-		k, v, ok := strings.Cut(tok, "=")
-		if !ok {
-			return fmt.Errorf("driver: packet_out: bad token %q: %w", tok, vfs.ErrInvalid)
-		}
-		switch k {
-		case "in_port":
-			n, err := strconv.ParseUint(v, 10, 32)
-			if err != nil {
-				return fmt.Errorf("driver: packet_out in_port: %w", vfs.ErrInvalid)
-			}
-			po.InPort = uint32(n)
-		case "buffer_id":
-			n, err := strconv.ParseUint(v, 10, 32)
-			if err != nil {
-				return fmt.Errorf("driver: packet_out buffer_id: %w", vfs.ErrInvalid)
-			}
-			po.BufferID = uint32(n)
-		default:
-			a, err := openflow.ParseAction(k, v)
-			if err != nil {
-				return err
-			}
-			po.Actions = append(po.Actions, a)
-		}
-	}
-	if len(po.Actions) == 0 {
-		return fmt.Errorf("driver: packet_out needs an action: %w", vfs.ErrInvalid)
-	}
+	po.Data = []byte(payload)
 	return sc.write(po)
 }
 

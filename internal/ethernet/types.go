@@ -30,7 +30,20 @@ var LLDPMulticast = MAC{0x01, 0x80, 0xc2, 0x00, 0x00, 0x0e}
 
 // String formats the address as aa:bb:cc:dd:ee:ff.
 func (m MAC) String() string {
-	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+	return string(m.AppendString(make([]byte, 0, 17)))
+}
+
+// AppendString appends the colon-separated hex form to dst and returns
+// the extended slice.
+func (m MAC) AppendString(dst []byte) []byte {
+	const hex = "0123456789abcdef"
+	for i, b := range m {
+		if i > 0 {
+			dst = append(dst, ':')
+		}
+		dst = append(dst, hex[b>>4], hex[b&0xf])
+	}
+	return dst
 }
 
 // IsBroadcast reports whether the address is the broadcast address.
@@ -81,7 +94,19 @@ type IP4 [4]byte
 
 // String formats the address in dotted quad.
 func (ip IP4) String() string {
-	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+	return string(ip.AppendString(make([]byte, 0, 15)))
+}
+
+// AppendString appends the dotted-quad form to dst and returns the
+// extended slice — the no-Sprintf renderer bulk flow writers use.
+func (ip IP4) AppendString(dst []byte) []byte {
+	for i, b := range ip {
+		if i > 0 {
+			dst = append(dst, '.')
+		}
+		dst = strconv.AppendUint(dst, uint64(b), 10)
+	}
+	return dst
 }
 
 // Uint32 returns the address as a big-endian integer.
@@ -137,7 +162,15 @@ func ParsePrefix(s string) (Prefix, error) {
 
 // String formats the prefix in CIDR notation.
 func (p Prefix) String() string {
-	return fmt.Sprintf("%s/%d", p.Addr, p.Bits)
+	return string(p.AppendString(make([]byte, 0, 18)))
+}
+
+// AppendString appends the CIDR form to dst and returns the extended
+// slice.
+func (p Prefix) AppendString(dst []byte) []byte {
+	dst = p.Addr.AppendString(dst)
+	dst = append(dst, '/')
+	return strconv.AppendInt(dst, int64(p.Bits), 10)
 }
 
 // Mask returns the prefix netmask as an integer.

@@ -66,13 +66,26 @@ func (b *Batch) Put(flowPath string, spec yancfs.FlowSpec) *Batch {
 // Len reports the number of scheduled writes.
 func (b *Batch) Len() int { return len(b.entries) }
 
-// Commit applies every scheduled write under one lock acquisition. Either
-// the whole batch lands or none of it does.
+// Reset discards every scheduled write, making the batch reusable. A
+// successful Commit resets implicitly; Reset exists for abandoning a
+// failed or partially-built batch.
+func (b *Batch) Reset() { b.entries = b.entries[:0] }
+
+// Commit applies every scheduled write under one lock acquisition and
+// one event flush.
+//
+// Retry contract: on success the batch is reset, so committing again is
+// a no-op rather than a double-apply. On failure the entries are
+// RETAINED for a retry — but there is no rollback: entries that already
+// applied before the failing one have landed, and a retry re-applies
+// the whole batch (idempotent in content, though each re-applied flow's
+// version is bumped again). Call Reset to abandon a failed batch
+// instead.
 func (b *Batch) Commit() error {
 	if len(b.entries) == 0 {
 		return nil
 	}
-	return b.client.y.VFS().WithTx(func(tx *vfs.Tx) error {
+	err := b.client.y.VFS().WithTx(func(tx *vfs.Tx) error {
 		for _, e := range b.entries {
 			if _, err := b.client.y.PutFlowTx(tx, e.path, e.spec); err != nil {
 				return err
@@ -80,6 +93,10 @@ func (b *Batch) Commit() error {
 		}
 		return nil
 	})
+	if err == nil {
+		b.Reset()
+	}
+	return err
 }
 
 // PacketInMsg is one fastpath packet-in: the switch it came from plus the

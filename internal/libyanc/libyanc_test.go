@@ -1,6 +1,7 @@
 package libyanc
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -20,9 +21,10 @@ func newY(t *testing.T) *yancfs.FS {
 }
 
 func TestPutFlowMatchesFileIOLayout(t *testing.T) {
-	// The fastpath must produce exactly the layout WriteFlow produces.
-	yFast, ySlow := newY(t), newY(t)
-	for _, y := range []*yancfs.FS{yFast, ySlow} {
+	// The fastpath — both the one-shot PutFlow and the submission ring —
+	// must produce exactly the layout WriteFlow produces.
+	yFast, ySlow, yRing := newY(t), newY(t), newY(t)
+	for _, y := range []*yancfs.FS{yFast, ySlow, yRing} {
 		if _, err := yancfs.CreateSwitch(y.Root(), "/", "sw1"); err != nil {
 			t.Fatal(err)
 		}
@@ -39,7 +41,14 @@ func TestPutFlowMatchesFileIOLayout(t *testing.T) {
 	if _, err := yancfs.WriteFlow(ySlow.Root(), "/switches/sw1/flows/ssh", spec); err != nil {
 		t.Fatal(err)
 	}
-	var fast, slow []string
+	r := New(yRing).NewFlowRing(RingConfig{})
+	if err := r.Submit(SQE{Op: OpPut, Path: "/switches/sw1/flows/ssh", Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var fast, slow, ring []string
 	collect := func(y *yancfs.FS, out *[]string) {
 		_ = y.Root().Walk("/switches/sw1/flows/ssh", func(path string, st vfs.Stat) error {
 			line := path
@@ -53,12 +62,16 @@ func TestPutFlowMatchesFileIOLayout(t *testing.T) {
 	}
 	collect(yFast, &fast)
 	collect(ySlow, &slow)
-	if len(fast) != len(slow) {
-		t.Fatalf("layouts differ:\nfast %v\nslow %v", fast, slow)
+	collect(yRing, &ring)
+	if len(fast) != len(slow) || len(ring) != len(slow) {
+		t.Fatalf("layouts differ:\nfast %v\nslow %v\nring %v", fast, slow, ring)
 	}
 	for i := range fast {
 		if fast[i] != slow[i] {
 			t.Errorf("entry %d: fast %q slow %q", i, fast[i], slow[i])
+		}
+		if ring[i] != slow[i] {
+			t.Errorf("entry %d: ring %q slow %q", i, ring[i], slow[i])
 		}
 	}
 	// Both round-trip to the same spec.
@@ -180,6 +193,52 @@ func TestBatchOpCountAdvantage(t *testing.T) {
 
 	if fastOps*10 > slowOps {
 		t.Errorf("fastpath not ≥10x cheaper: fast=%d slow=%d counted ops", fastOps, slowOps)
+	}
+}
+
+// TestBatchReuseAfterCommit is the regression for the Batch retry
+// contract: a successful Commit resets the batch, so committing again
+// is a no-op rather than a silent double-apply; a failed Commit retains
+// the entries for a retry; Reset abandons them.
+func TestBatchReuseAfterCommit(t *testing.T) {
+	y := newY(t)
+	p := y.Root()
+	if _, err := yancfs.CreateSwitch(p, "/", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := openflow.ParseMatch("dl_type=0x0800")
+	spec := yancfs.FlowSpec{Match: m, Priority: 1, Actions: []openflow.Action{openflow.Output(1)}}
+	b := New(y).NewBatch()
+	b.Put("/switches/sw1/flows/f", spec)
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("successful commit left %d entries queued", b.Len())
+	}
+	// Historically this re-applied the whole batch and bumped every
+	// version; now it must be a no-op.
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s, err := p.ReadString("/switches/sw1/flows/f/version"); err != nil || strings.TrimSpace(s) != "1" {
+		t.Fatalf("version after double commit = %q, %v (double-apply regression)", s, err)
+	}
+
+	// A failed commit retains the entries so the caller can retry.
+	b.Put("/switches/ghost/flows/f", spec)
+	if err := b.Commit(); err == nil {
+		t.Fatal("commit into a missing switch succeeded")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("failed commit kept %d entries, want 1", b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("reset left %d entries", b.Len())
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatalf("empty batch commit = %v", err)
 	}
 }
 

@@ -1,0 +1,93 @@
+package libyanc
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+
+	"yanc/internal/openflow"
+	"yanc/internal/vfs"
+	"yanc/internal/yancfs"
+)
+
+// poSeq numbers staged packet-out messages so directory names are unique
+// and ordered across the process (same discipline as the packet-in
+// spool's eventSeq).
+var poSeq atomic.Uint64
+
+// PacketOut sends one frame out of any number of switches with exactly
+// one staged copy of the payload: the head spec and frame are written
+// once into the region's event spool, hard-linked into every target
+// switch's pout/ queue, and unlinked from the spool — all in one
+// transaction — then each switch's doorbell is rung so the driver
+// drains the queue, consuming the frame by reference
+// (vfs.ReadFileShared). The cost of fanning a frame out to N switches
+// is N links plus N tiny doorbell writes, independent of frame size.
+//
+// head is the same spec line the packet_out control file takes:
+// "out=<port>[,<more actions>] [in_port=<n>] [buffer_id=<id>]". All
+// switch paths must live in the same region (they share one spool).
+func (c *Client) PacketOut(switchPaths []string, head string, frame []byte) error {
+	if len(switchPaths) == 0 {
+		return nil
+	}
+	if _, err := openflow.ParsePacketOutSpec(head); err != nil {
+		return err
+	}
+	// <region>/switches/<name> → region.
+	region := vfs.Dir(vfs.Dir(vfs.Clean(switchPaths[0])))
+	spool := vfs.Join(region, yancfs.DirEvents, yancfs.SpoolDir)
+	seq := poSeq.Add(1)
+	name := yancfs.PacketOutName(seq)
+	stage := vfs.Join(spool, name)
+	return c.y.VFS().WithTx(func(tx *vfs.Tx) error {
+		// Validate every target BEFORE staging anything: WithTx has no
+		// rollback, so a missing switch discovered after the WriteTree
+		// would strand the staged frame in the spool.
+		dsts := make([]string, len(switchPaths))
+		for i, sw := range switchPaths {
+			pout := vfs.Join(sw, yancfs.DirPacketOut)
+			if !tx.Exists(sw) {
+				return fmt.Errorf("libyanc: packet_out: no switch %s: %w", sw, vfs.ErrNotExist)
+			}
+			if !tx.Exists(pout) {
+				if err := tx.Mkdir(pout, 0o755, 0, 0); err != nil {
+					return err
+				}
+			}
+			dsts[i] = vfs.Join(pout, name)
+		}
+		if !tx.Exists(spool) {
+			if err := tx.Mkdir(spool, 0o700, 0, 0); err != nil {
+				return err
+			}
+		}
+		files := []vfs.FileData{
+			{Name: yancfs.PacketOutHead, Data: []byte(head + "\n")},
+			{Name: yancfs.PacketOutFrame, Data: frame},
+		}
+		if err := tx.WriteTree(stage, files, 0o755, 0o444, 0, 0); err != nil {
+			return err
+		}
+		linked := make([]bool, len(dsts))
+		if err := tx.LinkDirFanout(stage, dsts, 0o755, 0, 0, func(i int) { linked[i] = true }); err != nil {
+			return err
+		}
+		// Unlink the staging entry: the head and frame live on through
+		// the per-switch links, nothing is stranded in the spool.
+		if err := tx.Remove(stage); err != nil {
+			return err
+		}
+		bell := []byte(strconv.FormatUint(seq, 10) + "\n")
+		for i, sw := range switchPaths {
+			if !linked[i] {
+				continue
+			}
+			p := vfs.Join(sw, yancfs.DirPacketOut, yancfs.FileDoorbell)
+			if err := tx.WriteFile(p, bell, 0o644, 0, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

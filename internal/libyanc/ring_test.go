@@ -1,0 +1,370 @@
+package libyanc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"yanc/internal/openflow"
+	"yanc/internal/vfs"
+	"yanc/internal/yancfs"
+)
+
+func ringSpec(t *testing.T) yancfs.FlowSpec {
+	t.Helper()
+	m, err := openflow.ParseMatch("dl_type=0x0800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return yancfs.FlowSpec{Match: m, Priority: 1, Actions: []openflow.Action{openflow.Output(1)}}
+}
+
+// newStalledRing builds a FlowRing WITHOUT starting its drainer, so a
+// test can deterministically fill the SQ to capacity. Mirror of
+// NewFlowRing minus the goroutine; release it later with
+// `go r.drainer(n)`.
+func newStalledRing(y *yancfs.FS, depth int) *FlowRing {
+	r := &FlowRing{client: New(y), clock: time.Now, sq: make([]SQE, depth)}
+	r.notFull = sync.NewCond(&r.mu)
+	r.notEmpty = sync.NewCond(&r.mu)
+	r.cqReady = sync.NewCond(&r.mu)
+	return r
+}
+
+// TestFlowRingBulkCommitCompletionOrder pins the core ring contract:
+// every submission gets exactly one commit completion, completions come
+// back in submission order carrying the caller's tag, versions match
+// what landed on disk, and the whole burst costs far fewer drains than
+// entries (adaptive batching).
+func TestFlowRingBulkCommitCompletionOrder(t *testing.T) {
+	y := newY(t)
+	if _, err := yancfs.CreateSwitch(y.Root(), "/", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	spec := ringSpec(t)
+	r := New(y).NewFlowRing(RingConfig{SQDepth: 512})
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := r.Submit(SQE{Op: OpPut, Path: "/switches/sw1/flows/f" + itoa(i), Spec: spec, Tag: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		e, ok := r.Reap(true)
+		if !ok {
+			t.Fatalf("reap %d: ring drained early", i)
+		}
+		if e.Tag != uint64(i) || e.Installed {
+			t.Fatalf("completion %d out of order: %+v", i, e)
+		}
+		if e.Err != nil || e.Version != 1 {
+			t.Fatalf("completion %d: version %d err %v", i, e.Version, e.Err)
+		}
+	}
+	names, err := yancfs.ListFlows(y.Root(), "/switches/sw1")
+	if err != nil || len(names) != n {
+		t.Fatalf("flows on disk = %d %v", len(names), err)
+	}
+	st := r.Stats()
+	if st.Submitted != n || st.Completed != n {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Drains == 0 || st.Drains >= n/4 {
+		t.Errorf("adaptive batching missing: %d drains for %d entries", st.Drains, n)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(SQE{Op: OpPut, Path: "/switches/sw1/flows/late", Spec: spec}); !errors.Is(err, ErrRingClosed) {
+		t.Fatalf("submit after close = %v", err)
+	}
+}
+
+// TestFlowRingSQWraparound pushes far more entries than the SQ holds
+// through a tiny ring, so head/tail wrap the backing slice many times.
+func TestFlowRingSQWraparound(t *testing.T) {
+	y := newY(t)
+	if _, err := yancfs.CreateSwitch(y.Root(), "/", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	spec := ringSpec(t)
+	r := New(y).NewFlowRing(RingConfig{SQDepth: 8})
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := r.Submit(SQE{Op: OpPut, Path: "/switches/sw1/flows/f" + itoa(i), Spec: spec, Tag: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var tags []uint64
+	for {
+		e, ok := r.Reap(true)
+		if !ok {
+			break
+		}
+		tags = append(tags, e.Tag)
+	}
+	if len(tags) != n {
+		t.Fatalf("reaped %d completions, want %d", len(tags), n)
+	}
+	for i, tag := range tags {
+		if tag != uint64(i) {
+			t.Fatalf("tag %d at position %d: FIFO broken across wraparound", tag, i)
+		}
+	}
+	if names, err := yancfs.ListFlows(y.Root(), "/switches/sw1"); err != nil || len(names) != n {
+		t.Fatalf("flows on disk = %d %v", len(names), err)
+	}
+}
+
+// TestFlowRingFullBackpressure fills a drainer-less ring to capacity:
+// TrySubmit must fail with ErrRingFull (not block, not drop), Submit
+// must block, and both must make progress the moment the drainer starts.
+func TestFlowRingFullBackpressure(t *testing.T) {
+	y := newY(t)
+	if _, err := yancfs.CreateSwitch(y.Root(), "/", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	spec := ringSpec(t)
+	const depth = 4
+	r := newStalledRing(y, depth)
+	for i := 0; i < depth; i++ {
+		if err := r.TrySubmit(SQE{Op: OpPut, Path: "/switches/sw1/flows/f" + itoa(i), Spec: spec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.TrySubmit(SQE{Op: OpPut, Path: "/switches/sw1/flows/overflow", Spec: spec}); !errors.Is(err, ErrRingFull) {
+		t.Fatalf("TrySubmit on a full ring = %v, want ErrRingFull", err)
+	}
+	blocked := make(chan error, 1)
+	go func() {
+		blocked <- r.Submit(SQE{Op: OpPut, Path: "/switches/sw1/flows/f" + itoa(depth), Spec: spec})
+	}()
+	select {
+	case err := <-blocked:
+		t.Fatalf("Submit returned %v while the ring was full and undrained", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	go r.drainer(depth)
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("drainer never released the blocked Submit")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if names, err := yancfs.ListFlows(y.Root(), "/switches/sw1"); err != nil || len(names) != depth+1 {
+		t.Fatalf("flows on disk = %d %v", len(names), err)
+	}
+	if st := r.Stats(); st.Stalls < 2 {
+		t.Errorf("stalls = %d, want at least the TrySubmit failure and the blocked Submit", st.Stalls)
+	}
+}
+
+// TestFlowRingCloseWithInFlight closes the ring with a backlog still
+// queued: Close must commit every accepted entry before returning, and
+// the completions stay reapable afterwards.
+func TestFlowRingCloseWithInFlight(t *testing.T) {
+	y := newY(t)
+	if _, err := yancfs.CreateSwitch(y.Root(), "/", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	spec := ringSpec(t)
+	r := New(y).NewFlowRing(RingConfig{SQDepth: 256})
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := r.Submit(SQE{Op: OpPut, Path: "/switches/sw1/flows/f" + itoa(i), Spec: spec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if names, err := yancfs.ListFlows(y.Root(), "/switches/sw1"); err != nil || len(names) != n {
+		t.Fatalf("flows after close = %d %v", len(names), err)
+	}
+	reaped := 0
+	for {
+		_, ok := r.Reap(true)
+		if !ok {
+			break
+		}
+		reaped++
+	}
+	if reaped != n {
+		t.Fatalf("reaped %d completions after close, want %d", reaped, n)
+	}
+	// Close is idempotent and still reports the (nil) first error.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlowRingPerEntryError pins the no-rollback contract: a failing
+// entry carries its error in its own CQE, the rest of the batch still
+// lands, and Flush/Close surface the first error.
+func TestFlowRingPerEntryError(t *testing.T) {
+	y := newY(t)
+	if _, err := yancfs.CreateSwitch(y.Root(), "/", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	spec := ringSpec(t)
+	r := New(y).NewFlowRing(RingConfig{})
+	if err := r.Submit(SQE{Op: OpDelete, Path: "/switches/sw1/flows/ghost", Tag: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(SQE{Op: OpPut, Path: "/switches/sw1/flows/real", Spec: spec, Tag: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("Flush = %v, want the ghost delete's ErrNotExist", err)
+	}
+	var sawErr, sawOK bool
+	for i := 0; i < 2; i++ {
+		e, ok := r.Reap(true)
+		if !ok {
+			t.Fatal("ring drained early")
+		}
+		switch e.Tag {
+		case 1:
+			if !errors.Is(e.Err, vfs.ErrNotExist) {
+				t.Fatalf("ghost delete CQE err = %v", e.Err)
+			}
+			sawErr = true
+		case 2:
+			if e.Err != nil || e.Version != 1 {
+				t.Fatalf("put CQE = %+v", e)
+			}
+			sawOK = true
+		}
+	}
+	if !sawErr || !sawOK {
+		t.Fatalf("missing completions: err=%v ok=%v", sawErr, sawOK)
+	}
+	if !y.Root().Exists("/switches/sw1/flows/real/version") {
+		t.Error("the failing entry aborted the rest of the batch")
+	}
+	if err := r.Close(); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("Close = %v, want sticky first error", err)
+	}
+}
+
+// TestFlowRingInstallCompletions wires InstallHook by hand (standing in
+// for the driver) and checks that install feedback arrives as
+// Installed=true completions keyed by path and version.
+func TestFlowRingInstallCompletions(t *testing.T) {
+	y := newY(t)
+	if _, err := yancfs.CreateSwitch(y.Root(), "/", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	r := New(y).NewFlowRing(RingConfig{})
+	if err := r.Submit(SQE{Op: OpPut, Path: "/switches/sw1/flows/f", Spec: ringSpec(t), Tag: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	hook := r.InstallHook()
+	hook("/switches/sw1/flows/f", 1)
+	commit, ok := r.Reap(true)
+	if !ok || commit.Installed || commit.Tag != 7 {
+		t.Fatalf("commit CQE = %+v %v", commit, ok)
+	}
+	inst, ok := r.Reap(true)
+	if !ok || !inst.Installed || inst.Path != "/switches/sw1/flows/f" || inst.Version != 1 {
+		t.Fatalf("install CQE = %+v %v", inst, ok)
+	}
+	if st := r.Stats(); st.Installed != 1 {
+		t.Errorf("installed = %d", st.Installed)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressFlowRingConcurrentSubmitters hammers one ring from several
+// goroutines through a deliberately tiny SQ (constant wraparound and
+// backpressure) while a reaper drains completions concurrently. Each
+// submitter's completions must come back in that submitter's order —
+// the FIFO guarantee callers key retries on. Runs in the -race leg.
+func TestStressFlowRingConcurrentSubmitters(t *testing.T) {
+	y := newY(t)
+	if _, err := yancfs.CreateSwitch(y.Root(), "/", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	spec := ringSpec(t)
+	r := New(y).NewFlowRing(RingConfig{SQDepth: 16, MaxBatch: 8})
+	const (
+		submitters = 4
+		perG       = 200
+	)
+	done := make(chan map[uint64][]uint64, 1)
+	go func() {
+		perSub := make(map[uint64][]uint64)
+		for {
+			e, ok := r.Reap(true)
+			if !ok {
+				done <- perSub
+				return
+			}
+			if e.Installed {
+				continue
+			}
+			g := e.Tag >> 32
+			perSub[g] = append(perSub[g], e.Tag&0xffffffff)
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				e := SQE{
+					Op:   OpPut,
+					Path: "/switches/sw1/flows/g" + itoa(g) + "f" + itoa(i),
+					Spec: spec,
+					Tag:  uint64(g)<<32 | uint64(i),
+				}
+				if err := r.Submit(e); err != nil {
+					t.Errorf("submitter %d op %d: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	perSub := <-done
+	total := 0
+	for g := 0; g < submitters; g++ {
+		seq := perSub[uint64(g)]
+		total += len(seq)
+		if len(seq) != perG {
+			t.Fatalf("submitter %d: %d completions, want %d", g, len(seq), perG)
+		}
+		for i, v := range seq {
+			if v != uint64(i) {
+				t.Fatalf("submitter %d: completion %d has tag %d — per-submitter order broken", g, i, v)
+			}
+		}
+	}
+	if total != submitters*perG {
+		t.Fatalf("total completions = %d", total)
+	}
+	if names, err := yancfs.ListFlows(y.Root(), "/switches/sw1"); err != nil || len(names) != submitters*perG {
+		t.Fatalf("flows on disk = %d %v", len(names), err)
+	}
+}

@@ -162,6 +162,38 @@ func (a Action) ActionFileValue() string {
 	return val
 }
 
+// ActionFile returns both file-form halves directly, rendering the
+// value without the Sprintf round-trip of String — this is the form
+// bulk writers (the libyanc ring's flow renderer) sit on.
+// Presence-only actions like strip_vlan carry the value "1".
+func (a Action) ActionFile() (name, value string) {
+	switch a.Type {
+	case ActOutput:
+		return "out", portName(a.Port)
+	case ActSetVLANID:
+		return "set_vlan_vid", strconv.FormatUint(uint64(a.VLANID), 10)
+	case ActSetVLANPCP:
+		return "set_vlan_pcp", strconv.FormatUint(uint64(a.VLANPCP), 10)
+	case ActStripVLAN:
+		return "strip_vlan", "1"
+	case ActSetDLSrc:
+		return "set_dl_src", a.DL.String()
+	case ActSetDLDst:
+		return "set_dl_dst", a.DL.String()
+	case ActSetNWSrc:
+		return "set_nw_src", a.NW.String()
+	case ActSetNWDst:
+		return "set_nw_dst", a.NW.String()
+	case ActSetNWTos:
+		return "set_nw_tos", strconv.FormatUint(uint64(a.TOS), 10)
+	case ActSetTPSrc:
+		return "set_tp_src", strconv.FormatUint(uint64(a.TP), 10)
+	case ActSetTPDst:
+		return "set_tp_dst", strconv.FormatUint(uint64(a.TP), 10)
+	}
+	return "unknown", "1"
+}
+
 // ParseAction parses the "name=value" (or bare name) form used in
 // action.* files and flow-pusher specs.
 func ParseAction(name, value string) (Action, error) {

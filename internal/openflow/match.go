@@ -198,6 +198,44 @@ func (m *Match) FieldString(f Field) string {
 	return ""
 }
 
+// AppendField appends the FieldString rendering of f to dst and returns
+// the extended slice. Bulk writers (the libyanc ring's flow renderer)
+// use this to build every field value in one arena instead of one
+// string allocation per field.
+func (m *Match) AppendField(dst []byte, f Field) []byte {
+	switch f {
+	case FieldInPort:
+		return strconv.AppendUint(dst, uint64(m.InPort), 10)
+	case FieldDLSrc:
+		return m.DLSrc.AppendString(dst)
+	case FieldDLDst:
+		return m.DLDst.AppendString(dst)
+	case FieldDLType:
+		dst = append(dst, '0', 'x')
+		for shift := 12; shift >= 0; shift -= 4 {
+			dst = append(dst, "0123456789abcdef"[m.DLType>>shift&0xf])
+		}
+		return dst
+	case FieldDLVLAN:
+		return strconv.AppendUint(dst, uint64(m.VLANID), 10)
+	case FieldDLVLANPCP:
+		return strconv.AppendUint(dst, uint64(m.VLANPCP), 10)
+	case FieldNWTos:
+		return strconv.AppendUint(dst, uint64(m.NWTos), 10)
+	case FieldNWProto:
+		return strconv.AppendUint(dst, uint64(m.NWProto), 10)
+	case FieldNWSrc:
+		return m.NWSrc.AppendString(dst)
+	case FieldNWDst:
+		return m.NWDst.AppendString(dst)
+	case FieldTPSrc:
+		return strconv.AppendUint(dst, uint64(m.TPSrc), 10)
+	case FieldTPDst:
+		return strconv.AppendUint(dst, uint64(m.TPDst), 10)
+	}
+	return dst
+}
+
 // String renders the match in a stable, human-readable form.
 func (m Match) String() string {
 	if m.Set == 0 {

@@ -10,6 +10,8 @@ package openflow
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"yanc/internal/ethernet"
 )
@@ -218,6 +220,47 @@ type PacketOut struct {
 	InPort   uint32
 	Actions  []Action
 	Data     []byte
+}
+
+// ParsePacketOutSpec parses the one-line packet-out header shared by the
+// packet_out control file and the libyanc spool path:
+// "out=<port>[,<more actions>] [in_port=<n>] [buffer_id=<id>]".
+// The returned message has no payload; callers attach Data themselves.
+func ParsePacketOutSpec(head string) (*PacketOut, error) {
+	po := &PacketOut{
+		BufferID: NoBuffer,
+		InPort:   PortController,
+	}
+	for _, tok := range strings.Fields(head) {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("openflow: packet_out: bad token %q", tok)
+		}
+		switch k {
+		case "in_port":
+			n, err := strconv.ParseUint(v, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("openflow: packet_out in_port %q: %w", v, err)
+			}
+			po.InPort = uint32(n)
+		case "buffer_id":
+			n, err := strconv.ParseUint(v, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("openflow: packet_out buffer_id %q: %w", v, err)
+			}
+			po.BufferID = uint32(n)
+		default:
+			a, err := ParseAction(k, v)
+			if err != nil {
+				return nil, err
+			}
+			po.Actions = append(po.Actions, a)
+		}
+	}
+	if len(po.Actions) == 0 {
+		return nil, fmt.Errorf("openflow: packet_out needs an action")
+	}
+	return po, nil
 }
 
 // Type implements Message.

@@ -1,0 +1,72 @@
+package openflow
+
+import (
+	"testing"
+
+	"yanc/internal/ethernet"
+)
+
+// TestActionFileMatchesStringForm guards the fast ActionFile renderer
+// against drifting from the canonical String-based form: the libyanc
+// ring writes flows through ActionFile while the file-I/O path goes
+// through ActionFileName/ActionFileValue, and the two must stay
+// byte-identical for every action kind or the layouts diverge.
+func TestActionFileMatchesStringForm(t *testing.T) {
+	mac := ethernet.MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x2a}
+	ip := ethernet.IP4{10, 1, 2, 3}
+	actions := []Action{
+		Output(4),
+		Output(PortController),
+		Output(PortFlood),
+		{Type: ActSetVLANID, VLANID: 4094},
+		{Type: ActSetVLANPCP, VLANPCP: 7},
+		{Type: ActStripVLAN},
+		{Type: ActSetDLSrc, DL: mac},
+		{Type: ActSetDLDst, DL: mac},
+		{Type: ActSetNWSrc, NW: ip},
+		{Type: ActSetNWDst, NW: ip},
+		{Type: ActSetNWTos, TOS: 16},
+		{Type: ActSetTPSrc, TP: 1024},
+		{Type: ActSetTPDst, TP: 80},
+		{Type: ActionType(99)}, // unknown kind falls back the same way
+	}
+	for _, a := range actions {
+		name, value := a.ActionFile()
+		if want := a.ActionFileName(); name != want {
+			t.Errorf("%v: ActionFile name = %q, ActionFileName = %q", a, name, want)
+		}
+		if want := a.ActionFileValue(); value != want {
+			t.Errorf("%v: ActionFile value = %q, ActionFileValue = %q", a, value, want)
+		}
+	}
+}
+
+// TestAppendFieldMatchesFieldString pins the allocation-free AppendField
+// renderer to FieldString for every canonical field.
+func TestAppendFieldMatchesFieldString(t *testing.T) {
+	var m Match
+	set := func(f Field, v string) {
+		t.Helper()
+		if err := m.SetField(f, v); err != nil {
+			t.Fatalf("SetField(%v, %q): %v", f, v, err)
+		}
+	}
+	set(FieldInPort, "3")
+	set(FieldDLSrc, "de:ad:be:ef:00:2a")
+	set(FieldDLDst, "ff:ff:ff:ff:ff:ff")
+	set(FieldDLType, "0x0800")
+	set(FieldDLVLAN, "4094")
+	set(FieldDLVLANPCP, "7")
+	set(FieldNWSrc, "10.1.2.0/24")
+	set(FieldNWDst, "192.168.0.1")
+	set(FieldNWProto, "6")
+	set(FieldNWTos, "16")
+	set(FieldTPSrc, "1024")
+	set(FieldTPDst, "80")
+	for _, f := range AllFields {
+		got := string(m.AppendField(nil, f))
+		if want := m.FieldString(f); got != want {
+			t.Errorf("%s: AppendField = %q, FieldString = %q", f.Name(), got, want)
+		}
+	}
+}

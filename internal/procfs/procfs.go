@@ -32,6 +32,8 @@
 //	                      bytes, live payload blocks, drops)
 //	/.proc/events/batch   delivery batch-size histogram (power-of-2 buckets)
 //	/.proc/events/apps    per-subscriber-buffer delivered/drops/depth
+//	/.proc/libyanc/ring   flow-ring depth/stall/completion counters
+//	/.proc/libyanc/batch  flow-ring drain/batch/latency counters
 package procfs
 
 import (
@@ -41,6 +43,7 @@ import (
 	"sync"
 
 	"yanc/internal/dfs"
+	"yanc/internal/libyanc"
 	"yanc/internal/vfs"
 	"yanc/internal/yancfs"
 )
@@ -58,6 +61,10 @@ const AppsDir = Dir + "/apps"
 // LoadDir is where load harnesses (cmd/yancload via benchutil.RunChurn)
 // publish their live progress counters.
 const LoadDir = Dir + "/load"
+
+// LibyancDir is where a libyanc flow ring publishes its depth, batch,
+// and stall telemetry (InstallLibyanc).
+const LibyancDir = Dir + "/libyanc"
 
 // Tree is the installed metrics subtree plus the registries of dynamic
 // sources (dfs servers and mounts) it reports on.
@@ -127,6 +134,68 @@ func InstallLoad(fs *vfs.FS, read func() ([]byte, error)) error {
 	})
 	if err != nil {
 		return fmt.Errorf("procfs: install load: %w", err)
+	}
+	return nil
+}
+
+// InstallLibyanc mounts the flow-ring telemetry files under
+// /.proc/libyanc: "ring" reports queue depth, backpressure stalls, and
+// completion counts; "batch" reports drain/batch-size/latency counters.
+// Like InstallLoad it is independent of Install — a bench rig that only
+// drives the ring does not need the full tree.
+func InstallLibyanc(fs *vfs.FS, r *libyanc.FlowRing) error {
+	ring := func() ([]byte, error) {
+		s := r.Stats()
+		var b strings.Builder
+		closed := 0
+		if s.Closed {
+			closed = 1
+		}
+		for _, row := range []struct {
+			name string
+			n    int64
+		}{
+			{"sq_len", int64(s.SQLen)}, {"sq_cap", int64(s.SQCap)},
+			{"cq_len", int64(s.CQLen)}, {"in_flight", int64(s.InFlight)},
+			{"submitted", int64(s.Submitted)}, {"completed", int64(s.Completed)},
+			{"installed", int64(s.Installed)}, {"stalls", int64(s.Stalls)},
+			{"closed", int64(closed)},
+		} {
+			fmt.Fprintf(&b, "%-10s %d\n", row.name, row.n)
+		}
+		return []byte(b.String()), nil
+	}
+	batch := func() ([]byte, error) {
+		s := r.Stats()
+		var avg, avgNs uint64
+		if s.Drains > 0 {
+			avg = s.Completed / s.Drains
+			avgNs = s.DrainNanos / s.Drains
+		}
+		var b strings.Builder
+		for _, row := range []struct {
+			name string
+			n    uint64
+		}{
+			{"drains", s.Drains}, {"batch_max", uint64(s.BatchMax)},
+			{"batch_avg", avg}, {"drain_ns_total", s.DrainNanos},
+			{"drain_ns_avg", avgNs},
+		} {
+			fmt.Fprintf(&b, "%-14s %d\n", row.name, row.n)
+		}
+		return []byte(b.String()), nil
+	}
+	err := fs.WithTx(func(tx *vfs.Tx) error {
+		if err := tx.MkdirAll(LibyancDir, 0o555, 0, 0); err != nil {
+			return err
+		}
+		if err := tx.SetSynthetic(LibyancDir+"/ring", &vfs.Synthetic{Read: ring}, 0o444, 0, 0); err != nil {
+			return err
+		}
+		return tx.SetSynthetic(LibyancDir+"/batch", &vfs.Synthetic{Read: batch}, 0o444, 0, 0)
+	})
+	if err != nil {
+		return fmt.Errorf("procfs: install libyanc: %w", err)
 	}
 	return nil
 }

@@ -490,6 +490,44 @@ func (p *Proc) ReadFile(path string) ([]byte, error) {
 	}
 }
 
+// ReadFileShared returns the content of the file at path WITHOUT
+// copying: the returned slice aliases the inode's backing store. It
+// exists for the libyanc packet-out spool, where frames are staged
+// once, hard-linked per switch, and consumed by reference — copying
+// them again in the driver would defeat the zero-copy path.
+//
+// The no-copy contract is only safe for write-once files: a later
+// whole-content rewrite of equal or larger size reuses the backing
+// array in place and would be visible through the returned slice.
+// Callers that cannot guarantee write-once content must use ReadFile.
+// Synthetic files return the provider's snapshot, which is already
+// caller-owned.
+func (p *Proc) ReadFileShared(path string) ([]byte, error) {
+	f, err := p.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.synthMode {
+		if err := f.proc.charge("read", len(f.synthBuf)); err != nil {
+			return nil, err
+		}
+		f.proc.fs.stats.reads.Add(1)
+		return f.synthBuf, nil
+	}
+	fs := f.proc.fs
+	s := fs.rlockNode(f.node)
+	data := f.node.data
+	s.mu.RUnlock()
+	if err := f.proc.charge("read", len(data)); err != nil {
+		return nil, err
+	}
+	fs.stats.reads.Add(1)
+	return data, nil
+}
+
 // ReadString returns the file content as a whitespace-trimmed string,
 // the natural shape for single-value yanc files like "priority".
 func (p *Proc) ReadString(path string) (string, error) {

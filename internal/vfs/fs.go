@@ -998,18 +998,43 @@ func (tx *Tx) LinkDirFanoutRefs(srcDir string, parents []DirRef, name string, mo
 	return nil
 }
 
-// FileData names one regular file's content for WriteTree.
+// FileData names one entry of a WriteTree subtree. With only Name and
+// Data set it is a regular file. Synth makes it a synthetic file (Data
+// is ignored). A non-nil Children makes it a subdirectory populated
+// recursively (Data and Synth are ignored; an empty non-nil slice is an
+// empty directory). Mode, when non-zero, overrides the tree-wide
+// default file or directory mode for this entry. Owned marks Data as
+// transferred to the file system: WriteTree may alias the slice instead
+// of copying, so the caller must not touch it afterwards.
 type FileData struct {
-	Name string
-	Data []byte
+	Name     string
+	Data     []byte
+	Synth    *Synthetic
+	Children []FileData
+	Mode     FileMode
+	Owned    bool
+}
+
+// countTree returns the number of inodes a FileData forest needs.
+func countTree(files []FileData) int {
+	n := len(files)
+	for i := range files {
+		if files[i].Children != nil {
+			n += countTree(files[i].Children)
+		}
+	}
+	return n
 }
 
 // WriteTree creates dir as a new directory populated with the given
-// regular files, in one pass: one path resolution and one inode-map fill
-// for the whole set. Per-file Create/Write events are queued only when
-// some watch could actually observe them — the packet-in spool stages
-// messages in a dot-directory nobody watches, and per-file resolution
-// plus event-path construction would otherwise dominate staging cost.
+// subtree — regular files, synthetic files, nested directories — in one
+// pass: one path resolution, one slab allocation for every inode, and
+// one inode-map fill per directory, where the call-per-file path pays a
+// full root walk and a heap allocation each. Per-entry Create/Write
+// events are queued only when some watch could actually observe them —
+// the packet-in spool stages messages in a dot-directory nobody
+// watches, and event-path construction would otherwise dominate staging
+// cost.
 func (tx *Tx) WriteTree(dir string, files []FileData, dirMode, fileMode FileMode, uid, gid int) error {
 	parent, name, node, err := tx.fs.resolve(Root, dir, resolveOpts{})
 	if err != nil {
@@ -1019,35 +1044,109 @@ func (tx *Tx) WriteTree(dir string, files []FileData, dirMode, fileMode FileMode
 		return pathErr("writetree", dir, ErrExist)
 	}
 	now := tx.fs.now()
+	ns := now.UnixNano()
 	name = internName(name)
-	d := tx.fs.bareInode(KindDir, dirMode, uid, gid, now)
+	// All inodes for the subtree come from one slab: a 1k-flow ring
+	// drain would otherwise malloc ~15 inodes per flow, and the GC cost
+	// of those little objects dominates the commit.
+	slab := make([]inode, 1+countTree(files))
+	next := 0
+	alloc := func(kind NodeKind, mode FileMode) *inode {
+		n := &slab[next]
+		next++
+		n.ino = tx.fs.nextIno.Add(1)
+		n.kind = kind
+		n.atime, n.mtime, n.ctime = ns, ns, ns
+		links := int64(1)
+		if kind == KindDir {
+			links = 2
+		}
+		n.nlink.Store(links)
+		n.storeMode(mode)
+		n.storeOwner(uid, gid)
+		return n
+	}
+	var build func(d *inode, files []FileData) error
+	build = func(d *inode, files []FileData) error {
+		m := make(map[string]*inode, len(files))
+		for i := range files {
+			f := &files[i]
+			if !isCleanName(f.Name) {
+				return pathErr("writetree", Join(dir, f.Name), ErrInvalid)
+			}
+			entryName := internName(f.Name)
+			switch {
+			case f.Children != nil:
+				mode := dirMode
+				if f.Mode != 0 {
+					mode = f.Mode
+				}
+				sub := alloc(KindDir, mode)
+				sub.parent = d
+				sub.name = entryName
+				if err := build(sub, f.Children); err != nil {
+					return err
+				}
+				d.nlink.Add(1)
+				m[entryName] = sub
+			default:
+				mode := fileMode
+				if f.Mode != 0 {
+					mode = f.Mode
+				}
+				fi := alloc(KindFile, mode)
+				switch {
+				case f.Synth != nil:
+					fi.synth.Store(f.Synth)
+				case f.Owned:
+					// Owned slices are adopted without the intern probe:
+					// callers pack a whole subtree's values into one arena,
+					// so the arena stays pinned by its unique entries no
+					// matter how many common values the pool could share —
+					// the two map lookups per file would buy nothing.
+					fi.data = f.Data
+				default:
+					if shared, ok := internBytes(f.Data); ok {
+						fi.data, fi.dataShared = shared, true
+					} else {
+						fi.data = append([]byte(nil), f.Data...)
+					}
+				}
+				m[entryName] = fi
+			}
+		}
+		d.setKids(m)
+		return nil
+	}
+	d := alloc(KindDir, dirMode)
 	d.parent = parent
 	d.name = name
-	m := make(map[string]*inode, len(files))
-	for _, f := range files {
-		if !isCleanName(f.Name) {
-			return pathErr("writetree", Join(dir, f.Name), ErrInvalid)
-		}
-		fi := tx.fs.bareInode(KindFile, fileMode, uid, gid, now)
-		if d, ok := internBytes(f.Data); ok {
-			fi.data, fi.dataShared = d, true
-		} else {
-			fi.data = append([]byte(nil), f.Data...)
-		}
-		m[internName(f.Name)] = fi
+	if err := build(d, files); err != nil {
+		return err
 	}
-	d.setKids(m)
 	parent.cowInsert(name, d)
 	parent.nlink.Add(1)
 	tx.fs.touchMS(parent, now)
-	full := pathTo(parent, name)
+	full := Clean(dir) // identical to pathTo(parent, name), minus the walk
 	tx.queue(Event{Op: OpCreate, Path: full, IsDir: true})
 	if tx.fs.watches.interestedInChildren(full) {
-		for _, f := range files {
-			p := full + "/" + f.Name
-			tx.queue(Event{Op: OpCreate, Path: p})
-			tx.queue(Event{Op: OpWrite, Path: p})
+		var announce func(prefix string, files []FileData)
+		announce = func(prefix string, files []FileData) {
+			for i := range files {
+				f := &files[i]
+				p := prefix + "/" + f.Name
+				if f.Children != nil {
+					tx.queue(Event{Op: OpCreate, Path: p, IsDir: true})
+					announce(p, f.Children)
+					continue
+				}
+				tx.queue(Event{Op: OpCreate, Path: p})
+				if f.Synth == nil {
+					tx.queue(Event{Op: OpWrite, Path: p})
+				}
+			}
 		}
+		announce(full, files)
 	}
 	return nil
 }

@@ -101,9 +101,23 @@ func (n *inode) snap() *kidsSnap { return n.children.Load() }
 // lookup finds one name in the snapshot: overlay first (newest cell
 // wins), then the folded map. A tombstone cell is an authoritative
 // miss. Nil-safe — a nil snapshot has no entries.
+//
+// When some earlier reader already folded this snapshot (a ReadDir,
+// say), the memoized map answers directly instead of re-walking the
+// overlay chain — a bulk push resolving 1k paths through a directory
+// with a dozens-deep overlay pays one map probe per hop. lookup never
+// folds on its own: folding here would charge O(dir) to the next probe
+// after every mutation, which is exactly the cost the overlay exists
+// to amortize.
 func (s *kidsSnap) lookup(name string) (*inode, bool) {
 	if s == nil {
 		return nil, false
+	}
+	if s.over != nil {
+		if p := s.folded.Load(); p != nil {
+			c, ok := (*p)[name]
+			return c, ok
+		}
 	}
 	for o := s.over; o != nil; o = o.prev {
 		if o.name == name {

@@ -107,6 +107,10 @@ type watchSet struct {
 	// whenever a watch is added or removed, so fanout grabs a slice header
 	// instead of copying the map on every batch.
 	snap []*Watch
+	// live mirrors len(snap) so hot paths (one interest probe per flow
+	// in a bulk ring drain) can skip the RLock entirely while no watch
+	// exists.
+	live atomic.Int64
 
 	// Async dispatch queue. Writers enqueue under qmu and return; a single
 	// lazily-started worker goroutine drains the queue in FIFO order and
@@ -188,6 +192,7 @@ func (s *watchSet) rebuildSnapLocked() {
 		snap = append(snap, w)
 	}
 	s.snap = snap
+	s.live.Store(int64(len(snap)))
 }
 
 func (s *watchSet) remove(w *Watch) {
@@ -236,6 +241,9 @@ func (w *Watch) matchesDir(path, dir string) bool {
 // dir, or any watch rooted at or below dir. Subtree teardown uses this to
 // skip queueing per-descendant events nobody can receive.
 func (s *watchSet) interestedInChildren(dir string) bool {
+	if s.live.Load() == 0 {
+		return false
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, w := range s.watches {
@@ -255,6 +263,9 @@ func (s *watchSet) interestedInChildren(dir string) bool {
 // evicting many message dirs from one buffer) computes this once per batch
 // instead of scanning the watch list once per evicted directory.
 func (s *watchSet) interestedInGrandchildren(dir string) bool {
+	if s.live.Load() == 0 {
+		return false
+	}
 	prefix := dir + "/"
 	s.mu.RLock()
 	defer s.mu.RUnlock()

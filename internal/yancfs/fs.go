@@ -297,27 +297,50 @@ func (y *FS) bindSwitchCounters(tx *vfs.Tx, switchPath string) {
 }
 
 func (y *FS) bindFlowCounters(tx *vfs.Tx, switchPath, flowPath, flowName string) {
-	for _, name := range []string{"packets", "bytes"} {
-		file := name
+	packets, bytes := y.flowCounterSynths(switchPath, flowName)
+	for _, bind := range []struct {
+		name  string
+		synth *vfs.Synthetic
+	}{{"packets", packets}, {"bytes", bytes}} {
 		//yancvet:allow errdrop counters dir was created earlier in this same Tx, so the bind cannot miss
-		_ = tx.SetSynthetic(vfs.Join(flowPath, "counters", file), &vfs.Synthetic{
-			Read: func() ([]byte, error) {
-				src := y.counterSource(switchPath)
-				if src == nil {
-					return []byte("0\n"), nil
-				}
-				packets, bytes, ok := src.FlowCounters(flowName)
-				if !ok {
-					return []byte("0\n"), nil
-				}
-				v := packets
-				if file == "bytes" {
-					v = bytes
-				}
-				return []byte(strconv.FormatUint(v, 10) + "\n"), nil
-			},
-		}, 0o444, 0, 0)
+		_ = tx.SetSynthetic(vfs.Join(flowPath, "counters", bind.name), bind.synth, 0o444, 0, 0)
 	}
+}
+
+// flowCounterBind is the shared capture behind one flow's pair of live
+// counter files: both synthetics point into a single allocation, which
+// matters when a ring drain creates a thousand flows per transaction.
+type flowCounterBind struct {
+	y                    *FS
+	switchPath, flowName string
+	packets, bytes       vfs.Synthetic
+}
+
+func (b *flowCounterBind) read(wantBytes bool) ([]byte, error) {
+	src := b.y.counterSource(b.switchPath)
+	if src == nil {
+		return []byte("0\n"), nil
+	}
+	packets, bytes, ok := src.FlowCounters(b.flowName)
+	if !ok {
+		return []byte("0\n"), nil
+	}
+	v := packets
+	if wantBytes {
+		v = bytes
+	}
+	return []byte(strconv.FormatUint(v, 10) + "\n"), nil
+}
+
+// flowCounterSynths builds both live counter files for one flow —
+// packets and bytes, read through the switch's attached counter source,
+// zero while disconnected. Shared by bindFlowCounters and the PutFlowTx
+// fastpath (which plants the synthetics directly via WriteTree).
+func (y *FS) flowCounterSynths(switchPath, flowName string) (packets, bytes *vfs.Synthetic) {
+	b := &flowCounterBind{y: y, switchPath: switchPath, flowName: flowName}
+	b.packets.Read = func() ([]byte, error) { return b.read(false) }
+	b.bytes.Read = func() ([]byte, error) { return b.read(true) }
+	return &b.packets, &b.bytes
 }
 
 func (y *FS) bindPortCounters(tx *vfs.Tx, switchPath, portPath, portName string) {
