@@ -33,8 +33,26 @@ fi
 echo "==> go vet"
 go vet ./...
 
-echo "==> yancvet (lockorder/lockpair/snapshotpub/clockban/atomicfield/errdrop)"
+echo "==> yancvet (lockorder/lockpair/snapshotpub/clockban/atomicfield/errdrop/hotalloc/txescape/waitgraph)"
 go run ./cmd/yancvet ./...
+
+# The -json artifact leg: machine-readable findings, diffed against the
+# committed baseline so a finding can neither appear nor silently vanish
+# without a deliberate baseline update in the same commit. The baseline
+# holds normalized "posn" lines (paths relative to the repo root,
+# sorted); today it is empty because the tree vets clean.
+echo "==> yancvet -json artifact (diff against vet_baseline.json)"
+vet_raw=$(mktemp)
+vet_posns=$(mktemp)
+go run ./cmd/yancvet -json ./... >"$vet_raw" 2>&1 || true
+grep -o '"posn": "[^"]*"' "$vet_raw" | sed "s|$(pwd)/||g" | LC_ALL=C sort >"$vet_posns" || true
+if ! diff -u vet_baseline.json "$vet_posns"; then
+    echo "FAIL: yancvet findings drifted from vet_baseline.json (left: committed baseline, right: this tree)." >&2
+    echo "      Fix the findings, or update the baseline deliberately in the same commit." >&2
+    rm -f "$vet_raw" "$vet_posns"
+    exit 1
+fi
+rm -f "$vet_raw" "$vet_posns"
 
 echo "==> go test -race"
 go test -race ./...

@@ -1,5 +1,6 @@
 // Command yancvet runs the yanc static-analysis suite (lockorder,
-// lockpair, clockban, atomicfield, errdrop) over Go packages.
+// lockpair, snapshotpub, clockban, atomicfield, errdrop, hotalloc,
+// txescape, waitgraph) over Go packages.
 //
 // Usage:
 //

@@ -11,9 +11,12 @@ import (
 	"yanc/internal/analysis/atomicfield"
 	"yanc/internal/analysis/clockban"
 	"yanc/internal/analysis/errdrop"
+	"yanc/internal/analysis/hotalloc"
 	"yanc/internal/analysis/lockorder"
 	"yanc/internal/analysis/lockpair"
 	"yanc/internal/analysis/snapshotpub"
+	"yanc/internal/analysis/txescape"
+	"yanc/internal/analysis/waitgraph"
 )
 
 // All returns the full yancvet suite in reporting order.
@@ -25,5 +28,8 @@ func All() []*analysis.Analyzer {
 		clockban.Analyzer,
 		atomicfield.Analyzer,
 		errdrop.Analyzer,
+		hotalloc.Analyzer,
+		txescape.Analyzer,
+		waitgraph.Analyzer,
 	}
 }

@@ -6,10 +6,13 @@
 // replication contract).
 //
 // A call is on a guarded path when its static callee is a method on a
-// type named Tx, Watch or Watcher, or any function of a package named
-// dfs. Discarding means invoking such a call as a bare statement (also
-// via defer or go) or assigning its error result to the blank
-// identifier. Deliberate discards must say so:
+// type named Tx, Watch, Watcher or FlowRing, or any function of a
+// package named dfs. Discarding means invoking such a call as a bare
+// statement (also via defer or go) or assigning its error result to the
+// blank identifier. A guarded method whose result is a struct carrying
+// an error-typed field (FlowRing.Reap's CQE.Err) is held to the same
+// rule: discarding the struct discards the completion error. Deliberate
+// discards must say so:
 //
 //	_ = tx.Remove(path) //yancvet:allow errdrop best-effort cleanup
 package errdrop
@@ -108,9 +111,19 @@ func check(pass *analysis.Pass, file *ast.File, call *ast.CallExpr, blankIdx int
 		return
 	}
 	errIdx := -1
+	carrier := "" // non-empty when the dropped result is a struct carrying an error field
 	for i := 0; i < sig.Results().Len(); i++ {
-		if isErrorType(sig.Results().At(i).Type()) {
-			errIdx = i
+		rt := sig.Results().At(i).Type()
+		if isErrorType(rt) {
+			errIdx, carrier = i, ""
+			continue
+		}
+		// A completion-style result (libyanc's CQE) embeds the error as a
+		// field: discarding the struct discards the error with it.
+		if errIdx < 0 {
+			if f := errorField(rt); f != "" {
+				errIdx, carrier = i, typeName(rt)+"."+f
+			}
 		}
 	}
 	if errIdx < 0 {
@@ -120,6 +133,10 @@ func check(pass *analysis.Pass, file *ast.File, call *ast.CallExpr, blankIdx int
 		return // some other result is blanked; the error is still bound
 	}
 	if directive.Allows(pass, file, call.Pos(), "errdrop") {
+		return
+	}
+	if carrier != "" {
+		pass.Reportf(call.Pos(), "result of %s discarded on a guarded path: the %s completion error is dropped with it — handle it or annotate //yancvet:allow errdrop <reason>", fn.FullName(), carrier)
 		return
 	}
 	pass.Reportf(call.Pos(), "error from %s discarded on a guarded path (Tx/watch/dfs): handle it or annotate //yancvet:allow errdrop <reason>", fn.FullName())
@@ -142,6 +159,38 @@ func isGuarded(fn *types.Func) bool {
 		return false
 	}
 	return guardedReceivers[named.Obj().Name()]
+}
+
+// errorField returns the name of the first error-typed field of t when t
+// (possibly behind a pointer) is a named struct, else "".
+func errorField(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isErrorType(st.Field(i).Type()) {
+			return st.Field(i).Name()
+		}
+	}
+	return ""
+}
+
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
 }
 
 func isErrorType(t types.Type) bool {

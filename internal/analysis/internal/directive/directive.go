@@ -1,8 +1,9 @@
 // Package directive implements the yancvet comment directives that let a
-// specific line opt out of one analyzer. Two forms exist:
+// specific line opt out of one analyzer. Three forms exist:
 //
 //	//yancvet:allow <analyzer> [reason...]
 //	//yancvet:wallclock [reason...]          (sugar for "allow clockban")
+//	//yancvet:alloc [reason...]              (sugar for "allow hotalloc")
 //
 // A directive suppresses the named analyzer on its own line and on the
 // next source line — so both trailing and preceding annotations read
@@ -84,6 +85,8 @@ func (d parsed) allows(analyzer string) bool {
 		return d.arg == analyzer
 	case "wallclock":
 		return analyzer == "clockban"
+	case "alloc":
+		return analyzer == "hotalloc"
 	}
 	return false
 }

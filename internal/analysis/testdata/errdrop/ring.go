@@ -11,10 +11,18 @@ type ringSQE struct {
 	Path string
 }
 
-func (r *FlowRing) Submit(e ringSQE) error    { return nil }
-func (r *FlowRing) TrySubmit(e ringSQE) error { return nil }
-func (r *FlowRing) Flush() error              { return nil }
-func (r *FlowRing) Close() error              { return nil }
+// CQE mirrors the completion shape: the error rides inside the struct,
+// so discarding the struct discards the completion error with it.
+type CQE struct {
+	SQE ringSQE
+	Err error
+}
+
+func (r *FlowRing) Submit(e ringSQE) error      { return nil }
+func (r *FlowRing) TrySubmit(e ringSQE) error   { return nil }
+func (r *FlowRing) Flush() error                { return nil }
+func (r *FlowRing) Close() error                { return nil }
+func (r *FlowRing) Reap(block bool) (CQE, bool) { return CQE{}, false }
 
 func badSubmitDrop(r *FlowRing) {
 	r.Submit(ringSQE{Path: "/switches/sw1/flows/f1"}) // want "discarded on a guarded path"
@@ -34,6 +42,31 @@ func badFlushDrop(r *FlowRing) {
 
 func badCloseDefer(r *FlowRing) {
 	defer r.Close() // want "discarded on a guarded path"
+}
+
+func badReapDrop(r *FlowRing) {
+	// Popping a completion and throwing it away: the per-entry commit
+	// error inside the CQE is lost.
+	r.Reap(false) // want "CQE.Err completion error is dropped"
+}
+
+func badReapBlankCQE(r *FlowRing) bool {
+	// Keeping only the ok flag blanks the completion itself.
+	_, ok := r.Reap(false) // want "CQE.Err completion error is dropped"
+	return ok
+}
+
+func goodReapHandled(r *FlowRing) error {
+	if c, ok := r.Reap(true); ok && c.Err != nil {
+		return c.Err
+	}
+	return nil
+}
+
+func goodReapOkBlank(r *FlowRing) error {
+	// Blanking the ok flag keeps the completion (and its error) bound.
+	c, _ := r.Reap(true)
+	return c.Err
 }
 
 func goodSubmitHandled(r *FlowRing, entries []ringSQE) error {

@@ -1,0 +1,3 @@
+module hotallocfixture
+
+go 1.22

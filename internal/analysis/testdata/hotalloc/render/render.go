@@ -1,0 +1,20 @@
+// Package render is the downstream side of the cross-package contract:
+// AppendName carries the //yancvet:hotalloc annotation and therefore
+// exports the AllocFree fact; Format does not. The parent package calls
+// both from a hot path, and the analyzer must accept the first and flag
+// the second purely from the imported facts.
+package render
+
+// AppendName renders name into caller-provided storage, allocation-free.
+//
+//yancvet:hotalloc
+func AppendName(dst []byte, name string) []byte {
+	dst = append(dst, name...)
+	return dst
+}
+
+// Format allocates freely; it carries no fact, so hot callers in other
+// packages must not call it.
+func Format(name string) string {
+	return "name=" + name
+}

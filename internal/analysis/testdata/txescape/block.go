@@ -1,0 +1,66 @@
+// Blocking bugs: the callback parks the goroutine while the tree lock
+// is held.
+package txfix
+
+import (
+	"sync"
+	"time"
+)
+
+type ring struct{}
+
+func (r *ring) Submit(f func()) error { return nil }
+
+func badSleep(fs *FS) error {
+	return fs.WithTx(func(tx *Tx) error {
+		time.Sleep(time.Millisecond) // want "time.Sleep inside the tree-lock critical section"
+		return tx.Put("/x", nil)
+	})
+}
+
+func badRecv(fs *FS, done chan struct{}) error {
+	return fs.WithTx(func(tx *Tx) error {
+		<-done // want "channel receive blocks inside the tree-lock critical section"
+		return tx.Remove("/x")
+	})
+}
+
+func badWaitGroup(fs *FS, wg *sync.WaitGroup) error {
+	return fs.WithTx(func(tx *Tx) error {
+		wg.Wait() // want "blocks inside the tree-lock critical section"
+		return nil
+	})
+}
+
+func badSelect(fs *FS, a, b chan int) error {
+	return fs.WithTx(func(tx *Tx) error {
+		select { // want "select blocks inside the tree-lock critical section"
+		case <-a:
+		case <-b:
+		}
+		return nil
+	})
+}
+
+func badSubmit(fs *FS, r *ring) error {
+	return fs.WithTx(func(tx *Tx) error {
+		return r.Submit(func() {}) // want "Submit inside the tree-lock critical section"
+	})
+}
+
+// goodPoll drains opportunistically with a default clause: non-blocking,
+// allowed.
+func goodPoll(fs *FS, events chan int) error {
+	return fs.WithTx(func(tx *Tx) error {
+		for {
+			select {
+			case ev := <-events:
+				if err := tx.Put("/ev", []byte{byte(ev)}); err != nil {
+					return err
+				}
+			default:
+				return nil
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module txescapefixture
+
+go 1.22

@@ -1,0 +1,51 @@
+// The importer closes a cross-package wait cycle that neither package
+// can see alone: store.Publish sends on Store.Events while holding
+// Store.Mu (edge observed in the store package), and the drain loop here
+// takes Store.Mu while servicing Store.Events (edge observed here). A
+// publisher blocked on a full Events channel holds the lock the drain
+// loop needs to make progress: deadlock.
+package waitfix
+
+import (
+	"sync"
+
+	"waitgraphfixture/store"
+)
+
+type Box struct {
+	mu    sync.Mutex
+	total int
+	st    *store.Store
+}
+
+// drain services the store's event channel; folding an event into the
+// box takes the store lock for a consistent read.
+func (b *Box) drain() {
+	for {
+		v := <-b.st.Events
+		b.st.Mu.Lock() // want "lock acquisition cycle across packages"
+		b.total += v
+		b.st.Mu.Unlock()
+	}
+}
+
+// tally holds the box lock and calls the store's locked reader: the
+// imported FuncBlocks fact for Len yields the edge Box.mu -> Store.Mu.
+// No cycle — nothing acquires Box.mu downstream of the store.
+func (b *Box) tally() int {
+	b.mu.Lock()
+	n := b.st.Len() + b.total
+	b.mu.Unlock()
+	return n
+}
+
+// reconcile takes the locks in the reverse of tally's order, which
+// would close a second cycle through Box.mu; it runs only during
+// single-threaded shutdown, so the edge is annotated away.
+func (b *Box) reconcile() {
+	b.st.Mu.Lock()
+	b.mu.Lock() //yancvet:allow waitgraph shutdown path: nothing runs tally concurrently by construction
+	b.total += b.st.Len()
+	b.mu.Unlock()
+	b.st.Mu.Unlock()
+}

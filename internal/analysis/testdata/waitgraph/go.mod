@@ -1,0 +1,3 @@
+module waitgraphfixture
+
+go 1.22

@@ -1,0 +1,33 @@
+// Package store contributes one half of a cross-package wait cycle: the
+// publisher sends on the event channel while holding the store lock, so
+// the edge Store.Mu -> Store.Events is observed here and exported in
+// this package's Edges fact. Within this package alone there is no
+// cycle — only the importer closes it.
+package store
+
+import "sync"
+
+type Store struct {
+	Mu     sync.Mutex
+	Events chan int
+	n      int
+}
+
+// Publish records a value and notifies the drain loop. The send happens
+// under the lock: fine by itself, deadly combined with a consumer that
+// takes the lock while servicing Events.
+func (s *Store) Publish(v int) {
+	s.Mu.Lock()
+	s.n++
+	s.Events <- v
+	s.Mu.Unlock()
+}
+
+// Len is an exported locked read; its FuncBlocks fact advertises that
+// calling it may wait on Store.Mu.
+func (s *Store) Len() int {
+	s.Mu.Lock()
+	n := s.n
+	s.Mu.Unlock()
+	return n
+}

@@ -166,6 +166,32 @@ func TestFixtures(t *testing.T) {
 	}
 }
 
+// TestHotallocFactPropagation pins the cross-package half of hotalloc.
+// The fixture's hot root calls two functions from its render subpackage:
+// AppendName (annotated //yancvet:hotalloc, exports the AllocFree fact)
+// and Format (unannotated). Both judgments depend on facts crossing the
+// package boundary through go vet's fact files — if propagation breaks,
+// AppendName gets flagged as unverified, and if the flag logic breaks,
+// Format sails through.
+func TestHotallocFactPropagation(t *testing.T) {
+	bin := buildYancvet(t)
+	diags := vetJSON(t, bin, filepath.Join("testdata", "hotalloc"))
+	flaggedUnverified := false
+	for _, msgs := range diags {
+		for _, m := range msgs {
+			if strings.Contains(m, "render.AppendName") {
+				t.Errorf("annotated render.AppendName flagged despite its imported AllocFree fact: %s", m)
+			}
+			if strings.Contains(m, "render.Format") && strings.Contains(m, "not marked") {
+				flaggedUnverified = true
+			}
+		}
+	}
+	if !flaggedUnverified {
+		t.Error("unannotated render.Format not flagged: AllocFree facts are not crossing the package boundary")
+	}
+}
+
 // TestYancvetExitCodes is the meta-test from the issue: the binary must
 // fail on a violating module (the PR 3 regression fixture among them)
 // and pass on the real module.

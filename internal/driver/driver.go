@@ -152,9 +152,16 @@ type SwitchConn struct {
 	// Packet-in coalescing: the read path enqueues and schedules a drain
 	// task that batches into DeliverPacketInBatch, so a flood of
 	// packet-ins costs one file system transaction per batch instead of
-	// one per message.
+	// one per message. pktinBatch is the drain's claim buffer, allocated
+	// once per connection and reused every drain (it is touched only by
+	// the mailbox-serialized drainPktin). drainBoxFn/drainPktinFn are the
+	// bound method values, hoisted here so scheduling a drain does not
+	// allocate a closure per wakeup.
 	pktin          chan *openflow.PacketIn
 	pktinScheduled atomic.Bool
+	pktinBatch     []*openflow.PacketIn
+	drainBoxFn     func()
+	drainPktinFn   func()
 
 	// Control-channel telemetry, published as <ProcDir>/<name> files.
 	txMsgs       atomic.Uint64
@@ -270,8 +277,11 @@ func (d *Driver) Attach(rw io.ReadWriter) (*SwitchConn, error) {
 		portConfig: make(map[uint32]uint32),
 		pending:    make(map[uint32]chan *openflow.StatsReply),
 		pktin:      make(chan *openflow.PacketIn, pktInQueueLen),
+		pktinBatch: make([]*openflow.PacketIn, 0, maxPktInBatch),
 		done:       make(chan struct{}),
 	}
+	sc.drainBoxFn = sc.drainBox
+	sc.drainPktinFn = sc.drainPktin
 	for _, p := range features.Ports {
 		sc.portConfig[p.No] = p.Config
 	}
@@ -552,7 +562,7 @@ func (sc *SwitchConn) handleMessage(msg openflow.Message) {
 			return
 		}
 		if sc.pktinScheduled.CompareAndSwap(false, true) {
-			sc.enqueue(sc.drainPktin)
+			sc.enqueue(sc.drainPktinFn)
 		}
 	case *openflow.PortStatus:
 		sc.handlePortStatus(m)
@@ -586,11 +596,14 @@ func (sc *SwitchConn) handleMessage(msg openflow.Message) {
 // deliveries (up to maxPktInBatch per transaction). It runs in the
 // mailbox; the scheduled flag guarantees at most one drain is queued,
 // and the re-check after clearing it closes the race against a producer
-// that enqueued while the flag was still set.
+// that enqueued while the flag was still set. The claim buffer lives on
+// the connection so a drain costs zero allocations of its own; the
+// per-batch cost is the delivery transaction.
+//
+//yancvet:hotalloc
 func (sc *SwitchConn) drainPktin() {
-	batch := make([]*openflow.PacketIn, 0, maxPktInBatch)
+	batch := sc.pktinBatch[:0]
 	for {
-		batch = batch[:0]
 	collect:
 		for len(batch) < maxPktInBatch {
 			select {
@@ -602,9 +615,16 @@ func (sc *SwitchConn) drainPktin() {
 		}
 		if len(batch) > 0 {
 			sc.pktinBatches.Add(1)
+			//yancvet:alloc one delivery transaction per batch is the coalescing contract
 			if err := sc.driver.Y.DeliverPacketInBatch(sc.driver.Region, sc.Name, batch); err != nil {
-				sc.driver.Logf("driver: %s: deliver packet-in batch (%d): %v", sc.Name, len(batch), err)
+				sc.driver.Logf("driver: %s: deliver packet-in batch (%d): %v", sc.Name, len(batch), err) //yancvet:alloc error path
 			}
+			// Drop the packet refs so delivered messages are collectable
+			// while the buffer idles between bursts.
+			for i := range batch {
+				batch[i] = nil
+			}
+			batch = batch[:0]
 			continue
 		}
 		sc.pktinScheduled.Store(false)

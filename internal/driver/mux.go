@@ -99,6 +99,8 @@ func (m *mux) stop() {
 }
 
 // submit queues one task for the worker pool.
+//
+//yancvet:hotalloc
 func (m *mux) submit(f func()) {
 	m.qmu.Lock()
 	if m.quit {
@@ -111,6 +113,8 @@ func (m *mux) submit(f func()) {
 }
 
 // worker drains the task queue until the mux stops.
+//
+//yancvet:hotalloc
 func (m *mux) worker() {
 	defer m.wg.Done()
 	for {
@@ -197,6 +201,11 @@ func switchNameFromPath(root, p string) string {
 // drain on the worker pool if one is not already running. The mailbox
 // serializes a connection's work — watch events, echo probes, packet-in
 // deliveries, poller reads — without pinning a goroutine per switch.
+// The drain task submitted is the method value bound once at attach
+// (drainBoxFn), not sc.drainBox, which would allocate a closure per
+// wakeup.
+//
+//yancvet:hotalloc
 func (sc *SwitchConn) enqueue(f func()) {
 	sc.boxMu.Lock()
 	sc.box = append(sc.box, f)
@@ -206,11 +215,13 @@ func (sc *SwitchConn) enqueue(f func()) {
 	}
 	sc.boxMu.Unlock()
 	if start {
-		sc.mux.submit(sc.drainBox)
+		sc.mux.submit(sc.drainBoxFn)
 	}
 }
 
 // drainBox runs mailbox tasks in FIFO order until the mailbox is empty.
+//
+//yancvet:hotalloc
 func (sc *SwitchConn) drainBox() {
 	for {
 		sc.boxMu.Lock()

@@ -35,6 +35,8 @@ func (m MAC) String() string {
 
 // AppendString appends the colon-separated hex form to dst and returns
 // the extended slice.
+//
+//yancvet:hotalloc
 func (m MAC) AppendString(dst []byte) []byte {
 	const hex = "0123456789abcdef"
 	for i, b := range m {
@@ -99,6 +101,8 @@ func (ip IP4) String() string {
 
 // AppendString appends the dotted-quad form to dst and returns the
 // extended slice — the no-Sprintf renderer bulk flow writers use.
+//
+//yancvet:hotalloc
 func (ip IP4) AppendString(dst []byte) []byte {
 	for i, b := range ip {
 		if i > 0 {
@@ -167,6 +171,8 @@ func (p Prefix) String() string {
 
 // AppendString appends the CIDR form to dst and returns the extended
 // slice.
+//
+//yancvet:hotalloc
 func (p Prefix) AppendString(dst []byte) []byte {
 	dst = p.Addr.AppendString(dst)
 	dst = append(dst, '/')

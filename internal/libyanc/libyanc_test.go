@@ -371,6 +371,29 @@ func TestRingConcurrentConsumers(t *testing.T) {
 	}
 }
 
+// TestAllocRingPublishConsumeAllocFree is the dynamic half of the
+// zero-copy ring's allocation contract. The static half is yancvet's
+// hotalloc analyzer (DESIGN.md §11), which proves the driver's
+// publish-side hot path can't allocate; this pin covers the steady-state
+// Publish/Next cycle on the current toolchain, where messages move by
+// slot assignment only. Keep both checks: the analyzer catches shapes,
+// this catches codegen. (The FlowRing drainer is deliberately amortized
+// — one claim buffer per ring — so only the packet-in ring pins to 0.)
+func TestAllocRingPublishConsumeAllocFree(t *testing.T) {
+	r := NewRing(8)
+	c := r.NewCursor()
+	msg := PacketInMsg{Switch: "sw1", PI: &openflow.PacketIn{}}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Publish(msg)
+		if _, ok := c.Next(false); !ok {
+			t.Fatal("published message not delivered")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Publish/Next allocated %v times per run; want 0", allocs)
+	}
+}
+
 func TestRingPending(t *testing.T) {
 	r := NewRing(4)
 	c := r.NewCursor()

@@ -262,8 +262,10 @@ func (r *FlowRing) InstallHook() func(flowPath string, version uint64) {
 // their CQEs and do not abort the rest of the batch — there is no
 // rollback in vfs, so a failed entry may leave a partially-written,
 // uncommitted flow directory (no version file, so drivers ignore it).
+//
+//yancvet:hotalloc
 func (r *FlowRing) drainer(maxBatch int) {
-	batch := make([]SQE, 0, maxBatch)
+	batch := make([]SQE, 0, maxBatch) //yancvet:alloc one claim buffer per ring lifetime, reused every drain
 	for {
 		r.mu.Lock()
 		for r.tail == r.head && !r.closed {
@@ -318,15 +320,17 @@ func (r *FlowRing) drainer(maxBatch int) {
 // commit applies one batch under a single transaction: one tree-lock
 // acquisition, one event flush, many version files.
 func (r *FlowRing) commit(batch []SQE) []CQE {
-	cqes := make([]CQE, len(batch))
+	cqes := make([]CQE, len(batch)) //yancvet:alloc one completion buffer per drain, handed off to the CQ
 	y := r.client.y
+	//yancvet:alloc one transaction and closure per drain, amortized over the whole batch
 	err := y.VFS().WithTx(func(tx *vfs.Tx) error {
 		for i, e := range batch {
 			cqes[i] = CQE{Tag: e.Tag, Path: e.Path, Op: e.Op}
 			switch e.Op {
 			case OpDelete:
-				cqes[i].Err = tx.Remove(e.Path)
+				cqes[i].Err = tx.Remove(e.Path) //yancvet:alloc tree mutation allocates by design; the render path is what is pinned
 			default:
+				//yancvet:alloc flow write allocates inodes by design; its render path is pinned zero-alloc
 				v, perr := y.PutFlowTx(tx, e.Path, e.Spec)
 				cqes[i].Version = v
 				cqes[i].Err = perr

@@ -163,35 +163,98 @@ func (a Action) ActionFileValue() string {
 }
 
 // ActionFile returns both file-form halves directly, rendering the
-// value without the Sprintf round-trip of String — this is the form
-// bulk writers (the libyanc ring's flow renderer) sit on.
-// Presence-only actions like strip_vlan carry the value "1".
+// value without the Sprintf round-trip of String. Presence-only actions
+// like strip_vlan carry the value "1". The returned value is a fresh
+// string allocation; bulk writers use FileName/AppendFileValue instead.
 func (a Action) ActionFile() (name, value string) {
+	var buf [18]byte // longest value: a CIDR-free MAC, 17 bytes
+	return a.FileName(), string(a.AppendFileValue(buf[:0]))
+}
+
+// FileName returns the yanc file name for the action ("out" →
+// action.out) as a constant string — no allocation, unlike
+// ActionFileName which round-trips through String.
+//
+//yancvet:hotalloc
+func (a Action) FileName() string {
 	switch a.Type {
 	case ActOutput:
-		return "out", portName(a.Port)
+		return "out"
 	case ActSetVLANID:
-		return "set_vlan_vid", strconv.FormatUint(uint64(a.VLANID), 10)
+		return "set_vlan_vid"
 	case ActSetVLANPCP:
-		return "set_vlan_pcp", strconv.FormatUint(uint64(a.VLANPCP), 10)
+		return "set_vlan_pcp"
 	case ActStripVLAN:
-		return "strip_vlan", "1"
+		return "strip_vlan"
 	case ActSetDLSrc:
-		return "set_dl_src", a.DL.String()
+		return "set_dl_src"
 	case ActSetDLDst:
-		return "set_dl_dst", a.DL.String()
+		return "set_dl_dst"
 	case ActSetNWSrc:
-		return "set_nw_src", a.NW.String()
+		return "set_nw_src"
 	case ActSetNWDst:
-		return "set_nw_dst", a.NW.String()
+		return "set_nw_dst"
 	case ActSetNWTos:
-		return "set_nw_tos", strconv.FormatUint(uint64(a.TOS), 10)
+		return "set_nw_tos"
 	case ActSetTPSrc:
-		return "set_tp_src", strconv.FormatUint(uint64(a.TP), 10)
+		return "set_tp_src"
 	case ActSetTPDst:
-		return "set_tp_dst", strconv.FormatUint(uint64(a.TP), 10)
+		return "set_tp_dst"
 	}
-	return "unknown", "1"
+	return "unknown"
+}
+
+// AppendFileValue appends the action-file value to dst and returns the
+// extended slice — the allocation-free renderer the libyanc ring's flow
+// writer builds its arena with.
+//
+//yancvet:hotalloc
+func (a Action) AppendFileValue(dst []byte) []byte {
+	switch a.Type {
+	case ActOutput:
+		return appendPortName(dst, a.Port)
+	case ActSetVLANID:
+		return strconv.AppendUint(dst, uint64(a.VLANID), 10)
+	case ActSetVLANPCP:
+		return strconv.AppendUint(dst, uint64(a.VLANPCP), 10)
+	case ActStripVLAN:
+		return append(dst, '1')
+	case ActSetDLSrc, ActSetDLDst:
+		return a.DL.AppendString(dst)
+	case ActSetNWSrc, ActSetNWDst:
+		return a.NW.AppendString(dst)
+	case ActSetNWTos:
+		return strconv.AppendUint(dst, uint64(a.TOS), 10)
+	case ActSetTPSrc, ActSetTPDst:
+		return strconv.AppendUint(dst, uint64(a.TP), 10)
+	}
+	return append(dst, '1')
+}
+
+// appendPortName is portName in append form.
+//
+//yancvet:hotalloc
+func appendPortName(dst []byte, p uint32) []byte {
+	switch p {
+	case PortInPort:
+		return append(dst, "in_port"...)
+	case PortTable:
+		return append(dst, "table"...)
+	case PortNormal:
+		return append(dst, "normal"...)
+	case PortFlood:
+		return append(dst, "flood"...)
+	case PortAll:
+		return append(dst, "all"...)
+	case PortController:
+		return append(dst, "controller"...)
+	case PortLocal:
+		return append(dst, "local"...)
+	case PortAny:
+		return append(dst, "any"...)
+	default:
+		return strconv.AppendUint(dst, uint64(p), 10)
+	}
 }
 
 // ParseAction parses the "name=value" (or bare name) form used in

@@ -84,6 +84,8 @@ type Match struct {
 }
 
 // Has reports whether field f participates in the match.
+//
+//yancvet:hotalloc
 func (m *Match) Has(f Field) bool { return m.Set&f != 0 }
 
 // IsWildcardAll reports whether the match matches everything.
@@ -202,6 +204,8 @@ func (m *Match) FieldString(f Field) string {
 // the extended slice. Bulk writers (the libyanc ring's flow renderer)
 // use this to build every field value in one arena instead of one
 // string allocation per field.
+//
+//yancvet:hotalloc
 func (m *Match) AppendField(dst []byte, f Field) []byte {
 	switch f {
 	case FieldInPort:

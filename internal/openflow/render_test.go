@@ -41,6 +41,41 @@ func TestActionFileMatchesStringForm(t *testing.T) {
 	}
 }
 
+// TestAllocRenderersAllocFree is the dynamic half of the hot-path
+// allocation contract. The static half is yancvet's hotalloc analyzer
+// (DESIGN.md §11): AppendField, FileName, AppendFileValue and their
+// callees are annotated //yancvet:hotalloc, so the analyzer proves the
+// shapes can't allocate. This pin catches what the analyzer can't see —
+// whatever codegen and the escape analyzer of the current toolchain
+// actually do with those shapes. Keep both: neither is redundant.
+func TestAllocRenderersAllocFree(t *testing.T) {
+	var m Match
+	if err := m.SetField(FieldDLSrc, "de:ad:be:ef:00:2a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetField(FieldNWDst, "10.1.2.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	actions := []Action{
+		Output(PortController),
+		{Type: ActSetDLDst, DL: ethernet.MAC{1, 2, 3, 4, 5, 6}},
+		{Type: ActSetNWTos, TOS: 16},
+	}
+	buf := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, f := range AllFields {
+			buf = m.AppendField(buf[:0], f)
+		}
+		for _, a := range actions {
+			_ = a.FileName()
+			buf = a.AppendFileValue(buf[:0])
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("renderers allocated %v times per run; want 0 (the //yancvet:hotalloc annotations promise none)", allocs)
+	}
+}
+
 // TestAppendFieldMatchesFieldString pins the allocation-free AppendField
 // renderer to FieldString for every canonical field.
 func TestAppendFieldMatchesFieldString(t *testing.T) {

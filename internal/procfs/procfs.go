@@ -39,6 +39,7 @@ package procfs
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -359,12 +360,22 @@ func (t *Tree) renderContention() ([]byte, error) {
 
 // The resolve_* files hold one bare counter each, so shell-side ratio
 // math stays a two-read one-liner (`$(<resolve_fallback)` over the sum).
+// These two counters tick on every lock-free read, so unlike the other
+// renders they are polled at high rates by monitoring loops: the render
+// is a direct strconv append (one owned []byte, no fmt boxing).
 func (t *Tree) renderResolveLockfree() ([]byte, error) {
-	return []byte(fmt.Sprintf("%d\n", t.fs.LockStats().ResolveLockfree)), nil
+	return renderCounter(t.fs.LockStats().ResolveLockfree), nil
 }
 
 func (t *Tree) renderResolveFallback() ([]byte, error) {
-	return []byte(fmt.Sprintf("%d\n", t.fs.LockStats().ResolveFallback)), nil
+	return renderCounter(t.fs.LockStats().ResolveFallback), nil
+}
+
+// renderCounter formats one bare counter as "<n>\n" in a single
+// exactly-sized allocation: the returned buffer is the file content.
+func renderCounter(n uint64) []byte {
+	buf := make([]byte, 0, 21) // max uint64 digits + newline
+	return append(strconv.AppendUint(buf, n, 10), '\n')
 }
 
 func (t *Tree) renderWatchQueues() ([]byte, error) {

@@ -41,7 +41,7 @@ func (e *PathError) Error() string { return e.Op + " " + e.Path + ": " + e.Err.E
 func (e *PathError) Unwrap() error { return e.Err }
 
 func pathErr(op, path string, err error) error {
-	return &PathError{Op: op, Path: path, Err: err}
+	return &PathError{Op: op, Path: path, Err: err} //yancvet:alloc error construction is off the success path
 }
 
 // LinkError records an error during a rename, link, or symlink involving

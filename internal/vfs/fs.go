@@ -266,6 +266,7 @@ func (fs *FS) Stats() OpStats { return fs.stats.snapshot() }
 // that supply their own (pre-sized or bulk-cloned) map and timestamp.
 func (fs *FS) bareInode(kind NodeKind, mode FileMode, uid, gid int, now time.Time) *inode {
 	ns := now.UnixNano()
+	//yancvet:alloc the inode is the operation's product, adopted by the tree
 	n := &inode{
 		ino:   fs.nextIno.Add(1),
 		kind:  kind,
@@ -432,7 +433,7 @@ func pathTo(dir *inode, name string) string {
 		stack = append(stack, cur)
 	}
 	var b strings.Builder
-	b.Grow(size)
+	b.Grow(size) //yancvet:alloc one owned event-path string per mutation, by the Event contract
 	for i := len(stack) - 1; i >= 0; i-- {
 		b.WriteByte('/')
 		b.WriteString(stack[i].name)
@@ -849,6 +850,8 @@ func (tx *Tx) LinkDir(srcDir, dstDir string, mode FileMode, uid, gid int) error 
 // one stale subscriber buffer cannot abort delivery to the rest. Child
 // nlink/ctime updates are batched: one increment pass no matter how many
 // destinations were linked.
+//
+//yancvet:hotalloc
 func (tx *Tx) LinkDirFanout(srcDir string, dsts []string, mode FileMode, uid, gid int, linked func(i int)) error {
 	tmpl, err := tx.fanoutSrc(srcDir)
 	if err != nil {
@@ -902,17 +905,18 @@ func (tx *Tx) LinkDirFanout(srcDir string, dsts []string, mode FileMode, uid, gi
 func (tx *Tx) fanoutSrc(srcDir string) (map[string]*inode, error) {
 	_, _, src, err := tx.fs.resolve(Root, srcDir, resolveOpts{followLast: true})
 	if err != nil {
-		return nil, &LinkError{Op: "linkdir", Old: srcDir, New: "", Err: err}
+		return nil, &LinkError{Op: "linkdir", Old: srcDir, New: "", Err: err} //yancvet:alloc error path
 	}
 	if src == nil {
-		return nil, &LinkError{Op: "linkdir", Old: srcDir, New: "", Err: ErrNotExist}
+		return nil, &LinkError{Op: "linkdir", Old: srcDir, New: "", Err: ErrNotExist} //yancvet:alloc error path
 	}
 	if !src.isDir() {
-		return nil, &LinkError{Op: "linkdir", Old: srcDir, New: "", Err: ErrNotDir}
+		return nil, &LinkError{Op: "linkdir", Old: srcDir, New: "", Err: ErrNotDir} //yancvet:alloc error path
 	}
 	srcKids := src.kids()
 	for _, c := range srcKids {
 		if c.kind != KindFile {
+			//yancvet:alloc mixed-kind source clones the template once per fan-out, shared by every destination
 			tmpl := make(map[string]*inode, len(srcKids))
 			for cname, cc := range srcKids {
 				if cc.kind == KindFile {
@@ -957,6 +961,8 @@ func (p *Proc) DirRef(path string) (DirRef, error) {
 // since the caller's cache was built) or already holds name is skipped.
 // Every node of a removed subtree has its parent pointer cleared, so
 // detachment is one pointer test instead of a path walk.
+//
+//yancvet:hotalloc
 func (tx *Tx) LinkDirFanoutRefs(srcDir string, parents []DirRef, name string, mode FileMode, uid, gid int, linked func(i int)) error {
 	tmpl, err := tx.fanoutSrc(srcDir)
 	if err != nil {

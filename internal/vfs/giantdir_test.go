@@ -113,7 +113,10 @@ func TestStressGiantDirOps(t *testing.T) {
 // ReadDir of an unchanged 10⁵-entry directory returns the cached sorted
 // slice — a handful of allocations per call, never an O(n) rebuild
 // (rebuilding would cost thousands of allocations for the entry slice
-// and sort machinery).
+// and sort machinery). Dynamic cross-check of the //yancvet:hotalloc
+// static rule (DESIGN.md §11): the analyzer proves the annotated resolve
+// fastpath can't allocate; this pin bounds the adjacent cached-readdir
+// path the static rule doesn't cover. Keep both.
 func TestAllocGiantDirReaddirCached(t *testing.T) {
 	fs := New()
 	giantDir(t, fs, giantN)

@@ -147,11 +147,11 @@ func (s *kidsSnap) fold() map[string]*inode {
 	if p := s.folded.Load(); p != nil {
 		return *p
 	}
-	m := make(map[string]*inode, s.n)
+	m := make(map[string]*inode, s.n) //yancvet:alloc amortized re-fold: one map copy per maxKidOverlay mutations, memoized
 	for k, v := range s.m {
 		m[k] = v
 	}
-	cells := make([]*kidOver, 0, s.over.depth)
+	cells := make([]*kidOver, 0, s.over.depth) //yancvet:alloc bounded by maxKidOverlay, only on the memoized fold
 	for o := s.over; o != nil; o = o.prev {
 		cells = append(cells, o)
 	}
@@ -233,7 +233,7 @@ func (n *inode) cowInsert(name string, c *inode) {
 	}
 	if depth > maxKidOverlay {
 		m := old.fold()
-		cp := make(map[string]*inode, len(m)+1)
+		cp := make(map[string]*inode, len(m)+1) //yancvet:alloc amortized: one map copy per maxKidOverlay inserts
 		for k, v := range m {
 			cp[k] = v
 		}
@@ -318,6 +318,8 @@ const (
 // to the locked path on ".." (needs parent back-links) and on any symlink
 // it would have to follow (hop accounting and dangling-link create
 // semantics live in walkFrom).
+//
+//yancvet:hotalloc
 func (fs *FS) walkRCU(cred Cred, path string, opt resolveOpts) (*inode, rcuStatus, error) {
 	root := opt.root
 	if root == nil {
@@ -384,6 +386,8 @@ func (fs *FS) walkRCU(cred Cred, path string, opt resolveOpts) (*inode, rcuStatu
 // lock-free retry charges one hop, and the accumulated count carries into
 // the fallback walk, so a concurrent-rename storm that keeps invalidating
 // hops surfaces as ErrTooManyLinks exactly like a symlink loop would.
+//
+//yancvet:hotalloc
 func (fs *FS) lookupRO(cred Cred, path string, opt resolveOpts) (*inode, error) {
 	hops := 0
 	attempt := 0

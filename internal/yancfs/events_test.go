@@ -217,7 +217,10 @@ func TestPacketInDeliveryAllocs(t *testing.T) {
 	// copy) — never a fresh set of payload files. Eight per extra
 	// subscriber is headroom over the ~7 measured; a copying fan-out
 	// needs ~20+ (six file inodes with data copies plus directory and
-	// snapshot plumbing).
+	// snapshot plumbing). This is the dynamic half of the contract:
+	// yancvet's hotalloc analyzer (DESIGN.md §11) statically verifies the
+	// //yancvet:hotalloc-annotated feeders, and this pin bounds the path
+	// the static rule deliberately exempts. Keep both.
 	perMsgAllocs := func(subs int) float64 {
 		y := newFS(t)
 		p := y.Root()

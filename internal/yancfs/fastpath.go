@@ -20,6 +20,25 @@ var matchFileNames = func() []string {
 	return names
 }()
 
+// actionFileNames caches "action.<name>" per action kind the same way:
+// hotalloc caught the per-action ActionPrefix+name concatenation this
+// table replaces.
+var actionFileNames = func() []string {
+	names := make([]string, int(openflow.ActSetTPDst)+1)
+	for t := range names {
+		names[t] = ActionPrefix + openflow.Action{Type: openflow.ActionType(t)}.FileName()
+	}
+	return names
+}()
+
+// actionFileName returns the cached "action.<name>" for a's kind.
+func actionFileName(a openflow.Action) string {
+	if int(a.Type) < len(actionFileNames) {
+		return actionFileNames[a.Type]
+	}
+	return ActionPrefix + "unknown"
+}
+
 // flowFiles renders the per-field files of a flow directory — match
 // fields, action files, metadata, and the committed version — in the
 // exact content format the file-I/O path produces.
@@ -46,11 +65,12 @@ type flowScratchBuf struct {
 	spans [][2]int
 }
 
+//yancvet:hotalloc
 func flowFiles(spec FlowSpec, version uint64) ([]vfs.FileData, *flowScratchBuf) {
 	sc := flowScratch.Get().(*flowScratchBuf)
 	files := sc.files[:0]
 	spans := sc.spans[:0]
-	arena := make([]byte, 0, 160)
+	arena := make([]byte, 0, 160) //yancvet:alloc the arena is adopted by the written inodes and must outlive the call
 	mark := 0
 	seal := func(name string) { // close out the value appended since mark
 		arena = append(arena, '\n')
@@ -65,9 +85,8 @@ func flowFiles(spec FlowSpec, version uint64) ([]vfs.FileData, *flowScratchBuf) 
 		}
 	}
 	for _, a := range spec.Actions {
-		name, value := a.ActionFile()
-		arena = append(arena, value...)
-		seal(ActionPrefix + name)
+		arena = a.AppendFileValue(arena)
+		seal(actionFileName(a))
 	}
 	arena = strconv.AppendUint(arena, uint64(spec.Priority), 10)
 	seal(FilePriority)
